@@ -1,0 +1,34 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's evaluation figures/tables,
+prints the same rows the paper plots, and writes a CSV under
+``benchmarks/results/`` for inspection.  Timings come from
+pytest-benchmark; the asserted *shape* properties (who wins, thresholds,
+crossovers) are the reproduction claims.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print an ExperimentTable and persist it as CSV."""
+
+    def _report(table, filename: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / filename).write_text(table.to_csv())
+        with capsys.disabled():
+            print(table.to_text())
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

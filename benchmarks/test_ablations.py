@@ -1,0 +1,175 @@
+"""Ablations of the paper's design choices.
+
+Each test removes one design element the paper argues for and shows the
+system degrades in the predicted direction:
+
+1. matched vs unmatched harvesting (Sec. 3.2),
+2. air-backed vs fully-potted transducer (Sec. 4.1),
+3. FM0 + ML decoding vs naive OOK slicing (Sec. 3.2),
+4. zero-forcing collision decoding vs plain per-channel filtering
+   (Sec. 3.3.2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import EnergyHarvester, MultiStageRectifier
+from repro.core.experiment import ExperimentTable
+from repro.dsp.fm0 import fm0_encode, fm0_ml_decode
+from repro.dsp.metrics import bit_error_rate, sinr_db
+from repro.dsp.mimo import mimo_equalize
+from repro.piezo import Transducer
+
+from conftest import run_once
+
+
+# ---------------------------------------------------------------------------
+# 1. Matched vs unmatched harvesting
+# ---------------------------------------------------------------------------
+
+def run_matching_ablation():
+    transducer = Transducer.from_cylinder_design()
+    f0 = transducer.resonance_hz
+    matched = EnergyHarvester(transducer, design_frequency_hz=f0)
+    pressure = matched.calibrate_pressure_for_peak(4.0)
+
+    # "Unmatched": wire the rectifier straight to the piezo.  The power
+    # delivered is the available power times the power-wave mismatch
+    # between the rectifier's input resistance and the piezo source.
+    from repro.circuits.elements import mismatch_power_fraction
+
+    rectifier = MultiStageRectifier()
+    z_s = transducer.impedance(f0)
+    raw_fraction = mismatch_power_fraction(
+        complex(rectifier.input_resistance_ohm), z_s
+    )
+    p_matched = matched.operating_point(pressure, f0).delivered_power_w
+    p_unmatched = transducer.available_power_w(pressure, f0) * raw_fraction
+    return p_matched, p_unmatched
+
+
+def test_ablation_matching(benchmark, report):
+    p_matched, p_unmatched = run_once(benchmark, run_matching_ablation)
+    # Sec. 3.2: the matching network maximises power transfer; removing
+    # it costs several-fold harvested power at the operating point.
+    assert p_matched > 2.5 * p_unmatched
+    table = ExperimentTable(
+        title="Ablation: impedance matching (harvested power)",
+        columns=("design", "delivered_power_uw"),
+    )
+    table.add_row("matched (recto-piezo)", float(p_matched * 1e6))
+    table.add_row("unmatched", float(p_unmatched * 1e6))
+    report(table, "ablation_matching.csv")
+
+
+# ---------------------------------------------------------------------------
+# 2. Air-backed vs fully-potted transducer
+# ---------------------------------------------------------------------------
+
+def run_backing_ablation():
+    air_backed = Transducer.from_cylinder_design()
+    # Fully potted: polyurethane fills the bore, loading the radial mode.
+    # The paper observed poorer sensitivity and harvesting; modelled as
+    # extra damping (lower Q), lost coupling, and a receive-sensitivity
+    # derating (the loaded wall moves less per pascal).
+    potted = Transducer.from_cylinder_design(ocv_db=-184.0)
+
+    results = {}
+    for name, transducer in (("air-backed", air_backed), ("fully potted", potted)):
+        harvester = EnergyHarvester(
+            transducer, design_frequency_hz=transducer.resonance_hz
+        )
+        op = harvester.operating_point(400.0, transducer.resonance_hz)
+        results[name] = (op.rectified_voltage_v, op.dc_power_w)
+    return results
+
+
+def test_ablation_backing(benchmark, report):
+    results = run_once(benchmark, run_backing_ablation)
+    # Sec. 4.1: "these designs had poorer sensitivity and energy
+    # harvesting efficiency than air-backed transducers."
+    assert results["air-backed"][0] > results["fully potted"][0]
+    assert results["air-backed"][1] > 1.5 * results["fully potted"][1]
+    table = ExperimentTable(
+        title="Ablation: transducer backing (at 400 Pa incident)",
+        columns=("design", "rectified_v", "dc_power_uw"),
+    )
+    for name, (volts, power) in results.items():
+        table.add_row(name, float(volts), float(power * 1e6))
+    report(table, "ablation_backing.csv")
+
+
+# ---------------------------------------------------------------------------
+# 3. FM0 + ML decoding vs naive OOK slicing
+# ---------------------------------------------------------------------------
+
+def run_linecode_ablation(snr_db_value=1.0, n_bits=40_000, seed=3):
+    rng = np.random.default_rng(seed)
+    sigma = 1.0 / np.sqrt(10.0 ** (snr_db_value / 10.0))
+    bits = rng.integers(0, 2, n_bits)
+    chips = fm0_encode(bits) * 2.0 - 1.0
+    noisy = chips + rng.normal(0, sigma, len(chips))
+
+    # The paper's ML decoder exploits FM0's memory (the boundary
+    # inversion couples adjacent bits); the ablation replaces it with
+    # independent hard chip decisions.
+    from repro.dsp.fm0 import fm0_decode_chips
+
+    ml_ber = bit_error_rate(fm0_ml_decode(noisy), bits)
+    hard_ber = bit_error_rate(
+        fm0_decode_chips((noisy > 0).astype(float)), bits
+    )
+    return ml_ber, hard_ber
+
+
+def test_ablation_linecode(benchmark, report):
+    ml_ber, hard_ber = run_once(benchmark, run_linecode_ablation)
+    # The sequence (Viterbi) decoder clearly beats per-chip slicing.
+    assert ml_ber < 0.7 * hard_ber
+    table = ExperimentTable(
+        title="Ablation: FM0 decoder at 1 dB chip SNR",
+        columns=("scheme", "ber"),
+    )
+    table.add_row("ML / Viterbi (paper)", float(ml_ber))
+    table.add_row("hard chip decisions", float(hard_ber))
+    report(table, "ablation_linecode.csv")
+
+
+# ---------------------------------------------------------------------------
+# 4. Collision decoding vs plain per-channel filtering
+# ---------------------------------------------------------------------------
+
+def run_collision_ablation(seed=5, n=600, train=80):
+    """Synthetic two-node collision with a realistic coupling matrix."""
+    rng = np.random.default_rng(seed)
+    # Pseudorandom training prefixes (as real preambles are) followed by
+    # random payload chips.
+    x = rng.choice([-1.0, 1.0], size=(2, n))
+    # Strong cross-coupling: backscatter is frequency-agnostic, so the
+    # interferer arrives at a comparable level (Sec. 3.3.2).
+    h = np.array([[1.0, 0.8], [0.7, 0.9]])
+    y = h @ x + rng.normal(0, 0.08, (2, n))
+
+    # "Filtering only": take each channel's stream as-is.
+    sinr_filtered = [sinr_db(y[k], x[k]) for k in range(2)]
+    # Collision decoding.
+    separated = mimo_equalize(y, x[:, :train], taps=5)
+    sinr_decoded = [sinr_db(separated[k], x[k]) for k in range(2)]
+    return sinr_filtered, sinr_decoded
+
+
+def test_ablation_collision_decoding(benchmark, report):
+    sinr_filtered, sinr_decoded = run_once(benchmark, run_collision_ablation)
+    # Sec. 6.3: before projection the SINR is too low to decode; the
+    # paper's receiver lifts it above the threshold.
+    for before, after in zip(sinr_filtered, sinr_decoded):
+        assert before < 3.0
+        assert after > before + 5.0
+        assert after > 3.0
+    table = ExperimentTable(
+        title="Ablation: collision handling",
+        columns=("node", "filter_only_sinr_db", "zf_decode_sinr_db"),
+    )
+    for k in range(2):
+        table.add_row(k + 1, float(sinr_filtered[k]), float(sinr_decoded[k]))
+    report(table, "ablation_collision.csv")

@@ -1,0 +1,95 @@
+"""Fig. 10 — Concurrent backscatter transmissions: SINR before/after projection.
+
+Paper: with two recto-piezo nodes (15 and 18 kHz) replying concurrently,
+the SINR before projection is low (< 3 dB across all locations — the
+frequency-agnostic collision), while zero-forcing projection on the
+orthogonal of the interferer's channel lifts the SINR above the
+decodable threshold, with location-dependent values.
+"""
+
+import numpy as np
+
+from repro.acoustics import POOL_A, Position
+from repro.core import PABNetwork
+from repro.core.experiment import ExperimentTable
+from repro.dsp.packets import CONCURRENT_PREAMBLES, PacketFormat
+from repro.net.messages import Command, Query
+from repro.node.node import PABNode
+from repro.piezo import Transducer
+
+from conftest import run_once
+
+#: Eight (node1, node2) placements, mirroring the paper's eight locations.
+LOCATIONS = (
+    (Position(1.5, 2.0, 0.6), Position(1.8, 1.2, 0.6)),
+    (Position(1.2, 1.8, 0.6), Position(2.0, 1.5, 0.6)),
+    (Position(1.8, 2.2, 0.6), Position(1.5, 1.0, 0.6)),
+    (Position(2.2, 1.8, 0.6), Position(1.3, 1.3, 0.6)),
+    (Position(1.4, 1.6, 0.5), Position(2.1, 1.1, 0.7)),
+    (Position(1.7, 1.9, 0.7), Position(1.6, 1.3, 0.5)),
+    (Position(2.0, 2.1, 0.6), Position(1.4, 1.1, 0.6)),
+    (Position(1.3, 2.2, 0.6), Position(1.9, 1.4, 0.6)),
+)
+
+
+def run_locations():
+    table = ExperimentTable(
+        title="Fig. 10: SINR before/after projection (concurrent nodes)",
+        columns=("location", "node", "sinr_before_db", "sinr_after_db", "decoded"),
+    )
+    gains = []
+    for loc, (pos1, pos2) in enumerate(LOCATIONS, start=1):
+        net = PABNetwork(
+            POOL_A,
+            Position(0.5, 1.5, 0.6),
+            Position(1.0, 0.8, 0.6),
+            projector_transducer_factory=Transducer.from_cylinder_design,
+            drive_voltage_v=200.0,
+        )
+        for i, (freq, pos) in enumerate(
+            [(15_000.0, pos1), (18_000.0, pos2)]
+        ):
+            node = PABNode(address=i + 1, channel_frequencies_hz=(freq,))
+            node.firmware.config.uplink_format = PacketFormat(
+                preamble=CONCURRENT_PREAMBLES[i]
+            )
+            net.add_node(node, pos)
+        result = net.run_concurrent_round(
+            [
+                Query(destination=1, command=Command.PING),
+                Query(destination=2, command=Command.PING),
+            ]
+        )
+        for outcome in result.outcomes:
+            table.add_row(
+                loc,
+                outcome.address,
+                float(outcome.sinr_before_db),
+                float(outcome.sinr_after_db),
+                outcome.success,
+            )
+            if np.isfinite(outcome.sinr_before_db):
+                gains.append(outcome.sinr_after_db - outcome.sinr_before_db)
+    return table, gains
+
+
+def test_fig10_concurrent_transmissions(benchmark, report):
+    table, gains = run_once(benchmark, run_locations)
+    before = [b for b in table.column("sinr_before_db") if np.isfinite(b)]
+    after = [a for a in table.column("sinr_after_db") if np.isfinite(a)]
+
+    # Shape claims:
+    # 1. Both nodes produced measurable streams at every location.
+    assert len(before) == 2 * len(LOCATIONS)
+    # 2. Before projection, the collision keeps SINR low (< 3 dB).
+    assert all(b < 3.0 for b in before)
+    # 3. Projection boosts SINR significantly at every measurement.
+    assert all(g > 3.0 for g in gains)
+    assert np.mean(gains) > 8.0
+    # 4. After projection, most streams are decodable (> 3 dB).
+    assert np.mean([a > 3.0 for a in after]) >= 0.5
+    # 5. SINR varies across locations (channel-dependent, as the paper
+    #    remarks).
+    assert np.std(after) > 1.0
+
+    report(table, "fig10_concurrent.csv")

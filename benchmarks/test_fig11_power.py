@@ -1,0 +1,54 @@
+"""Fig. 11 — Node power consumption vs backscatter bitrate.
+
+Paper: idle (waiting to decode a downlink) consumes 124 uW; backscatter
+at any tested bitrate consumes ~500 uW, dominated by the MCU's ~230 uA
+active draw plus the LDO's ~25 uA at the 2.1 V measurement supply, with
+only a gentle upward trend in bitrate.
+"""
+
+import pytest
+
+from repro.constants import MEASURED_IDLE_POWER_W
+from repro.core.experiment import ExperimentTable
+from repro.node import NodePowerModel, PowerState
+
+from conftest import run_once
+
+BITRATES = [100.0, 200.0, 400.0, 500.0, 1_000.0, 1_500.0, 2_000.0, 2_500.0, 3_000.0]
+
+
+def run_sweep():
+    model = NodePowerModel()
+    sweep = model.fig11_sweep(BITRATES)
+    table = ExperimentTable(
+        title="Fig. 11: power consumption vs backscatter bitrate",
+        columns=("mode", "power_uw"),
+    )
+    table.add_row("idle", sweep["idle"] * 1e6)
+    for rate in BITRATES:
+        table.add_row(f"{rate:.0f} bps", sweep[rate] * 1e6)
+    return table, sweep, model
+
+
+def test_fig11_power_consumption(benchmark, report):
+    table, sweep, model = run_once(benchmark, run_sweep)
+
+    # Shape claims:
+    # 1. Idle power matches the paper's 124 uW measurement.
+    assert sweep["idle"] == pytest.approx(MEASURED_IDLE_POWER_W, rel=0.01)
+    # 2. Backscatter power is ~500 uW at every tested bitrate.
+    for rate in BITRATES:
+        assert 400e-6 < sweep[rate] < 650e-6
+    # 3. The bitrate trend is gently upward (switch gate charge).
+    assert sweep[3_000.0] > sweep[100.0]
+    assert (sweep[3_000.0] - sweep[100.0]) / sweep[100.0] < 0.2
+    # 4. Backscatter costs ~4x idle — the step the paper's figure shows.
+    assert 2.0 < sweep[1_000.0] / sweep["idle"] < 8.0
+    # 5. Sanity against the datasheet decomposition (Sec. 6.4): the total
+    #    current is within ~10% of MCU active + LDO quiescent.
+    i_total = model.current_a(PowerState.BACKSCATTER, bitrate=1_000.0)
+    assert i_total == pytest.approx(
+        model.mcu_active_a + model.ldo_quiescent_a, rel=0.25
+    )
+
+    report(table, "fig11_power.csv")

@@ -1,0 +1,34 @@
+"""Fig. 7 — BER vs SNR of the backscatter decoder.
+
+Paper: BER decreases with SNR; the decoder works from a minimum SNR of
+~2 dB (typical for biphase/FM0), and BER reaches the 1e-5 floor above
+~11 dB (the floor reflects the paper's <1e5-bit packets).
+"""
+
+import numpy as np
+
+from repro.core.experiment import ber_snr_sweep
+
+from conftest import run_once
+
+SNR_GRID = [-2.0, 0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 11.0, 12.0, 14.0, 16.0, 18.0]
+
+
+def test_fig7_ber_snr(benchmark, report):
+    table = run_once(
+        benchmark, ber_snr_sweep, SNR_GRID, bits_per_point=120_000
+    )
+    snrs = table.column("snr_db")
+    bers = table.column("ber")
+
+    # Shape claims:
+    # 1. BER is monotone non-increasing in SNR.
+    assert all(b1 >= b2 for b1, b2 in zip(bers, bers[1:]))
+    # 2. Decoding is hopeless well below the ~2 dB threshold...
+    assert bers[snrs.index(-2.0)] > 0.05
+    # 3. ...usable from ~2 dB (the paper's minimum decodable SNR)...
+    assert bers[snrs.index(2.0)] < 0.1
+    # 4. ...and at the 1e-5 floor by ~11-14 dB.
+    assert bers[snrs.index(14.0)] <= 1.1e-5
+
+    report(table, "fig7_ber_snr.csv")

@@ -1,0 +1,85 @@
+"""Fig. 8 — SNR vs backscatter bitrate.
+
+Paper: with the node fixed within a metre of projector and hydrophone,
+the received SNR falls as the backscatter bitrate rises (wider bandwidth
+for the same reflected power), and "significantly drops for bitrates
+higher than 3 kbps" because the recto-piezo's efficiency collapses away
+from resonance — making 3 kbps the maximum practical rate.
+"""
+
+import numpy as np
+
+from repro.acoustics import POOL_A, Position
+from repro.core import BackscatterLink, Projector
+from repro.core.experiment import ExperimentTable
+from repro.net.messages import Command, Query
+from repro.node.node import PABNode
+from repro.piezo import Transducer
+
+from conftest import run_once
+
+BITRATES = [100.0, 200.0, 400.0, 600.0, 800.0, 1_000.0, 2_000.0, 2_800.0, 3_000.0, 5_000.0]
+
+#: Per-trial node placements, all within ~1 m of projector and hydrophone
+#: (paper Sec. 6.1b), with small moves between trials.
+TRIAL_POSITIONS = (
+    Position(1.3, 1.5, 0.6),
+    Position(1.25, 1.4, 0.6),
+    Position(1.35, 1.55, 0.65),
+)
+
+
+def make_link(bitrate: float, trial: int) -> BackscatterLink:
+    transducer = Transducer.from_cylinder_design()
+    f = transducer.resonance_hz
+    projector = Projector(transducer=transducer, drive_voltage_v=50.0, carrier_hz=f)
+    node = PABNode(address=7, channel_frequencies_hz=(f,), bitrate=bitrate)
+    return BackscatterLink(
+        POOL_A,
+        projector,
+        Position(0.5, 1.5, 0.6),
+        node,
+        TRIAL_POSITIONS[trial % len(TRIAL_POSITIONS)],
+        Position(1.0, 0.9, 0.6),
+    )
+
+
+def run_sweep():
+    table = ExperimentTable(
+        title="Fig. 8: SNR vs backscatter bitrate",
+        columns=("bitrate_bps", "snr_db_mean", "snr_db_std", "trials"),
+    )
+    query = Query(destination=7, command=Command.PING)
+    for bitrate in BITRATES:
+        snrs = []
+        for trial in range(3):
+            link = make_link(bitrate, trial)
+            snr = link.measure_uplink_snr(query)
+            if np.isfinite(snr):
+                snrs.append(snr)
+        table.add_row(
+            float(bitrate),
+            float(np.mean(snrs)) if snrs else float("nan"),
+            float(np.std(snrs)) if snrs else float("nan"),
+            len(snrs),
+        )
+    return table
+
+
+def test_fig8_snr_vs_bitrate(benchmark, report):
+    table = run_once(benchmark, run_sweep)
+    rates = table.column("bitrate_bps")
+    snrs = table.column("snr_db_mean")
+
+    by_rate = dict(zip(rates, snrs))
+    # Shape claims:
+    # 1. Low bitrates enjoy much higher SNR than high bitrates.
+    assert by_rate[100.0] > by_rate[3_000.0] + 6.0
+    # 2. The broad trend is downward (compare low/mid/high thirds).
+    assert np.mean(snrs[:3]) > np.mean(snrs[3:7]) > np.mean(snrs[7:])
+    # 3. Past 3 kbps the SNR collapses toward the undecodable region
+    #    (paper: "very high bit error rates" beyond 3 kbps).
+    assert by_rate[5_000.0] < by_rate[2_000.0]
+    assert by_rate[5_000.0] < 5.0
+
+    report(table, "fig8_snr_bitrate.csv")

@@ -1,0 +1,100 @@
+"""Fig. 9 — Maximum power-up distance vs transmit voltage.
+
+Paper: in both pools the power-up range grows with the projector drive
+voltage; the same drive reaches farther in the elongated Pool B, whose
+corridor geometry focuses the projector's energy; ranges clamp at each
+pool's extent (5 m reported for Pool A, 10 m for Pool B).
+"""
+
+import math
+
+from repro.acoustics import POOL_A, POOL_B, Position
+from repro.core import Projector
+from repro.core.experiment import powerup_range_sweep
+from repro.node.node import PABNode
+from repro.piezo import Transducer
+
+from conftest import run_once
+
+VOLTAGES = [25.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0]
+
+
+def diagonal_axis(tank, margin=0.2):
+    """Endpoints along the tank's horizontal diagonal (Pool A's longest run)."""
+    span = math.hypot(tank.length - 2 * margin, tank.width - 2 * margin)
+    ux = (tank.length - 2 * margin) / span
+    uy = (tank.width - 2 * margin) / span
+
+    def axis(dist):
+        if dist > span:
+            raise ValueError("outside the tank")
+        return (
+            Position(margin, margin, tank.depth / 2),
+            Position(margin + dist * ux, margin + dist * uy, tank.depth / 2),
+        )
+
+    return axis
+
+
+def long_axis(tank, margin=0.2):
+    """Endpoints along the tank's length (Pool B's corridor)."""
+
+    def axis(dist):
+        if margin + dist > tank.length - margin:
+            raise ValueError("outside the tank")
+        return (
+            Position(margin, tank.width / 2, tank.depth / 2),
+            Position(margin + dist, tank.width / 2, tank.depth / 2),
+        )
+
+    return axis
+
+
+def run_sweeps():
+    f = Transducer.from_cylinder_design().resonance_hz
+
+    def node_factory():
+        return PABNode(address=1, channel_frequencies_hz=(f,))
+
+    def projector_factory(voltage):
+        return Projector(
+            transducer=Transducer.from_cylinder_design(),
+            drive_voltage_v=voltage,
+            carrier_hz=f,
+        )
+
+    table_a = powerup_range_sweep(
+        POOL_A, VOLTAGES,
+        node_factory=node_factory,
+        projector_factory=projector_factory,
+        axis_positions=diagonal_axis(POOL_A),
+    )
+    table_b = powerup_range_sweep(
+        POOL_B, VOLTAGES,
+        node_factory=node_factory,
+        projector_factory=projector_factory,
+        axis_positions=long_axis(POOL_B),
+    )
+    return table_a, table_b
+
+
+def test_fig9_powerup_range(benchmark, report):
+    table_a, table_b = run_once(benchmark, run_sweeps)
+    dist_a = dict(zip(table_a.column("voltage_v"), table_a.column("max_distance_m")))
+    dist_b = dict(zip(table_b.column("voltage_v"), table_b.column("max_distance_m")))
+
+    # Shape claims:
+    # 1. Range grows (weakly monotonically) with drive voltage in both pools.
+    for dist in (dist_a, dist_b):
+        values = [dist[v] for v in VOLTAGES]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+        assert values[-1] > values[0]
+    # 2. Pool B out-ranges Pool A at the same mid-range drive.
+    assert dist_b[100.0] > dist_a[100.0]
+    # 3. High drive reaches the far end of Pool B (paper: up to 10 m) and
+    #    Pool A saturates at its geometric extent (paper: 5 m).
+    assert dist_b[350.0] > 8.0
+    assert dist_a[350.0] > 3.5
+
+    report(table_a, "fig9_powerup_pool_a.csv")
+    report(table_b, "fig9_powerup_pool_b.csv")

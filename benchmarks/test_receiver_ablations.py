@@ -1,0 +1,124 @@
+"""Receiver-algorithm ablations: what each DSP addition buys.
+
+The paper sketches its decoder at block level; surviving a reverberant
+tank required standard receiver machinery documented in DESIGN.md's
+"Receiver algorithm inventory".  This bench switches each block off and
+measures the damage on controlled scenarios, so the inventory's claims
+are enforced, not just narrated:
+
+1. chip equaliser on an ISI channel,
+2. multi-candidate detection vs first-peak-only in echoes,
+3. phase tracking vs fixed axis under relative Doppler,
+4. Viterbi vs hard chip decisions at low SNR.
+"""
+
+import numpy as np
+
+from repro.core.experiment import ExperimentTable
+from repro.dsp import BackscatterDemodulator, Packet, fm0_encode
+from repro.dsp.fm0 import fm0_decode_chips, fm0_expected_chips, fm0_ml_decode
+from repro.dsp.metrics import bit_error_rate, snr_db
+from repro.dsp.waveforms import upconvert_chips
+
+from conftest import run_once
+
+FS = 96_000.0
+CARRIER = 15_000.0
+BITRATE = 1_000.0
+
+
+def synth(packet, *, echo_delay_chips=0.0, echo_gain=0.0, rotation_hz=0.0,
+          noise=0.01, seed=0):
+    """Carrier + backscatter with optional echo and relative rotation."""
+    chips = fm0_encode(packet.to_bits()).astype(float)
+    m = upconvert_chips(chips, 2 * BITRATE, FS)
+    pad = np.zeros(int(0.01 * FS))
+    m = np.concatenate([pad, m, pad])
+    t = np.arange(len(m)) / FS
+    carrier = np.sin(2 * np.pi * CARRIER * t)
+    backscatter = 0.12 * m * np.sin(
+        2 * np.pi * (CARRIER + rotation_hz) * t + 0.5
+    )
+    if echo_gain:
+        delay = int(echo_delay_chips * FS / (2 * BITRATE))
+        echo = np.concatenate([np.zeros(delay), backscatter[:-delay]])
+        backscatter = backscatter + echo_gain * echo
+    rng = np.random.default_rng(seed)
+    return carrier + backscatter + rng.normal(0, noise, len(m))
+
+
+def run_ablations():
+    packet = Packet(address=7, payload=b"receiver study")
+    results = {}
+
+    # 1. Chip equaliser on a two-tap ISI channel (chip domain).
+    rng = np.random.default_rng(0)
+    chips = rng.choice([-1.0, 1.0], 600)
+    received = chips + 0.6 * np.concatenate([[0.0], chips[:-1]])
+    received = received + rng.normal(0, 0.1, len(received))
+    eq = BackscatterDemodulator.equalize_chips(received, chips[:80])
+    results["equalizer"] = (
+        snr_db(received, chips), snr_db(eq, chips)
+    )
+
+    # 2. Multi-candidate detection in a strong-echo scenario.
+    recording = synth(packet, echo_delay_chips=3.0, echo_gain=0.9, seed=1)
+    dem = BackscatterDemodulator(CARRIER, BITRATE, FS)
+    multi = dem.demodulate(recording, max_candidates=5).success
+    single = dem.demodulate(recording, max_candidates=1).success
+    results["candidates"] = (single, multi)
+
+    # 3. Phase tracking under relative Doppler.
+    rotating = synth(packet, rotation_hz=4.0, seed=2)
+    baseband, _ = dem.to_baseband(rotating)
+    template = upconvert_chips(
+        fm0_expected_chips(packet.to_bits()), 2 * BITRATE, FS
+    )
+
+    def best_corr(sig):
+        c = np.correlate(sig, template / np.linalg.norm(template), "valid")
+        e = np.convolve(sig**2, np.ones(len(template)), "valid")
+        return float(np.max(np.abs(c) / np.sqrt(np.maximum(e, 1e-30))))
+
+    results["phase_tracking"] = (
+        best_corr(dem.extract_modulation(baseband, track_phase=False)),
+        best_corr(dem.extract_modulation(baseband, track_phase=True)),
+    )
+
+    # 4. Viterbi vs hard chip decisions at 1 dB chip SNR.
+    rng = np.random.default_rng(3)
+    bits = rng.integers(0, 2, 30_000)
+    sigma = 1.0 / np.sqrt(10.0 ** (1.0 / 10.0))
+    noisy = fm0_encode(bits) * 2.0 - 1.0 + rng.normal(0, sigma, 60_000)
+    results["viterbi"] = (
+        bit_error_rate(fm0_decode_chips((noisy > 0).astype(float)), bits),
+        bit_error_rate(fm0_ml_decode(noisy), bits),
+    )
+    return results
+
+
+def test_receiver_ablations(benchmark, report):
+    results = run_once(benchmark, run_ablations)
+
+    before_eq, after_eq = results["equalizer"]
+    assert after_eq > before_eq + 5.0
+
+    single, multi = results["candidates"]
+    assert multi  # the full receiver decodes the echoed frame
+
+    fixed, tracked = results["phase_tracking"]
+    assert tracked > fixed + 0.2
+
+    hard_ber, ml_ber = results["viterbi"]
+    assert ml_ber < 0.7 * hard_ber
+
+    table = ExperimentTable(
+        title="Receiver ablations: each DSP block's contribution",
+        columns=("block", "ablated", "enabled"),
+    )
+    table.add_row("chip equaliser (SNR dB)", before_eq, after_eq)
+    table.add_row("multi-candidate detect (decoded)",
+                  float(single), float(multi))
+    table.add_row("phase tracking (corr peak)", fixed, tracked)
+    table.add_row("Viterbi decoding (BER)", hard_ber, ml_ber)
+    report(table, "receiver_ablations.csv")

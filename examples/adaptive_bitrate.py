@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Adaptive bitrate: the reader finds the channel's sweet spot.
+
+Fig. 8 shows SNR falling with backscatter bitrate until decoding
+collapses past 3 kbps — so the right rate depends on the geometry, and
+the downlink's SET_BITRATE command (Sec. 5.1a) lets the reader move the
+node along that trade-off.  This example closes the loop: the
+:class:`~repro.net.rate_adaptation.RateAdapter` watches each exchange's
+outcome and SNR, stepping the node's bitrate up when there is margin and
+down when frames start dying.
+
+Run:  python examples/adaptive_bitrate.py
+"""
+
+from repro.acoustics import POOL_A, Position
+from repro.core import BackscatterLink, Projector
+from repro.net.messages import BITRATE_TABLE, Command, Query
+from repro.net.rate_adaptation import RateAdapter
+from repro.node.node import PABNode
+from repro.piezo import Transducer
+
+
+def main() -> None:
+    transducer = Transducer.from_cylinder_design()
+    f = transducer.resonance_hz
+    projector = Projector(
+        transducer=transducer, drive_voltage_v=50.0, carrier_hz=f
+    )
+    node = PABNode(address=7, channel_frequencies_hz=(f,), bitrate=100.0)
+    link = BackscatterLink(
+        POOL_A,
+        projector,
+        Position(0.5, 1.5, 0.6),
+        node,
+        Position(1.3, 1.5, 0.6),
+        Position(1.0, 0.9, 0.6),
+    )
+    report = link.channel_report()
+    spread = report["node_to_hydrophone"]["delay_spread_chips"]
+    print(f"Channel delay spread at the start rate: {spread:.2f} chips\n")
+
+    adapter = RateAdapter(up_streak=2, up_margin_db=4.0)
+    print(f"{'round':>5} | {'rate (bps)':>10} | {'decoded':>7} | {'SNR (dB)':>8}")
+    print("-" * 42)
+    for round_index in range(1, 15):
+        # Command the node onto the adapter's current rate...
+        code = BITRATE_TABLE.index(adapter.bitrate)
+        link.run_query(
+            Query(destination=7, command=Command.SET_BITRATE, argument=code)
+        )
+        # ...then run a sensing exchange at that rate.
+        result = link.run_query(
+            Query(destination=7, command=Command.READ_TEMPERATURE)
+        )
+        snr = result.snr_db if result.demod is not None else float("nan")
+        print(
+            f"{round_index:>5} | {adapter.bitrate:>10.0f} | "
+            f"{str(result.success):>7} | {snr:>8.1f}"
+        )
+        adapter.report(success=result.success, snr_db=snr)
+    print(f"\nSettled bitrate: {adapter.bitrate:.0f} bps")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Concurrent FDMA access: two recto-piezo nodes replying simultaneously.
+
+Reproduces the paper's Sec. 6.3 scenario: one node's matching network is
+tuned to 15 kHz and another's to 18 kHz; a multi-tone downlink powers
+both at once; both backscatter their replies simultaneously.  Because
+backscatter is frequency-agnostic, the replies collide on *both*
+channels — the hydrophone separates them with the MIMO zero-forcing
+decoder, doubling the network throughput.
+
+Run:  python examples/concurrent_network.py
+"""
+
+from repro.acoustics import POOL_A, Position
+from repro.core import PABNetwork
+from repro.dsp.packets import CONCURRENT_PREAMBLES, PacketFormat
+from repro.net.messages import Command, Query, Response
+from repro.node.node import Environment, PABNode
+from repro.piezo import Transducer
+from repro.sensing.pressure import WaterColumn
+
+
+def main() -> None:
+    network = PABNetwork(
+        POOL_A,
+        projector_position=Position(0.5, 1.5, 0.6),
+        hydrophone_position=Position(1.0, 0.8, 0.6),
+        projector_transducer_factory=Transducer.from_cylinder_design,
+        drive_voltage_v=200.0,
+    )
+
+    # Two nodes on different recto-piezo channels, with orthogonal
+    # preambles so the collision decoder can tell their training apart.
+    placements = [
+        (15_000.0, Position(1.7, 1.9, 0.7), 20.0),
+        (18_000.0, Position(2.1, 1.1, 0.7), 16.0),
+    ]
+    for i, (channel, position, temp) in enumerate(placements):
+        node = PABNode(
+            address=i + 1,
+            channel_frequencies_hz=(channel,),
+            environment=Environment(water=WaterColumn(depth_m=0.7, temperature_c=temp)),
+        )
+        node.firmware.config.uplink_format = PacketFormat(
+            preamble=CONCURRENT_PREAMBLES[i]
+        )
+        network.add_node(node, position)
+        print(f"node 0x{i + 1:02x} on {channel / 1000:.0f} kHz at {position.as_tuple()}")
+
+    print("\nRunning one concurrent round (both nodes reply at once)...")
+    result = network.run_concurrent_round(
+        [
+            Query(destination=1, command=Command.READ_PRESSURE_TEMP),
+            Query(destination=2, command=Command.READ_PRESSURE_TEMP),
+        ]
+    )
+    print(f"collision channel condition number: {result.condition_number:.1f}\n")
+    for outcome in result.outcomes:
+        print(f"node 0x{outcome.address:02x}:")
+        print(f"  SINR before projection: {outcome.sinr_before_db:6.1f} dB")
+        print(f"  SINR after projection:  {outcome.sinr_after_db:6.1f} dB")
+        if outcome.success:
+            reading = Response.from_packet(outcome.packet).reading()
+            print(f"  decoded reading:        {reading}")
+        else:
+            print("  packet not recovered at this location")
+    decoded = sum(o.success for o in result.outcomes)
+    print(
+        f"\n{decoded} of {len(result.outcomes)} concurrent replies decoded "
+        f"in one round (throughput x{decoded} vs sequential polling)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Mobility and Doppler: what happens when the node drifts.
+
+The paper's discussion (Sec. 8) flags mobility as a challenge for field
+deployments.  This example quantifies it: a drifting node Doppler-shifts
+and time-dilates the backscattered waveform; the receiver's CFO
+estimator absorbs the carrier shift, but chip-clock dilation eventually
+slips the symbol timing.  The tolerable drift speed falls with packet
+length — a design rule for choosing packet sizes in moving water.
+
+Run:  python examples/mobility_doppler.py
+"""
+
+import numpy as np
+
+from repro.acoustics import apply_doppler, doppler_shift_hz
+from repro.acoustics.doppler import max_tolerable_velocity_mps
+from repro.dsp import BackscatterDemodulator, Packet, fm0_encode
+from repro.dsp.waveforms import upconvert_chips
+
+FS = 96_000.0
+CARRIER = 15_000.0
+BITRATE = 1_000.0
+
+
+def synth_recording(packet, velocity_mps):
+    """Carrier + backscatter, then wideband Doppler from node drift.
+
+    Only the node moves, so the backscatter contribution is dilated
+    while the direct carrier arrives unshifted.
+    """
+    chips = fm0_encode(packet.to_bits()).astype(float)
+    modulation = upconvert_chips(chips, 2 * BITRATE, FS)
+    pad = np.zeros(int(0.01 * FS))
+    m = np.concatenate([pad, modulation, pad])
+    t = np.arange(len(m)) / FS
+    carrier = np.sin(2 * np.pi * CARRIER * t)
+    backscatter = apply_doppler(0.12 * m * carrier, velocity_mps, FS)
+    if len(backscatter) < len(m):
+        backscatter = np.pad(backscatter, (0, len(m) - len(backscatter)))
+    mixture = carrier + backscatter[: len(m)]
+    rng = np.random.default_rng(1)
+    return mixture + rng.normal(0, 0.01, len(mixture))
+
+
+def main() -> None:
+    packet = Packet(address=7, payload=b"drifting sensor")
+    n_bits = len(packet.to_bits())
+    print(f"Frame length: {n_bits} bits at {BITRATE:.0f} bps")
+    print(
+        "Doppler shift at 15 kHz: "
+        + ", ".join(
+            f"{v:g} m/s -> {doppler_shift_hz(CARRIER, v):+.1f} Hz"
+            for v in (0.5, 1.0, 3.0)
+        )
+    )
+    v_max = max_tolerable_velocity_mps(BITRATE, n_bits, FS)
+    print(f"Predicted tolerable drift (half-chip slip): ~{v_max:.1f} m/s\n")
+
+    dem = BackscatterDemodulator(CARRIER, BITRATE, FS)
+    print(f"{'drift':>8} | {'decoded':>8} | {'CFO est (Hz)':>12}")
+    print("-" * 35)
+    for velocity in (0.0, 0.5, 1.0, 2.0, 4.0, 8.0):
+        recording = synth_recording(packet, velocity)
+        result = dem.demodulate(recording)
+        print(
+            f"{velocity:6.1f} m/s | {str(result.success):>8} | "
+            f"{result.cfo_hz:12.2f}"
+        )
+    print(
+        "\nSlow drift is absorbed by the receiver's blockwise phase"
+        "\ntracking; past the half-chip-slip limit the chip clock walks"
+        "\noff and long frames die first — shorten packets (or track"
+        "\nDoppler) for mobile deployments."
+    )
+
+
+if __name__ == "__main__":
+    main()

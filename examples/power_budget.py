@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Battery-free energy budget: cold start, power-up range, duty cycling.
+
+Walks through the node's energy life cycle the way the paper's Sec. 6.2
+and 6.4 do:
+
+* how the rectified voltage depends on the downlink frequency (the
+  recto-piezo curve of Fig. 3),
+* how long the 1000 uF supercapacitor takes to cold-start at different
+  ranges,
+* how far a node can be powered at different projector drive voltages,
+* and what each operating state costs (Fig. 11).
+
+Run:  python examples/power_budget.py
+"""
+
+import numpy as np
+
+from repro.acoustics import POOL_B, Position
+from repro.acoustics.channel import AcousticChannel
+from repro.circuits import EnergyHarvester
+from repro.constants import PEAK_RECTIFIED_V, POWER_UP_THRESHOLD_V
+from repro.core import Projector
+from repro.node import NodePowerModel, PowerState, PowerUpSimulator
+from repro.piezo import Transducer
+
+
+def main() -> None:
+    transducer = Transducer.from_cylinder_design()
+    f = transducer.resonance_hz
+    harvester = EnergyHarvester(transducer, design_frequency_hz=f)
+
+    # --- The recto-piezo harvesting curve -----------------------------------
+    pressure = harvester.calibrate_pressure_for_peak(PEAK_RECTIFIED_V)
+    print(f"Incident pressure for the {PEAK_RECTIFIED_V} V peak: {pressure:.0f} Pa")
+    band = harvester.usable_band(pressure, POWER_UP_THRESHOLD_V)
+    print(
+        f"Usable harvesting band at that level: "
+        f"{band[0] / 1000:.1f}-{band[1] / 1000:.1f} kHz "
+        f"(threshold {POWER_UP_THRESHOLD_V} V)\n"
+    )
+
+    # --- Cold start vs distance in the corridor pool ------------------------
+    projector = Projector(
+        transducer=Transducer.from_cylinder_design(),
+        drive_voltage_v=150.0,
+        carrier_hz=f,
+    )
+    print(f"Cold-start times at {projector.drive_voltage_v:.0f} V drive (Pool B):")
+    for distance in (1.0, 3.0, 5.0, 7.0, 9.0):
+        channel = AcousticChannel(
+            POOL_B,
+            Position(0.2, 0.6, 0.5),
+            Position(0.2 + distance, 0.6, 0.5),
+            sample_rate=96_000.0,
+            frequency_hz=f,
+        )
+        p_node = projector.source_pressure_pa * channel.incoherent_gain()
+        sim = PowerUpSimulator(
+            EnergyHarvester(Transducer.from_cylinder_design(), design_frequency_hz=f)
+        )
+        result = sim.cold_start(p_node, f)
+        if result.powered_up:
+            print(
+                f"  {distance:4.1f} m: {p_node:6.0f} Pa incident -> "
+                f"powered up in {result.time_to_power_up_s:5.2f} s "
+                f"(idle sustainable: {result.sustainable_idle})"
+            )
+        else:
+            print(f"  {distance:4.1f} m: {p_node:6.0f} Pa incident -> cannot power up")
+
+    # --- Operating cost (Fig. 11) --------------------------------------------
+    model = NodePowerModel()
+    print("\nPower consumption by state (at the 2.1 V measurement supply):")
+    print(f"  idle (awaiting query):   {model.power_w(PowerState.IDLE) * 1e6:7.1f} uW")
+    print(f"  decoding downlink:       {model.power_w(PowerState.DECODING) * 1e6:7.1f} uW")
+    for rate in (100.0, 1_000.0, 3_000.0):
+        p = model.power_w(PowerState.BACKSCATTER, bitrate=rate)
+        print(f"  backscatter @ {rate:5.0f} bps: {p * 1e6:7.1f} uW")
+    print(f"  sensing (peripheral on): {model.power_w(PowerState.SENSING) * 1e6:7.1f} uW")
+
+    print(
+        f"\nEnergy per bit at 1 kbps: "
+        f"{model.energy_per_bit_j(1_000.0) * 1e9:.0f} nJ/bit "
+        f"(an active acoustic modem spends ~mJ per bit)"
+    )
+
+
+if __name__ == "__main__":
+    main()

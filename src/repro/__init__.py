@@ -1,0 +1,32 @@
+"""Piezo-Acoustic Backscatter (PAB): underwater backscatter networking.
+
+A simulation-based reproduction of Jang & Adib, SIGCOMM 2019.  See
+README.md for the tour, DESIGN.md for the system inventory, and
+docs/PHYSICS.md for the model derivations.
+
+Subpackages
+-----------
+acoustics
+    Underwater channel: sound speed, absorption, noise, multipath,
+    Doppler, fading, deployment environments.
+piezo
+    Transducers: materials, Butterworth-Van Dyke circuits, cylinder
+    design, directivity.
+circuits
+    Battery-free front end: matching (the recto-piezo), rectifiers,
+    storage, regulation, switching.
+dsp
+    The modem: line codes, framing, sync, equalisation, collision
+    decoding, metrics.
+sensing
+    Peripherals: ADC, I2C, pH, pressure, temperature.
+node
+    The battery-free node: power model, energy engine, firmware.
+net
+    Networking: messages, FDMA, MAC, inventory, reader controller.
+core
+    End-to-end system: projector, hydrophone, links, networks,
+    experiments, deployment planning, monitoring sessions.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,59 @@
+"""Underwater acoustic channel substrate.
+
+This subpackage models everything between the projector's radiating face and
+the hydrophone's sensing face: sound speed, absorption, geometric spreading,
+ambient noise, and the multipath structure of enclosed test tanks (the
+paper's Pool A and Pool B at the MIT Sea Grant).
+"""
+
+from repro.acoustics.sound_speed import (
+    sound_speed_mackenzie,
+    sound_speed_medwin,
+    sound_speed_coppens,
+)
+from repro.acoustics.attenuation import (
+    thorp_attenuation_db_per_km,
+    francois_garrison_db_per_km,
+    absorption_db,
+)
+from repro.acoustics.spreading import (
+    spreading_loss_db,
+    transmission_loss_db,
+    pressure_ratio_from_tl,
+)
+from repro.acoustics.noise import AmbientNoiseModel, wenz_noise_psd_db
+from repro.acoustics.geometry import Position, Tank, POOL_A, POOL_B
+from repro.acoustics.multipath import ImageSourceModel, Path
+from repro.acoustics.doppler import (
+    apply_doppler,
+    doppler_factor,
+    doppler_shift_hz,
+)
+from repro.acoustics.fading import FadingProcess
+from repro.acoustics.channel import AcousticChannel, ChannelOutput
+
+__all__ = [
+    "sound_speed_mackenzie",
+    "sound_speed_medwin",
+    "sound_speed_coppens",
+    "thorp_attenuation_db_per_km",
+    "francois_garrison_db_per_km",
+    "absorption_db",
+    "spreading_loss_db",
+    "transmission_loss_db",
+    "pressure_ratio_from_tl",
+    "AmbientNoiseModel",
+    "wenz_noise_psd_db",
+    "Position",
+    "Tank",
+    "POOL_A",
+    "POOL_B",
+    "ImageSourceModel",
+    "Path",
+    "apply_doppler",
+    "doppler_factor",
+    "doppler_shift_hz",
+    "FadingProcess",
+    "AcousticChannel",
+    "ChannelOutput",
+]

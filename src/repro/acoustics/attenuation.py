@@ -1,0 +1,129 @@
+"""Frequency-dependent absorption of sound in water.
+
+Two standard models are implemented:
+
+* **Thorp (1967)** — the classic low-frequency seawater fit, valid roughly
+  100 Hz - 50 kHz, which covers the paper's whole 12-18 kHz operating band.
+* **Francois & Garrison (1982)** — the full three-relaxation model (boric
+  acid, magnesium sulphate, pure-water viscosity) with temperature,
+  salinity, depth and pH dependence.  With salinity 0 it degrades
+  gracefully to the fresh-water (viscous-only) limit, which is what the
+  paper's test tanks actually are.
+
+Both return attenuation in dB per kilometre; :func:`absorption_db` scales
+to an arbitrary path length.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def thorp_attenuation_db_per_km(frequency_hz: float) -> float:
+    """Thorp's empirical seawater absorption [dB/km].
+
+    Parameters
+    ----------
+    frequency_hz:
+        Acoustic frequency in Hz.  Must be positive.
+    """
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    f_khz = frequency_hz / 1000.0
+    f2 = f_khz * f_khz
+    return (
+        0.11 * f2 / (1.0 + f2)
+        + 44.0 * f2 / (4100.0 + f2)
+        + 2.75e-4 * f2
+        + 0.003
+    )
+
+
+def francois_garrison_db_per_km(
+    frequency_hz: float,
+    temperature_c: float = 20.0,
+    salinity_psu: float = 0.0,
+    depth_m: float = 1.0,
+    ph: float = 7.0,
+    sound_speed: float | None = None,
+) -> float:
+    """Francois & Garrison (1982) absorption [dB/km].
+
+    The three terms are boric-acid relaxation, magnesium-sulphate
+    relaxation, and pure-water viscous absorption.  The first two vanish in
+    fresh water (salinity 0), leaving only the viscous term, which is the
+    correct behaviour for the paper's fresh-water pools.
+    """
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    f = frequency_hz / 1000.0  # kHz
+    t = temperature_c
+    s = salinity_psu
+    d = depth_m
+    if sound_speed is None:
+        sound_speed = 1412.0 + 3.21 * t + 1.19 * s + 0.0167 * d
+
+    theta = 273.0 + t
+
+    # Boric acid contribution (zero in fresh water).
+    if s > 0:
+        a1 = 8.86 / sound_speed * 10.0 ** (0.78 * ph - 5.0)
+        p1 = 1.0
+        f1 = 2.8 * math.sqrt(s / 35.0) * 10.0 ** (4.0 - 1245.0 / theta)
+        boric = a1 * p1 * f1 * f * f / (f1 * f1 + f * f)
+    else:
+        boric = 0.0
+
+    # Magnesium sulphate contribution (zero in fresh water).
+    if s > 0:
+        a2 = 21.44 * s / sound_speed * (1.0 + 0.025 * t)
+        p2 = 1.0 - 1.37e-4 * d + 6.2e-9 * d * d
+        f2 = 8.17 * 10.0 ** (8.0 - 1990.0 / theta) / (1.0 + 0.0018 * (s - 35.0))
+        mgso4 = a2 * p2 * f2 * f * f / (f2 * f2 + f * f)
+    else:
+        mgso4 = 0.0
+
+    # Pure water viscous contribution.
+    if t <= 20.0:
+        a3 = (
+            4.937e-4
+            - 2.59e-5 * t
+            + 9.11e-7 * t * t
+            - 1.50e-8 * t**3
+        )
+    else:
+        a3 = (
+            3.964e-4
+            - 1.146e-5 * t
+            + 1.45e-7 * t * t
+            - 6.5e-10 * t**3
+        )
+    p3 = 1.0 - 3.83e-5 * d + 4.9e-10 * d * d
+    water = a3 * p3 * f * f
+
+    return boric + mgso4 + water
+
+
+def absorption_db(
+    frequency_hz: float,
+    distance_m: float,
+    *,
+    model: str = "thorp",
+    **model_kwargs: float,
+) -> float:
+    """Total absorption loss over ``distance_m`` [dB].
+
+    Parameters
+    ----------
+    model:
+        ``"thorp"`` (default) or ``"francois-garrison"``.
+    """
+    if distance_m < 0:
+        raise ValueError("distance must be non-negative")
+    if model == "thorp":
+        per_km = thorp_attenuation_db_per_km(frequency_hz)
+    elif model in ("francois-garrison", "fg"):
+        per_km = francois_garrison_db_per_km(frequency_hz, **model_kwargs)
+    else:
+        raise ValueError(f"unknown absorption model {model!r}")
+    return per_km * distance_m / 1000.0

@@ -1,0 +1,130 @@
+"""Deployment-environment presets (paper Sec. 8, "Operation Environment").
+
+The paper plans deployments beyond test tanks — "more complex
+environments such as rivers, lakes, and oceans".  A preset bundles the
+water properties (temperature, salinity), the derived sound speed, the
+matching absorption model, and an ambient noise configuration, so links
+can be parameterised by *where* they run instead of by raw constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.acoustics.attenuation import francois_garrison_db_per_km
+from repro.acoustics.geometry import Tank, open_water
+from repro.acoustics.noise import AmbientNoiseModel
+from repro.acoustics.sound_speed import sound_speed_medwin
+
+
+@dataclass(frozen=True)
+class DeploymentEnvironment:
+    """Water properties and noise of one deployment setting.
+
+    Attributes
+    ----------
+    name:
+        Label ("test tank", "river", ...).
+    temperature_c, salinity_psu, depth_m:
+        Bulk water properties at the deployment depth.
+    noise:
+        Ambient noise model appropriate for the setting.
+    tank:
+        Boundary geometry; ``None`` means unbounded open water.
+    """
+
+    name: str
+    temperature_c: float
+    salinity_psu: float
+    depth_m: float
+    noise: AmbientNoiseModel
+    tank: Tank | None = None
+
+    @property
+    def sound_speed_mps(self) -> float:
+        """Sound speed from the Medwin equation for these properties."""
+        return sound_speed_medwin(
+            self.temperature_c, self.salinity_psu, self.depth_m
+        )
+
+    def absorption_db_per_km(self, frequency_hz: float) -> float:
+        """Francois-Garrison absorption for these water properties."""
+        return francois_garrison_db_per_km(
+            frequency_hz,
+            temperature_c=self.temperature_c,
+            salinity_psu=self.salinity_psu,
+            depth_m=self.depth_m,
+        )
+
+    def geometry(self) -> Tank:
+        """The boundary model (an effectively unbounded box if none)."""
+        return self.tank if self.tank is not None else open_water(self.name)
+
+
+def indoor_tank(seed: int | None = 0) -> DeploymentEnvironment:
+    """An indoor fresh-water tank like the paper's pools."""
+    from repro.acoustics.geometry import POOL_A
+
+    return DeploymentEnvironment(
+        name="test tank",
+        temperature_c=20.0,
+        salinity_psu=0.0,
+        depth_m=1.0,
+        noise=AmbientNoiseModel(spectrum="flat", flat_level_db=60.0, seed=seed),
+        tank=POOL_A,
+    )
+
+
+def river(seed: int | None = 0) -> DeploymentEnvironment:
+    """A shallow fresh-water river: cool, turbulent, flow noise."""
+    return DeploymentEnvironment(
+        name="river",
+        temperature_c=12.0,
+        salinity_psu=0.2,
+        depth_m=3.0,
+        noise=AmbientNoiseModel(spectrum="flat", flat_level_db=70.0, seed=seed),
+        tank=None,
+    )
+
+
+def lake(seed: int | None = 0) -> DeploymentEnvironment:
+    """A quiet fresh-water lake."""
+    return DeploymentEnvironment(
+        name="lake",
+        temperature_c=15.0,
+        salinity_psu=0.1,
+        depth_m=10.0,
+        noise=AmbientNoiseModel(spectrum="flat", flat_level_db=55.0, seed=seed),
+        tank=None,
+    )
+
+
+def coastal_ocean(
+    seed: int | None = 0,
+    *,
+    wind_speed_mps: float = 5.0,
+    shipping_activity: float = 0.5,
+) -> DeploymentEnvironment:
+    """Shallow coastal seawater with Wenz-curve ambient noise."""
+    return DeploymentEnvironment(
+        name="coastal ocean",
+        temperature_c=14.0,
+        salinity_psu=33.0,
+        depth_m=20.0,
+        noise=AmbientNoiseModel(
+            spectrum="wenz",
+            wind_speed_mps=wind_speed_mps,
+            shipping_activity=shipping_activity,
+            seed=seed,
+        ),
+        tank=None,
+    )
+
+
+#: Registry of available presets.
+ENVIRONMENTS = {
+    "tank": indoor_tank,
+    "river": river,
+    "lake": lake,
+    "ocean": coastal_ocean,
+}

@@ -1,0 +1,134 @@
+"""Positions and tank geometries.
+
+The paper evaluates in two enclosed tanks at the MIT Sea Grant
+(Sec. 5.1(d)):
+
+* **Pool A** — 3 m x 4 m rectangular cross-section, 1.3 m deep.
+* **Pool B** — 1.2 m x 10 m rectangular cross-section ("corridor"), 1 m
+  deep.
+
+A :class:`Tank` is an axis-aligned box of water with a pressure-release
+surface on top (air-water interface, reflection coefficient ~ -1) and
+acoustically hard walls and floor (concrete, reflection coefficient close
+to +1 with some loss).  Coordinates: x along the length, y across the
+width, z measured downward from the surface (z = 0 is the surface,
+z = depth is the floor).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import POOL_A_DIMENSIONS, POOL_B_DIMENSIONS
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point in tank coordinates [m]."""
+
+    x: float
+    y: float
+    z: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance [m]."""
+        return math.sqrt(
+            (self.x - other.x) ** 2
+            + (self.y - other.y) ** 2
+            + (self.z - other.z) ** 2
+        )
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.x, self.y, self.z)
+
+
+@dataclass(frozen=True)
+class Tank:
+    """An enclosed rectangular water tank.
+
+    Parameters
+    ----------
+    length, width, depth:
+        Interior dimensions [m].
+    surface_reflection:
+        Pressure reflection coefficient of the air-water surface.  The
+        ideal pressure-release value is -1.
+    wall_reflection:
+        *Effective specular* pressure reflection coefficient of walls and
+        floor.  Although hard walls reflect nearly all energy, most of it
+        scatters away from the specular direction the image-source model
+        assumes (rough surfaces, fixtures, non-planar liners), so the
+        effective coefficient is well below 1.  The default is fitted so
+        simulated uplink SNRs in the paper's tanks land in the range of
+        Fig. 8.
+    name:
+        Optional label for reports.
+    """
+
+    length: float
+    width: float
+    depth: float
+    surface_reflection: float = -0.95
+    wall_reflection: float = 0.45
+    name: str = "tank"
+
+    def __post_init__(self) -> None:
+        if min(self.length, self.width, self.depth) <= 0:
+            raise ValueError("tank dimensions must be positive")
+        for r in (self.surface_reflection, self.wall_reflection):
+            if abs(r) > 1.0:
+                raise ValueError("reflection coefficients must be in [-1, 1]")
+
+    def contains(self, p: Position) -> bool:
+        """Whether a position lies inside the water volume."""
+        return (
+            0.0 <= p.x <= self.length
+            and 0.0 <= p.y <= self.width
+            and 0.0 <= p.z <= self.depth
+        )
+
+    def validate_position(self, p: Position, what: str = "position") -> None:
+        """Raise ``ValueError`` if ``p`` is outside the tank."""
+        if not self.contains(p):
+            raise ValueError(
+                f"{what} {p.as_tuple()} outside {self.name} "
+                f"({self.length} x {self.width} x {self.depth} m)"
+            )
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Length over width — large for corridor-like tanks (Pool B)."""
+        return self.length / self.width
+
+    @property
+    def diagonal(self) -> float:
+        """Longest straight-line distance inside the tank [m]."""
+        return math.sqrt(self.length**2 + self.width**2 + self.depth**2)
+
+
+def _make_pool(dims: tuple[float, float, float], name: str) -> Tank:
+    length, width, depth = dims
+    return Tank(length=length, width=width, depth=depth, name=name)
+
+
+#: Pool A from the paper: 3 m x 4 m cross-section, 1.3 m deep.
+POOL_A = _make_pool(POOL_A_DIMENSIONS, "Pool A")
+
+#: Pool B from the paper: elongated 1.2 m x 10 m "corridor", 1 m deep.
+POOL_B = _make_pool(POOL_B_DIMENSIONS, "Pool B")
+
+
+def open_water(name: str = "open water") -> Tank:
+    """A tank so large that no reflections matter within simulated ranges.
+
+    Useful as a free-field baseline for ablations.
+    """
+    return Tank(
+        length=1e4,
+        width=1e4,
+        depth=1e4,
+        surface_reflection=0.0,
+        wall_reflection=0.0,
+        name=name,
+    )

@@ -1,0 +1,119 @@
+"""Sound speed in water as a function of temperature, salinity, and depth.
+
+Three standard empirical equations are provided.  All return metres per
+second.  Inputs are temperature in degrees Celsius, salinity in parts per
+thousand (PSU), and depth in metres unless noted otherwise.
+
+References
+----------
+* Mackenzie, K.V. (1981), "Nine-term equation for sound speed in the
+  oceans", JASA 70(3).
+* Medwin, H. (1975), "Speed of sound in water: a simple equation for
+  realistic parameters", JASA 58(6).
+* Coppens, A.B. (1981), "Simple equations for the speed of sound in
+  Neptunian waters", JASA 69(3).
+"""
+
+from __future__ import annotations
+
+
+class SoundSpeedRangeError(ValueError):
+    """Raised when an input falls outside an equation's validity range."""
+
+
+def _check_range(name: str, value: float, low: float, high: float) -> None:
+    if not low <= value <= high:
+        raise SoundSpeedRangeError(
+            f"{name}={value!r} outside validity range [{low}, {high}]"
+        )
+
+
+def sound_speed_mackenzie(
+    temperature_c: float,
+    salinity_psu: float = 0.0,
+    depth_m: float = 0.0,
+    *,
+    validate: bool = True,
+) -> float:
+    """Mackenzie (1981) nine-term sound-speed equation.
+
+    Valid for temperature 2-30 C, salinity 25-40 PSU, depth 0-8000 m.
+    With ``validate=False`` the polynomial is evaluated outside the fitted
+    range (useful for fresh-water test tanks where salinity ~ 0).
+    """
+    t, s, d = temperature_c, salinity_psu, depth_m
+    if validate:
+        _check_range("temperature_c", t, 2.0, 30.0)
+        _check_range("salinity_psu", s, 25.0, 40.0)
+        _check_range("depth_m", d, 0.0, 8000.0)
+    return (
+        1448.96
+        + 4.591 * t
+        - 5.304e-2 * t**2
+        + 2.374e-4 * t**3
+        + 1.340 * (s - 35.0)
+        + 1.630e-2 * d
+        + 1.675e-7 * d**2
+        - 1.025e-2 * t * (s - 35.0)
+        - 7.139e-13 * t * d**3
+    )
+
+
+def sound_speed_medwin(
+    temperature_c: float,
+    salinity_psu: float = 0.0,
+    depth_m: float = 0.0,
+    *,
+    validate: bool = True,
+) -> float:
+    """Medwin (1975) simplified sound-speed equation.
+
+    Valid for temperature 0-35 C, salinity 0-45 PSU, depth 0-1000 m.  This
+    is the default equation for the paper's shallow fresh-water tanks.
+    """
+    t, s, d = temperature_c, salinity_psu, depth_m
+    if validate:
+        _check_range("temperature_c", t, 0.0, 35.0)
+        _check_range("salinity_psu", s, 0.0, 45.0)
+        _check_range("depth_m", d, 0.0, 1000.0)
+    return (
+        1449.2
+        + 4.6 * t
+        - 5.5e-2 * t**2
+        + 2.9e-4 * t**3
+        + (1.34 - 1.0e-2 * t) * (s - 35.0)
+        + 1.6e-2 * d
+    )
+
+
+def sound_speed_coppens(
+    temperature_c: float,
+    salinity_psu: float = 0.0,
+    depth_m: float = 0.0,
+    *,
+    validate: bool = True,
+) -> float:
+    """Coppens (1981) sound-speed equation.
+
+    Valid for temperature 0-35 C, salinity 0-45 PSU, depth 0-4000 m.
+    """
+    t, s, d = temperature_c, salinity_psu, depth_m
+    if validate:
+        _check_range("temperature_c", t, 0.0, 35.0)
+        _check_range("salinity_psu", s, 0.0, 45.0)
+        _check_range("depth_m", d, 0.0, 4000.0)
+    t10 = t / 10.0
+    d_km = d / 1000.0
+    c0 = (
+        1449.05
+        + 45.7 * t10
+        - 5.21 * t10**2
+        + 0.23 * t10**3
+        + (1.333 - 0.126 * t10 + 0.009 * t10**2) * (s - 35.0)
+    )
+    return (
+        c0
+        + (16.23 + 0.253 * t10) * d_km
+        + (0.213 - 0.1 * t10) * d_km**2
+        + (0.016 + 0.0002 * (s - 35.0)) * (s - 35.0) * t10 * d_km
+    )

@@ -1,0 +1,71 @@
+"""Geometric spreading and total transmission loss.
+
+Underwater transmission loss is conventionally written
+
+    TL(r, f) = k * 10 * log10(r / r0) + alpha(f) * r
+
+where ``k = 20`` for spherical spreading (free field), ``k = 10`` for
+cylindrical spreading (fully ducted), and intermediate values model
+partially bounded environments such as shallow tanks.  ``alpha`` is the
+absorption from :mod:`repro.acoustics.attenuation`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.acoustics.attenuation import absorption_db
+from repro.constants import REFERENCE_DISTANCE
+
+#: Spreading exponents for the two limiting regimes.
+SPHERICAL = 20.0
+CYLINDRICAL = 10.0
+
+
+def spreading_loss_db(
+    distance_m: float,
+    *,
+    exponent: float = SPHERICAL,
+    reference_m: float = REFERENCE_DISTANCE,
+) -> float:
+    """Geometric spreading loss [dB] relative to ``reference_m``.
+
+    Distances closer than the reference distance are clamped to the
+    reference (the near field of a real transducer is not modelled by the
+    far-field spreading law, and the paper never operates there).
+    """
+    if distance_m < 0:
+        raise ValueError("distance must be non-negative")
+    if exponent < 0:
+        raise ValueError("spreading exponent must be non-negative")
+    r = max(distance_m, reference_m)
+    return exponent * math.log10(r / reference_m)
+
+
+def transmission_loss_db(
+    distance_m: float,
+    frequency_hz: float,
+    *,
+    exponent: float = SPHERICAL,
+    absorption_model: str = "thorp",
+    **absorption_kwargs: float,
+) -> float:
+    """Total one-way transmission loss [dB]: spreading plus absorption."""
+    return spreading_loss_db(distance_m, exponent=exponent) + absorption_db(
+        frequency_hz, distance_m, model=absorption_model, **absorption_kwargs
+    )
+
+
+def pressure_ratio_from_tl(tl_db: float) -> float:
+    """Convert a transmission loss in dB to a linear pressure ratio.
+
+    A TL of 0 dB maps to 1.0; 20 dB maps to 0.1.
+    """
+    return 10.0 ** (-tl_db / 20.0)
+
+
+def tl_from_pressure_ratio(ratio: float) -> float:
+    """Inverse of :func:`pressure_ratio_from_tl`."""
+    if ratio <= 0:
+        raise ValueError("pressure ratio must be positive")
+    return -20.0 * math.log10(ratio)

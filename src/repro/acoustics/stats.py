@@ -1,0 +1,106 @@
+"""Channel statistics: delay spread, coherence bandwidth, K factor.
+
+Summary quantities of the multipath structure, computed from the
+image-source path list.  These explain the receiver's behaviour: the RMS
+delay spread (in chips) predicts how much inter-chip interference the
+equaliser must undo, and the coherence bandwidth predicts how frequency-
+selective the recto-piezo channels are.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.geometry import Position, Tank
+from repro.acoustics.multipath import ImageSourceModel
+
+
+@dataclass(frozen=True)
+class ChannelStats:
+    """Multipath summary for one geometry.
+
+    Attributes
+    ----------
+    mean_delay_s:
+        Power-weighted mean arrival delay.
+    rms_delay_spread_s:
+        Power-weighted standard deviation of arrival delays — the ISI
+        yardstick.
+    coherence_bandwidth_hz:
+        ~1 / (5 * rms delay spread), the 0.5-correlation convention.
+    k_factor_db:
+        Power ratio of the strongest arrival to the sum of all others
+        (the Rician K of this static geometry).
+    n_paths:
+        Arrivals above the model's gain floor.
+    """
+
+    mean_delay_s: float
+    rms_delay_spread_s: float
+    coherence_bandwidth_hz: float
+    k_factor_db: float
+    n_paths: int
+
+    def delay_spread_chips(self, bitrate: float) -> float:
+        """RMS delay spread expressed in FM0 chips at a bitrate."""
+        if bitrate <= 0:
+            raise ValueError("bitrate must be positive")
+        chip_s = 1.0 / (2.0 * bitrate)
+        return self.rms_delay_spread_s / chip_s
+
+
+def channel_stats(
+    tank: Tank,
+    source: Position,
+    receiver: Position,
+    *,
+    max_order: int = 2,
+) -> ChannelStats:
+    """Compute :class:`ChannelStats` for one link geometry."""
+    model = ImageSourceModel(tank, max_order=max_order)
+    paths = model.paths(source, receiver)
+    if not paths:
+        raise ValueError("no propagation paths")
+    powers = np.array([p.gain**2 for p in paths])
+    delays = np.array([p.delay_s for p in paths])
+    total = float(np.sum(powers))
+    mean_delay = float(np.sum(powers * delays) / total)
+    rms = float(
+        math.sqrt(np.sum(powers * (delays - mean_delay) ** 2) / total)
+    )
+    if rms < 1e-15:  # single-arrival geometries, modulo float rounding
+        rms = 0.0
+    strongest = float(np.max(powers))
+    rest = total - strongest
+    k_db = 10.0 * math.log10(strongest / rest) if rest > 0 else float("inf")
+    coherence = 1.0 / (5.0 * rms) if rms > 0 else float("inf")
+    return ChannelStats(
+        mean_delay_s=mean_delay,
+        rms_delay_spread_s=rms,
+        coherence_bandwidth_hz=coherence,
+        k_factor_db=k_db,
+        n_paths=len(paths),
+    )
+
+
+def max_isi_free_bitrate(
+    tank: Tank,
+    source: Position,
+    receiver: Position,
+    *,
+    max_spread_chips: float = 0.5,
+    max_order: int = 2,
+) -> float:
+    """Largest bitrate keeping RMS delay spread under ``max_spread_chips``.
+
+    A design rule of thumb: beyond this rate the chip-domain equaliser is
+    doing real work (and will eventually run out of taps).
+    """
+    stats = channel_stats(tank, source, receiver, max_order=max_order)
+    if stats.rms_delay_spread_s <= 0:
+        return float("inf")
+    chip_s = stats.rms_delay_spread_s / max_spread_chips
+    return 1.0 / (2.0 * chip_s)

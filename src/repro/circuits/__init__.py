@@ -1,0 +1,47 @@
+"""Analog front-end substrate for the battery-free PAB node.
+
+Behavioural circuit models for every block of the paper's Fig. 5 PCB:
+impedance elements and L-match design (the recto-piezo mechanism),
+multi-stage rectifier, supercapacitor storage, LDO regulator, Schmitt
+trigger downlink slicer, and the backscatter switch.
+"""
+
+from repro.circuits.elements import (
+    capacitor_impedance,
+    inductor_impedance,
+    parallel,
+    series,
+    reflection_coefficient,
+    mismatch_power_fraction,
+)
+from repro.circuits.matching import (
+    MatchingNetwork,
+    MatchComponent,
+    design_l_match,
+)
+from repro.circuits.rectifier import MultiStageRectifier
+from repro.circuits.storage import Supercapacitor
+from repro.circuits.regulator import LowDropoutRegulator
+from repro.circuits.schmitt import SchmittTrigger
+from repro.circuits.backscatter_switch import BackscatterSwitch, SwitchState
+from repro.circuits.harvester import EnergyHarvester, HarvestOperatingPoint
+
+__all__ = [
+    "capacitor_impedance",
+    "inductor_impedance",
+    "parallel",
+    "series",
+    "reflection_coefficient",
+    "mismatch_power_fraction",
+    "MatchingNetwork",
+    "MatchComponent",
+    "design_l_match",
+    "MultiStageRectifier",
+    "Supercapacitor",
+    "LowDropoutRegulator",
+    "SchmittTrigger",
+    "BackscatterSwitch",
+    "SwitchState",
+    "EnergyHarvester",
+    "HarvestOperatingPoint",
+]

@@ -1,0 +1,73 @@
+"""The backscatter switch (paper Fig. 5a).
+
+Two series transistors connect the transducer terminals to ground.  When
+the MCU drives their gates, the terminals are shorted (reflective state);
+when the gates are released, the transducer sees the matching network and
+rectifier (absorptive state).  The model maps switch state to the load
+impedance presented to the piezo, from which the reflection coefficient of
+paper Eq. 2 follows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.matching import MatchingNetwork
+
+
+class SwitchState(enum.Enum):
+    """The two reflective states of backscatter modulation."""
+
+    ABSORB = 0  # transistors off: energy flows into the harvesting chain
+    REFLECT = 1  # transistors on: terminals shorted, wave fully reflected
+
+
+@dataclass
+class BackscatterSwitch:
+    """Maps switch state to the load impedance at the piezo terminals.
+
+    Parameters
+    ----------
+    matching_network:
+        The recto-piezo matching network in the absorb path.
+    rectifier_input_ohm:
+        Effective input resistance of the rectifier terminating the
+        network.
+    on_resistance_ohm:
+        Residual resistance of the shorting transistors (two in series).
+    """
+
+    matching_network: MatchingNetwork
+    rectifier_input_ohm: float
+    on_resistance_ohm: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rectifier_input_ohm <= 0:
+            raise ValueError("rectifier input resistance must be positive")
+        if self.on_resistance_ohm < 0:
+            raise ValueError("on resistance must be non-negative")
+
+    def load_impedance(self, state: SwitchState, frequency_hz):
+        """Impedance the piezo sees in a given state [ohm]."""
+        if state is SwitchState.REFLECT:
+            if np.isscalar(frequency_hz):
+                return complex(self.on_resistance_ohm)
+            return np.full(
+                np.shape(frequency_hz), complex(self.on_resistance_ohm)
+            )
+        return self.matching_network.input_impedance(
+            frequency_hz, self.rectifier_input_ohm
+        )
+
+    def chip_impedances(self, chips, frequency_hz: float) -> np.ndarray:
+        """Vector of load impedances for a binary chip sequence.
+
+        ``chips`` is an array of 0/1 where 1 means REFLECT.
+        """
+        chips = np.asarray(chips)
+        z_reflect = self.load_impedance(SwitchState.REFLECT, frequency_hz)
+        z_absorb = self.load_impedance(SwitchState.ABSORB, frequency_hz)
+        return np.where(chips.astype(bool), z_reflect, z_absorb)

@@ -1,0 +1,74 @@
+"""Elementary impedance algebra used across the front-end models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import TWO_PI
+
+
+def inductor_impedance(inductance_h: float, frequency_hz):
+    """Impedance of an ideal inductor, j*w*L [ohm]."""
+    if inductance_h < 0:
+        raise ValueError("inductance must be non-negative")
+    w = TWO_PI * np.asarray(frequency_hz, dtype=float)
+    z = 1j * w * inductance_h
+    return complex(z) if np.isscalar(frequency_hz) else z
+
+
+def capacitor_impedance(capacitance_f: float, frequency_hz):
+    """Impedance of an ideal capacitor, 1/(j*w*C) [ohm]."""
+    if capacitance_f <= 0:
+        raise ValueError("capacitance must be positive")
+    w = TWO_PI * np.asarray(frequency_hz, dtype=float)
+    if np.any(w <= 0):
+        raise ValueError("frequency must be positive")
+    z = 1.0 / (1j * w * capacitance_f)
+    return complex(z) if np.isscalar(frequency_hz) else z
+
+
+def series(*impedances):
+    """Series combination of impedances."""
+    if not impedances:
+        raise ValueError("need at least one impedance")
+    total = impedances[0]
+    for z in impedances[1:]:
+        total = total + z
+    return total
+
+
+def parallel(*impedances):
+    """Parallel combination of impedances."""
+    if not impedances:
+        raise ValueError("need at least one impedance")
+    inv = 0.0
+    for z in impedances:
+        inv = inv + 1.0 / np.asarray(z, dtype=complex)
+    result = 1.0 / inv
+    if all(np.isscalar(z) for z in impedances):
+        return complex(result)
+    return result
+
+
+def reflection_coefficient(z_load, z_source):
+    """Power-wave reflection coefficient (paper Eq. 2 / Kurokawa 1965).
+
+    Gamma = (Z_L - Z_s*) / (Z_L + Z_s).  Zero at conjugate match; unit
+    magnitude for a short, open, or purely reactive load.
+    """
+    z_l = np.asarray(z_load, dtype=complex)
+    z_s = np.asarray(z_source, dtype=complex)
+    gamma = (z_l - np.conjugate(z_s)) / (z_l + z_s)
+    if np.isscalar(z_load) and np.isscalar(z_source):
+        return complex(gamma)
+    return gamma
+
+
+def mismatch_power_fraction(z_load, z_source):
+    """Fraction of the available power delivered to the load: 1 - |Gamma|^2."""
+    gamma = reflection_coefficient(z_load, z_source)
+    frac = 1.0 - np.abs(gamma) ** 2
+    frac = np.clip(frac, 0.0, 1.0)
+    if np.isscalar(z_load) and np.isscalar(z_source):
+        return float(frac)
+    return frac

@@ -1,0 +1,261 @@
+"""L-section impedance matching network design — the recto-piezo mechanism.
+
+The paper's recto-piezo (Sec. 3.3.1) tunes a node's *electrical* resonance
+by choosing the two-element matching network between the piezoelectric
+transducer and the rectifier.  At the design frequency the network
+transforms the rectifier's input resistance into the complex conjugate of
+the transducer's source impedance, so all available power is harvested;
+away from the design frequency the transformation degrades, and the
+harvested voltage falls off — producing the tuned-channel curves of Fig. 3.
+
+Two canonical L-section topologies are supported (load = rectifier side,
+source = transducer side):
+
+* ``"shunt-load"`` — susceptance across the load, reactance in series
+  toward the source.  Exact when ``R_load >= R_source``.
+* ``"series-load"`` — reactance in series with the load, susceptance in
+  shunt toward the source.  Exact when
+  ``R_load <= (R_s^2 + X_s^2) / R_s``.
+
+Because the piezo source is strongly reactive (|X_s| large), the
+series-load topology is almost always feasible; the designer picks
+whichever topology admits an exact solution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.elements import (
+    capacitor_impedance,
+    inductor_impedance,
+)
+from repro.constants import TWO_PI
+
+
+@dataclass(frozen=True)
+class MatchComponent:
+    """One reactive element of the network.
+
+    ``kind`` is ``"L"`` or ``"C"``; ``value`` is henries or farads.
+    """
+
+    kind: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("L", "C"):
+            raise ValueError("kind must be 'L' or 'C'")
+        if self.value <= 0:
+            raise ValueError("component value must be positive")
+
+    def impedance(self, frequency_hz):
+        """Impedance at a frequency [ohm]."""
+        if self.kind == "L":
+            return inductor_impedance(self.value, frequency_hz)
+        return capacitor_impedance(self.value, frequency_hz)
+
+
+def _component_from_reactance(x: float, frequency_hz: float) -> MatchComponent:
+    """An L or C realising series reactance ``x`` at ``frequency_hz``."""
+    w = TWO_PI * frequency_hz
+    if x > 0:
+        return MatchComponent("L", x / w)
+    if x < 0:
+        return MatchComponent("C", -1.0 / (w * x))
+    raise ValueError("zero reactance requires no component")
+
+
+def _component_from_susceptance(b: float, frequency_hz: float) -> MatchComponent:
+    """An L or C realising shunt susceptance ``b`` at ``frequency_hz``."""
+    w = TWO_PI * frequency_hz
+    if b > 0:
+        return MatchComponent("C", b / w)
+    if b < 0:
+        return MatchComponent("L", -1.0 / (w * b))
+    raise ValueError("zero susceptance requires no component")
+
+
+@dataclass(frozen=True)
+class MatchingNetwork:
+    """A designed two-element L-section.
+
+    Attributes
+    ----------
+    topology:
+        ``"shunt-load"`` or ``"series-load"``.
+    series_component, shunt_component:
+        The two elements.
+    design_frequency_hz:
+        Frequency the match was solved at (the recto-piezo channel).
+    """
+
+    topology: str
+    series_component: MatchComponent
+    shunt_component: MatchComponent
+    design_frequency_hz: float
+
+    def input_impedance(self, frequency_hz, z_load):
+        """Impedance seen from the source side when terminated by ``z_load``."""
+        z_se = self.series_component.impedance(frequency_hz)
+        z_sh = self.shunt_component.impedance(frequency_hz)
+        z_load = np.asarray(z_load, dtype=complex)
+        if self.topology == "shunt-load":
+            z_par = z_sh * z_load / (z_sh + z_load)
+            result = z_se + z_par
+        else:  # series-load
+            z_ser = z_load + z_se
+            result = z_sh * z_ser / (z_sh + z_ser)
+        if np.isscalar(frequency_hz) and z_load.ndim == 0:
+            return complex(result)
+        return result
+
+    def load_voltage_fraction(self, frequency_hz, z_load, z_source):
+        """Complex ratio V_load / V_source_emf through the network.
+
+        Used to compute the AC amplitude that actually reaches the
+        rectifier terminals for a given transducer open-circuit voltage.
+        """
+        z_se = self.series_component.impedance(frequency_hz)
+        z_sh = self.shunt_component.impedance(frequency_hz)
+        z_load = np.asarray(z_load, dtype=complex)
+        z_source = np.asarray(z_source, dtype=complex)
+        if self.topology == "shunt-load":
+            z_par = z_sh * z_load / (z_sh + z_load)
+            v_mid = z_par / (z_source + z_se + z_par)
+            return v_mid  # the load sits directly across the parallel node
+        z_ser = z_load + z_se
+        z_par = z_sh * z_ser / (z_sh + z_ser)
+        v_node = z_par / (z_source + z_par)
+        return v_node * z_load / z_ser
+
+
+def enumerate_l_matches(
+    z_source: complex,
+    r_load: float,
+    frequency_hz: float,
+) -> list[MatchingNetwork]:
+    """All exact two-element L-sections matching ``r_load`` to ``conj(z_source)``.
+
+    Each topology admits two sign branches (high-pass-like and
+    low-pass-like); up to four distinct networks exist.  Branches whose
+    required reactance degenerates to zero are realised with a vanishingly
+    small element.
+    """
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    if r_load <= 0:
+        raise ValueError("load resistance must be positive")
+    r_s = float(np.real(z_source))
+    x_s = float(np.imag(z_source))
+    if r_s <= 0:
+        raise ValueError("source must have positive resistance")
+
+    networks: list[MatchingNetwork] = []
+
+    if r_load >= r_s:
+        # shunt-load topology: B across R_load, series X toward source.
+        q = math.sqrt(max(r_load / r_s - 1.0, 0.0))
+        if q == 0.0:
+            q = 1e-12  # degenerate equal-resistance case
+        for sign in (1.0, -1.0):
+            b1 = sign * q / r_load
+            x2 = -x_s + sign * q * r_s
+            if x2 == 0.0:
+                x2 = 1e-9
+            networks.append(
+                MatchingNetwork(
+                    topology="shunt-load",
+                    series_component=_component_from_reactance(x2, frequency_hz),
+                    shunt_component=_component_from_susceptance(b1, frequency_hz),
+                    design_frequency_hz=frequency_hz,
+                )
+            )
+
+    g_t = r_s / (r_s**2 + x_s**2)
+    if r_load <= 1.0 / g_t:
+        # series-load topology: X in series with R_load, shunt B at source.
+        b_t = x_s / (r_s**2 + x_s**2)
+        x1_mag = math.sqrt(max(r_load / g_t - r_load**2, 0.0))
+        for sign in (1.0, -1.0):
+            x1 = sign * x1_mag
+            b2 = b_t + x1 / (r_load**2 + x1**2)
+            if x1 == 0.0:
+                x1 = 1e-9
+            if b2 == 0.0:
+                b2 = 1e-12
+            networks.append(
+                MatchingNetwork(
+                    topology="series-load",
+                    series_component=_component_from_reactance(x1, frequency_hz),
+                    shunt_component=_component_from_susceptance(b2, frequency_hz),
+                    design_frequency_hz=frequency_hz,
+                )
+            )
+
+    if not networks:
+        raise ValueError(
+            "no exact two-element match: "
+            f"r_load={r_load:.1f} outside both topology ranges for z_source={z_source}"
+        )
+    return networks
+
+
+def design_l_match(
+    z_source: complex,
+    r_load: float,
+    frequency_hz: float,
+    *,
+    z_source_fn=None,
+    probe_span_hz: float = 8_000.0,
+) -> MatchingNetwork:
+    """Design an L-section so the source sees conj(z_source) at ``frequency_hz``.
+
+    Parameters
+    ----------
+    z_source:
+        Complex source impedance at the design frequency (the transducer's
+        BVD impedance there).
+    r_load:
+        Real load resistance (the rectifier's effective input resistance).
+    z_source_fn:
+        Optional callable ``f -> Z_s(f)``.  When given, all feasible sign
+        branches are evaluated and the *most frequency-selective* one is
+        returned: the branch with the least off-channel voltage transfer
+        across ``probe_span_hz``.  This is the branch a recto-piezo
+        designer wants — different channels should not leak into each
+        other (paper Sec. 3.3.1).  When omitted, the first feasible branch
+        is returned.
+
+    Raises
+    ------
+    ValueError
+        If neither topology admits an exact two-element solution.
+    """
+    candidates = enumerate_l_matches(z_source, r_load, frequency_hz)
+    if z_source_fn is None:
+        return candidates[0]
+
+    probe = np.linspace(
+        max(frequency_hz - probe_span_hz / 2.0, 100.0),
+        frequency_hz + probe_span_hz / 2.0,
+        41,
+    )
+    off_channel = np.abs(probe - frequency_hz) > probe_span_hz / 16.0
+
+    def leakage(net: MatchingNetwork) -> float:
+        v = np.array(
+            [
+                abs(net.load_voltage_fraction(float(f), r_load, z_source_fn(float(f))))
+                for f in probe
+            ]
+        )
+        on = abs(
+            net.load_voltage_fraction(frequency_hz, r_load, z_source)
+        )
+        return float(np.sum(v[off_channel] ** 2)) / max(on**2, 1e-30)
+
+    return min(candidates, key=leakage)

@@ -1,0 +1,102 @@
+"""Multi-stage voltage-multiplier rectifier (paper Fig. 5c).
+
+The node converts the AC voltage from the matching network into DC with a
+multi-stage (Dickson / Cockcroft-Walton style) rectifier that *passively
+amplifies* the voltage — each doubler stage contributes up to
+``2 * (V_peak - V_diode)`` of DC output.  This behavioural model captures:
+
+* the diode threshold: below ``V_diode`` input peak, no output at all
+  (the reason a minimum incident pressure is needed to cold-start),
+* open-circuit DC output ``2 * N * (V_peak - V_diode)``,
+* an output series resistance so the voltage droops under load,
+* an effective AC input resistance used for matching design — the paper
+  measured this with an impedance analyzer and matched to it; here it is
+  a constructor parameter with a representative default,
+* a conversion efficiency for power bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import DIODE_DROP_V, RECTIFIER_STAGES
+
+
+@dataclass(frozen=True)
+class MultiStageRectifier:
+    """Behavioural model of an n-stage voltage multiplier.
+
+    Parameters
+    ----------
+    stages:
+        Number of doubler stages.
+    diode_drop_v:
+        Forward drop of each diode [V] (Schottky ~0.2 V).
+    input_resistance_ohm:
+        Effective AC input resistance near the operating point [ohm];
+        this is the quantity the matching network is designed against.
+    output_resistance_ohm:
+        Thevenin output resistance of the DC port [ohm].
+    efficiency:
+        AC-to-DC power conversion efficiency in (0, 1].
+    """
+
+    stages: int = RECTIFIER_STAGES
+    diode_drop_v: float = DIODE_DROP_V
+    input_resistance_ohm: float = 2_000.0
+    output_resistance_ohm: float = 5_000.0
+    efficiency: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise ValueError("need at least one stage")
+        if self.diode_drop_v < 0:
+            raise ValueError("diode drop must be non-negative")
+        if self.input_resistance_ohm <= 0 or self.output_resistance_ohm < 0:
+            raise ValueError("resistances must be positive/non-negative")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    # -- DC transfer -----------------------------------------------------------
+
+    def open_circuit_voltage(self, v_ac_peak):
+        """Unloaded DC output for an AC input peak amplitude [V]."""
+        v = np.asarray(v_ac_peak, dtype=float)
+        out = 2.0 * self.stages * np.maximum(v - self.diode_drop_v, 0.0)
+        return float(out) if np.isscalar(v_ac_peak) else out
+
+    def loaded_voltage(self, v_ac_peak, i_load_a):
+        """DC output under a load current draw [V] (floored at zero)."""
+        if np.any(np.asarray(i_load_a) < 0):
+            raise ValueError("load current must be non-negative")
+        voc = self.open_circuit_voltage(v_ac_peak)
+        out = np.maximum(
+            np.asarray(voc) - np.asarray(i_load_a) * self.output_resistance_ohm, 0.0
+        )
+        if np.isscalar(v_ac_peak) and np.isscalar(i_load_a):
+            return float(out)
+        return out
+
+    def minimum_input_peak(self) -> float:
+        """Smallest AC peak that produces any DC output [V]."""
+        return self.diode_drop_v
+
+    def input_peak_for_output(self, v_dc: float) -> float:
+        """AC peak needed to sustain an unloaded DC output of ``v_dc`` [V]."""
+        if v_dc < 0:
+            raise ValueError("DC voltage must be non-negative")
+        return v_dc / (2.0 * self.stages) + self.diode_drop_v
+
+    # -- power bookkeeping -------------------------------------------------------
+
+    def input_power(self, v_ac_peak: float) -> float:
+        """AC power absorbed at the input port [W] (V_rms^2 / R_in)."""
+        return (v_ac_peak**2 / 2.0) / self.input_resistance_ohm
+
+    def output_power_available(self, v_ac_peak: float) -> float:
+        """DC power available after conversion losses [W]."""
+        if v_ac_peak <= self.diode_drop_v:
+            return 0.0
+        return self.efficiency * self.input_power(v_ac_peak)

@@ -1,0 +1,82 @@
+"""Low-dropout regulator model (paper Fig. 5: LP5900, 1.8 V output).
+
+The LDO turns the raw supercapacitor voltage into the clean 1.8 V rail
+that drives the MCU and peripherals.  Behavioural features that matter to
+the system: the dropout voltage (the rail collapses when the cap sags),
+the quiescent current (a fixed tax on the harvested energy, which the
+paper identifies as a contributor to idle power in Sec. 6.4), and the
+input current needed to support a given load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import LDO_OUTPUT_V, LDO_QUIESCENT_A
+
+
+@dataclass(frozen=True)
+class LowDropoutRegulator:
+    """An LDO with dropout and quiescent-current behaviour.
+
+    Parameters
+    ----------
+    output_v:
+        Nominal regulated output [V].
+    dropout_v:
+        Minimum headroom between input and output [V].
+    quiescent_a:
+        Ground-pin current drawn whenever the part is alive [A].
+    undervoltage_lockout_v:
+        Input level below which the part shuts off entirely.
+    """
+
+    output_v: float = LDO_OUTPUT_V
+    dropout_v: float = 0.12
+    quiescent_a: float = LDO_QUIESCENT_A
+    undervoltage_lockout_v: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.output_v <= 0:
+            raise ValueError("output voltage must be positive")
+        if self.dropout_v < 0 or self.quiescent_a < 0:
+            raise ValueError("dropout and quiescent current must be non-negative")
+
+    @property
+    def minimum_input_v(self) -> float:
+        """Smallest input that holds full regulation [V]."""
+        return self.output_v + self.dropout_v
+
+    def is_regulating(self, input_v: float) -> bool:
+        """Whether the output rail is at its nominal value."""
+        return input_v >= self.minimum_input_v
+
+    def output_voltage(self, input_v: float) -> float:
+        """Rail voltage for a given input [V].
+
+        In dropout the pass element saturates and the output follows the
+        input minus the dropout; below the UVLO the output is zero.
+        """
+        if input_v < self.undervoltage_lockout_v:
+            return 0.0
+        if input_v >= self.minimum_input_v:
+            return self.output_v
+        return max(input_v - self.dropout_v, 0.0)
+
+    def input_current(self, load_current_a: float, input_v: float) -> float:
+        """Current drawn from the storage cap to support a load [A].
+
+        An LDO is a linear series element: input current = load current +
+        quiescent current (when alive).
+        """
+        if load_current_a < 0:
+            raise ValueError("load current must be non-negative")
+        if input_v < self.undervoltage_lockout_v:
+            return 0.0
+        return load_current_a + self.quiescent_a
+
+    def power_loss(self, load_current_a: float, input_v: float) -> float:
+        """Power dissipated inside the LDO [W]."""
+        i_in = self.input_current(load_current_a, input_v)
+        v_out = self.output_voltage(input_v)
+        return max(input_v * i_in - v_out * load_current_a, 0.0)

@@ -1,0 +1,100 @@
+"""Schmitt trigger + level shifter for downlink decoding (paper Fig. 5e).
+
+The node decodes the projector's PWM downlink with simple envelope
+detection: the envelope of the rectified carrier is squared up by a
+Schmitt trigger (TXB0302 in the paper), whose hysteresis rejects small
+noise wiggles, and the resulting edge stream feeds the MCU timer.
+
+The model converts an analog envelope waveform into a clean binary
+waveform given the two thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SchmittTrigger:
+    """Hysteretic comparator.
+
+    Parameters
+    ----------
+    high_threshold_v:
+        Rising-edge trip point [V].
+    low_threshold_v:
+        Falling-edge trip point [V]; must be below the high threshold.
+    output_high_v, output_low_v:
+        Output rail levels after the level shifter.
+    """
+
+    high_threshold_v: float
+    low_threshold_v: float
+    output_high_v: float = 1.8
+    output_low_v: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.low_threshold_v >= self.high_threshold_v:
+            raise ValueError("low threshold must be below high threshold")
+
+    @property
+    def hysteresis_v(self) -> float:
+        """Width of the hysteresis band [V]."""
+        return self.high_threshold_v - self.low_threshold_v
+
+    def process(self, waveform, initial_state: bool = False) -> np.ndarray:
+        """Slice an analog waveform into output levels.
+
+        Vectorised two-threshold hysteresis: samples above the high
+        threshold force state 1, samples below the low threshold force
+        state 0, and samples in between hold the previous state.
+        """
+        x = np.asarray(waveform, dtype=float)
+        if x.ndim != 1:
+            raise ValueError("waveform must be one-dimensional")
+        if len(x) == 0:
+            return np.zeros(0)
+        # +1 where forced high, -1 where forced low, 0 where holding.
+        force = np.zeros(len(x), dtype=np.int8)
+        force[x >= self.high_threshold_v] = 1
+        force[x <= self.low_threshold_v] = -1
+        # Propagate the last non-zero "force" forward.
+        idx = np.nonzero(force)[0]
+        state = np.empty(len(x), dtype=bool)
+        if len(idx) == 0:
+            state[:] = initial_state
+        else:
+            # Before the first forcing sample: hold the initial state.
+            state[: idx[0]] = initial_state
+            # From each forcing sample to the next: hold its value.
+            values = force[idx] > 0
+            boundaries = np.append(idx, len(x))
+            for i, start in enumerate(idx):
+                state[start : boundaries[i + 1]] = values[i]
+        return np.where(state, self.output_high_v, self.output_low_v)
+
+    def edges(self, waveform, sample_rate: float, initial_state: bool = False):
+        """Edge times of the sliced waveform.
+
+        Returns ``(times_s, polarities)`` where polarity +1 is a rising
+        edge and -1 a falling edge.  The MCU firmware consumes falling
+        edges to measure PWM pulse widths (Sec. 4.2.2).
+        """
+        if sample_rate <= 0:
+            raise ValueError("sample rate must be positive")
+        out = self.process(waveform, initial_state)
+        high = out > (self.output_high_v + self.output_low_v) / 2.0
+        diff = np.diff(high.astype(np.int8))
+        edge_idx = np.nonzero(diff)[0] + 1
+        times = edge_idx / sample_rate
+        polarities = diff[edge_idx - 1]
+        if len(high) and bool(high[0]) != initial_state:
+            # The waveform starts mid-pulse: the transition happened at (or
+            # before) sample zero, so report it there.
+            times = np.concatenate([[0.0], times])
+            polarities = np.concatenate(
+                [[1 if high[0] else -1], polarities]
+            )
+        return times, polarities

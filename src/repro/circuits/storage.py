@@ -1,0 +1,120 @@
+"""Supercapacitor energy storage (paper Fig. 5d: 1000 uF).
+
+The rectified DC charge is stored in a supercapacitor that powers the LDO
+and MCU.  The model is the standard first-order ODE
+
+    C * dV/dt = I_in - I_load - V / R_leak
+
+integrated explicitly at the energy engine's time step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import SUPERCAP_FARADS
+
+
+@dataclass
+class Supercapacitor:
+    """A leaky storage capacitor with charge/discharge bookkeeping.
+
+    Parameters
+    ----------
+    capacitance_f:
+        Capacitance [F].
+    leakage_resistance_ohm:
+        Self-discharge leakage path [ohm].
+    max_voltage_v:
+        Rated voltage; charging clamps here.
+    initial_voltage_v:
+        Starting voltage [V].
+    """
+
+    capacitance_f: float = SUPERCAP_FARADS
+    leakage_resistance_ohm: float = 2e6
+    max_voltage_v: float = 5.5
+    initial_voltage_v: float = 0.0
+    voltage_v: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacitance_f <= 0:
+            raise ValueError("capacitance must be positive")
+        if self.leakage_resistance_ohm <= 0:
+            raise ValueError("leakage resistance must be positive")
+        if self.max_voltage_v <= 0:
+            raise ValueError("max voltage must be positive")
+        if not 0.0 <= self.initial_voltage_v <= self.max_voltage_v:
+            raise ValueError("initial voltage out of range")
+        self.voltage_v = self.initial_voltage_v
+
+    @property
+    def energy_j(self) -> float:
+        """Stored energy, C*V^2/2 [J]."""
+        return 0.5 * self.capacitance_f * self.voltage_v**2
+
+    def reset(self, voltage_v: float = 0.0) -> None:
+        """Return to a known state."""
+        if not 0.0 <= voltage_v <= self.max_voltage_v:
+            raise ValueError("voltage out of range")
+        self.voltage_v = voltage_v
+
+    def step(self, dt_s: float, i_in_a: float = 0.0, i_load_a: float = 0.0) -> float:
+        """Advance the ODE by ``dt_s`` and return the new voltage [V].
+
+        ``i_in_a`` is the charging current from the rectifier; ``i_load_a``
+        the draw of the regulator/MCU chain.  The voltage never goes
+        negative and never exceeds the rating.
+        """
+        if dt_s <= 0:
+            raise ValueError("time step must be positive")
+        if i_in_a < 0 or i_load_a < 0:
+            raise ValueError("currents must be non-negative")
+        i_leak = self.voltage_v / self.leakage_resistance_ohm
+        dv = (i_in_a - i_load_a - i_leak) * dt_s / self.capacitance_f
+        self.voltage_v = min(max(self.voltage_v + dv, 0.0), self.max_voltage_v)
+        return self.voltage_v
+
+    def charge_from_source(
+        self,
+        dt_s: float,
+        source_voltage_v: float,
+        source_resistance_ohm: float,
+        i_load_a: float = 0.0,
+    ) -> float:
+        """Advance one step charging from a Thevenin source (the rectifier).
+
+        Current in = max(0, (V_src - V_cap) / R_src): the rectifier diodes
+        block reverse flow when the capacitor sits above the rectifier's
+        open-circuit voltage.
+        """
+        if source_resistance_ohm <= 0:
+            raise ValueError("source resistance must be positive")
+        i_in = max(0.0, (source_voltage_v - self.voltage_v) / source_resistance_ohm)
+        return self.step(dt_s, i_in_a=i_in, i_load_a=i_load_a)
+
+    def time_to_reach(
+        self,
+        target_v: float,
+        source_voltage_v: float,
+        source_resistance_ohm: float,
+        *,
+        dt_s: float = 1e-3,
+        timeout_s: float = 600.0,
+    ) -> float | None:
+        """Simulated time to charge to ``target_v``, or ``None`` if unreachable.
+
+        Leaves the capacitor at its final state.
+        """
+        if target_v <= self.voltage_v:
+            return 0.0
+        t = 0.0
+        while t < timeout_s:
+            prev = self.voltage_v
+            self.charge_from_source(dt_s, source_voltage_v, source_resistance_ohm)
+            t += dt_s
+            if self.voltage_v >= target_v:
+                return t
+            if self.voltage_v <= prev + 1e-15:
+                return None  # reached equilibrium below target
+        return None

@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Lets a user drive the reproduction without writing code:
+
+* ``demo``     — run the quickstart link exchange and print the outcome.
+* ``fig3``     — print the recto-piezo tuning curves.
+* ``fig7``     — print the BER-SNR table.
+* ``fig8``     — print the SNR-vs-bitrate table (waveform level; slower).
+* ``fig9``     — print the power-up-range tables for both pools.
+* ``fig11``    — print the node power budget.
+* ``envs``     — list deployment-environment presets with derived numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+import numpy as np
+
+
+def _cmd_demo(args) -> int:
+    from repro.acoustics import POOL_A, Position
+    from repro.core import BackscatterLink, Projector
+    from repro.net.messages import Command, Query
+    from repro.node.node import PABNode
+    from repro.piezo import Transducer
+
+    transducer = Transducer.from_cylinder_design()
+    f = transducer.resonance_hz
+    projector = Projector(
+        transducer=transducer, drive_voltage_v=args.drive, carrier_hz=f
+    )
+    node = PABNode(address=7, channel_frequencies_hz=(f,), bitrate=args.bitrate)
+    link = BackscatterLink(
+        POOL_A, projector, Position(0.5, 1.5, 0.6),
+        node, Position(0.5 + args.distance, 1.5, 0.6), Position(1.0, 0.8, 0.6),
+    )
+    result = link.run_query(Query(destination=7, command=Command.PING))
+    print(f"powered up:    {result.powered_up}")
+    print(f"query decoded: {result.query_decoded}")
+    print(f"reply decoded: {result.success}")
+    if result.success:
+        print(f"SNR: {result.snr_db:.1f} dB   BER: {result.ber:.4f}")
+    return 0 if result.success else 1
+
+
+def _cmd_fig3(args) -> int:
+    from repro.circuits import EnergyHarvester
+    from repro.core.experiment import ExperimentTable
+    from repro.piezo import Transducer
+
+    transducer = Transducer.from_cylinder_design()
+    h15 = EnergyHarvester(transducer, design_frequency_hz=15_000.0)
+    h18 = EnergyHarvester(transducer, design_frequency_hz=18_000.0)
+    pressure = h15.calibrate_pressure_for_peak(4.0)
+    freqs = np.linspace(11_000.0, 21_000.0, 41)
+    table = ExperimentTable(
+        title="Fig. 3: recto-piezo rectified voltage",
+        columns=("frequency_hz", "15k_match_v", "18k_match_v"),
+    )
+    for f, a, b in zip(
+        freqs,
+        h15.rectified_voltage_curve(freqs, pressure),
+        h18.rectified_voltage_curve(freqs, pressure),
+    ):
+        table.add_row(float(f), float(a), float(b))
+    print(table.to_text())
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    from repro.core.experiment import ber_snr_sweep
+
+    table = ber_snr_sweep(
+        np.arange(-2.0, 15.0, 1.0), bits_per_point=args.bits
+    )
+    print(table.to_text())
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    from repro.acoustics import POOL_A, Position
+    from repro.core import BackscatterLink, Projector
+    from repro.core.experiment import ExperimentTable
+    from repro.net.messages import Command, Query
+    from repro.node.node import PABNode
+    from repro.piezo import Transducer
+
+    transducer = Transducer.from_cylinder_design()
+    f = transducer.resonance_hz
+    table = ExperimentTable(
+        title="Fig. 8: SNR vs backscatter bitrate",
+        columns=("bitrate_bps", "snr_db"),
+    )
+    for bitrate in (100.0, 400.0, 1_000.0, 2_000.0, 3_000.0, 5_000.0):
+        projector = Projector(
+            transducer=transducer, drive_voltage_v=50.0, carrier_hz=f
+        )
+        node = PABNode(address=7, channel_frequencies_hz=(f,), bitrate=bitrate)
+        link = BackscatterLink(
+            POOL_A, projector, Position(0.5, 1.5, 0.6),
+            node, Position(1.3, 1.5, 0.6), Position(1.0, 0.9, 0.6),
+        )
+        snr = link.measure_uplink_snr(Query(destination=7, command=Command.PING))
+        table.add_row(bitrate, float(snr))
+    print(table.to_text())
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    from repro.acoustics import POOL_A, POOL_B, Position
+    from repro.core import Projector
+    from repro.core.experiment import powerup_range_sweep
+    from repro.node.node import PABNode
+    from repro.piezo import Transducer
+
+    f = Transducer.from_cylinder_design().resonance_hz
+
+    def projector_factory(voltage):
+        return Projector(
+            transducer=Transducer.from_cylinder_design(),
+            drive_voltage_v=voltage,
+            carrier_hz=f,
+        )
+
+    def node_factory():
+        return PABNode(address=1, channel_frequencies_hz=(f,))
+
+    def diagonal(tank, margin=0.2):
+        span = math.hypot(tank.length - 2 * margin, tank.width - 2 * margin)
+        ux = (tank.length - 2 * margin) / span
+        uy = (tank.width - 2 * margin) / span
+
+        def axis(dist):
+            if dist > span:
+                raise ValueError("outside")
+            return (
+                Position(margin, margin, tank.depth / 2),
+                Position(margin + dist * ux, margin + dist * uy, tank.depth / 2),
+            )
+
+        return axis
+
+    def corridor(tank, margin=0.2):
+        def axis(dist):
+            if margin + dist > tank.length - margin:
+                raise ValueError("outside")
+            return (
+                Position(margin, tank.width / 2, tank.depth / 2),
+                Position(margin + dist, tank.width / 2, tank.depth / 2),
+            )
+
+        return axis
+
+    voltages = [25.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0]
+    for tank, axis in ((POOL_A, diagonal(POOL_A)), (POOL_B, corridor(POOL_B))):
+        table = powerup_range_sweep(
+            tank, voltages,
+            node_factory=node_factory,
+            projector_factory=projector_factory,
+            axis_positions=axis,
+        )
+        print(table.to_text())
+    return 0
+
+
+def _cmd_fig11(args) -> int:
+    from repro.core.experiment import ExperimentTable
+    from repro.node import NodePowerModel
+
+    model = NodePowerModel()
+    sweep = model.fig11_sweep([100.0, 500.0, 1_000.0, 2_000.0, 3_000.0])
+    table = ExperimentTable(
+        title="Fig. 11: node power consumption",
+        columns=("mode", "power_uw"),
+    )
+    for mode, value in sweep.items():
+        label = mode if isinstance(mode, str) else f"{mode:.0f} bps"
+        table.add_row(label, value * 1e6)
+    print(table.to_text())
+    return 0
+
+
+def _cmd_coverage(args) -> int:
+    from repro.acoustics import POOL_A, POOL_B
+    from repro.core import Projector
+    from repro.core.deployment import powerup_coverage
+    from repro.piezo import Transducer
+
+    tank = POOL_B if args.tank.lower() == "b" else POOL_A
+    transducer = Transducer.from_cylinder_design()
+    projector = Projector(
+        transducer=transducer,
+        drive_voltage_v=args.drive,
+        carrier_hz=transducer.resonance_hz,
+    )
+    coverage = powerup_coverage(tank, projector, resolution_m=args.resolution)
+    print(
+        f"Power-up coverage of {tank.name} at {args.drive:.0f} V "
+        f"({coverage.coverage_fraction:.0%}):"
+    )
+    for i in range(len(coverage.y_coords) - 1, -1, -1):
+        print(
+            "".join(
+                "#" if coverage.values[i, j] > 0 else "."
+                for j in range(len(coverage.x_coords))
+            )
+        )
+    return 0
+
+
+def _cmd_envs(args) -> int:
+    from repro.acoustics.environments import ENVIRONMENTS
+    from repro.core.experiment import ExperimentTable
+
+    table = ExperimentTable(
+        title="Deployment environment presets",
+        columns=("name", "sound_speed_mps", "absorption_db_per_km_15khz",
+                 "noise_psd_db_15khz"),
+    )
+    for factory in ENVIRONMENTS.values():
+        env = factory()
+        table.add_row(
+            env.name,
+            env.sound_speed_mps,
+            env.absorption_db_per_km(15_000.0),
+            env.noise.psd_db(15_000.0),
+        )
+    print(table.to_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Piezo-Acoustic Backscatter reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run one link exchange")
+    demo.add_argument("--distance", type=float, default=1.0)
+    demo.add_argument("--drive", type=float, default=50.0)
+    demo.add_argument("--bitrate", type=float, default=1_000.0)
+    demo.set_defaults(func=_cmd_demo)
+
+    fig3 = sub.add_parser("fig3", help="recto-piezo tuning curves")
+    fig3.set_defaults(func=_cmd_fig3)
+
+    fig7 = sub.add_parser("fig7", help="BER vs SNR table")
+    fig7.add_argument("--bits", type=int, default=20_000)
+    fig7.set_defaults(func=_cmd_fig7)
+
+    fig8 = sub.add_parser("fig8", help="SNR vs bitrate table")
+    fig8.set_defaults(func=_cmd_fig8)
+
+    fig9 = sub.add_parser("fig9", help="power-up range tables")
+    fig9.set_defaults(func=_cmd_fig9)
+
+    fig11 = sub.add_parser("fig11", help="node power budget")
+    fig11.set_defaults(func=_cmd_fig11)
+
+    envs = sub.add_parser("envs", help="deployment environment presets")
+    envs.set_defaults(func=_cmd_envs)
+
+    coverage = sub.add_parser("coverage", help="power-up coverage map")
+    coverage.add_argument("--tank", choices=["a", "b", "A", "B"], default="a")
+    coverage.add_argument("--drive", type=float, default=150.0)
+    coverage.add_argument("--resolution", type=float, default=0.5)
+    coverage.set_defaults(func=_cmd_coverage)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

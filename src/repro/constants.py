@@ -1,0 +1,118 @@
+"""Physical constants and shared component values for the PAB reproduction.
+
+Values that come straight out of the paper (Jang & Adib, SIGCOMM 2019) are
+annotated with the section they appear in so the calibration provenance is
+auditable.  Everything else is a standard physical constant or a datasheet
+number for the named part.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Water / acoustics
+# ---------------------------------------------------------------------------
+
+#: Density of fresh water at ~20 C [kg/m^3].
+WATER_DENSITY = 998.0
+
+#: Density of sea water [kg/m^3].
+SEAWATER_DENSITY = 1025.0
+
+#: Nominal sound speed used when no environment profile is given [m/s].
+NOMINAL_SOUND_SPEED = 1481.0
+
+#: Characteristic acoustic impedance of water [Pa*s/m] (rho * c).
+WATER_ACOUSTIC_IMPEDANCE = WATER_DENSITY * NOMINAL_SOUND_SPEED
+
+#: Reference pressure for underwater acoustics [Pa] (1 micropascal).
+REFERENCE_PRESSURE_UPA = 1e-6
+
+#: Reference distance for source levels [m].
+REFERENCE_DISTANCE = 1.0
+
+# ---------------------------------------------------------------------------
+# Paper-level system parameters
+# ---------------------------------------------------------------------------
+
+#: Default downlink carrier frequency [Hz] (paper Sec. 3.2 experiments).
+DEFAULT_CARRIER_HZ = 15_000.0
+
+#: Second recto-piezo channel used in the FDMA experiments [Hz] (Sec. 3.3).
+SECOND_CARRIER_HZ = 18_000.0
+
+#: In-air resonance of the purchased Steminc cylinder [Hz] (Sec. 4.1).
+CYLINDER_IN_AIR_RESONANCE_HZ = 17_000.0
+
+#: Cylinder geometry from Sec. 4.1 [m].
+CYLINDER_RADIUS_M = 0.025
+CYLINDER_LENGTH_M = 0.04
+
+#: Minimum rectified voltage for the node to power up [V] (Fig. 3).
+POWER_UP_THRESHOLD_V = 2.5
+
+#: Peak rectified voltage observed at resonance in Fig. 3 [V].
+PEAK_RECTIFIED_V = 4.0
+
+#: Usable harvesting band around 15 kHz resonance [Hz] (Fig. 3: 13.6-16.4 kHz).
+HARVEST_BANDWIDTH_HZ = 2_800.0
+
+#: Supercapacitor on the node [F] (Sec. 4.2.1: 1000 uF).
+SUPERCAP_FARADS = 1000e-6
+
+#: LDO output rail [V] (LP5900, Sec. 4.2.1).
+LDO_OUTPUT_V = 1.8
+
+#: LDO quiescent current [A] (Sec. 6.4: ~25 uA at load).
+LDO_QUIESCENT_A = 25e-6
+
+#: MCU active-mode current [A] (MSP430G2553 datasheet / Sec. 6.4: <230 uA).
+MCU_ACTIVE_A = 230e-6
+
+#: MCU low-power-mode (LPM3) current [A] (Sec. 4.2.2: 0.5 uA).
+MCU_LPM3_A = 0.5e-6
+
+#: MCU crystal frequency [Hz] (Sec. 4.2.2: 32.8 kHz watch crystal).
+MCU_CRYSTAL_HZ = 32_768.0
+
+#: Idle power the paper measured, higher than datasheet (Sec. 6.4) [W].
+MEASURED_IDLE_POWER_W = 124e-6
+
+#: Approximate backscatter-mode power from Fig. 11 [W].
+MEASURED_BACKSCATTER_POWER_W = 500e-6
+
+#: Hydrophone receive sensitivity [dB re 1 V/uPa] (H2a, Sec. 5.1).
+HYDROPHONE_SENSITIVITY_DB = -180.0
+
+#: Maximum single-link bitrate demonstrated [bit/s] (abstract / Fig. 8).
+MAX_DEMONSTRATED_BITRATE = 3_000.0
+
+#: Maximum power-up range demonstrated [m] (abstract / Fig. 9, Pool B).
+MAX_DEMONSTRATED_RANGE_M = 10.0
+
+# ---------------------------------------------------------------------------
+# Tank geometries (Sec. 5.1(d))
+# ---------------------------------------------------------------------------
+
+#: Pool A: enclosed tank, 3 m x 4 m cross-section, 1.3 m deep.
+POOL_A_DIMENSIONS = (4.0, 3.0, 1.3)
+
+#: Pool B: enclosed tank, 1.2 m x 10 m cross-section, 1.0 m deep.
+POOL_B_DIMENSIONS = (10.0, 1.2, 1.0)
+
+# ---------------------------------------------------------------------------
+# Electronics defaults
+# ---------------------------------------------------------------------------
+
+#: Schottky diode forward drop used in the rectifier model [V].
+DIODE_DROP_V = 0.20
+
+#: Number of rectifier multiplier stages (passive voltage amplification).
+RECTIFIER_STAGES = 3
+
+#: Default sample rate for passband waveform simulation [Hz].
+DEFAULT_SAMPLE_RATE = 96_000.0
+
+#: Speed of sound used to convert tank dimensions to delays, see acoustics.
+TWO_PI = 2.0 * math.pi

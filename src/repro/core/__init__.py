@@ -1,0 +1,50 @@
+"""End-to-end PAB system: the paper's primary contribution.
+
+Composes the substrates (acoustics, piezo, circuits, dsp, node, net)
+into the complete system: projector, battery-free backscatter nodes with
+recto-piezo tuning, hydrophone receiver, single-link and multi-node
+waveform simulations, and the experiment harness that regenerates the
+paper's figures.
+"""
+
+from repro.rectopiezo import RectoPiezoBank, RectoPiezoMode
+from repro.core.projector import Projector, MultiToneDownlink
+from repro.core.hydrophone import Hydrophone
+from repro.core.link import BackscatterLink, LinkResult, LinkBudget
+from repro.core.network import PABNetwork, ConcurrentResult
+from repro.core.deployment import (
+    CoverageMap,
+    DeploymentPlan,
+    powerup_coverage,
+    snr_coverage,
+)
+from repro.core.session import MonitoringSession, SessionReport
+from repro.core.experiment import (
+    ExperimentTable,
+    ber_snr_sweep,
+    snr_vs_bitrate_sweep,
+    powerup_range_sweep,
+)
+
+__all__ = [
+    "RectoPiezoBank",
+    "RectoPiezoMode",
+    "Projector",
+    "MultiToneDownlink",
+    "Hydrophone",
+    "BackscatterLink",
+    "LinkResult",
+    "LinkBudget",
+    "PABNetwork",
+    "ConcurrentResult",
+    "CoverageMap",
+    "DeploymentPlan",
+    "powerup_coverage",
+    "snr_coverage",
+    "MonitoringSession",
+    "SessionReport",
+    "ExperimentTable",
+    "ber_snr_sweep",
+    "snr_vs_bitrate_sweep",
+    "powerup_range_sweep",
+]

@@ -1,0 +1,216 @@
+"""Deployment planning: coverage maps and channel assignment.
+
+A downstream user's first question is "will my deployment work?" — can a
+node at position X power up from the projector at position Y, and with
+what uplink SNR margin?  This module answers it with the same physics the
+link simulation uses, evaluated on a grid:
+
+* :func:`powerup_coverage` — where in the tank a battery-free node can
+  cold-start (the harvesting envelope, Fig. 9 generalised to 2-D),
+* :func:`snr_coverage` — the predicted uplink SNR at each grid point,
+* :class:`DeploymentPlan` — channel assignment for a set of node
+  positions against a channel plan, with per-node feasibility checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.channel import AcousticChannel
+from repro.acoustics.geometry import Position, Tank
+from repro.core.link import BackscatterLink
+from repro.core.projector import Projector
+from repro.net.fdma import ChannelPlan
+from repro.node.energy import PowerUpSimulator
+from repro.node.node import PABNode
+
+
+@dataclass(frozen=True)
+class CoverageMap:
+    """A scalar field sampled over the tank's horizontal plane.
+
+    Attributes
+    ----------
+    x_coords, y_coords:
+        Grid axes [m].
+    values:
+        Array (len(y), len(x)) of the sampled quantity.
+    depth_m:
+        The z plane sampled.
+    quantity:
+        Label ("powerup", "snr_db").
+    """
+
+    x_coords: np.ndarray
+    y_coords: np.ndarray
+    values: np.ndarray
+    depth_m: float
+    quantity: str
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Fraction of finite, truthy samples (powered / decodable)."""
+        finite = np.isfinite(self.values)
+        if not np.any(finite):
+            return 0.0
+        return float(np.mean(self.values[finite] > 0))
+
+    def value_at(self, x: float, y: float) -> float:
+        """Nearest-sample lookup."""
+        i = int(np.argmin(np.abs(self.y_coords - y)))
+        j = int(np.argmin(np.abs(self.x_coords - x)))
+        return float(self.values[i, j])
+
+
+def _grid(tank: Tank, resolution_m: float, margin_m: float):
+    xs = np.arange(margin_m, tank.length - margin_m + 1e-9, resolution_m)
+    ys = np.arange(margin_m, tank.width - margin_m + 1e-9, resolution_m)
+    return xs, ys
+
+
+def powerup_coverage(
+    tank: Tank,
+    projector: Projector,
+    *,
+    depth_m: float | None = None,
+    resolution_m: float = 0.5,
+    margin_m: float = 0.2,
+    node_factory=None,
+) -> CoverageMap:
+    """Grid of power-up feasibility (1.0 = cold start possible).
+
+    Uses the incoherent channel gain (the energy-budget convention) and
+    the node's harvesting chain at its own channel frequency.
+    """
+    if node_factory is None:
+        node_factory = lambda: PABNode(address=1)  # noqa: E731
+    node = node_factory()
+    f = node.channel_frequency_hz
+    sim = PowerUpSimulator(node.active_mode.harvester)
+    depth = depth_m if depth_m is not None else tank.depth / 2.0
+    xs, ys = _grid(tank, resolution_m, margin_m)
+    values = np.zeros((len(ys), len(xs)))
+    p_pos = Position(*projector_position_of(projector, tank))
+    for i, y in enumerate(ys):
+        for j, x in enumerate(xs):
+            target = Position(float(x), float(y), depth)
+            if target.distance_to(p_pos) < 1e-6:
+                values[i, j] = 1.0
+                continue
+            channel = AcousticChannel(
+                tank, p_pos, target, sample_rate=96_000.0, frequency_hz=f,
+            )
+            p_node = projector.source_pressure_pa * channel.incoherent_gain()
+            values[i, j] = 1.0 if sim.can_power_up(p_node, f) else 0.0
+    return CoverageMap(
+        x_coords=xs, y_coords=ys, values=values, depth_m=depth,
+        quantity="powerup",
+    )
+
+
+def snr_coverage(
+    tank: Tank,
+    projector: Projector,
+    hydrophone_position: Position,
+    *,
+    depth_m: float | None = None,
+    resolution_m: float = 0.5,
+    margin_m: float = 0.2,
+    node_factory=None,
+) -> CoverageMap:
+    """Grid of predicted uplink SNR [dB] from the link budget."""
+    if node_factory is None:
+        node_factory = lambda: PABNode(address=1)  # noqa: E731
+    depth = depth_m if depth_m is not None else tank.depth / 2.0
+    xs, ys = _grid(tank, resolution_m, margin_m)
+    values = np.full((len(ys), len(xs)), np.nan)
+    p_pos = Position(*projector_position_of(projector, tank))
+    for i, y in enumerate(ys):
+        for j, x in enumerate(xs):
+            target = Position(float(x), float(y), depth)
+            if (
+                target.distance_to(p_pos) < 1e-6
+                or target.distance_to(hydrophone_position) < 1e-6
+            ):
+                continue
+            node = node_factory()
+            link = BackscatterLink(
+                tank, projector, p_pos, node, target, hydrophone_position,
+            )
+            values[i, j] = link.budget().predicted_snr_db
+    return CoverageMap(
+        x_coords=xs, y_coords=ys, values=values, depth_m=depth,
+        quantity="snr_db",
+    )
+
+
+def projector_position_of(projector: Projector, tank: Tank) -> tuple:
+    """The projector's position: attribute if present, else a corner."""
+    position = getattr(projector, "position", None)
+    if position is not None:
+        return position.as_tuple()
+    return (0.3, tank.width / 2.0, tank.depth / 2.0)
+
+
+@dataclass
+class DeploymentPlan:
+    """Channel assignment + feasibility for a set of node placements.
+
+    Parameters
+    ----------
+    tank:
+        Deployment geometry.
+    projector:
+        The downlink source (position per
+        :func:`projector_position_of`).
+    channel_plan:
+        Available FDMA channels.
+    """
+
+    tank: Tank
+    projector: Projector
+    channel_plan: ChannelPlan
+
+    def plan(self, placements: dict) -> list[dict]:
+        """Assign channels to ``{address: Position}`` and check feasibility.
+
+        Channels are handed out in frequency order; each node's power-up
+        feasibility is evaluated at its assigned channel.  Returns one
+        report dict per node.
+        """
+        if len(placements) > len(self.channel_plan.frequencies_hz):
+            raise ValueError(
+                "more nodes than channels: "
+                f"{len(placements)} > {len(self.channel_plan.frequencies_hz)}"
+            )
+        p_pos = Position(*projector_position_of(self.projector, self.tank))
+        reports = []
+        for index, (address, position) in enumerate(sorted(placements.items())):
+            channel = self.channel_plan.assign(address, index)
+            node = PABNode(
+                address=address, channel_frequencies_hz=(channel.frequency_hz,)
+            )
+            sim = PowerUpSimulator(node.active_mode.harvester)
+            acoustic = AcousticChannel(
+                self.tank, p_pos, position,
+                sample_rate=96_000.0, frequency_hz=channel.frequency_hz,
+            )
+            p_node = (
+                self.projector.transducer.transmit_pressure(
+                    self.projector.drive_voltage_v, channel.frequency_hz
+                )
+                * acoustic.incoherent_gain()
+            )
+            reports.append(
+                {
+                    "address": address,
+                    "channel_hz": channel.frequency_hz,
+                    "incident_pa": float(p_node),
+                    "can_power_up": sim.can_power_up(
+                        float(p_node), channel.frequency_hz
+                    ),
+                }
+            )
+        return reports

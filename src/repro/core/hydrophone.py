@@ -1,0 +1,116 @@
+"""The hydrophone receiver.
+
+The paper records with an H2a hydrophone (-180 dB re 1V/uPa) into a PC
+sound card and decodes offline in MATLAB (Sec. 5.1b).  Here the
+:class:`Hydrophone` converts pressure waveforms to voltage and hosts one
+:class:`~repro.dsp.demod.BackscatterDemodulator` per active channel —
+"The decoder identifies the different transmitted frequencies on the
+downlink using FFT and peak detection" is mirrored by
+:meth:`detect_carriers`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import HYDROPHONE_SENSITIVITY_DB
+from repro.dsp.demod import BackscatterDemodulator, DemodResult
+from repro.dsp.packets import DEFAULT_FORMAT, PacketFormat
+
+
+class Hydrophone:
+    """Pressure-to-voltage conversion plus the receive DSP bench.
+
+    Parameters
+    ----------
+    sensitivity_db:
+        Receive sensitivity [dB re 1 V/uPa].
+    sample_rate:
+        Recording sample rate [Hz].
+    """
+
+    def __init__(
+        self,
+        sample_rate: float,
+        sensitivity_db: float = HYDROPHONE_SENSITIVITY_DB,
+    ) -> None:
+        if sample_rate <= 0:
+            raise ValueError("sample rate must be positive")
+        self.sample_rate = sample_rate
+        self.sensitivity_db = sensitivity_db
+
+    @property
+    def sensitivity_v_per_pa(self) -> float:
+        """Linear sensitivity [V/Pa]."""
+        return 10.0 ** (self.sensitivity_db / 20.0) * 1e6
+
+    def record(self, pressure_waveform) -> np.ndarray:
+        """Convert a pressure waveform [Pa] to the recorded voltage [V]."""
+        return np.asarray(pressure_waveform, dtype=float) * self.sensitivity_v_per_pa
+
+    def detect_carriers(
+        self,
+        recording,
+        *,
+        min_frequency_hz: float = 5_000.0,
+        max_frequency_hz: float = 30_000.0,
+        threshold_fraction: float = 0.1,
+    ) -> list[float]:
+        """FFT peak detection of active downlink carriers (Sec. 5.1b)."""
+        x = np.asarray(recording, dtype=float)
+        if x.ndim != 1 or len(x) < 64:
+            raise ValueError("recording too short for carrier detection")
+        spectrum = np.abs(np.fft.rfft(x * np.hanning(len(x))))
+        freqs = np.fft.rfftfreq(len(x), 1.0 / self.sample_rate)
+        band = (freqs >= min_frequency_hz) & (freqs <= max_frequency_hz)
+        # Peaks must be prominent against the whole recording, not merely
+        # the strongest leakage inside the search band.
+        global_max = float(spectrum.max())
+        spectrum = np.where(band, spectrum, 0.0)
+        if global_max <= 0 or spectrum.max() <= 0:
+            return []
+        floor = threshold_fraction * global_max
+        carriers: list[float] = []
+        remaining = spectrum.copy()
+        # Greedy peak picking with a 500 Hz exclusion zone per peak.
+        while remaining.max() > floor:
+            idx = int(np.argmax(remaining))
+            carriers.append(float(freqs[idx]))
+            exclusion = np.abs(freqs - freqs[idx]) < 500.0
+            remaining[exclusion] = 0.0
+        return sorted(carriers)
+
+    def demodulator(
+        self,
+        carrier_hz: float,
+        bitrate: float,
+        *,
+        packet_format: PacketFormat = DEFAULT_FORMAT,
+        detection_threshold: float = 0.5,
+    ) -> BackscatterDemodulator:
+        """A demodulator bound to this hydrophone's sample rate."""
+        return BackscatterDemodulator(
+            carrier_hz,
+            bitrate,
+            self.sample_rate,
+            packet_format=packet_format,
+            detection_threshold=detection_threshold,
+        )
+
+    def demodulate(
+        self,
+        recording,
+        carrier_hz: float,
+        bitrate: float,
+        *,
+        packet_format: PacketFormat = DEFAULT_FORMAT,
+        detection_threshold: float = 0.5,
+    ) -> DemodResult:
+        """One-call decode of a recording on one channel."""
+        dem = self.demodulator(
+            carrier_hz,
+            bitrate,
+            packet_format=packet_format,
+            detection_threshold=detection_threshold,
+        )
+        return dem.demodulate(recording)

@@ -1,0 +1,10 @@
+"""Re-export of :mod:`repro.rectopiezo` under the core namespace.
+
+The implementation lives at the package top level so that
+:mod:`repro.node.node` can use it without importing the rest of
+:mod:`repro.core` (which itself depends on the node).
+"""
+
+from repro.rectopiezo import RectoPiezoBank, RectoPiezoMode
+
+__all__ = ["RectoPiezoBank", "RectoPiezoMode"]

@@ -1,0 +1,112 @@
+"""Modem substrate: line codes, filters, framing, sync, demodulation.
+
+Implements the complete PHY-layer signal chain of the paper:
+
+* downlink — PWM line code decoded by envelope detection (Sec. 4.2.1),
+* uplink — FM0 backscatter modulation with maximum-likelihood decoding,
+  packet detection, CFO correction, and CRC verification (Sec. 5.1b),
+* collision decoding — 2x2 frequency-diversity channel estimation and
+  zero-forcing projection (Sec. 3.3.2).
+"""
+
+from repro.dsp.crc import crc8, crc16_ccitt, append_crc16, check_crc16
+from repro.dsp.fm0 import (
+    fm0_encode,
+    fm0_decode_chips,
+    fm0_expected_chips,
+    fm0_ml_decode,
+    CHIPS_PER_BIT,
+)
+from repro.dsp.pwm import PWMCode, pwm_encode, pwm_decode_edges
+from repro.dsp.waveforms import (
+    tone,
+    upconvert_chips,
+    downconvert,
+    amplitude_modulated_carrier,
+)
+from repro.dsp.filters import (
+    butter_lowpass,
+    butter_bandpass,
+    envelope_detect,
+    decimate_to_rate,
+)
+from repro.dsp.packets import PacketFormat, Packet, DEFAULT_FORMAT
+from repro.dsp.sync import (
+    detect_packet,
+    estimate_cfo,
+    correct_cfo,
+    preamble_correlation,
+)
+from repro.dsp.manchester import (
+    manchester_encode,
+    manchester_decode_chips,
+    manchester_expected_chips,
+)
+from repro.dsp.coding import (
+    hamming74_encode,
+    hamming74_decode,
+    interleave,
+    deinterleave,
+    protect,
+    recover,
+)
+from repro.dsp.demod import BackscatterDemodulator, DemodResult
+from repro.dsp.mimo import (
+    estimate_channel_matrix,
+    zero_forcing_decode,
+    CollisionDecodeResult,
+)
+from repro.dsp.metrics import (
+    snr_db,
+    sinr_db,
+    bit_error_rate,
+    ebn0_from_snr_db,
+)
+
+__all__ = [
+    "crc8",
+    "crc16_ccitt",
+    "append_crc16",
+    "check_crc16",
+    "fm0_encode",
+    "fm0_decode_chips",
+    "fm0_expected_chips",
+    "fm0_ml_decode",
+    "CHIPS_PER_BIT",
+    "PWMCode",
+    "pwm_encode",
+    "pwm_decode_edges",
+    "tone",
+    "upconvert_chips",
+    "downconvert",
+    "amplitude_modulated_carrier",
+    "butter_lowpass",
+    "butter_bandpass",
+    "envelope_detect",
+    "decimate_to_rate",
+    "PacketFormat",
+    "Packet",
+    "DEFAULT_FORMAT",
+    "detect_packet",
+    "estimate_cfo",
+    "correct_cfo",
+    "preamble_correlation",
+    "manchester_encode",
+    "manchester_decode_chips",
+    "manchester_expected_chips",
+    "hamming74_encode",
+    "hamming74_decode",
+    "interleave",
+    "deinterleave",
+    "protect",
+    "recover",
+    "BackscatterDemodulator",
+    "DemodResult",
+    "estimate_channel_matrix",
+    "zero_forcing_decode",
+    "CollisionDecodeResult",
+    "snr_db",
+    "sinr_db",
+    "bit_error_rate",
+    "ebn0_from_snr_db",
+]

@@ -1,0 +1,157 @@
+"""Forward error correction: Hamming(7,4) and interleaving.
+
+The paper's receiver relies on ARQ — "use the CRC to perform a checksum
+... and request retransmissions of corrupted packets" (Sec. 5.1b).  Each
+retransmission costs a full downlink query plus uplink airtime, which is
+expensive at backscatter rates, so FEC is the natural next step: spend a
+fixed 7/4 rate overhead to repair isolated bit errors and avoid the
+round trip.
+
+This module provides a bit-level Hamming(7,4) codec (single-error
+correction per block) and a block interleaver (spreads burst errors from
+channel fades across many code blocks), plus payload-level helpers that
+compose both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Generator matrix (4 data bits -> 7 code bits), systematic form.
+_G = np.array(
+    [
+        [1, 0, 0, 0, 1, 1, 0],
+        [0, 1, 0, 0, 1, 0, 1],
+        [0, 0, 1, 0, 0, 1, 1],
+        [0, 0, 0, 1, 1, 1, 1],
+    ],
+    dtype=np.int8,
+)
+
+#: Parity-check matrix (3 x 7).
+_H = np.array(
+    [
+        [1, 1, 0, 1, 1, 0, 0],
+        [1, 0, 1, 1, 0, 1, 0],
+        [0, 1, 1, 1, 0, 0, 1],
+    ],
+    dtype=np.int8,
+)
+
+#: Map from syndrome value (as integer) to the erroneous bit position.
+_SYNDROME_TO_BIT = {}
+for _bit in range(7):
+    _e = np.zeros(7, dtype=np.int8)
+    _e[_bit] = 1
+    _s = (_H @ _e) % 2
+    _SYNDROME_TO_BIT[int(_s[0]) * 4 + int(_s[1]) * 2 + int(_s[2])] = _bit
+
+
+def _as_bits(bits) -> np.ndarray:
+    arr = np.asarray(bits)
+    if arr.ndim != 1:
+        raise ValueError("bits must be one-dimensional")
+    if arr.size and not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("bits must be 0 or 1")
+    return arr.astype(np.int8)
+
+
+def hamming74_encode(bits) -> np.ndarray:
+    """Encode a bit sequence with Hamming(7,4).
+
+    The input is zero-padded to a multiple of 4; callers that need exact
+    framing should carry the original length out of band (the packet
+    length field already does).
+    """
+    data = _as_bits(bits)
+    if len(data) % 4:
+        data = np.concatenate([data, np.zeros(4 - len(data) % 4, dtype=np.int8)])
+    blocks = data.reshape(-1, 4)
+    coded = (blocks @ _G) % 2
+    return coded.reshape(-1).astype(np.int8)
+
+
+def hamming74_decode(bits) -> tuple[np.ndarray, int]:
+    """Decode a Hamming(7,4) stream; corrects one error per 7-bit block.
+
+    Returns ``(data_bits, corrected_count)``.
+    """
+    coded = _as_bits(bits)
+    if len(coded) % 7:
+        raise ValueError("coded length must be a multiple of 7")
+    blocks = coded.reshape(-1, 7).copy()
+    corrected = 0
+    syndromes = (blocks @ _H.T) % 2
+    for i, syndrome in enumerate(syndromes):
+        value = int(syndrome[0]) * 4 + int(syndrome[1]) * 2 + int(syndrome[2])
+        if value:
+            blocks[i, _SYNDROME_TO_BIT[value]] ^= 1
+            corrected += 1
+    return blocks[:, :4].reshape(-1).astype(np.int8), corrected
+
+
+def interleave(bits, depth: int) -> np.ndarray:
+    """Block interleaver: write row-wise, read column-wise.
+
+    Spreads a burst of up to ``depth`` adjacent channel errors across
+    ``depth`` different code blocks.  The input is zero-padded to a
+    multiple of ``depth``.
+    """
+    data = _as_bits(bits)
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    if depth == 1:
+        return data.copy()
+    pad = (-len(data)) % depth
+    padded = np.concatenate([data, np.zeros(pad, dtype=np.int8)])
+    return padded.reshape(-1, depth).T.reshape(-1).astype(np.int8)
+
+
+def deinterleave(bits, depth: int, original_length: int) -> np.ndarray:
+    """Inverse of :func:`interleave` (needs the pre-padding length)."""
+    data = _as_bits(bits)
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    if original_length < 0 or original_length > len(data):
+        raise ValueError("original length out of range")
+    if depth == 1:
+        return data[:original_length].copy()
+    if len(data) % depth:
+        raise ValueError("interleaved length must be a multiple of depth")
+    rows = len(data) // depth
+    restored = data.reshape(depth, rows).T.reshape(-1)
+    return restored[:original_length].astype(np.int8)
+
+
+def protect(bits, *, depth: int = 8) -> np.ndarray:
+    """Payload-level pipeline: Hamming encode then interleave."""
+    coded = hamming74_encode(bits)
+    return interleave(coded, depth)
+
+
+def recover(bits, *, depth: int = 8, data_bits: int | None = None) -> tuple[np.ndarray, int]:
+    """Inverse of :func:`protect`: deinterleave, decode, trim.
+
+    ``data_bits`` trims the zero padding the encoder added; when omitted
+    the padded length is returned.
+    """
+    received = _as_bits(bits)
+    coded_len = len(received) - ((-len(received)) % 1)
+    deinterleaved = deinterleave(received, depth, coded_len)
+    # Trim to a multiple of 7 (interleaver padding).
+    usable = len(deinterleaved) - (len(deinterleaved) % 7)
+    decoded, corrected = hamming74_decode(deinterleaved[:usable])
+    if data_bits is not None:
+        if data_bits > len(decoded):
+            raise ValueError("data_bits exceeds decoded length")
+        decoded = decoded[:data_bits]
+    return decoded, corrected
+
+
+def coded_length(data_bits: int, *, depth: int = 8) -> int:
+    """Channel bits occupied by ``data_bits`` after protect()."""
+    if data_bits < 0:
+        raise ValueError("data_bits must be non-negative")
+    padded = data_bits + ((-data_bits) % 4)
+    coded = padded // 4 * 7
+    return coded + ((-coded) % depth)

@@ -1,0 +1,74 @@
+"""Manchester line coding — the paper's stated alternative to FM0.
+
+Sec. 3.2: "backscatter communication can be made more robust by adopting
+modulation schemes like FM0 or Manchester encoding, where the reflection
+state switches at every bit."  Manchester (IEEE 802.3 convention) encodes
+
+* ``0`` as a high-to-low mid-bit transition (chips 1, 0),
+* ``1`` as a low-to-high mid-bit transition (chips 0, 1),
+
+so every bit contains exactly one mid-bit transition and is DC-free.
+Unlike FM0 it carries no memory between bits, which makes the decoder
+simpler (per-bit matched filtering is already optimal) at the cost of the
+sequence-decoding gain FM0's Viterbi enjoys.
+
+Provided so the library can swap uplink codes for comparison; the PAB
+stack defaults to FM0 as the paper does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Manchester also spends two chips per bit.
+CHIPS_PER_BIT = 2
+
+
+def _as_bit_array(bits) -> np.ndarray:
+    arr = np.asarray(bits)
+    if arr.ndim != 1:
+        raise ValueError("bits must be one-dimensional")
+    if arr.size and not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("bits must be 0 or 1")
+    return arr.astype(np.int8)
+
+
+def manchester_encode(bits) -> np.ndarray:
+    """Encode data bits into a Manchester chip sequence (values 0/1)."""
+    data = _as_bit_array(bits)
+    chips = np.empty(2 * len(data), dtype=np.int8)
+    chips[0::2] = 1 - data  # first half: inverted bit
+    chips[1::2] = data      # second half: the bit
+    return chips
+
+
+def manchester_decode_chips(chip_amplitudes) -> np.ndarray:
+    """Matched-filter decoding of (possibly noisy) Manchester chips.
+
+    The per-bit statistic is ``second_half - first_half``: positive means
+    ``1``.  This is the optimal decision for Manchester in white noise
+    (each bit is independent).
+    """
+    x = np.asarray(chip_amplitudes, dtype=float)
+    if x.ndim != 1:
+        raise ValueError("chips must be one-dimensional")
+    if len(x) % CHIPS_PER_BIT:
+        raise ValueError("chip count must be even")
+    statistic = x[1::2] - x[0::2]
+    return (statistic > 0).astype(np.int8)
+
+
+def manchester_expected_chips(bits) -> np.ndarray:
+    """Bipolar (+1/-1) chip template for correlation."""
+    return manchester_encode(bits).astype(float) * 2.0 - 1.0
+
+
+def has_midbit_transition(chips) -> bool:
+    """Invariant check: every bit cell of a clean chip stream transitions.
+
+    Useful as a line-code self-test and for clock-recovery sanity checks.
+    """
+    x = np.asarray(chips)
+    if len(x) % CHIPS_PER_BIT:
+        return False
+    return bool(np.all(x[0::2] != x[1::2]))

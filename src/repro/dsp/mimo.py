@@ -1,0 +1,194 @@
+"""MIMO-style collision decoding over frequency diversity (Sec. 3.3.2).
+
+Backscatter is frequency-agnostic: a powered-up node modulates *every*
+carrier impinging on it, so two concurrent recto-piezo nodes collide on
+both channels.  But the receiver then holds two equations in two
+unknowns,
+
+    y(f1) = h11 x1 + h12 x2
+    y(f2) = h21 x1 + h22 x2,
+
+and because each node's coupling is frequency-selective the channel
+matrix is well conditioned.  Estimating H from known training chips and
+inverting (zero-forcing, i.e. projecting each stream on the orthogonal
+complement of the interferer's channel vector) separates the collisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def estimate_channel_matrix(
+    received_streams,
+    training_chips,
+) -> np.ndarray:
+    """Least-squares estimate of the K x K channel matrix.
+
+    Parameters
+    ----------
+    received_streams:
+        Array (K, L): chip-rate observations of each channel over the
+        training region.
+    training_chips:
+        Array (K, L): the known bipolar training chips each node sent
+        over the same region (near-orthogonal preambles).
+
+    Returns
+    -------
+    H such that ``received ~= H @ training``.
+    """
+    y = np.asarray(received_streams)
+    x = np.asarray(training_chips)
+    if y.ndim != 2 or x.ndim != 2:
+        raise ValueError("streams and training must be 2-D (K, L)")
+    if y.shape[0] != x.shape[0]:
+        raise ValueError("stream count must match training count")
+    length = min(y.shape[1], x.shape[1])
+    if length < x.shape[0]:
+        raise ValueError("training too short to identify the channel")
+    y = y[:, :length]
+    x = x[:, :length]
+    gram = x @ np.conjugate(x.T)
+    if np.linalg.cond(gram) > 1e8:
+        raise ValueError("training sequences are not sufficiently orthogonal")
+    return y @ np.conjugate(x.T) @ np.linalg.inv(gram)
+
+
+@dataclass
+class CollisionDecodeResult:
+    """Output of zero-forcing collision decoding.
+
+    Attributes
+    ----------
+    separated:
+        Array (K, N): the per-node chip streams after projection.
+    channel_matrix:
+        The H used.
+    condition_number:
+        cond(H) — large values mean the channels were too similar to
+        separate (the paper's recto-piezo design keeps this small).
+    """
+
+    separated: np.ndarray
+    channel_matrix: np.ndarray
+    condition_number: float
+
+
+def zero_forcing_decode(
+    received_streams,
+    channel_matrix,
+    *,
+    max_condition: float = 1e6,
+) -> CollisionDecodeResult:
+    """Invert the channel matrix to separate colliding chip streams.
+
+    Raises ``ValueError`` when H is too ill-conditioned to invert
+    meaningfully.
+    """
+    y = np.asarray(received_streams)
+    h = np.asarray(channel_matrix)
+    if y.ndim != 2:
+        raise ValueError("received streams must be 2-D (K, N)")
+    if h.shape != (y.shape[0], y.shape[0]):
+        raise ValueError("channel matrix shape must match stream count")
+    cond = float(np.linalg.cond(h))
+    if cond > max_condition:
+        raise ValueError(f"channel matrix is ill-conditioned (cond={cond:.2e})")
+    separated = np.linalg.solve(h, y)
+    return CollisionDecodeResult(
+        separated=separated, channel_matrix=h, condition_number=cond
+    )
+
+
+def mimo_equalize(
+    received_streams,
+    training_chips,
+    *,
+    taps: int = 7,
+    ridge: float = 1e-2,
+) -> np.ndarray:
+    """Joint MIMO linear equaliser: collision separation under ISI.
+
+    The instantaneous model ``y = H x`` of :func:`zero_forcing_decode`
+    breaks down in reverberant tanks where each chip smears into its
+    neighbours.  The general linear receiver is a K-input K-output FIR:
+
+        x_hat_k[n] = sum_j sum_tau W_kj[tau] * y_j[n - tau]
+
+    whose weights are fitted by ridge-regularised least squares on the
+    known training chips (the nodes' near-orthogonal preambles).  This
+    both inverts the mixing matrix *and* equalises inter-chip
+    interference; it reduces to zero-forcing when the channel is
+    memoryless and H is invertible.
+
+    Parameters
+    ----------
+    received_streams:
+        Array (K, N), real or complex chip streams (one per channel).
+    training_chips:
+        Array (K, L): known bipolar training chips per node, aligned with
+        the start of the streams.
+    taps:
+        FIR length per (input, output) pair; must be odd.
+    ridge:
+        Regularisation strength relative to the input power.
+
+    Returns
+    -------
+    Array (K, N): the separated chip streams.
+    """
+    y = np.atleast_2d(np.asarray(received_streams))
+    t = np.atleast_2d(np.asarray(training_chips))
+    if y.shape[0] != t.shape[0]:
+        raise ValueError("stream count must match training count")
+    if taps < 1 or taps % 2 == 0:
+        raise ValueError("taps must be odd and positive")
+    k_streams, n = y.shape
+    train_len = min(t.shape[1], n)
+    half = taps // 2
+    padded = np.concatenate(
+        [np.zeros((k_streams, half), dtype=y.dtype), y,
+         np.zeros((k_streams, half), dtype=y.dtype)],
+        axis=1,
+    )
+    # Regression rows: all streams' lagged windows, flattened.
+    def row(index: int) -> np.ndarray:
+        return padded[:, index : index + taps].ravel()
+
+    rows_train = np.stack([row(i) for i in range(train_len)])
+    scale = float(np.mean(np.abs(rows_train) ** 2)) + 1e-30
+    gram = (
+        np.conjugate(rows_train.T) @ rows_train
+        + ridge * scale * train_len * np.eye(rows_train.shape[1])
+    )
+    rows_all = np.stack([row(i) for i in range(n)])
+    separated = np.empty((k_streams, n), dtype=complex)
+    for k in range(k_streams):
+        weights = np.linalg.solve(
+            gram, np.conjugate(rows_train.T) @ t[k, :train_len]
+        )
+        separated[k] = rows_all @ weights
+    if not np.iscomplexobj(y) :
+        return np.real(separated)
+    return separated
+
+
+def sinr_gain_db(
+    mixed_stream,
+    separated_stream,
+    reference_chips,
+) -> float:
+    """SINR improvement [dB] of a separated stream over the raw mixture.
+
+    Both streams are compared against the same known reference chips
+    (the node's actual transmission) using the least-squares channel /
+    residual decomposition.
+    """
+    from repro.dsp.metrics import sinr_db  # local import avoids a cycle
+
+    before = sinr_db(mixed_stream, reference_chips)
+    after = sinr_db(separated_stream, reference_chips)
+    return after - before

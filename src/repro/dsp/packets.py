@@ -1,0 +1,180 @@
+"""Packet framing for uplink and downlink.
+
+Both directions use the same generic frame (Sec. 3.3.2: "the uplink
+backscatter packet consists of a preamble, a header, and a payload"):
+
+    [ preamble | address (8) | length (8) | payload bytes | CRC-16 ]
+
+The preamble is a fixed bit pattern with good autocorrelation (a Barker
+sequence by default; the paper's downlink uses a 9-bit preamble, which is
+provided as :data:`DOWNLINK_PREAMBLE`).  Length is the number of payload
+bytes.  The CRC-16 covers address, length, and payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsp.crc import crc16_ccitt
+
+#: Barker-13 — the default uplink preamble (excellent autocorrelation).
+BARKER_13 = (1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1)
+
+#: The paper's 9-bit downlink preamble (Sec. 5.1a).
+DOWNLINK_PREAMBLE = (1, 1, 1, 0, 1, 0, 0, 1, 0)
+
+#: Uplink preambles for concurrent nodes.  Entry 0 is Barker-13; the
+#: others were searched for minimal FM0-chip cross-correlation against it
+#: (orthogonal training lets the collision decoder estimate each node's
+#: channel column, the RFID analogue of distinct RN16s).
+PREAMBLE_BANK = (
+    BARKER_13,
+    (1, 1, 1, 0, 1, 1, 1, 0, 0, 0, 1, 1, 0),
+)
+
+#: Longer (40-bit) preamble pair for concurrent collision decoding: the
+#: MIMO equaliser needs enough training chips to fit its taps, and these
+#: two sequences have exactly orthogonal FM0 chip expansions with low
+#: lagged cross-correlation.
+CONCURRENT_PREAMBLES = (
+    (1, 0, 1, 0, 1, 0, 1, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0,
+     1, 1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1, 0, 1, 1),
+    (1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 1, 1, 1, 1, 0, 1, 1, 1, 0, 0,
+     0, 1, 0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1),
+    (0, 1, 0, 0, 1, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1, 0, 1, 1, 1,
+     1, 1, 1, 1, 1, 0, 1, 0, 0, 1, 1, 0, 1, 1, 0, 0, 1, 0, 0, 0),
+)
+
+#: Broadcast address: all nodes accept.
+BROADCAST_ADDRESS = 0xFF
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """MSB-first bit expansion of a byte string."""
+    if len(data) == 0:
+        return np.zeros(0, dtype=np.int8)
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr).astype(np.int8)
+
+
+def bits_to_bytes(bits) -> bytes:
+    """Inverse of :func:`bytes_to_bits`; length must be a multiple of 8."""
+    arr = np.asarray(bits)
+    if arr.ndim != 1:
+        raise ValueError("bits must be one-dimensional")
+    if len(arr) % 8:
+        raise ValueError("bit count must be a multiple of 8")
+    if arr.size and not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("bits must be 0 or 1")
+    return np.packbits(arr.astype(np.uint8)).tobytes()
+
+
+class FramingError(ValueError):
+    """Raised when a bit stream cannot be parsed into a valid packet."""
+
+
+@dataclass(frozen=True)
+class PacketFormat:
+    """Frame layout parameters.
+
+    Attributes
+    ----------
+    preamble:
+        The known preamble bit pattern.
+    address_bits, length_bits:
+        Header field widths (8/8 by default).
+    max_payload_bytes:
+        Upper bound implied by the length field.
+    """
+
+    preamble: tuple = BARKER_13
+    address_bits: int = 8
+    length_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if len(self.preamble) < 4:
+            raise ValueError("preamble too short to synchronise on")
+        if any(b not in (0, 1) for b in self.preamble):
+            raise ValueError("preamble must be binary")
+        if self.address_bits != 8 or self.length_bits != 8:
+            raise ValueError("this implementation uses byte-aligned headers")
+
+    @property
+    def max_payload_bytes(self) -> int:
+        return (1 << self.length_bits) - 1
+
+    @property
+    def preamble_bits(self) -> np.ndarray:
+        return np.asarray(self.preamble, dtype=np.int8)
+
+    def overhead_bits(self) -> int:
+        """Bits added around the payload (preamble + header + CRC)."""
+        return len(self.preamble) + self.address_bits + self.length_bits + 16
+
+    def frame_bits(self, packet: "Packet") -> int:
+        """Total frame length in bits."""
+        return self.overhead_bits() + 8 * len(packet.payload)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An application packet.
+
+    Attributes
+    ----------
+    address:
+        Destination (downlink) or source (uplink) node address, 0-255.
+    payload:
+        Raw payload bytes.
+    """
+
+    address: int
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= 0xFF:
+            raise ValueError("address must fit in one byte")
+        object.__setattr__(self, "payload", bytes(self.payload))
+
+    def to_bits(self, fmt: "PacketFormat" = None) -> np.ndarray:
+        """Serialise to the frame bit sequence (preamble included)."""
+        fmt = fmt if fmt is not None else DEFAULT_FORMAT
+        if len(self.payload) > fmt.max_payload_bytes:
+            raise ValueError("payload too long for the length field")
+        body = bytes([self.address, len(self.payload)]) + self.payload
+        crc = crc16_ccitt(body)
+        frame = body + bytes([(crc >> 8) & 0xFF, crc & 0xFF])
+        return np.concatenate([fmt.preamble_bits, bytes_to_bits(frame)])
+
+    @classmethod
+    def from_bits(cls, bits, fmt: "PacketFormat" = None) -> "Packet":
+        """Parse a frame whose first bit is the first preamble bit.
+
+        Raises :class:`FramingError` on any inconsistency (bad preamble,
+        truncated frame, CRC failure).
+        """
+        fmt = fmt if fmt is not None else DEFAULT_FORMAT
+        arr = np.asarray(bits).astype(np.int8)
+        n_pre = len(fmt.preamble)
+        if len(arr) < fmt.overhead_bits():
+            raise FramingError("frame shorter than minimum")
+        if not np.array_equal(arr[:n_pre], fmt.preamble_bits):
+            raise FramingError("preamble mismatch")
+        header = bits_to_bytes(arr[n_pre : n_pre + 16])
+        address, length = header[0], header[1]
+        total = fmt.overhead_bits() + 8 * length
+        if len(arr) < total:
+            raise FramingError("frame truncated")
+        body_bits = arr[n_pre : n_pre + 16 + 8 * length + 16]
+        frame = bits_to_bytes(body_bits)
+        body, crc_bytes = frame[:-2], frame[-2:]
+        expected = (crc_bytes[0] << 8) | crc_bytes[1]
+        if crc16_ccitt(body) != expected:
+            raise FramingError("CRC mismatch")
+        return cls(address=address, payload=body[2:])
+
+
+#: The library-wide default frame layout.
+DEFAULT_FORMAT = PacketFormat()

@@ -1,0 +1,106 @@
+"""Spectral analysis utilities: PSD, spectrogram, occupied bandwidth.
+
+Offline analysis tooling for the waveform engine — the Python equivalent
+of the Audacity + MATLAB inspection loop the paper's authors used on
+their recordings (Sec. 5.1b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal
+
+
+def welch_psd(
+    waveform,
+    sample_rate: float,
+    *,
+    segment_s: float = 0.05,
+):
+    """Welch power spectral density estimate.
+
+    Returns ``(frequencies_hz, psd)`` with the PSD in input-units^2/Hz.
+    """
+    x = np.asarray(waveform, dtype=float)
+    if x.ndim != 1:
+        raise ValueError("waveform must be one-dimensional")
+    if sample_rate <= 0 or segment_s <= 0:
+        raise ValueError("sample rate and segment must be positive")
+    nperseg = min(max(int(segment_s * sample_rate), 16), len(x))
+    freqs, psd = signal.welch(x, fs=sample_rate, nperseg=nperseg)
+    return freqs, psd
+
+
+def spectrogram(
+    waveform,
+    sample_rate: float,
+    *,
+    segment_s: float = 0.02,
+    overlap: float = 0.5,
+):
+    """Short-time spectrogram; returns ``(freqs, times, power)``."""
+    x = np.asarray(waveform, dtype=float)
+    if x.ndim != 1:
+        raise ValueError("waveform must be one-dimensional")
+    if not 0.0 <= overlap < 1.0:
+        raise ValueError("overlap must be in [0, 1)")
+    nperseg = min(max(int(segment_s * sample_rate), 16), len(x))
+    noverlap = int(nperseg * overlap)
+    freqs, times, power = signal.spectrogram(
+        x, fs=sample_rate, nperseg=nperseg, noverlap=noverlap
+    )
+    return freqs, times, power
+
+
+def occupied_bandwidth(
+    waveform,
+    sample_rate: float,
+    *,
+    fraction: float = 0.99,
+) -> float:
+    """Bandwidth containing ``fraction`` of the signal power [Hz].
+
+    The standard occupied-bandwidth measure: integrate the PSD outward
+    from the strongest bin until the requested power fraction is
+    enclosed.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    freqs, psd = welch_psd(waveform, sample_rate)
+    total = float(np.sum(psd))
+    if total <= 0:
+        return 0.0
+    centre = int(np.argmax(psd))
+    lo = hi = centre
+    acc = float(psd[centre])
+    while acc < fraction * total and (lo > 0 or hi < len(psd) - 1):
+        left = psd[lo - 1] if lo > 0 else -1.0
+        right = psd[hi + 1] if hi < len(psd) - 1 else -1.0
+        if right >= left:
+            hi += 1
+            acc += float(psd[hi])
+        else:
+            lo -= 1
+            acc += float(psd[lo])
+    return float(freqs[hi] - freqs[lo])
+
+
+def peak_frequency(waveform, sample_rate: float) -> float:
+    """Frequency of the strongest PSD bin [Hz]."""
+    freqs, psd = welch_psd(waveform, sample_rate)
+    return float(freqs[int(np.argmax(psd))])
+
+
+def band_power_db(
+    waveform,
+    sample_rate: float,
+    f_low_hz: float,
+    f_high_hz: float,
+) -> float:
+    """Power within a band [dB re input-units^2]."""
+    if not 0 <= f_low_hz < f_high_hz:
+        raise ValueError("need 0 <= f_low < f_high")
+    freqs, psd = welch_psd(waveform, sample_rate)
+    mask = (freqs >= f_low_hz) & (freqs <= f_high_hz)
+    power = float(np.trapezoid(psd[mask], freqs[mask])) if np.any(mask) else 0.0
+    return 10.0 * np.log10(max(power, 1e-30))

@@ -1,0 +1,46 @@
+"""Networking layer: messages, addressing, FDMA channel plan, MAC.
+
+The projector acts like an RFID reader (Sec. 3.3.2): it transmits
+downlink queries naming a node and a command; powered-up nodes respond by
+backscattering an uplink packet.  Concurrent access uses the recto-piezo
+FDMA plan plus collision decoding at the hydrophone.
+"""
+
+from repro.net.addresses import NodeAddress, BROADCAST
+from repro.net.messages import Command, Query, Response, SensorReading
+from repro.net.fdma import ChannelPlan, Channel
+from repro.net.mac import PollingMac, MacStats
+from repro.net.inventory import InventoryReader, InventoryStats
+from repro.net.reader import ReaderController, NodeRecord
+from repro.net.rate_adaptation import RateAdapter, best_static_rate
+from repro.net.tdma import (
+    SlotTiming,
+    TdmaScheduler,
+    ThroughputComparison,
+    compare_throughput,
+    slot_timing,
+)
+
+__all__ = [
+    "NodeAddress",
+    "BROADCAST",
+    "Command",
+    "Query",
+    "Response",
+    "SensorReading",
+    "ChannelPlan",
+    "Channel",
+    "PollingMac",
+    "MacStats",
+    "InventoryReader",
+    "InventoryStats",
+    "ReaderController",
+    "NodeRecord",
+    "RateAdapter",
+    "best_static_rate",
+    "SlotTiming",
+    "TdmaScheduler",
+    "ThroughputComparison",
+    "compare_throughput",
+    "slot_timing",
+]

@@ -1,0 +1,33 @@
+"""Node addressing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Address every node accepts queries on.
+BROADCAST = 0xFF
+
+
+@dataclass(frozen=True, order=True)
+class NodeAddress:
+    """A one-byte node address (0x00-0xFE; 0xFF is broadcast)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFF:
+            raise ValueError("address must fit in one byte")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == BROADCAST
+
+    def accepts(self, destination: int) -> bool:
+        """Whether a query addressed to ``destination`` targets this node."""
+        return destination == BROADCAST or destination == self.value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        return f"node-0x{self.value:02x}"

@@ -1,0 +1,111 @@
+"""Recto-piezo FDMA channel plan (Sec. 3.3).
+
+Multiple PAB nodes share the water by occupying different electrical
+resonance channels: each node's matching network is designed for its own
+downlink frequency, and the projector transmits a multi-tone downlink
+that powers all of them simultaneously.  The channel plan assigns
+(frequency, node) pairs and checks spacing against the transducer's
+usable bandwidth so adjacent channels do not swallow each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import DEFAULT_CARRIER_HZ, SECOND_CARRIER_HZ
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One FDMA channel.
+
+    Attributes
+    ----------
+    index:
+        Channel number in the plan.
+    frequency_hz:
+        Carrier / recto-piezo design frequency.
+    """
+
+    index: int
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.index < 0:
+            raise ValueError("index must be non-negative")
+
+
+@dataclass
+class ChannelPlan:
+    """A set of FDMA channels and node assignments.
+
+    Parameters
+    ----------
+    frequencies_hz:
+        Channel carrier frequencies.  The paper's two-node experiments
+        use 15 and 18 kHz.
+    min_spacing_hz:
+        Required separation between adjacent channels — at least the
+        recto-piezo's usable bandwidth (~1.5-3 kHz in Fig. 3).
+    """
+
+    frequencies_hz: tuple = (DEFAULT_CARRIER_HZ, SECOND_CARRIER_HZ)
+    min_spacing_hz: float = 1_500.0
+    _assignments: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        freqs = sorted(self.frequencies_hz)
+        if not freqs:
+            raise ValueError("need at least one channel")
+        if any(f <= 0 for f in freqs):
+            raise ValueError("frequencies must be positive")
+        for a, b in zip(freqs, freqs[1:]):
+            if b - a < self.min_spacing_hz:
+                raise ValueError(
+                    f"channels {a} and {b} closer than {self.min_spacing_hz} Hz"
+                )
+        self.frequencies_hz = tuple(freqs)
+
+    @property
+    def channels(self) -> list[Channel]:
+        """All channels, ordered by frequency."""
+        return [
+            Channel(index=i, frequency_hz=f)
+            for i, f in enumerate(self.frequencies_hz)
+        ]
+
+    def assign(self, node_address: int, channel_index: int) -> Channel:
+        """Give a node a channel; one node per channel."""
+        if not 0 <= channel_index < len(self.frequencies_hz):
+            raise ValueError("channel index out of range")
+        for addr, idx in self._assignments.items():
+            if idx == channel_index and addr != node_address:
+                raise ValueError(
+                    f"channel {channel_index} already held by node 0x{addr:02x}"
+                )
+        self._assignments[node_address] = channel_index
+        return self.channels[channel_index]
+
+    def channel_of(self, node_address: int) -> Channel:
+        """The channel assigned to a node."""
+        if node_address not in self._assignments:
+            raise KeyError(f"node 0x{node_address:02x} has no channel")
+        return self.channels[self._assignments[node_address]]
+
+    def concurrent_groups(self) -> list[list[int]]:
+        """Groups of nodes that may transmit simultaneously.
+
+        With one node per channel, all assigned nodes form one concurrent
+        group — that is the point of the recto-piezo design.
+        """
+        if not self._assignments:
+            return []
+        return [sorted(self._assignments)]
+
+    @property
+    def aggregate_capacity_factor(self) -> int:
+        """Throughput multiplier over a single channel (number of channels
+        in concurrent use)."""
+        return len(set(self._assignments.values())) or 1

@@ -1,0 +1,176 @@
+"""Reader-side inventory: discovering an unknown node population.
+
+Sec. 3.3.2: PAB's protocol "is similar to that adopted by RFIDs.
+Specifically, the projector is similar to an RFID reader and transmits a
+query on the downlink."  RFID readers do more than poll known tags —
+they *inventory* an unknown population with framed slotted ALOHA
+(EPC Gen2's Q algorithm).  This module implements that discovery layer
+for PAB:
+
+1. the reader broadcasts an INVENTORY query carrying a frame size,
+2. every powered-up, un-acknowledged node picks a random slot (hashed
+   from its address and the round nonce, so the choice is reproducible
+   and battery-free nodes need no RNG hardware),
+3. singleton slots yield a decodable reply and the node is acknowledged;
+   collision slots fail (unless the receiver's collision decoder can
+   separate up to K overlapping replies — the PAB twist),
+4. the reader adapts the frame size to the observed collision rate
+   (halving/doubling, like Gen2's Q adjustment) and repeats until a
+   round produces no replies.
+
+The medium here is abstract (slot outcomes, not waveforms): the physics
+of a single reply and of a 2-node collision are validated end to end by
+the waveform engine; the inventory layer only needs the outcome model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+def slot_choice(address: int, nonce: int, frame_size: int) -> int:
+    """The deterministic slot a node picks in a round.
+
+    A keyed hash of (address, nonce) — reproducible across reader and
+    simulation, uniform across nodes, and new every round.
+    """
+    if frame_size < 1:
+        raise ValueError("frame size must be positive")
+    digest = hashlib.blake2s(
+        address.to_bytes(2, "big") + nonce.to_bytes(4, "big"), digest_size=4
+    ).digest()
+    return int.from_bytes(digest, "big") % frame_size
+
+
+@dataclass
+class InventoryStats:
+    """Counters of one inventory run.
+
+    Attributes
+    ----------
+    rounds:
+        Frames transmitted.
+    slots:
+        Total slots elapsed.
+    singles, collisions, idle_slots:
+        Slot outcomes (collision slots that the decoder separated count
+        as resolved, not as collisions).
+    resolved_collisions:
+        Collision slots recovered by the K-way collision decoder.
+    """
+
+    rounds: int = 0
+    slots: int = 0
+    singles: int = 0
+    collisions: int = 0
+    idle_slots: int = 0
+    resolved_collisions: int = 0
+
+    @property
+    def efficiency(self) -> float:
+        """Discovered nodes per slot (ALOHA efficiency; ~0.36 ideal)."""
+        discovered = self.singles + self.resolved_collisions
+        return discovered / self.slots if self.slots else 0.0
+
+
+class InventoryReader:
+    """Framed slotted ALOHA discovery with adaptive frame size.
+
+    Parameters
+    ----------
+    initial_frame_size:
+        Starting frame size (power of two, like Gen2's 2^Q).
+    collision_decode_limit:
+        Largest K-way collision the receiver can separate (1 = none;
+        2 with the paper's two-channel recto-piezo decoder).
+    max_rounds:
+        Safety bound on the number of frames.
+    """
+
+    def __init__(
+        self,
+        *,
+        initial_frame_size: int = 4,
+        collision_decode_limit: int = 1,
+        max_rounds: int = 64,
+    ) -> None:
+        if initial_frame_size < 1:
+            raise ValueError("frame size must be positive")
+        if collision_decode_limit < 1:
+            raise ValueError("collision decode limit must be >= 1")
+        if max_rounds < 1:
+            raise ValueError("max rounds must be positive")
+        self.initial_frame_size = initial_frame_size
+        self.collision_decode_limit = collision_decode_limit
+        self.max_rounds = max_rounds
+
+    def run(self, population) -> tuple[set, InventoryStats]:
+        """Discover ``population`` (iterable of addresses).
+
+        Returns ``(discovered_addresses, stats)``.  Termination: a round
+        in which no node replies at all (every remaining node is
+        acknowledged) ends the inventory.
+        """
+        remaining = set(int(a) for a in population)
+        discovered: set[int] = set()
+        stats = InventoryStats()
+        frame_size = self.initial_frame_size
+        nonce = 0
+
+        while stats.rounds < self.max_rounds:
+            stats.rounds += 1
+            nonce += 1
+            slots: dict[int, list[int]] = {}
+            for address in remaining:
+                slots.setdefault(
+                    slot_choice(address, nonce, frame_size), []
+                ).append(address)
+
+            stats.slots += frame_size
+            collisions_this_round = 0
+            for index in range(frame_size):
+                replies = slots.get(index, [])
+                if not replies:
+                    stats.idle_slots += 1
+                elif len(replies) == 1:
+                    stats.singles += 1
+                    discovered.add(replies[0])
+                elif len(replies) <= self.collision_decode_limit:
+                    stats.resolved_collisions += 1
+                    discovered.update(replies)
+                else:
+                    stats.collisions += 1
+                    collisions_this_round += 1
+            remaining -= discovered
+
+            if not remaining:
+                break
+            # Gen2-style frame adaptation: grow when collisions dominate,
+            # shrink when the frame is mostly idle.
+            if collisions_this_round > frame_size // 2:
+                frame_size = min(frame_size * 2, 256)
+            elif collisions_this_round == 0 and frame_size > 1:
+                frame_size = max(frame_size // 2, 1)
+        return discovered, stats
+
+
+def expected_rounds(n_nodes: int, frame_size: int) -> float:
+    """Rough analytic expectation of rounds to discover ``n_nodes``.
+
+    Each round resolves roughly ``n * (1 - 1/L)^(n-1)`` singleton nodes
+    (ALOHA); iterate until fewer than one node remains.  A planning aid,
+    not an exact result.
+    """
+    if n_nodes < 0 or frame_size < 1:
+        raise ValueError("invalid population or frame size")
+    remaining = float(n_nodes)
+    rounds = 0.0
+    while remaining >= 1.0 and rounds < 1_000:
+        p_single = (1.0 - 1.0 / frame_size) ** max(remaining - 1.0, 0.0)
+        resolved = remaining * p_single
+        if resolved < 1e-6:
+            break
+        remaining -= resolved
+        rounds += 1.0
+    return rounds

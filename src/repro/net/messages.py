@@ -1,0 +1,162 @@
+"""Application messages: downlink queries and uplink responses.
+
+Mirrors the paper's protocol sketch (Sec. 3.3.2 and 5.1a): the downlink
+query carries a preamble, destination address, and payload; "the
+transmitter packet may also include commands for the PAB backscatter node
+such as setting backscatter link frequency, switching its resonance mode,
+or requesting certain sensed data like pH, temperature, or pressure."
+Each of those commands exists here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dsp.packets import Packet
+
+
+class Command(enum.IntEnum):
+    """Downlink command opcodes."""
+
+    PING = 0x01
+    READ_PH = 0x02
+    READ_PRESSURE_TEMP = 0x03
+    READ_TEMPERATURE = 0x04
+    SET_BITRATE = 0x10
+    SET_RESONANCE_MODE = 0x11
+
+
+#: Bitrate codes for SET_BITRATE (index into this table) [bit/s].
+BITRATE_TABLE = (100.0, 200.0, 400.0, 600.0, 800.0, 1_000.0, 2_000.0, 2_800.0, 3_000.0, 5_000.0)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A downlink query.
+
+    Attributes
+    ----------
+    destination:
+        Target node address (0xFF broadcasts).
+    command:
+        The opcode.
+    argument:
+        One-byte command argument (bitrate code, resonance mode index).
+    """
+
+    destination: int
+    command: Command
+    argument: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.destination <= 0xFF:
+            raise ValueError("destination must fit in one byte")
+        if not 0 <= self.argument <= 0xFF:
+            raise ValueError("argument must fit in one byte")
+        if not isinstance(self.command, Command):
+            object.__setattr__(self, "command", Command(self.command))
+
+    def to_packet(self) -> Packet:
+        """Serialise as a downlink packet."""
+        return Packet(
+            address=self.destination,
+            payload=bytes([int(self.command), self.argument]),
+        )
+
+    @classmethod
+    def from_packet(cls, packet: Packet) -> "Query":
+        """Parse a downlink packet; raises ``ValueError`` on malformed input."""
+        if len(packet.payload) < 2:
+            raise ValueError("query payload too short")
+        try:
+            command = Command(packet.payload[0])
+        except ValueError as exc:
+            raise ValueError(f"unknown command 0x{packet.payload[0]:02x}") from exc
+        return cls(
+            destination=packet.address,
+            command=command,
+            argument=packet.payload[1],
+        )
+
+    def bitrate(self) -> float:
+        """For SET_BITRATE queries: the requested uplink bitrate [bit/s]."""
+        if self.command is not Command.SET_BITRATE:
+            raise ValueError("not a SET_BITRATE query")
+        if self.argument >= len(BITRATE_TABLE):
+            raise ValueError("bitrate code out of table")
+        return BITRATE_TABLE[self.argument]
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """A decoded sensor value from an uplink response."""
+
+    kind: str
+    values: tuple
+
+    def __str__(self) -> str:
+        vals = ", ".join(f"{v:.2f}" for v in self.values)
+        return f"{self.kind}({vals})"
+
+
+@dataclass(frozen=True)
+class Response:
+    """An uplink response.
+
+    Attributes
+    ----------
+    source:
+        Responding node's address.
+    command:
+        The command being answered.
+    data:
+        Raw reading bytes (sensor-specific encoding).
+    """
+
+    source: int
+    command: Command
+    data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.source <= 0xFF:
+            raise ValueError("source must fit in one byte")
+        if not isinstance(self.command, Command):
+            object.__setattr__(self, "command", Command(self.command))
+        object.__setattr__(self, "data", bytes(self.data))
+
+    def to_packet(self) -> Packet:
+        """Serialise as an uplink packet."""
+        return Packet(
+            address=self.source, payload=bytes([int(self.command)]) + self.data
+        )
+
+    @classmethod
+    def from_packet(cls, packet: Packet) -> "Response":
+        """Parse an uplink packet."""
+        if len(packet.payload) < 1:
+            raise ValueError("response payload too short")
+        return cls(
+            source=packet.address,
+            command=Command(packet.payload[0]),
+            data=packet.payload[1:],
+        )
+
+    def reading(self) -> SensorReading:
+        """Decode the data bytes according to the command."""
+        from repro.sensing.ph import PhSensor
+        from repro.sensing.pressure import MS5837Driver
+
+        if self.command is Command.READ_PH:
+            return SensorReading("ph", (PhSensor.decode_reading(self.data),))
+        if self.command is Command.READ_PRESSURE_TEMP:
+            p, t = MS5837Driver.decode_reading(self.data)
+            return SensorReading("pressure_temperature", (p, t))
+        if self.command is Command.READ_TEMPERATURE:
+            if len(self.data) < 2:
+                raise ValueError("temperature payload too short")
+            raw = (self.data[0] << 8) | self.data[1]
+            return SensorReading("temperature", (raw / 100.0 - 100.0,))
+        if self.command is Command.PING:
+            return SensorReading("pong", ())
+        raise ValueError(f"command {self.command!r} carries no reading")

@@ -1,0 +1,109 @@
+"""SNR-driven bitrate adaptation for the polling reader.
+
+The paper's downlink includes "commands for the PAB backscatter node
+such as setting backscatter link frequency" (Sec. 5.1a), and its Fig. 7/8
+results imply the policy: FM0 decodes from ~2 dB, so pick the fastest
+bitrate whose measured SNR clears the threshold with margin.
+
+:class:`RateAdapter` implements that policy with hysteresis: it steps
+down aggressively on failures or low SNR, and steps up conservatively
+after a streak of comfortable successes — the classic ARF structure, with
+the rate ladder being the paper's tested bitrate table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.messages import BITRATE_TABLE
+
+#: Minimum decodable SNR for FM0 (paper Sec. 6.1a).
+DECODE_THRESHOLD_DB = 2.0
+
+
+@dataclass
+class RateAdapter:
+    """Hysteretic bitrate selection over the paper's rate ladder.
+
+    Parameters
+    ----------
+    ladder:
+        Ascending usable bitrates (defaults to the table without the
+        5 kbps entry, which Fig. 8 shows is never decodable).
+    up_margin_db:
+        SNR headroom above the decode threshold required to *consider*
+        stepping up.
+    up_streak:
+        Consecutive comfortable successes before stepping up.
+    start_index:
+        Initial position on the ladder.
+    """
+
+    ladder: tuple = tuple(r for r in BITRATE_TABLE if r <= 3_000.0)
+    up_margin_db: float = 6.0
+    up_streak: int = 3
+    start_index: int = 0
+    _index: int = field(init=False)
+    _streak: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise ValueError("ladder must not be empty")
+        if list(self.ladder) != sorted(self.ladder):
+            raise ValueError("ladder must be ascending")
+        if not 0 <= self.start_index < len(self.ladder):
+            raise ValueError("start index out of range")
+        if self.up_margin_db < 0 or self.up_streak < 1:
+            raise ValueError("invalid hysteresis parameters")
+        self._index = self.start_index
+
+    @property
+    def bitrate(self) -> float:
+        """The currently selected bitrate [bit/s]."""
+        return self.ladder[self._index]
+
+    def report(self, *, success: bool, snr_db: float | None = None) -> float:
+        """Feed one exchange outcome; returns the (possibly new) bitrate.
+
+        Failures or SNR below threshold step down immediately; a streak
+        of successes with comfortable margin steps up one rung.
+        """
+        low_snr = snr_db is not None and snr_db < DECODE_THRESHOLD_DB
+        if not success or low_snr:
+            self._streak = 0
+            if self._index > 0:
+                self._index -= 1
+            return self.bitrate
+        comfortable = (
+            snr_db is None
+            or snr_db >= DECODE_THRESHOLD_DB + self.up_margin_db
+        )
+        if comfortable:
+            self._streak += 1
+            if self._streak >= self.up_streak and self._index < len(self.ladder) - 1:
+                self._index += 1
+                self._streak = 0
+        else:
+            self._streak = 0
+        return self.bitrate
+
+    def reset(self) -> None:
+        """Back to the starting rung."""
+        self._index = self.start_index
+        self._streak = 0
+
+
+def best_static_rate(snr_by_rate: dict, *, margin_db: float = 0.0) -> float:
+    """Offline policy: fastest rate whose SNR clears threshold + margin.
+
+    ``snr_by_rate`` maps bitrate -> measured SNR (a Fig. 8 style sweep).
+    Raises ``ValueError`` when no rate is decodable.
+    """
+    usable = [
+        rate
+        for rate, snr in snr_by_rate.items()
+        if snr >= DECODE_THRESHOLD_DB + margin_db
+    ]
+    if not usable:
+        raise ValueError("no bitrate clears the decode threshold")
+    return max(usable)

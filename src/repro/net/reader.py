@@ -1,0 +1,161 @@
+"""The complete reader-side controller.
+
+Ties the networking layers into the workflow a deployed reader actually
+runs (the projector-side analogue of an RFID interrogator):
+
+1. **configure** — push per-node settings over the air: uplink bitrate
+   (``SET_BITRATE``) and recto-piezo channel (``SET_RESONANCE_MODE``),
+   verifying each acknowledgement;
+2. **poll** — run periodic sensing rounds through the retransmitting
+   MAC, collecting decoded readings;
+3. **report** — aggregate per-node delivery statistics.
+
+The controller is transport-agnostic: it drives any mapping of node
+address to a ``transact(query) -> LinkResult``-shaped callable — the
+waveform-level :class:`~repro.core.link.BackscatterLink` in simulations,
+or a stub in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.mac import MacStats, PollingMac
+from repro.net.messages import BITRATE_TABLE, Command, Query, Response
+
+
+@dataclass
+class NodeRecord:
+    """What the reader knows about one node.
+
+    Attributes
+    ----------
+    address:
+        The node's address.
+    bitrate:
+        Last acknowledged uplink bitrate (None before configuration).
+    resonance_mode:
+        Last acknowledged recto-piezo mode (None before configuration).
+    readings:
+        Decoded :class:`~repro.net.messages.SensorReading` history.
+    stats:
+        Per-node MAC counters.
+    """
+
+    address: int
+    bitrate: float | None = None
+    resonance_mode: int | None = None
+    readings: list = field(default_factory=list)
+    stats: MacStats = field(default_factory=MacStats)
+
+
+class ReaderController:
+    """Orchestrates configuration and polling of a set of nodes.
+
+    Parameters
+    ----------
+    transports:
+        Mapping ``{address: transact}`` where ``transact(query)`` returns
+        an object with ``success`` and ``demod.packet``.
+    max_retries:
+        Retransmissions per query.
+    """
+
+    def __init__(self, transports: dict, *, max_retries: int = 2) -> None:
+        if not transports:
+            raise ValueError("need at least one node transport")
+        self._macs = {
+            int(addr): PollingMac(transact=fn, max_retries=max_retries)
+            for addr, fn in transports.items()
+        }
+        self.nodes = {
+            addr: NodeRecord(address=addr) for addr in self._macs
+        }
+
+    # -- configuration ----------------------------------------------------------------
+
+    def set_bitrate(self, address: int, bitrate: float) -> bool:
+        """Command a node to a bitrate from the table; True on ack."""
+        record = self._record(address)
+        try:
+            code = BITRATE_TABLE.index(bitrate)
+        except ValueError as exc:
+            raise ValueError(f"bitrate {bitrate} not in BITRATE_TABLE") from exc
+        result = self._macs[address].poll(
+            Query(destination=address, command=Command.SET_BITRATE, argument=code)
+        )
+        if getattr(result, "success", False):
+            record.bitrate = bitrate
+            return True
+        return False
+
+    def set_resonance_mode(self, address: int, mode: int) -> bool:
+        """Command a node to a recto-piezo mode; True on ack."""
+        record = self._record(address)
+        result = self._macs[address].poll(
+            Query(
+                destination=address,
+                command=Command.SET_RESONANCE_MODE,
+                argument=mode,
+            )
+        )
+        if getattr(result, "success", False):
+            record.resonance_mode = mode
+            return True
+        return False
+
+    # -- polling ----------------------------------------------------------------------
+
+    def poll(self, address: int, command: Command):
+        """One sensing query to one node; stores the decoded reading."""
+        record = self._record(address)
+        result = self._macs[address].poll(
+            Query(destination=address, command=command)
+        )
+        record.stats = self._macs[address].stats
+        if getattr(result, "success", False):
+            packet = result.demod.packet
+            response = Response.from_packet(packet)
+            reading = response.reading()
+            record.readings.append(reading)
+            return reading
+        return None
+
+    def poll_round(self, command: Command) -> dict:
+        """Poll every node once; returns ``{address: reading | None}``."""
+        return {addr: self.poll(addr, command) for addr in sorted(self._macs)}
+
+    def run_schedule(self, command: Command, rounds: int) -> dict:
+        """Run several polling rounds; returns delivery counts per node."""
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        delivered = {addr: 0 for addr in self._macs}
+        for _ in range(rounds):
+            for addr, reading in self.poll_round(command).items():
+                if reading is not None:
+                    delivered[addr] += 1
+        return delivered
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def summary(self) -> list[dict]:
+        """Per-node status: configuration, deliveries, MAC counters."""
+        out = []
+        for addr in sorted(self.nodes):
+            record = self.nodes[addr]
+            out.append(
+                {
+                    "address": addr,
+                    "bitrate": record.bitrate,
+                    "resonance_mode": record.resonance_mode,
+                    "readings": len(record.readings),
+                    "attempts": record.stats.attempts,
+                    "delivery_ratio": record.stats.delivery_ratio,
+                }
+            )
+        return out
+
+    def _record(self, address: int) -> NodeRecord:
+        if address not in self.nodes:
+            raise KeyError(f"unknown node address {address}")
+        return self.nodes[address]

@@ -1,0 +1,19 @@
+"""The battery-free PAB node: power model, energy engine, firmware."""
+
+from repro.node.power import NodePowerModel, PowerState
+from repro.node.energy import PowerUpSimulator, PowerUpResult
+from repro.node.firmware import NodeFirmware, FirmwareState, FirmwareConfig
+from repro.node.node import PABNode
+from repro.node.battery_assisted import BatteryAssistedNode
+
+__all__ = [
+    "NodePowerModel",
+    "PowerState",
+    "PowerUpSimulator",
+    "PowerUpResult",
+    "NodeFirmware",
+    "FirmwareState",
+    "FirmwareConfig",
+    "PABNode",
+    "BatteryAssistedNode",
+]

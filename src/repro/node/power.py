@@ -1,0 +1,136 @@
+"""Node power consumption model (paper Sec. 6.4 / Fig. 11).
+
+The paper measures 124 uW idle (waiting to receive and decode a downlink
+signal) and ~500 uW while backscattering at any of the tested bitrates,
+noting that:
+
+* the MCU draws ~230 uA in active mode and the LDO ~25 uA on top,
+  explaining the backscatter-mode number at the 2.1 V supply used for
+  the measurements;
+* idle power exceeds datasheet expectations because the MCU keeps a few
+  pins driven high (the pull-down transistor, interrupt handles) and the
+  LDO quiescent tax persists in standby.
+
+The model reproduces both, plus a small switching term that grows with
+the backscatter rate (gate charge on the switch transistors), matching
+Fig. 11's gentle upward trend.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.constants import (
+    LDO_QUIESCENT_A,
+    MCU_ACTIVE_A,
+    MCU_LPM3_A,
+    MEASURED_IDLE_POWER_W,
+)
+
+#: Supply voltage at which the paper took the Fig. 11 measurements.
+MEASUREMENT_SUPPLY_V = 2.1
+
+
+class PowerState(enum.Enum):
+    """Operating states of the node."""
+
+    COLD = "cold"  # supercap below power-up threshold; everything off
+    IDLE = "idle"  # waiting for a downlink query (MCU in LPM3)
+    DECODING = "decoding"  # timing downlink edges (brief active bursts)
+    BACKSCATTER = "backscatter"  # driving the switch at the chip rate
+    SENSING = "sensing"  # sampling a peripheral
+
+
+@dataclass(frozen=True)
+class NodePowerModel:
+    """Current/power budget of the node's electronics.
+
+    Parameters
+    ----------
+    mcu_active_a, mcu_lpm3_a, ldo_quiescent_a:
+        Component currents [A] (datasheet defaults).
+    pin_drive_a:
+        Extra idle current from pins held high; calibrated so idle power
+        matches the paper's 124 uW measurement.
+    switch_charge_c:
+        Effective gate charge moved per backscatter chip transition [C];
+        sets the (small) bitrate-dependent term.
+    sensor_a:
+        Extra draw while a peripheral is sampled.
+    """
+
+    mcu_active_a: float = MCU_ACTIVE_A
+    mcu_lpm3_a: float = MCU_LPM3_A
+    ldo_quiescent_a: float = LDO_QUIESCENT_A
+    pin_drive_a: float = (
+        MEASURED_IDLE_POWER_W / MEASUREMENT_SUPPLY_V - LDO_QUIESCENT_A - MCU_LPM3_A
+    )
+    switch_charge_c: float = 2e-9
+    sensor_a: float = 300e-6
+
+    def __post_init__(self) -> None:
+        for name in (
+            "mcu_active_a",
+            "mcu_lpm3_a",
+            "ldo_quiescent_a",
+            "pin_drive_a",
+            "switch_charge_c",
+            "sensor_a",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def current_a(
+        self,
+        state: PowerState,
+        *,
+        bitrate: float = 0.0,
+        supply_v: float = MEASUREMENT_SUPPLY_V,
+    ) -> float:
+        """Supply current in a state [A]."""
+        if bitrate < 0:
+            raise ValueError("bitrate must be non-negative")
+        if supply_v <= 0:
+            raise ValueError("supply voltage must be positive")
+        if state is PowerState.COLD:
+            return 0.0
+        base = self.ldo_quiescent_a
+        if state is PowerState.IDLE:
+            return base + self.mcu_lpm3_a + self.pin_drive_a
+        if state is PowerState.DECODING:
+            # Edge-interrupt bursts: roughly half active, half LPM3.  The
+            # pin-drive current is part of the MCU's active-mode budget.
+            return base + 0.5 * (self.mcu_active_a + self.mcu_lpm3_a)
+        if state is PowerState.BACKSCATTER:
+            chip_rate = 2.0 * bitrate
+            switching = self.switch_charge_c * chip_rate
+            return base + self.mcu_active_a + switching
+        if state is PowerState.SENSING:
+            return base + self.mcu_active_a + self.sensor_a
+        raise ValueError(f"unknown state {state!r}")
+
+    def power_w(
+        self,
+        state: PowerState,
+        *,
+        bitrate: float = 0.0,
+        supply_v: float = MEASUREMENT_SUPPLY_V,
+    ) -> float:
+        """Supply power in a state [W] — the Fig. 11 quantity."""
+        return self.current_a(state, bitrate=bitrate, supply_v=supply_v) * supply_v
+
+    def fig11_sweep(self, bitrates) -> dict:
+        """Reproduce Fig. 11: idle plus per-bitrate backscatter power [W]."""
+        result = {"idle": self.power_w(PowerState.IDLE)}
+        for rate in bitrates:
+            result[float(rate)] = self.power_w(
+                PowerState.BACKSCATTER, bitrate=float(rate)
+            )
+        return result
+
+    def energy_per_bit_j(self, bitrate: float) -> float:
+        """Communication energy cost [J/bit] while backscattering."""
+        if bitrate <= 0:
+            raise ValueError("bitrate must be positive")
+        return self.power_w(PowerState.BACKSCATTER, bitrate=bitrate) / bitrate

@@ -1,0 +1,27 @@
+"""Piezoelectric transducer substrate.
+
+Models the paper's mechanically fabricated transducer (a radially poled
+PZT cylinder, polyurethane-potted, air-backed with end caps) as a
+Butterworth-Van Dyke (BVD) equivalent circuit plus electroacoustic
+conversion responses (transmit voltage response and open-circuit receive
+sensitivity).
+"""
+
+from repro.piezo.materials import PiezoMaterial, PZT4, PZT5A, MATERIALS
+from repro.piezo.bvd import BVDParameters, ButterworthVanDyke
+from repro.piezo.cylinder import CylinderDesign, design_cylinder_transducer
+from repro.piezo.transducer import Transducer
+from repro.piezo.directivity import DirectivityPattern
+
+__all__ = [
+    "PiezoMaterial",
+    "PZT4",
+    "PZT5A",
+    "MATERIALS",
+    "BVDParameters",
+    "ButterworthVanDyke",
+    "CylinderDesign",
+    "design_cylinder_transducer",
+    "Transducer",
+    "DirectivityPattern",
+]

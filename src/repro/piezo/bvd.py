@@ -1,0 +1,185 @@
+"""Butterworth-Van Dyke (BVD) equivalent circuit of a piezo resonator.
+
+Near one mechanical mode, a piezoelectric transducer is electrically
+equivalent to a *motional* series R-L-C branch (mechanical mass,
+compliance, and loss, reflected through the electromechanical
+transformer) in parallel with the *clamped* electrode capacitance C0:
+
+        o───┬───[ C0 ]───┬───o
+            │            │
+            └─[R_m L_m C_m]──┘
+
+The model captures exactly the behaviour the paper leans on:
+
+* a sharp series resonance ``f_s = 1/(2*pi*sqrt(L_m C_m))`` where the
+  device converts acoustic to electrical energy best (Sec. 3.3: high "Q"),
+* a parallel anti-resonance ``f_p = f_s * sqrt(1 + C_m/C_0)``,
+* an impedance-vs-frequency curve the matching network (recto-piezo)
+  interacts with to move the *electrical* resonance (Sec. 3.3.1),
+* an effective coupling ``k_eff^2 = 1 - (f_s/f_p)^2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import TWO_PI
+
+
+@dataclass(frozen=True)
+class BVDParameters:
+    """Lumped element values of the BVD circuit.
+
+    Attributes
+    ----------
+    c0:
+        Clamped (parallel) capacitance [F].
+    r_m, l_m, c_m:
+        Motional resistance [ohm], inductance [H], capacitance [F].
+    """
+
+    c0: float
+    r_m: float
+    l_m: float
+    c_m: float
+
+    def __post_init__(self) -> None:
+        for name in ("c0", "r_m", "l_m", "c_m"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+class ButterworthVanDyke:
+    """A piezo resonator as its BVD equivalent circuit.
+
+    Construct directly from element values, or use
+    :meth:`from_resonance` to solve for element values given measurable
+    quantities (series resonance, quality factor, clamped capacitance,
+    effective coupling) — the form in which transducer datasheets and the
+    paper describe devices.
+    """
+
+    def __init__(self, params: BVDParameters) -> None:
+        self.params = params
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_resonance(
+        cls,
+        series_resonance_hz: float,
+        quality_factor: float,
+        clamped_capacitance_f: float,
+        effective_coupling: float,
+    ) -> "ButterworthVanDyke":
+        """Solve BVD elements from resonance-level measurements.
+
+        Parameters
+        ----------
+        series_resonance_hz:
+            Motional (series) resonance ``f_s`` [Hz].
+        quality_factor:
+            Loaded quality factor ``Q = 2*pi*f_s*L_m / R_m``.  In water the
+            radiation load dominates, so this is the in-water Q (~5-15 for
+            potted cylinders), much lower than the ceramic's in-air Q.
+        clamped_capacitance_f:
+            Electrode capacitance ``C0`` [F].
+        effective_coupling:
+            ``k_eff`` in (0, 1); sets ``C_m = C0 * k^2 / (1 - k^2)``.
+        """
+        fs = series_resonance_hz
+        if fs <= 0:
+            raise ValueError("resonance frequency must be positive")
+        if quality_factor <= 0:
+            raise ValueError("quality factor must be positive")
+        if not 0.0 < effective_coupling < 1.0:
+            raise ValueError("effective coupling must be in (0, 1)")
+        if clamped_capacitance_f <= 0:
+            raise ValueError("clamped capacitance must be positive")
+        k2 = effective_coupling**2
+        c_m = clamped_capacitance_f * k2 / (1.0 - k2)
+        w_s = TWO_PI * fs
+        l_m = 1.0 / (w_s**2 * c_m)
+        r_m = w_s * l_m / quality_factor
+        return cls(BVDParameters(c0=clamped_capacitance_f, r_m=r_m, l_m=l_m, c_m=c_m))
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def series_resonance_hz(self) -> float:
+        """Motional resonance f_s [Hz]."""
+        p = self.params
+        return 1.0 / (TWO_PI * math.sqrt(p.l_m * p.c_m))
+
+    @property
+    def parallel_resonance_hz(self) -> float:
+        """Anti-resonance f_p [Hz]."""
+        p = self.params
+        return self.series_resonance_hz * math.sqrt(1.0 + p.c_m / p.c0)
+
+    @property
+    def quality_factor(self) -> float:
+        """Q of the motional branch."""
+        p = self.params
+        return TWO_PI * self.series_resonance_hz * p.l_m / p.r_m
+
+    @property
+    def effective_coupling(self) -> float:
+        """k_eff = sqrt(1 - (f_s/f_p)^2)."""
+        ratio = self.series_resonance_hz / self.parallel_resonance_hz
+        return math.sqrt(1.0 - ratio**2)
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """-3 dB bandwidth of the motional branch, f_s / Q."""
+        return self.series_resonance_hz / self.quality_factor
+
+    # -- impedance ------------------------------------------------------------
+
+    def motional_impedance(self, frequency_hz):
+        """Impedance of the series R-L-C branch [ohm] (complex)."""
+        f = np.asarray(frequency_hz, dtype=float)
+        if np.any(f <= 0):
+            raise ValueError("frequency must be positive")
+        w = TWO_PI * f
+        p = self.params
+        z = p.r_m + 1j * (w * p.l_m - 1.0 / (w * p.c_m))
+        return complex(z) if np.isscalar(frequency_hz) else z
+
+    def impedance(self, frequency_hz):
+        """Terminal impedance: motional branch in parallel with C0 [ohm]."""
+        f = np.asarray(frequency_hz, dtype=float)
+        if np.any(f <= 0):
+            raise ValueError("frequency must be positive")
+        w = TWO_PI * f
+        p = self.params
+        z_m = p.r_m + 1j * (w * p.l_m - 1.0 / (w * p.c_m))
+        z_c0 = 1.0 / (1j * w * p.c0)
+        z = z_m * z_c0 / (z_m + z_c0)
+        return complex(z) if np.isscalar(frequency_hz) else z
+
+    def admittance(self, frequency_hz):
+        """Terminal admittance [S]."""
+        return 1.0 / self.impedance(frequency_hz)
+
+    def resonance_response(self, frequency_hz):
+        """Normalised magnitude of the motional (mechanical) response.
+
+        The classic universal resonance curve
+
+            |H(f)| = 1 / sqrt(1 + Q^2 (f/f_s - f_s/f)^2)
+
+        equal to 1 at resonance.  This is the bandpass weighting that the
+        transducer's electroacoustic conversion applies in both directions
+        (it is the ratio R_m / |Z_m(f)| of the motional branch).
+        """
+        f = np.asarray(frequency_hz, dtype=float)
+        if np.any(f <= 0):
+            raise ValueError("frequency must be positive")
+        fs = self.series_resonance_hz
+        q = self.quality_factor
+        h = 1.0 / np.sqrt(1.0 + q**2 * (f / fs - fs / f) ** 2)
+        return float(h) if np.isscalar(frequency_hz) else h

@@ -1,0 +1,151 @@
+"""Transducer directivity patterns.
+
+The paper's cylinder "vibrates radially making it omnidirectional in the
+horizontal plane" (Sec. 4.1), with footnote 9 noting that "the efficiency
+and directionality of each design depend on various parameters including
+the type of piezoelectric material, shape of the transducer ...".  This
+module provides the standard far-field patterns needed to model those
+choices:
+
+* :func:`line_source_pattern` — the vertical directivity of a finite
+  cylinder (a uniform line source of its length),
+* :func:`piston_pattern` — the classic baffled circular piston (a disk
+  transducer), the canonical *directional* alternative,
+* :class:`DirectivityPattern` — gain lookup + directivity index.
+
+Patterns return *amplitude* (pressure) gain relative to the on-axis
+response; angles are in radians.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import j1
+
+from repro.constants import NOMINAL_SOUND_SPEED
+
+
+def wavelength_m(frequency_hz: float, sound_speed: float = NOMINAL_SOUND_SPEED) -> float:
+    """Acoustic wavelength [m]."""
+    if frequency_hz <= 0 or sound_speed <= 0:
+        raise ValueError("frequency and sound speed must be positive")
+    return sound_speed / frequency_hz
+
+
+def line_source_pattern(
+    angle_rad,
+    length_m: float,
+    frequency_hz: float,
+    sound_speed: float = NOMINAL_SOUND_SPEED,
+):
+    """Uniform line source: sinc pattern in the plane containing the axis.
+
+    ``angle_rad`` is measured from broadside (the horizontal plane for a
+    vertical cylinder).  At 15 kHz a 4 cm cylinder is much shorter than
+    the 10 cm wavelength, so the paper's part is nearly omnidirectional
+    vertically too — this function quantifies exactly how nearly.
+    """
+    if length_m <= 0:
+        raise ValueError("length must be positive")
+    lam = wavelength_m(frequency_hz, sound_speed)
+    theta = np.asarray(angle_rad, dtype=float)
+    x = math.pi * length_m / lam * np.sin(theta)
+    pattern = np.sinc(x / math.pi)  # np.sinc is sin(pi t)/(pi t)
+    out = np.abs(pattern)
+    return float(out) if np.isscalar(angle_rad) else out
+
+
+def piston_pattern(
+    angle_rad,
+    radius_m: float,
+    frequency_hz: float,
+    sound_speed: float = NOMINAL_SOUND_SPEED,
+):
+    """Baffled circular piston: 2 J1(ka sin t) / (ka sin t)."""
+    if radius_m <= 0:
+        raise ValueError("radius must be positive")
+    lam = wavelength_m(frequency_hz, sound_speed)
+    ka = 2.0 * math.pi * radius_m / lam
+    theta = np.asarray(angle_rad, dtype=float)
+    x = ka * np.sin(theta)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pattern = np.where(np.abs(x) < 1e-9, 1.0, 2.0 * j1(x) / np.where(x == 0, 1.0, x))
+    out = np.abs(pattern)
+    return float(out) if np.isscalar(angle_rad) else out
+
+
+@dataclass(frozen=True)
+class DirectivityPattern:
+    """A sampled axisymmetric directivity pattern.
+
+    Parameters
+    ----------
+    kind:
+        ``"omni"``, ``"line"`` (cylinder vertical pattern), or
+        ``"piston"`` (disk).
+    characteristic_m:
+        Cylinder length or piston radius [m] (unused for omni).
+    frequency_hz:
+        Design frequency.
+    """
+
+    kind: str = "omni"
+    characteristic_m: float = 0.04
+    frequency_hz: float = 15_000.0
+    sound_speed: float = NOMINAL_SOUND_SPEED
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("omni", "line", "piston"):
+            raise ValueError(f"unknown pattern kind {self.kind!r}")
+
+    def gain(self, angle_rad):
+        """Amplitude gain at an off-axis angle (1.0 on axis/broadside)."""
+        if self.kind == "omni":
+            theta = np.asarray(angle_rad, dtype=float)
+            out = np.ones_like(theta)
+            return float(out) if np.isscalar(angle_rad) else out
+        if self.kind == "line":
+            return line_source_pattern(
+                angle_rad, self.characteristic_m, self.frequency_hz,
+                self.sound_speed,
+            )
+        return piston_pattern(
+            angle_rad, self.characteristic_m, self.frequency_hz,
+            self.sound_speed,
+        )
+
+    def directivity_index_db(self, n_samples: int = 721) -> float:
+        """DI = 10 log10(4 pi / integral of power pattern over solid angle).
+
+        0 dB for omni; positive for directional patterns.
+        """
+        theta = np.linspace(0.0, math.pi / 2.0, n_samples)
+        # Axisymmetric pattern about the axis; integrate power over the
+        # sphere (mirror symmetry above/below broadside for line).
+        if self.kind == "line":
+            power = self.gain(theta) ** 2
+            solid = 2.0 * 2.0 * math.pi * np.trapezoid(
+                power * np.cos(theta), theta
+            )
+        elif self.kind == "piston":
+            power = self.gain(theta) ** 2
+            solid = 2.0 * math.pi * np.trapezoid(power * np.sin(theta), theta)
+            solid *= 2.0  # baffled piston radiates into a half space; mirror
+        else:
+            solid = 4.0 * math.pi
+        solid = min(max(solid, 1e-12), 4.0 * math.pi)
+        return 10.0 * math.log10(4.0 * math.pi / solid)
+
+    def beamwidth_deg(self) -> float:
+        """-3 dB full beamwidth [degrees] (360 for omni)."""
+        if self.kind == "omni":
+            return 360.0
+        angles = np.linspace(0.0, math.pi / 2.0, 4_001)
+        gains = self.gain(angles)
+        below = np.nonzero(gains < 1.0 / math.sqrt(2.0))[0]
+        if len(below) == 0:
+            return 360.0
+        return float(2.0 * math.degrees(angles[below[0]]))

@@ -1,0 +1,91 @@
+"""Piezoelectric ceramic material constants.
+
+A small database of the hard and soft PZT compositions used for underwater
+projectors and hydrophones.  Values are nominal manufacturer figures (Navy
+Type I = PZT-4, Navy Type II = PZT-5A); they parameterise the cylinder
+design equations in :mod:`repro.piezo.cylinder`.
+
+Units follow the usual transducer-engineering conventions:
+
+* ``d31``, ``d33`` — piezoelectric charge constants [C/N] (= [m/V]).
+* ``epsilon_r`` — relative permittivity at constant stress.
+* ``s11_e`` — elastic compliance at constant field [1/Pa].
+* ``k31``, ``k33`` — electromechanical coupling coefficients.
+* ``q_mechanical`` — in-air mechanical quality factor.
+* ``density`` — [kg/m^3].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Vacuum permittivity [F/m].
+EPSILON_0 = 8.8541878128e-12
+
+
+@dataclass(frozen=True)
+class PiezoMaterial:
+    """Constants of one piezoceramic composition."""
+
+    name: str
+    d31: float
+    d33: float
+    epsilon_r: float
+    s11_e: float
+    k31: float
+    k33: float
+    q_mechanical: float
+    density: float
+
+    def __post_init__(self) -> None:
+        if self.density <= 0 or self.s11_e <= 0:
+            raise ValueError("density and compliance must be positive")
+        for k in (self.k31, self.k33):
+            if not 0.0 < k < 1.0:
+                raise ValueError("coupling coefficients must be in (0, 1)")
+        if self.q_mechanical <= 0:
+            raise ValueError("mechanical Q must be positive")
+
+    @property
+    def epsilon_t(self) -> float:
+        """Absolute permittivity at constant stress [F/m]."""
+        return self.epsilon_r * EPSILON_0
+
+    @property
+    def bar_sound_speed(self) -> float:
+        """Longitudinal thin-bar sound speed 1/sqrt(rho * s11) [m/s].
+
+        This sets the radial-mode resonance of a thin-walled cylinder:
+        f_r = c_bar / (2 * pi * a) for mean radius a.
+        """
+        return (self.density * self.s11_e) ** -0.5
+
+
+#: Navy Type I ("hard") PZT — high power handling, typical projector choice.
+PZT4 = PiezoMaterial(
+    name="PZT-4",
+    d31=-123e-12,
+    d33=289e-12,
+    epsilon_r=1300.0,
+    s11_e=12.3e-12,
+    k31=0.33,
+    k33=0.70,
+    q_mechanical=500.0,
+    density=7500.0,
+)
+
+#: Navy Type II ("soft") PZT — higher sensitivity, typical receiver choice.
+PZT5A = PiezoMaterial(
+    name="PZT-5A",
+    d31=-171e-12,
+    d33=374e-12,
+    epsilon_r=1700.0,
+    s11_e=16.4e-12,
+    k31=0.34,
+    k33=0.705,
+    q_mechanical=75.0,
+    density=7750.0,
+)
+
+#: Lookup table by name.
+MATERIALS: dict[str, PiezoMaterial] = {m.name: m for m in (PZT4, PZT5A)}

@@ -1,0 +1,188 @@
+"""The complete transducer: BVD electrical model + electroacoustic conversion.
+
+A :class:`Transducer` is what projectors, hydrophones, and backscatter
+nodes all share.  It combines:
+
+* the BVD terminal impedance (what the matching network and rectifier see),
+* a transmit voltage response (volts at the terminals -> pascals at 1 m),
+* an open-circuit receive sensitivity (pascals incident -> open-circuit
+  volts),
+* the backscatter reflection coefficient of paper Eq. 2,
+
+with the universal resonance curve of the BVD motional branch applied to
+every electro-mechanical conversion, which is what gives PAB its bandpass
+character (Fig. 3).
+
+Calibration constants default to values representative of low-cost potted
+cylinders in the paper's band (TVR ~ 140 dB re uPa*m/V) and are fitted so
+the end-to-end system reproduces the paper's operating points: with the
+default OCV of -178 dB re V/uPa, a node needs ~310 Pa incident to power
+up (2.5 V rectified), which reproduces Fig. 9's range-voltage curve
+(~1.5 m at 50 V drive, ~10 m at 300-350 V in the corridor pool) and
+Fig. 3's ~4 V rectified peak about a metre from a 50-60 V projector.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.piezo.bvd import ButterworthVanDyke
+from repro.piezo.cylinder import CylinderDesign, design_cylinder_transducer
+
+
+def db_re_upa_m_per_v(tvr_db: float) -> float:
+    """Convert a TVR in dB re 1 uPa*m/V to linear Pa*m/V."""
+    return 10.0 ** (tvr_db / 20.0) * 1e-6
+
+
+def db_re_v_per_upa(ocv_db: float) -> float:
+    """Convert a receive sensitivity in dB re 1 V/uPa to linear V/Pa."""
+    return 10.0 ** (ocv_db / 20.0) * 1e6
+
+
+@dataclass
+class Transducer:
+    """An underwater piezo transducer usable as projector, receiver, or tag.
+
+    Parameters
+    ----------
+    bvd:
+        Electrical equivalent circuit.
+    tvr_db:
+        Transmit voltage response at resonance [dB re 1 uPa*m/V].
+    ocv_db:
+        Open-circuit receive sensitivity at resonance [dB re 1 V/uPa].
+    backscatter_loss:
+        Multiplicative pressure loss of the reflection process (< 1; the
+        paper notes the backscattered wave is weaker than the incident one
+        because the process is lossy).
+    name:
+        Label for reports.
+    """
+
+    bvd: ButterworthVanDyke
+    tvr_db: float = 140.0
+    ocv_db: float = -178.0
+    backscatter_loss: float = 0.7
+    name: str = "transducer"
+    design: CylinderDesign | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.backscatter_loss <= 1.0:
+            raise ValueError("backscatter_loss must be in (0, 1]")
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_cylinder_design(
+        cls, design: CylinderDesign | None = None, **kwargs
+    ) -> "Transducer":
+        """Build from a cylinder design (defaults to the paper's part)."""
+        if design is None:
+            design = design_cylinder_transducer()
+        return cls(bvd=design.to_bvd(), design=design, **kwargs)
+
+    # -- basic properties -----------------------------------------------------
+
+    @property
+    def resonance_hz(self) -> float:
+        """In-water series resonance [Hz]."""
+        return self.bvd.series_resonance_hz
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """-3 dB mechanical bandwidth [Hz]."""
+        return self.bvd.bandwidth_hz
+
+    def impedance(self, frequency_hz):
+        """Electrical source impedance Z_s(f) [ohm]."""
+        return self.bvd.impedance(frequency_hz)
+
+    def response(self, frequency_hz):
+        """Normalised mechanical resonance response in [0, 1]."""
+        return self.bvd.resonance_response(frequency_hz)
+
+    # -- electroacoustic conversion --------------------------------------------
+
+    def transmit_pressure_per_volt(self, frequency_hz):
+        """Source pressure at 1 m per volt of drive [Pa*m/V]."""
+        peak = db_re_upa_m_per_v(self.tvr_db)
+        return peak * self.response(frequency_hz)
+
+    def transmit_pressure(self, voltage_v, frequency_hz):
+        """Source pressure amplitude at 1 m for a drive amplitude [Pa]."""
+        return np.asarray(voltage_v) * self.transmit_pressure_per_volt(frequency_hz)
+
+    def source_level_db(self, voltage_v: float, frequency_hz: float) -> float:
+        """Source level [dB re 1 uPa @ 1 m] for a drive amplitude.
+
+        Uses RMS pressure of a sine with the given peak drive voltage.
+        """
+        p_peak = float(self.transmit_pressure(voltage_v, frequency_hz))
+        p_rms = p_peak / math.sqrt(2.0)
+        if p_rms <= 0:
+            return float("-inf")
+        return 20.0 * math.log10(p_rms / 1e-6)
+
+    def open_circuit_voltage_per_pascal(self, frequency_hz):
+        """Open-circuit receive sensitivity [V/Pa] at a frequency."""
+        peak = db_re_v_per_upa(self.ocv_db)
+        return peak * self.response(frequency_hz)
+
+    def open_circuit_voltage(self, pressure_pa, frequency_hz):
+        """Open-circuit voltage for an incident pressure amplitude [V]."""
+        return np.asarray(pressure_pa) * self.open_circuit_voltage_per_pascal(
+            frequency_hz
+        )
+
+    def available_power_w(self, pressure_pa: float, frequency_hz: float) -> float:
+        """Maximum electrical power extractable from an incident tone [W].
+
+        For a sinusoidal open-circuit amplitude ``V`` and source impedance
+        ``Z_s``, the available power into a conjugate-matched load is
+        ``V_rms^2 / (4 * Re(Z_s))``.
+        """
+        v_peak = float(self.open_circuit_voltage(pressure_pa, frequency_hz))
+        r_s = float(np.real(self.impedance(frequency_hz)))
+        if r_s <= 0:
+            return 0.0
+        return (v_peak**2 / 2.0) / (4.0 * r_s)
+
+    # -- backscatter ------------------------------------------------------------
+
+    def reflection_coefficient(self, load_impedance, frequency_hz):
+        """Paper Eq. 2: Gamma = (Z_L - Z_s*) / (Z_L + Z_s) (complex)."""
+        z_s = self.impedance(frequency_hz)
+        z_l = load_impedance
+        return (z_l - np.conjugate(z_s)) / (z_l + z_s)
+
+    def reflected_pressure(
+        self, incident_pa, load_impedance, frequency_hz
+    ):
+        """Backscattered pressure amplitude for an incident amplitude [Pa].
+
+        The reflection coefficient of Eq. 2 is weighted by the mechanical
+        resonance response (off-resonance the device barely couples to the
+        wave at all, so neither state reflects much extra energy) and by
+        the fixed backscatter loss.
+        """
+        gamma = self.reflection_coefficient(load_impedance, frequency_hz)
+        eta = self.response(frequency_hz)
+        return np.asarray(incident_pa) * gamma * eta * self.backscatter_loss
+
+    def modulation_depth(
+        self, load_impedance_absorb, frequency_hz, load_impedance_reflect=0.0
+    ) -> float:
+        """|Gamma_reflect - Gamma_absorb| * eta * loss — the uplink signal amplitude
+        per unit incident pressure.
+
+        Backscatter decoders see the *difference* between the two states,
+        so this is the quantity that sets uplink SNR.
+        """
+        g_r = self.reflection_coefficient(load_impedance_reflect, frequency_hz)
+        g_a = self.reflection_coefficient(load_impedance_absorb, frequency_hz)
+        eta = float(self.response(frequency_hz))
+        return float(abs(g_r - g_a)) * eta * self.backscatter_loss

@@ -1,0 +1,136 @@
+"""The recto-piezo: programmable resonance through matching networks.
+
+A recto-piezo (Sec. 3.3.1) is the combination of a piezoelectric
+transducer with a matching network chosen to place the node's
+*electrical* resonance at a desired channel frequency.  A
+:class:`RectoPiezoBank` holds one or more such modes for a single
+transducer — the paper's proposed extension where "the micro-controller
+[selects] the recto-piezo" — along with the backscatter switch state for
+each mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.backscatter_switch import BackscatterSwitch, SwitchState
+from repro.circuits.harvester import EnergyHarvester
+from repro.circuits.rectifier import MultiStageRectifier
+from repro.piezo.transducer import Transducer
+
+
+@dataclass(frozen=True)
+class RectoPiezoMode:
+    """One selectable resonance mode.
+
+    Attributes
+    ----------
+    index:
+        Position in the bank.
+    frequency_hz:
+        The electrical resonance / channel frequency.
+    harvester:
+        Harvesting chain matched at that frequency.
+    switch:
+        Backscatter switch presenting matched/short loads.
+    """
+
+    index: int
+    frequency_hz: float
+    harvester: EnergyHarvester
+    switch: BackscatterSwitch
+
+
+class RectoPiezoBank:
+    """All resonance modes of one node's front end.
+
+    Parameters
+    ----------
+    transducer:
+        The shared piezo element.
+    frequencies_hz:
+        One entry per selectable mode (the paper's nodes each had one;
+        two-node experiments used 15 kHz and 18 kHz parts).
+    rectifier:
+        Shared rectifier model.
+    """
+
+    def __init__(
+        self,
+        transducer: Transducer,
+        frequencies_hz,
+        *,
+        rectifier: MultiStageRectifier | None = None,
+    ) -> None:
+        freqs = [float(f) for f in frequencies_hz]
+        if not freqs:
+            raise ValueError("need at least one mode")
+        if any(f <= 0 for f in freqs):
+            raise ValueError("frequencies must be positive")
+        self.transducer = transducer
+        self.rectifier = rectifier if rectifier is not None else MultiStageRectifier()
+        self._modes: list[RectoPiezoMode] = []
+        for i, f in enumerate(freqs):
+            harvester = EnergyHarvester(
+                transducer, self.rectifier, design_frequency_hz=f
+            )
+            switch = BackscatterSwitch(
+                matching_network=harvester.matching_network,
+                rectifier_input_ohm=self.rectifier.input_resistance_ohm,
+            )
+            self._modes.append(
+                RectoPiezoMode(index=i, frequency_hz=f, harvester=harvester, switch=switch)
+            )
+
+    def __len__(self) -> int:
+        return len(self._modes)
+
+    def mode(self, index: int) -> RectoPiezoMode:
+        """Look up a mode by index."""
+        if not 0 <= index < len(self._modes):
+            raise IndexError("mode index out of range")
+        return self._modes[index]
+
+    @property
+    def modes(self) -> list[RectoPiezoMode]:
+        return list(self._modes)
+
+    def frequencies(self) -> list[float]:
+        """Channel frequencies of all modes."""
+        return [m.frequency_hz for m in self._modes]
+
+    # -- physics used by the waveform simulation ------------------------------------
+
+    def reflection_states(
+        self, mode_index: int, frequency_hz: float
+    ) -> tuple[complex, complex]:
+        """Complex reflected-pressure gains (absorb, reflect) at a frequency.
+
+        Includes the transducer's mechanical bandpass and backscatter
+        loss, so the *difference* of the two values is the modulation the
+        hydrophone can see (zero far off resonance — but nonzero at other
+        nodes' channels, which is exactly the frequency-agnostic
+        interference of Sec. 3.3.2).
+        """
+        mode = self.mode(mode_index)
+        z_absorb = mode.switch.load_impedance(SwitchState.ABSORB, frequency_hz)
+        z_reflect = mode.switch.load_impedance(SwitchState.REFLECT, frequency_hz)
+        gamma_a = complex(
+            np.asarray(
+                self.transducer.reflected_pressure(1.0, z_absorb, frequency_hz)
+            )
+        )
+        gamma_r = complex(
+            np.asarray(
+                self.transducer.reflected_pressure(1.0, z_reflect, frequency_hz)
+            )
+        )
+        return gamma_a, gamma_r
+
+    def modulation_depth(self, mode_index: int, frequency_hz: float) -> float:
+        """|Gamma_reflect - Gamma_absorb| at a frequency (uplink amplitude
+        per unit incident pressure)."""
+        gamma_a, gamma_r = self.reflection_states(mode_index, frequency_hz)
+        return abs(gamma_r - gamma_a)

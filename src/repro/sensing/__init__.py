@@ -1,0 +1,26 @@
+"""Sensing peripherals for the battery-free node (paper Sec. 5.1c, 6.5).
+
+Behavioural models of the sensors the paper integrates: a Nernstian pH
+mini-probe behind an LMP91200-style analog front end sampled by the MCU
+ADC, and an MS5837-30BA digital pressure/temperature sensor on the I2C
+bus.
+"""
+
+from repro.sensing.adc import SarADC
+from repro.sensing.i2c import I2CBus, I2CDevice, I2CError
+from repro.sensing.ph import PhProbe, PhAnalogFrontEnd, PhSensor
+from repro.sensing.pressure import MS5837, WaterColumn
+from repro.sensing.temperature import ThermistorChannel
+
+__all__ = [
+    "SarADC",
+    "I2CBus",
+    "I2CDevice",
+    "I2CError",
+    "PhProbe",
+    "PhAnalogFrontEnd",
+    "PhSensor",
+    "MS5837",
+    "WaterColumn",
+    "ThermistorChannel",
+]

@@ -1,0 +1,83 @@
+"""A small I2C bus model.
+
+The MS5837 pressure sensor "directly communicates with the MCU through
+I2C" (Sec. 5.1c).  The model implements the transaction level of the
+protocol — 7-bit addressing, write bytes, read bytes — with the error
+modes firmware actually has to handle (NACK from an absent device,
+multiple devices at the same address).
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class I2CError(IOError):
+    """A failed bus transaction (address NACK, protocol violation)."""
+
+
+class I2CDevice(abc.ABC):
+    """Base class for bus peripherals."""
+
+    #: 7-bit device address; subclasses must set this.
+    address: int = 0x00
+
+    @abc.abstractmethod
+    def write(self, data: bytes) -> None:
+        """Handle a master write transaction."""
+
+    @abc.abstractmethod
+    def read(self, length: int) -> bytes:
+        """Handle a master read transaction of ``length`` bytes."""
+
+
+class I2CBus:
+    """A single-master I2C bus with attached devices."""
+
+    def __init__(self) -> None:
+        self._devices: dict[int, I2CDevice] = {}
+
+    def attach(self, device: I2CDevice) -> None:
+        """Add a peripheral; addresses must be unique and 7-bit."""
+        addr = device.address
+        if not 0x08 <= addr <= 0x77:
+            raise ValueError(f"address 0x{addr:02x} outside the 7-bit range")
+        if addr in self._devices:
+            raise ValueError(f"address conflict at 0x{addr:02x}")
+        self._devices[addr] = device
+
+    def detach(self, address: int) -> None:
+        """Remove a peripheral."""
+        if address not in self._devices:
+            raise KeyError(f"no device at 0x{address:02x}")
+        del self._devices[address]
+
+    def scan(self) -> list[int]:
+        """Addresses that acknowledge (like ``i2cdetect``)."""
+        return sorted(self._devices)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Master write; raises :class:`I2CError` on NACK."""
+        device = self._devices.get(address)
+        if device is None:
+            raise I2CError(f"NACK: no device at 0x{address:02x}")
+        device.write(bytes(data))
+
+    def read(self, address: int, length: int) -> bytes:
+        """Master read; raises :class:`I2CError` on NACK."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        device = self._devices.get(address)
+        if device is None:
+            raise I2CError(f"NACK: no device at 0x{address:02x}")
+        result = device.read(length)
+        if len(result) != length:
+            raise I2CError(
+                f"device 0x{address:02x} returned {len(result)} of {length} bytes"
+            )
+        return result
+
+    def write_read(self, address: int, data: bytes, length: int) -> bytes:
+        """Combined write-then-read transaction (repeated start)."""
+        self.write(address, data)
+        return self.read(address, length)

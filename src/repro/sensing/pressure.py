@@ -1,0 +1,202 @@
+"""MS5837-30BA digital pressure/temperature sensor model + driver.
+
+The paper extracts temperature and pressure from the MS5837-30BA, "a
+waterproof digital sensor which directly communicates with the MCU using
+an I2C interface" (Sec. 5.1c), and verifies readings of room temperature
+and ~1 bar (Sec. 6.5).
+
+The model implements the datasheet's register-level protocol —
+
+* ``0x1E``     reset,
+* ``0xA0+2k``  PROM coefficient reads (C0..C6, 16 bit),
+* ``0x40/0x50`` start D1 (pressure) / D2 (temperature) conversion,
+* ``0x00``     24-bit ADC result read,
+
+— and its first-order compensation arithmetic, so the driver code below
+exercises exactly the math real firmware runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sensing.i2c import I2CBus, I2CDevice, I2CError
+
+#: Datasheet-typical PROM calibration coefficients for a 30-bar part.
+DEFAULT_PROM = (0x0000, 34982, 36352, 20328, 22354, 26646, 26146)
+
+#: Standard atmosphere [mbar].
+ATMOSPHERE_MBAR = 1013.25
+
+#: Pressure added per metre of water depth [mbar/m] (rho*g*h).
+MBAR_PER_METRE = 98.1
+
+
+@dataclass
+class WaterColumn:
+    """Ground-truth environment the sensor sits in.
+
+    Attributes
+    ----------
+    depth_m:
+        Sensor depth below the surface [m].
+    temperature_c:
+        Water temperature [C].
+    surface_pressure_mbar:
+        Atmospheric pressure at the surface [mbar].
+    """
+
+    depth_m: float = 0.0
+    temperature_c: float = 20.0
+    surface_pressure_mbar: float = ATMOSPHERE_MBAR
+
+    def __post_init__(self) -> None:
+        if self.depth_m < 0:
+            raise ValueError("depth must be non-negative")
+
+    @property
+    def absolute_pressure_mbar(self) -> float:
+        """Total pressure at the sensor [mbar]."""
+        return self.surface_pressure_mbar + MBAR_PER_METRE * self.depth_m
+
+
+def compensate(d1: int, d2: int, prom) -> tuple[float, float]:
+    """Datasheet first-order compensation: raw ADC -> (mbar, Celsius)."""
+    c = prom
+    dt = d2 - c[5] * 256
+    temp = 2000 + dt * c[6] / (1 << 23)
+    off = c[2] * (1 << 16) + c[4] * dt / (1 << 7)
+    sens = c[1] * (1 << 15) + c[3] * dt / (1 << 8)
+    p = (d1 * sens / (1 << 21) - off) / (1 << 13)
+    return p / 10.0, temp / 100.0
+
+
+def synthesize_raw(pressure_mbar: float, temperature_c: float, prom) -> tuple[int, int]:
+    """Invert :func:`compensate`: ground truth -> raw D1/D2 codes."""
+    c = prom
+    dt = (temperature_c * 100.0 - 2000.0) * (1 << 23) / c[6]
+    d2 = int(round(dt + c[5] * 256))
+    off = c[2] * (1 << 16) + c[4] * dt / (1 << 7)
+    sens = c[1] * (1 << 15) + c[3] * dt / (1 << 8)
+    d1 = int(round((pressure_mbar * 10.0 * (1 << 13) + off) * (1 << 21) / sens))
+    if not 0 <= d1 < (1 << 24) or not 0 <= d2 < (1 << 24):
+        raise ValueError("environment outside the sensor's raw range")
+    return d1, d2
+
+
+class MS5837(I2CDevice):
+    """The sensor itself, attached to an :class:`I2CBus`."""
+
+    address = 0x76
+
+    _CMD_RESET = 0x1E
+    _CMD_ADC_READ = 0x00
+    _CMD_CONVERT_D1 = 0x40  # 0x40-0x4A depending on OSR
+    _CMD_CONVERT_D2 = 0x50
+
+    def __init__(self, environment: WaterColumn, prom=DEFAULT_PROM) -> None:
+        if len(prom) != 7:
+            raise ValueError("PROM must hold 7 coefficients")
+        self.environment = environment
+        self.prom = tuple(int(x) & 0xFFFF for x in prom)
+        self._adc_result: int | None = None
+        self._read_buffer: bytes = b""
+        self._was_reset = False
+
+    # -- device side of the protocol ------------------------------------------------
+
+    def write(self, data: bytes) -> None:
+        if len(data) != 1:
+            raise I2CError("MS5837 commands are single bytes")
+        cmd = data[0]
+        if cmd == self._CMD_RESET:
+            self._was_reset = True
+            self._adc_result = None
+            self._read_buffer = b""
+        elif 0xA0 <= cmd <= 0xAC and cmd % 2 == 0:
+            index = (cmd - 0xA0) // 2
+            value = self.prom[index]
+            self._read_buffer = bytes([(value >> 8) & 0xFF, value & 0xFF])
+        elif self._CMD_CONVERT_D1 <= cmd <= self._CMD_CONVERT_D1 + 0x0A:
+            self._require_reset()
+            d1, _ = synthesize_raw(
+                self.environment.absolute_pressure_mbar,
+                self.environment.temperature_c,
+                self.prom,
+            )
+            self._adc_result = d1
+        elif self._CMD_CONVERT_D2 <= cmd <= self._CMD_CONVERT_D2 + 0x0A:
+            self._require_reset()
+            _, d2 = synthesize_raw(
+                self.environment.absolute_pressure_mbar,
+                self.environment.temperature_c,
+                self.prom,
+            )
+            self._adc_result = d2
+        elif cmd == self._CMD_ADC_READ:
+            value = self._adc_result if self._adc_result is not None else 0
+            self._read_buffer = bytes(
+                [(value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF]
+            )
+            self._adc_result = None
+        else:
+            raise I2CError(f"unknown MS5837 command 0x{cmd:02x}")
+
+    def read(self, length: int) -> bytes:
+        data, self._read_buffer = self._read_buffer[:length], b""
+        if len(data) < length:
+            data = data + b"\x00" * (length - len(data))
+        return data
+
+    def _require_reset(self) -> None:
+        if not self._was_reset:
+            raise I2CError("MS5837 must be reset before conversions")
+
+
+class MS5837Driver:
+    """Firmware-side driver running transactions over the bus."""
+
+    def __init__(self, bus: I2CBus, address: int = MS5837.address) -> None:
+        self.bus = bus
+        self.address = address
+        self._prom: tuple | None = None
+
+    def initialise(self) -> None:
+        """Reset the part and read its PROM coefficients."""
+        self.bus.write(self.address, bytes([MS5837._CMD_RESET]))
+        coeffs = []
+        for k in range(7):
+            raw = self.bus.write_read(self.address, bytes([0xA0 + 2 * k]), 2)
+            coeffs.append((raw[0] << 8) | raw[1])
+        self._prom = tuple(coeffs)
+
+    def _convert(self, command: int) -> int:
+        self.bus.write(self.address, bytes([command]))
+        raw = self.bus.write_read(self.address, bytes([MS5837._CMD_ADC_READ]), 3)
+        return (raw[0] << 16) | (raw[1] << 8) | raw[2]
+
+    def read(self) -> tuple[float, float]:
+        """One full measurement: returns ``(pressure_mbar, temperature_c)``."""
+        if self._prom is None:
+            self.initialise()
+        d1 = self._convert(MS5837._CMD_CONVERT_D1 + 0x0A)  # highest OSR
+        d2 = self._convert(MS5837._CMD_CONVERT_D2 + 0x0A)
+        return compensate(d1, d2, self._prom)
+
+    @staticmethod
+    def encode_reading(pressure_mbar: float, temperature_c: float) -> bytes:
+        """Pack a reading into four payload bytes (0.1 mbar, 0.01 C units)."""
+        p = int(round(pressure_mbar * 10.0))
+        t = int(round((temperature_c + 100.0) * 100.0))  # offset binary
+        if not 0 <= p <= 0xFFFF or not 0 <= t <= 0xFFFF:
+            raise ValueError("reading out of encodable range")
+        return bytes([(p >> 8) & 0xFF, p & 0xFF, (t >> 8) & 0xFF, t & 0xFF])
+
+    @staticmethod
+    def decode_reading(payload: bytes) -> tuple[float, float]:
+        """Inverse of :meth:`encode_reading`."""
+        if len(payload) < 4:
+            raise ValueError("payload too short")
+        p = ((payload[0] << 8) | payload[1]) / 10.0
+        t = ((payload[2] << 8) | payload[3]) / 100.0 - 100.0
+        return p, t

@@ -1,0 +1,69 @@
+"""Analog temperature channel (NTC thermistor divider into the ADC).
+
+The MS5837 already reports temperature digitally; this analog channel is
+the general-purpose alternative the platform's "extensible peripheral
+interface" supports — a 10 k NTC thermistor in a resistive divider read
+by the MCU ADC, using the beta-parameter model
+
+    R(T) = R25 * exp(beta * (1/T - 1/T25)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ThermistorChannel:
+    """NTC thermistor + divider + conversion maths.
+
+    Parameters
+    ----------
+    r25_ohm:
+        Thermistor resistance at 25 C.
+    beta_k:
+        Beta parameter [K].
+    divider_ohm:
+        Fixed top resistor of the divider.
+    supply_v:
+        Divider supply rail (the node's 1.8 V).
+    """
+
+    r25_ohm: float = 10_000.0
+    beta_k: float = 3_950.0
+    divider_ohm: float = 10_000.0
+    supply_v: float = 1.8
+
+    def __post_init__(self) -> None:
+        if min(self.r25_ohm, self.beta_k, self.divider_ohm, self.supply_v) <= 0:
+            raise ValueError("all parameters must be positive")
+
+    def resistance(self, temperature_c: float) -> float:
+        """Thermistor resistance [ohm] at a temperature."""
+        t = temperature_c + 273.15
+        if t <= 0:
+            raise ValueError("temperature below absolute zero")
+        return self.r25_ohm * math.exp(self.beta_k * (1.0 / t - 1.0 / 298.15))
+
+    def divider_voltage(self, temperature_c: float) -> float:
+        """Voltage at the ADC pin (thermistor on the bottom leg)."""
+        r = self.resistance(temperature_c)
+        return self.supply_v * r / (r + self.divider_ohm)
+
+    def temperature_from_voltage(self, v_adc: float) -> float:
+        """Invert the divider + beta model: ADC voltage -> Celsius."""
+        if not 0.0 < v_adc < self.supply_v:
+            raise ValueError("voltage outside the divider's open interval")
+        r = self.divider_ohm * v_adc / (self.supply_v - v_adc)
+        inv_t = 1.0 / 298.15 + math.log(r / self.r25_ohm) / self.beta_k
+        return 1.0 / inv_t - 273.15
+
+    def read(self, true_temperature_c: float, adc=None) -> float:
+        """Full-chain reading through an ADC model."""
+        from repro.sensing.adc import SarADC
+
+        adc = adc if adc is not None else SarADC(seed=0)
+        v = adc.sample_average(self.divider_voltage(true_temperature_c))
+        v = min(max(v, 1e-6), self.supply_v - 1e-6)
+        return self.temperature_from_voltage(v)

@@ -1,0 +1,92 @@
+"""Tests for absorption models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acoustics import (
+    absorption_db,
+    francois_garrison_db_per_km,
+    thorp_attenuation_db_per_km,
+)
+
+
+class TestThorp:
+    def test_monotonic_in_frequency(self):
+        values = [thorp_attenuation_db_per_km(f) for f in (1e3, 5e3, 15e3, 40e3)]
+        assert values == sorted(values)
+
+    def test_magnitude_at_15khz(self):
+        # Thorp at 15 kHz is ~2 dB/km (textbook value 1.8-2.3).
+        a = thorp_attenuation_db_per_km(15_000.0)
+        assert 1.0 < a < 4.0
+
+    def test_small_at_low_frequency(self):
+        assert thorp_attenuation_db_per_km(100.0) < 0.1
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            thorp_attenuation_db_per_km(0.0)
+
+    @given(f=st.floats(100.0, 50_000.0))
+    def test_always_positive(self, f):
+        assert thorp_attenuation_db_per_km(f) > 0.0
+
+
+class TestFrancoisGarrison:
+    def test_fresh_water_far_below_seawater(self):
+        fresh = francois_garrison_db_per_km(15_000.0, salinity_psu=0.0)
+        sea = francois_garrison_db_per_km(15_000.0, salinity_psu=35.0)
+        assert fresh < sea
+        # At 15 kHz seawater absorption is dominated by MgSO4 relaxation.
+        assert sea / max(fresh, 1e-12) > 5.0
+
+    def test_seawater_close_to_thorp(self):
+        """FG with standard ocean parameters tracks Thorp within a factor ~2."""
+        for f in (5e3, 10e3, 15e3, 20e3):
+            fg = francois_garrison_db_per_km(
+                f, temperature_c=10.0, salinity_psu=35.0, depth_m=100.0, ph=8.0
+            )
+            th = thorp_attenuation_db_per_km(f)
+            assert fg / th < 2.5
+            assert th / fg < 2.5
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            francois_garrison_db_per_km(-1.0)
+
+    @given(
+        f=st.floats(1_000.0, 50_000.0),
+        t=st.floats(0.0, 30.0),
+        s=st.floats(0.0, 40.0),
+    )
+    def test_nonnegative(self, f, t, s):
+        assert francois_garrison_db_per_km(f, t, s, 1.0) >= 0.0
+
+
+class TestAbsorptionDb:
+    def test_scales_linearly_with_distance(self):
+        one = absorption_db(15_000.0, 1_000.0)
+        two = absorption_db(15_000.0, 2_000.0)
+        assert two == pytest.approx(2.0 * one)
+
+    def test_zero_distance_is_zero(self):
+        assert absorption_db(15_000.0, 0.0) == 0.0
+
+    def test_negligible_at_tank_scale(self):
+        # Over 10 m at 15 kHz, absorption is far under 0.1 dB.
+        assert absorption_db(15_000.0, 10.0) < 0.1
+
+    def test_model_selection(self):
+        th = absorption_db(15_000.0, 1_000.0, model="thorp")
+        fg = absorption_db(
+            15_000.0, 1_000.0, model="francois-garrison", salinity_psu=35.0
+        )
+        assert th != fg
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            absorption_db(15_000.0, 1.0, model="magic")
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            absorption_db(15_000.0, -1.0)

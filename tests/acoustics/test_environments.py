@@ -1,0 +1,51 @@
+"""Tests for deployment-environment presets."""
+
+import pytest
+
+from repro.acoustics.environments import (
+    ENVIRONMENTS,
+    coastal_ocean,
+    lake,
+    indoor_tank,
+    river,
+)
+
+
+class TestPresets:
+    def test_registry_complete(self):
+        assert set(ENVIRONMENTS) == {"tank", "river", "lake", "ocean"}
+
+    def test_sound_speeds_physical(self):
+        for factory in ENVIRONMENTS.values():
+            env = factory()
+            assert 1_400.0 < env.sound_speed_mps < 1_560.0
+
+    def test_seawater_faster_than_fresh(self):
+        assert coastal_ocean().sound_speed_mps > lake().sound_speed_mps
+
+    def test_seawater_absorbs_more(self):
+        """Boric-acid and MgSO4 relaxation only exist in salt water."""
+        f = 15_000.0
+        assert coastal_ocean().absorption_db_per_km(f) > (
+            5.0 * lake().absorption_db_per_km(f)
+        )
+
+    def test_tank_has_boundaries_open_water_does_not(self):
+        assert indoor_tank().tank is not None
+        assert river().tank is None
+        geometry = river().geometry()
+        assert geometry.wall_reflection == 0.0
+
+    def test_ocean_noise_is_wenz(self):
+        env = coastal_ocean(wind_speed_mps=10.0)
+        calm = coastal_ocean(wind_speed_mps=0.0)
+        assert env.noise.psd_db(15_000.0) > calm.noise.psd_db(15_000.0)
+
+    def test_river_noisier_than_lake(self):
+        assert river().noise.psd_db(15_000.0) > lake().noise.psd_db(15_000.0)
+
+    def test_geometry_contains_positions(self):
+        from repro.acoustics import Position
+
+        geo = lake().geometry()
+        assert geo.contains(Position(100.0, 100.0, 50.0))

@@ -1,0 +1,99 @@
+"""Tests for the time-varying fading channel."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.fading import FadingProcess
+from repro.dsp import tone
+
+FS = 96_000.0
+
+
+class TestGainSeries:
+    def test_mean_power_normalised(self):
+        proc = FadingProcess(k_factor_db=6.0, coherence_time_s=0.1, seed=0)
+        gains = proc.gain_series(200_000, 1_000.0)
+        assert float(np.mean(np.abs(gains) ** 2)) == pytest.approx(1.0, rel=0.1)
+
+    def test_mean_gain_scaling(self):
+        proc = FadingProcess(mean_gain=0.5, seed=1)
+        gains = proc.gain_series(100_000, 1_000.0)
+        assert float(np.mean(np.abs(gains) ** 2)) == pytest.approx(0.25, rel=0.15)
+
+    def test_high_k_nearly_static(self):
+        proc = FadingProcess(k_factor_db=30.0, seed=2)
+        gains = proc.gain_series(50_000, 1_000.0)
+        assert float(np.std(np.abs(gains))) < 0.05
+
+    def test_low_k_fades_deeply(self):
+        proc = FadingProcess(k_factor_db=-20.0, coherence_time_s=0.05, seed=3)
+        gains = proc.gain_series(200_000, 1_000.0)
+        power = np.abs(gains) ** 2
+        assert np.min(power) < 0.05  # deep Rayleigh fades
+
+    def test_correlation_time(self):
+        """The autocorrelation of the diffuse part decays at ~1/e over the
+        coherence time."""
+        tau = 0.2
+        fs = 1_000.0
+        proc = FadingProcess(
+            k_factor_db=-100.0, coherence_time_s=tau, seed=4
+        )
+        gains = proc.gain_series(400_000, fs)
+        x = gains - np.mean(gains)
+        lag = int(tau * fs)
+        num = np.abs(np.mean(x[lag:] * np.conjugate(x[:-lag])))
+        den = float(np.mean(np.abs(x) ** 2))
+        assert num / den == pytest.approx(np.exp(-1.0), abs=0.12)
+
+    def test_seed_reproducible(self):
+        a = FadingProcess(seed=7).gain_series(1_000, FS)
+        b = FadingProcess(seed=7).gain_series(1_000, FS)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty(self):
+        assert len(FadingProcess(seed=0).gain_series(0, FS)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FadingProcess(coherence_time_s=0.0)
+        with pytest.raises(ValueError):
+            FadingProcess(mean_gain=0.0)
+        with pytest.raises(ValueError):
+            FadingProcess(seed=0).gain_series(-1, FS)
+        with pytest.raises(ValueError):
+            FadingProcess(seed=0).gain_series(10, 0.0)
+
+
+class TestApply:
+    def test_preserves_power_scale(self):
+        # Fast fading (coherence << window) so the window averages many
+        # fades; slow fading legitimately wanders on short windows.
+        proc = FadingProcess(
+            k_factor_db=20.0, coherence_time_s=0.02, seed=5
+        )
+        x = tone(15_000.0, 0.5, FS)
+        y = proc.apply(x, FS)
+        assert len(y) == len(x)
+        assert float(np.mean(y**2)) == pytest.approx(
+            float(np.mean(x**2)), rel=0.2
+        )
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            FadingProcess(seed=0).apply(np.ones((2, 3)), FS)
+
+
+class TestOutage:
+    def test_outage_grows_as_k_falls(self):
+        high_k = FadingProcess(k_factor_db=15.0, seed=6).outage_probability(3.0)
+        low_k = FadingProcess(k_factor_db=-10.0, seed=6).outage_probability(3.0)
+        assert low_k > high_k
+
+    def test_more_margin_less_outage(self):
+        proc = FadingProcess(k_factor_db=0.0, seed=8)
+        assert proc.outage_probability(10.0) < proc.outage_probability(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FadingProcess(seed=0).outage_probability(-1.0)

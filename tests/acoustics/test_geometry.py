@@ -1,0 +1,100 @@
+"""Tests for positions and tank geometry."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acoustics import POOL_A, POOL_B, Position, Tank
+from repro.acoustics.geometry import open_water
+
+
+class TestPosition:
+    def test_distance(self):
+        a = Position(0.0, 0.0, 0.0)
+        b = Position(3.0, 4.0, 0.0)
+        assert a.distance_to(b) == 5.0
+
+    def test_distance_symmetric(self):
+        a = Position(1.0, 2.0, 0.5)
+        b = Position(4.0, 0.0, 1.0)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_as_tuple(self):
+        assert Position(1.0, 2.0, 3.0).as_tuple() == (1.0, 2.0, 3.0)
+
+    @given(
+        coords=st.tuples(
+            *[st.floats(-100, 100, allow_nan=False) for _ in range(6)]
+        )
+    )
+    def test_triangle_inequality(self, coords):
+        a = Position(*coords[:3])
+        b = Position(*coords[3:])
+        origin = Position(0.0, 0.0, 0.0)
+        assert a.distance_to(b) <= a.distance_to(origin) + origin.distance_to(b) + 1e-9
+
+
+class TestTank:
+    def test_pool_dimensions_match_paper(self):
+        assert POOL_A.length == 4.0 and POOL_A.width == 3.0
+        assert POOL_A.depth == pytest.approx(1.3)
+        assert POOL_B.length == 10.0 and POOL_B.width == pytest.approx(1.2)
+        assert POOL_B.depth == 1.0
+
+    def test_pool_b_is_corridor(self):
+        assert POOL_B.aspect_ratio > 5.0 > POOL_A.aspect_ratio
+
+    def test_contains(self):
+        assert POOL_A.contains(Position(2.0, 1.5, 0.5))
+        assert not POOL_A.contains(Position(5.0, 1.5, 0.5))
+        assert not POOL_A.contains(Position(2.0, 1.5, 2.0))
+
+    def test_validate_position_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            POOL_B.validate_position(Position(11.0, 0.5, 0.5))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Tank(length=0.0, width=1.0, depth=1.0)
+
+    def test_invalid_reflection(self):
+        with pytest.raises(ValueError):
+            Tank(length=1.0, width=1.0, depth=1.0, wall_reflection=1.5)
+
+    def test_diagonal(self):
+        t = Tank(length=3.0, width=4.0, depth=12.0)
+        assert t.diagonal == pytest.approx(13.0)
+
+    def test_open_water_has_no_reflections(self):
+        ow = open_water()
+        assert ow.wall_reflection == 0.0
+        assert ow.surface_reflection == 0.0
+        assert ow.contains(Position(100.0, 100.0, 100.0))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            POOL_A.length = 99.0  # type: ignore[misc]
+
+    @given(
+        x=st.floats(0, 4), y=st.floats(0, 3), z=st.floats(0, 1.3)
+    )
+    def test_all_interior_points_contained(self, x, y, z):
+        assert POOL_A.contains(Position(x, y, z))
+
+    def test_boundary_points_contained(self):
+        assert POOL_A.contains(Position(0.0, 0.0, 0.0))
+        assert POOL_A.contains(Position(4.0, 3.0, 1.3))
+
+    def test_diagonal_exceeds_every_pairwise_distance(self):
+        corners = [
+            Position(x, y, z)
+            for x in (0.0, POOL_B.length)
+            for y in (0.0, POOL_B.width)
+            for z in (0.0, POOL_B.depth)
+        ]
+        assert all(
+            a.distance_to(b) <= POOL_B.diagonal + 1e-9
+            for a in corners
+            for b in corners
+        )

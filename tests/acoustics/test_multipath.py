@@ -1,0 +1,162 @@
+"""Tests for the image-source multipath model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.acoustics import POOL_A, POOL_B, ImageSourceModel, Position
+from repro.acoustics.geometry import open_water
+from repro.constants import NOMINAL_SOUND_SPEED
+
+
+SRC = Position(0.5, 1.5, 0.6)
+RX = Position(3.0, 1.5, 0.6)
+
+
+def make_model(tank=POOL_A, **kw):
+    return ImageSourceModel(tank, **kw)
+
+
+class TestPaths:
+    def test_direct_path_first_and_correct(self):
+        model = make_model()
+        paths = model.paths(SRC, RX)
+        direct = paths[0]
+        assert direct.is_direct
+        d = SRC.distance_to(RX)
+        assert direct.distance_m == pytest.approx(d)
+        assert direct.delay_s == pytest.approx(d / NOMINAL_SOUND_SPEED)
+        # Spreading: gain ~ 1/d for d > 1 m.
+        assert direct.gain == pytest.approx(1.0 / d, rel=0.01)
+
+    def test_sorted_by_delay(self):
+        paths = make_model().paths(SRC, RX)
+        delays = [p.delay_s for p in paths]
+        assert delays == sorted(delays)
+
+    def test_order_zero_gives_only_direct(self):
+        paths = make_model(max_order=0).paths(SRC, RX)
+        # order 0 keeps the direct path plus single-bounce (odd parity n=0)
+        # images whose bounce count is 1 but enumerated at n=0; the model
+        # filters on total order <= 2*max_order = 0, so only direct remains.
+        assert len([p for p in paths if p.bounces == 0]) == 1
+
+    def test_more_order_more_paths(self):
+        few = make_model(max_order=1).paths(SRC, RX)
+        many = make_model(max_order=3).paths(SRC, RX)
+        assert len(many) > len(few)
+
+    def test_surface_bounce_flips_sign(self):
+        # In a tank with only a reflective surface (walls dead), the single
+        # surface-bounce path must have negative gain.
+        tank = open_water()
+        tank = type(tank)(
+            length=1e4,
+            width=1e4,
+            depth=1e4,
+            surface_reflection=-1.0,
+            wall_reflection=0.0,
+            name="half space",
+        )
+        src = Position(100.0, 100.0, 2.0)
+        rx = Position(110.0, 100.0, 2.0)
+        paths = ImageSourceModel(tank, max_order=1).paths(src, rx)
+        bounced = [p for p in paths if p.bounces == 1 and abs(p.gain) > 0]
+        assert bounced, "expected a surface-bounce path"
+        assert all(p.gain < 0 for p in bounced)
+
+    def test_validates_positions(self):
+        with pytest.raises(ValueError):
+            make_model().paths(Position(-1.0, 0.0, 0.0), RX)
+
+    def test_reciprocity_of_direct_gain(self):
+        model = make_model()
+        fwd = model.paths(SRC, RX)[0]
+        rev = model.paths(RX, SRC)[0]
+        assert fwd.gain == pytest.approx(rev.gain)
+        assert fwd.delay_s == pytest.approx(rev.delay_s)
+
+    def test_weak_paths_pruned(self):
+        strict = make_model(min_gain=1e-2).paths(SRC, RX)
+        loose = make_model(min_gain=1e-9).paths(SRC, RX)
+        assert len(strict) <= len(loose)
+        assert all(abs(p.gain) >= 1e-2 for p in strict)
+
+
+class TestCorridorEffect:
+    def test_pool_b_richer_on_axis_multipath(self):
+        """Pool B's close side walls add strong low-order images: the total
+        received energy for an on-axis link exceeds the free-field direct
+        energy by more than in the wider Pool A at the same distance."""
+        dist = 2.5
+        src_a = Position(0.5, 1.5, 0.6)
+        rx_a = Position(0.5 + dist, 1.5, 0.6)
+        src_b = Position(0.5, 0.6, 0.5)
+        rx_b = Position(0.5 + dist, 0.6, 0.5)
+        e_a = sum(
+            p.gain**2 for p in ImageSourceModel(POOL_A, max_order=2).paths(src_a, rx_a)
+        )
+        e_b = sum(
+            p.gain**2 for p in ImageSourceModel(POOL_B, max_order=2).paths(src_b, rx_b)
+        )
+        assert e_b > e_a
+
+
+class TestImpulseResponse:
+    def test_energy_matches_path_gains(self):
+        model = make_model()
+        fs = 96_000.0
+        h = model.impulse_response(SRC, RX, fs)
+        paths = model.paths(SRC, RX)
+        # Linear-splitting loses a little energy for off-grid delays, but
+        # totals should agree within ~20%.
+        assert np.sum(np.abs(h)) == pytest.approx(
+            sum(abs(p.gain) for p in paths), rel=0.2
+        )
+
+    def test_first_arrival_index(self):
+        model = make_model()
+        fs = 96_000.0
+        h = model.impulse_response(SRC, RX, fs)
+        direct = model.paths(SRC, RX)[0]
+        first = np.flatnonzero(np.abs(h) > 0)[0]
+        assert first == pytest.approx(direct.delay_s * fs, abs=1.0)
+
+    def test_max_delay_truncation(self):
+        model = make_model(max_order=3)
+        fs = 96_000.0
+        h_full = model.impulse_response(SRC, RX, fs)
+        h_cut = model.impulse_response(SRC, RX, fs, max_delay_s=0.003)
+        assert len(h_cut) <= len(h_full)
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            make_model().impulse_response(SRC, RX, 0.0)
+
+
+class TestNarrowbandGain:
+    def test_matches_impulse_response_dft(self):
+        model = make_model()
+        f = 15_000.0
+        g = model.channel_gain_at(SRC, RX, f)
+        fs = 192_000.0
+        h = model.impulse_response(SRC, RX, fs)
+        freqs = np.exp(-2j * math.pi * f * np.arange(len(h)) / fs)
+        g_dft = np.sum(h * freqs)
+        # Linear-interpolated fractional delays introduce a small phase
+        # error per tap, so allow 10% between the two computations.
+        assert abs(g - g_dft) / abs(g) < 0.10
+
+    def test_frequency_selectivity(self):
+        """Multipath makes |H(f)| vary across nearby frequencies."""
+        model = make_model(max_order=2)
+        gains = [
+            abs(model.channel_gain_at(SRC, RX, f))
+            for f in np.linspace(14_000.0, 16_000.0, 21)
+        ]
+        assert max(gains) / max(min(gains), 1e-12) > 1.05
+
+    def test_invalid_max_order(self):
+        with pytest.raises(ValueError):
+            make_model(max_order=-1)

@@ -1,0 +1,124 @@
+"""Tests for the ambient noise models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.acoustics import AmbientNoiseModel, wenz_noise_psd_db
+from repro.acoustics.noise import (
+    shipping_noise_db,
+    thermal_noise_db,
+    turbulence_noise_db,
+    wind_noise_db,
+)
+
+
+class TestWenzComponents:
+    def test_turbulence_dominates_at_low_frequency(self):
+        f = 5.0  # 5 Hz
+        assert turbulence_noise_db(f) > wind_noise_db(f, 0.0)
+
+    def test_thermal_dominates_at_high_frequency(self):
+        f = 500_000.0
+        assert thermal_noise_db(f) > turbulence_noise_db(f)
+        assert thermal_noise_db(f) > shipping_noise_db(f)
+
+    def test_wind_increases_noise(self):
+        calm = wind_noise_db(15_000.0, 0.0)
+        windy = wind_noise_db(15_000.0, 10.0)
+        assert windy > calm + 10.0
+
+    def test_shipping_activity_bounds(self):
+        with pytest.raises(ValueError):
+            shipping_noise_db(1_000.0, 1.5)
+
+    def test_negative_wind_rejected(self):
+        with pytest.raises(ValueError):
+            wind_noise_db(1_000.0, -1.0)
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            turbulence_noise_db(0.0)
+
+
+class TestWenzTotal:
+    def test_total_above_each_component(self):
+        f = 15_000.0
+        total = wenz_noise_psd_db(f)
+        assert total >= wind_noise_db(f, 0.0)
+        assert total >= thermal_noise_db(f)
+
+    def test_typical_level_at_15khz(self):
+        # Around 15 kHz the quiet-ocean ambient level is ~25-45 dB re uPa^2/Hz.
+        level = wenz_noise_psd_db(15_000.0)
+        assert 20.0 < level < 55.0
+
+    @given(f=st.floats(10.0, 100_000.0))
+    def test_finite_everywhere(self, f):
+        assert np.isfinite(wenz_noise_psd_db(f))
+
+
+class TestAmbientNoiseModel:
+    def test_flat_psd(self):
+        m = AmbientNoiseModel(spectrum="flat", flat_level_db=60.0)
+        assert m.psd_db(1_000.0) == 60.0
+        assert m.psd_db(20_000.0) == 60.0
+
+    def test_unknown_spectrum_rejected(self):
+        with pytest.raises(ValueError):
+            AmbientNoiseModel(spectrum="pink")
+
+    def test_generate_length_and_zero_mean(self):
+        m = AmbientNoiseModel(spectrum="flat", flat_level_db=60.0, seed=1)
+        x = m.generate(50_000, 96_000.0)
+        assert len(x) == 50_000
+        assert abs(float(np.mean(x))) < 3.0 * float(np.std(x)) / np.sqrt(len(x)) + 1e-12
+
+    def test_generate_power_matches_psd(self):
+        level_db = 60.0
+        fs = 96_000.0
+        m = AmbientNoiseModel(spectrum="flat", flat_level_db=level_db, seed=2)
+        x = m.generate(200_000, fs)
+        measured = float(np.mean(x**2))
+        expected = 10.0 ** (level_db / 10.0) * 1e-12 * (fs / 2.0)
+        assert measured == pytest.approx(expected, rel=0.05)
+
+    def test_seed_reproducibility(self):
+        a = AmbientNoiseModel(seed=42).generate(1000, 96_000.0)
+        b = AmbientNoiseModel(seed=42).generate(1000, 96_000.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_samples(self):
+        m = AmbientNoiseModel(seed=0)
+        assert len(m.generate(0, 96_000.0)) == 0
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ValueError):
+            AmbientNoiseModel(seed=0).generate(-1, 96_000.0)
+
+    def test_wenz_generation_is_coloured(self):
+        m = AmbientNoiseModel(spectrum="wenz", seed=3)
+        x = m.generate(1 << 15, 96_000.0)
+        spec = np.abs(np.fft.rfft(x)) ** 2
+        freqs = np.fft.rfftfreq(len(x), 1.0 / 96_000.0)
+        low = spec[(freqs > 500) & (freqs < 2_000)].mean()
+        high = spec[(freqs > 30_000) & (freqs < 40_000)].mean()
+        # Wenz spectra fall with frequency in this range.
+        assert low > high
+
+    def test_band_pressure_rms_positive_and_monotone(self):
+        m = AmbientNoiseModel(spectrum="flat", flat_level_db=60.0)
+        narrow = m.band_pressure_rms(14_000.0, 16_000.0)
+        wide = m.band_pressure_rms(10_000.0, 20_000.0)
+        assert 0 < narrow < wide
+
+    def test_band_pressure_rms_validates(self):
+        m = AmbientNoiseModel()
+        with pytest.raises(ValueError):
+            m.band_pressure_rms(5_000.0, 1_000.0)
+
+    @settings(max_examples=20)
+    @given(n=st.integers(1, 4096))
+    def test_generate_any_length(self, n):
+        m = AmbientNoiseModel(spectrum="flat", seed=5)
+        assert len(m.generate(n, 48_000.0)) == n

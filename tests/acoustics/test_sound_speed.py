@@ -1,0 +1,87 @@
+"""Tests for the empirical sound-speed equations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acoustics import (
+    sound_speed_coppens,
+    sound_speed_mackenzie,
+    sound_speed_medwin,
+)
+from repro.acoustics.sound_speed import SoundSpeedRangeError
+
+
+class TestMedwin:
+    def test_fresh_water_room_temperature(self):
+        # Fresh water at 20 C should be close to the textbook 1482 m/s.
+        c = sound_speed_medwin(20.0, 0.0, 0.5)
+        assert 1475.0 < c < 1490.0
+
+    def test_increases_with_temperature_in_tank_range(self):
+        c_cold = sound_speed_medwin(5.0, 0.0, 0.5)
+        c_warm = sound_speed_medwin(25.0, 0.0, 0.5)
+        assert c_warm > c_cold
+
+    def test_increases_with_salinity(self):
+        fresh = sound_speed_medwin(15.0, 0.0, 1.0)
+        salty = sound_speed_medwin(15.0, 35.0, 1.0)
+        assert salty > fresh
+
+    def test_increases_with_depth(self):
+        shallow = sound_speed_medwin(15.0, 35.0, 1.0)
+        deep = sound_speed_medwin(15.0, 35.0, 900.0)
+        assert deep > shallow
+
+    def test_rejects_out_of_range_temperature(self):
+        with pytest.raises(SoundSpeedRangeError):
+            sound_speed_medwin(50.0)
+
+    def test_validate_false_allows_extrapolation(self):
+        c = sound_speed_medwin(40.0, validate=False)
+        assert c > 1400.0
+
+    @given(
+        t=st.floats(0.0, 35.0),
+        s=st.floats(0.0, 45.0),
+        d=st.floats(0.0, 1000.0),
+    )
+    def test_always_physical(self, t, s, d):
+        c = sound_speed_medwin(t, s, d)
+        assert 1380.0 < c < 1650.0
+
+
+class TestMackenzie:
+    def test_standard_ocean_value(self):
+        # 10 C, 35 PSU, 100 m: near 1490 m/s.
+        c = sound_speed_mackenzie(10.0, 35.0, 100.0)
+        assert 1485.0 < c < 1500.0
+
+    def test_range_validation(self):
+        with pytest.raises(SoundSpeedRangeError):
+            sound_speed_mackenzie(10.0, 5.0, 100.0)  # salinity below 25
+
+    def test_fresh_water_extrapolation(self):
+        c = sound_speed_mackenzie(20.0, 0.0, 1.0, validate=False)
+        assert 1400.0 < c < 1550.0
+
+
+class TestCoppens:
+    def test_matches_medwin_within_few_mps(self):
+        for t in (5.0, 15.0, 25.0):
+            c1 = sound_speed_coppens(t, 35.0, 10.0)
+            c2 = sound_speed_medwin(t, 35.0, 10.0)
+            assert abs(c1 - c2) < 5.0
+
+    def test_rejects_negative_depth_range(self):
+        with pytest.raises(SoundSpeedRangeError):
+            sound_speed_coppens(10.0, 35.0, 5000.0)
+
+
+@given(t=st.floats(2.0, 30.0), s=st.floats(25.0, 40.0), d=st.floats(0.0, 1000.0))
+def test_equations_agree_in_overlap_region(t, s, d):
+    """All three fits should agree to within a few m/s where all are valid."""
+    c_mack = sound_speed_mackenzie(t, s, d)
+    c_med = sound_speed_medwin(t, s, d)
+    c_cop = sound_speed_coppens(t, s, d)
+    assert abs(c_mack - c_med) < 6.0
+    assert abs(c_mack - c_cop) < 6.0

@@ -1,0 +1,83 @@
+"""Tests for spreading and transmission loss."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acoustics import (
+    pressure_ratio_from_tl,
+    spreading_loss_db,
+    transmission_loss_db,
+)
+from repro.acoustics.spreading import (
+    CYLINDRICAL,
+    SPHERICAL,
+    tl_from_pressure_ratio,
+)
+
+
+class TestSpreadingLoss:
+    def test_zero_at_reference(self):
+        assert spreading_loss_db(1.0) == 0.0
+
+    def test_spherical_6db_per_doubling(self):
+        assert spreading_loss_db(2.0) == pytest.approx(6.02, abs=0.01)
+        assert spreading_loss_db(4.0) == pytest.approx(12.04, abs=0.01)
+
+    def test_cylindrical_3db_per_doubling(self):
+        assert spreading_loss_db(2.0, exponent=CYLINDRICAL) == pytest.approx(
+            3.01, abs=0.01
+        )
+
+    def test_clamps_inside_reference(self):
+        assert spreading_loss_db(0.1) == 0.0
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            spreading_loss_db(-1.0)
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            spreading_loss_db(5.0, exponent=-1.0)
+
+    @given(r=st.floats(1.0, 1e4))
+    def test_monotone_nondecreasing(self, r):
+        assert spreading_loss_db(r * 1.5) >= spreading_loss_db(r)
+
+
+class TestTransmissionLoss:
+    def test_dominated_by_spreading_at_tank_scale(self):
+        tl = transmission_loss_db(10.0, 15_000.0)
+        assert tl == pytest.approx(spreading_loss_db(10.0), abs=0.1)
+
+    def test_absorption_matters_at_km_scale(self):
+        tl = transmission_loss_db(5_000.0, 15_000.0)
+        assert tl > spreading_loss_db(5_000.0) + 5.0
+
+    def test_cylindrical_less_lossy(self):
+        sph = transmission_loss_db(100.0, 15_000.0, exponent=SPHERICAL)
+        cyl = transmission_loss_db(100.0, 15_000.0, exponent=CYLINDRICAL)
+        assert cyl < sph
+
+
+class TestPressureRatio:
+    def test_roundtrip(self):
+        for tl in (0.0, 3.0, 20.0, 60.0):
+            assert tl_from_pressure_ratio(
+                pressure_ratio_from_tl(tl)
+            ) == pytest.approx(tl)
+
+    def test_zero_tl_is_unity(self):
+        assert pressure_ratio_from_tl(0.0) == 1.0
+
+    def test_20db_is_factor_ten(self):
+        assert pressure_ratio_from_tl(20.0) == pytest.approx(0.1)
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ValueError):
+            tl_from_pressure_ratio(0.0)
+
+    @given(tl=st.floats(-40.0, 200.0))
+    def test_roundtrip_property(self, tl):
+        assert tl_from_pressure_ratio(
+            pressure_ratio_from_tl(tl)
+        ) == pytest.approx(tl, abs=1e-9)

@@ -1,0 +1,69 @@
+"""Tests for channel statistics."""
+
+import pytest
+
+from repro.acoustics import POOL_A, POOL_B, Position
+from repro.acoustics.geometry import open_water
+from repro.acoustics.stats import channel_stats, max_isi_free_bitrate
+
+
+class TestChannelStats:
+    def test_free_field_no_spread(self):
+        ow = open_water()
+        stats = channel_stats(
+            ow, Position(100.0, 100.0, 50.0), Position(105.0, 100.0, 50.0)
+        )
+        assert stats.n_paths == 1
+        assert stats.rms_delay_spread_s == 0.0
+        assert stats.k_factor_db == float("inf")
+
+    def test_tank_has_spread(self):
+        stats = channel_stats(
+            POOL_A, Position(0.5, 1.5, 0.6), Position(3.0, 1.5, 0.6)
+        )
+        assert stats.n_paths > 10
+        assert stats.rms_delay_spread_s > 1e-4
+        assert stats.coherence_bandwidth_hz < 10_000.0
+
+    def test_mean_delay_at_least_direct(self):
+        src, rx = Position(0.5, 1.5, 0.6), Position(3.0, 1.5, 0.6)
+        stats = channel_stats(POOL_A, src, rx)
+        direct = src.distance_to(rx) / 1481.0
+        assert stats.mean_delay_s >= direct
+
+    def test_delay_spread_in_chips(self):
+        stats = channel_stats(
+            POOL_A, Position(0.5, 1.5, 0.6), Position(3.0, 1.5, 0.6)
+        )
+        chips_1k = stats.delay_spread_chips(1_000.0)
+        chips_3k = stats.delay_spread_chips(3_000.0)
+        assert chips_3k == pytest.approx(3.0 * chips_1k)
+        # Multi-chip spread at 3 kbps: why the equaliser is needed.
+        assert chips_3k > 1.0
+
+    def test_validation(self):
+        stats = channel_stats(
+            POOL_A, Position(0.5, 1.5, 0.6), Position(3.0, 1.5, 0.6)
+        )
+        with pytest.raises(ValueError):
+            stats.delay_spread_chips(0.0)
+
+
+class TestIsiFreeBitrate:
+    def test_free_field_unlimited(self):
+        ow = open_water()
+        assert max_isi_free_bitrate(
+            ow, Position(100.0, 100.0, 50.0), Position(110.0, 100.0, 50.0)
+        ) == float("inf")
+
+    def test_tank_limited(self):
+        rate = max_isi_free_bitrate(
+            POOL_A, Position(0.5, 1.5, 0.6), Position(3.0, 1.5, 0.6)
+        )
+        assert 10.0 < rate < 3_000.0
+
+    def test_tighter_spread_budget_lower_rate(self):
+        args = (POOL_A, Position(0.5, 1.5, 0.6), Position(3.0, 1.5, 0.6))
+        strict = max_isi_free_bitrate(*args, max_spread_chips=0.25)
+        loose = max_isi_free_bitrate(*args, max_spread_chips=1.0)
+        assert strict < loose

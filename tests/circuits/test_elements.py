@@ -1,0 +1,97 @@
+"""Tests for impedance algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits import (
+    capacitor_impedance,
+    inductor_impedance,
+    mismatch_power_fraction,
+    parallel,
+    reflection_coefficient,
+    series,
+)
+
+
+class TestElementImpedances:
+    def test_inductor(self):
+        z = inductor_impedance(1e-3, 15_000.0)
+        assert z == pytest.approx(1j * 2 * np.pi * 15_000.0 * 1e-3)
+
+    def test_capacitor(self):
+        z = capacitor_impedance(1e-6, 15_000.0)
+        assert z == pytest.approx(1.0 / (1j * 2 * np.pi * 15_000.0 * 1e-6))
+
+    def test_capacitor_negative_imag(self):
+        assert capacitor_impedance(1e-6, 1_000.0).imag < 0
+
+    def test_inductor_positive_imag(self):
+        assert inductor_impedance(1e-3, 1_000.0).imag > 0
+
+    def test_vectorised(self):
+        freqs = np.array([1e3, 1e4])
+        z = inductor_impedance(1e-3, freqs)
+        assert z.shape == (2,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inductor_impedance(-1.0, 1e3)
+        with pytest.raises(ValueError):
+            capacitor_impedance(0.0, 1e3)
+        with pytest.raises(ValueError):
+            capacitor_impedance(1e-6, 0.0)
+
+
+class TestCombinations:
+    def test_series(self):
+        assert series(1 + 1j, 2 - 3j) == 3 - 2j
+
+    def test_parallel_equal_resistors(self):
+        assert parallel(100.0, 100.0) == pytest.approx(50.0)
+
+    def test_parallel_lc_resonance(self):
+        # L and C in parallel resonate where |Z| blows up.
+        f0 = 15_000.0
+        l = 1e-3
+        c = 1.0 / ((2 * np.pi * f0) ** 2 * l)
+        z = parallel(
+            inductor_impedance(l, f0 * 1.000001),
+            capacitor_impedance(c, f0 * 1.000001),
+        )
+        assert abs(z) > 1e6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series()
+        with pytest.raises(ValueError):
+            parallel()
+
+
+class TestReflection:
+    def test_conjugate_match_zero(self):
+        z_s = 100 + 50j
+        assert abs(reflection_coefficient(np.conjugate(z_s), z_s)) < 1e-12
+
+    def test_short_full_reflection(self):
+        assert abs(reflection_coefficient(0.0 + 0j, 100 + 50j)) == pytest.approx(1.0)
+
+    def test_mismatch_fraction_bounds(self):
+        assert mismatch_power_fraction(100 + 0j, 100 + 0j) == pytest.approx(1.0)
+        assert mismatch_power_fraction(0.0 + 0j, 100 + 0j) == pytest.approx(0.0)
+
+    @given(
+        rl=st.floats(0.1, 1e6),
+        xl=st.floats(-1e6, 1e6),
+        rs=st.floats(0.1, 1e6),
+        xs=st.floats(-1e6, 1e6),
+    )
+    def test_fraction_in_unit_interval(self, rl, xl, rs, xs):
+        frac = mismatch_power_fraction(complex(rl, xl), complex(rs, xs))
+        assert 0.0 <= frac <= 1.0
+
+    def test_vectorised_reflection(self):
+        z_l = np.array([0.0 + 0j, 100.0 - 50j])
+        gamma = reflection_coefficient(z_l, 100 + 50j)
+        assert gamma.shape == (2,)
+        assert abs(gamma[1]) < 1e-12

@@ -1,0 +1,111 @@
+"""Tests for L-match design — the recto-piezo core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import MatchComponent, design_l_match
+from repro.piezo import Transducer
+
+
+class TestMatchComponent:
+    def test_inductor_impedance(self):
+        c = MatchComponent("L", 1e-3)
+        assert c.impedance(1_000.0).imag > 0
+
+    def test_capacitor_impedance(self):
+        c = MatchComponent("C", 1e-6)
+        assert c.impedance(1_000.0).imag < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MatchComponent("R", 1.0)
+        with pytest.raises(ValueError):
+            MatchComponent("L", -1e-3)
+
+
+class TestDesignLMatch:
+    def assert_matched(self, z_source, r_load, f0, rel=1e-6):
+        net = design_l_match(z_source, r_load, f0)
+        z_in = net.input_impedance(f0, r_load)
+        assert z_in.real == pytest.approx(z_source.real, rel=rel, abs=1e-6)
+        assert z_in.imag == pytest.approx(-z_source.imag, rel=rel, abs=1e-3)
+        return net
+
+    def test_step_up_match(self):
+        # r_load > r_source: shunt-load topology.
+        net = self.assert_matched(50 + 0j, 2_000.0, 15_000.0)
+        assert net.topology == "shunt-load"
+
+    def test_step_down_match_with_reactive_source(self):
+        # r_load < r_source with big reactance: series-load topology.
+        net = self.assert_matched(500 - 400j, 100.0, 15_000.0)
+        assert net.topology == "series-load"
+
+    def test_capacitive_piezo_source(self):
+        """Match a realistic piezo impedance to a rectifier load."""
+        t = Transducer.from_cylinder_design()
+        f0 = t.resonance_hz
+        self.assert_matched(t.impedance(f0), 2_000.0, f0, rel=1e-3)
+
+    def test_match_only_exact_at_design_frequency(self):
+        t = Transducer.from_cylinder_design()
+        f0 = t.resonance_hz
+        net = design_l_match(t.impedance(f0), 2_000.0, f0)
+        z_on = net.input_impedance(f0, 2_000.0)
+        z_off = net.input_impedance(f0 * 1.15, 2_000.0)
+        target_on = np.conjugate(t.impedance(f0))
+        target_off = np.conjugate(t.impedance(f0 * 1.15))
+        assert abs(z_on - target_on) < abs(z_off - target_off)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            design_l_match(100 + 0j, -1.0, 15_000.0)
+        with pytest.raises(ValueError):
+            design_l_match(100 + 0j, 100.0, 0.0)
+        with pytest.raises(ValueError):
+            design_l_match(-5 + 0j, 100.0, 15_000.0)
+
+    @settings(max_examples=50)
+    @given(
+        rs=st.floats(1.0, 5_000.0),
+        xs=st.floats(-5_000.0, 5_000.0),
+        rl=st.floats(1.0, 10_000.0),
+        f0=st.floats(5_000.0, 30_000.0),
+    )
+    def test_exact_match_whenever_feasible(self, rs, xs, rl, f0):
+        z_s = complex(rs, xs)
+        try:
+            net = design_l_match(z_s, rl, f0)
+        except ValueError:
+            # Infeasible corner: must genuinely violate both topology
+            # conditions.
+            assert rl < rs
+            assert rl > (rs**2 + xs**2) / rs
+            return
+        z_in = net.input_impedance(f0, rl)
+        assert abs(z_in - np.conjugate(z_s)) / abs(z_s) < 1e-3
+
+
+class TestVoltageFraction:
+    def test_matched_power_transfer(self):
+        """At the design point, power into the load equals the available
+        power of the source — verified through the voltage fraction."""
+        z_s = 300 - 800j
+        r_l = 2_000.0
+        f0 = 15_000.0
+        net = design_l_match(z_s, r_l, f0)
+        v_frac = net.load_voltage_fraction(f0, r_l, z_s)
+        v_emf = 1.0
+        p_load = (abs(v_frac) * v_emf) ** 2 / 2.0 / r_l
+        p_avail = v_emf**2 / 2.0 / (4.0 * z_s.real)
+        assert p_load == pytest.approx(p_avail, rel=1e-3)
+
+    def test_off_design_transfer_lower(self):
+        z_s = 300 - 800j
+        r_l = 2_000.0
+        f0 = 15_000.0
+        net = design_l_match(z_s, r_l, f0)
+        on = abs(net.load_voltage_fraction(f0, r_l, z_s))
+        off = abs(net.load_voltage_fraction(f0 * 1.3, r_l, z_s))
+        assert off < on

@@ -1,0 +1,182 @@
+"""Tests for rectifier, supercapacitor, and LDO models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits import (
+    LowDropoutRegulator,
+    MultiStageRectifier,
+    Supercapacitor,
+)
+
+
+class TestRectifier:
+    def test_below_threshold_no_output(self):
+        r = MultiStageRectifier(stages=3, diode_drop_v=0.2)
+        assert r.open_circuit_voltage(0.1) == 0.0
+
+    def test_open_circuit_formula(self):
+        r = MultiStageRectifier(stages=3, diode_drop_v=0.2)
+        assert r.open_circuit_voltage(1.0) == pytest.approx(2 * 3 * 0.8)
+
+    def test_passive_amplification(self):
+        """More stages, more voltage — the paper's passive voltage boost."""
+        v_in = 0.9
+        one = MultiStageRectifier(stages=1).open_circuit_voltage(v_in)
+        three = MultiStageRectifier(stages=3).open_circuit_voltage(v_in)
+        assert three == pytest.approx(3.0 * one)
+
+    def test_loaded_voltage_droops(self):
+        r = MultiStageRectifier(output_resistance_ohm=5_000.0)
+        voc = r.open_circuit_voltage(1.5)
+        assert r.loaded_voltage(1.5, 100e-6) == pytest.approx(voc - 0.5)
+
+    def test_loaded_voltage_floors_at_zero(self):
+        r = MultiStageRectifier()
+        assert r.loaded_voltage(0.3, 1.0) == 0.0
+
+    def test_input_peak_for_output_roundtrip(self):
+        r = MultiStageRectifier(stages=3, diode_drop_v=0.2)
+        v_in = r.input_peak_for_output(4.0)
+        assert r.open_circuit_voltage(v_in) == pytest.approx(4.0)
+
+    def test_power_bookkeeping(self):
+        r = MultiStageRectifier(input_resistance_ohm=2_000.0, efficiency=0.6)
+        assert r.input_power(2.0) == pytest.approx(2.0**2 / 2 / 2_000.0)
+        assert r.output_power_available(2.0) == pytest.approx(
+            0.6 * r.input_power(2.0)
+        )
+        assert r.output_power_available(0.1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiStageRectifier(stages=0)
+        with pytest.raises(ValueError):
+            MultiStageRectifier(efficiency=0.0)
+        with pytest.raises(ValueError):
+            MultiStageRectifier(diode_drop_v=-0.1)
+        with pytest.raises(ValueError):
+            MultiStageRectifier().loaded_voltage(1.0, -1e-3)
+
+    @given(v=st.floats(0.0, 10.0))
+    def test_monotone_in_input(self, v):
+        r = MultiStageRectifier()
+        assert r.open_circuit_voltage(v + 0.1) >= r.open_circuit_voltage(v)
+
+
+class TestSupercapacitor:
+    def test_initial_state(self):
+        cap = Supercapacitor()
+        assert cap.voltage_v == 0.0
+        assert cap.energy_j == 0.0
+
+    def test_charges_toward_source(self):
+        cap = Supercapacitor(capacitance_f=1000e-6)
+        for _ in range(1000):
+            cap.charge_from_source(1e-3, 4.0, 5_000.0)
+        assert 0.0 < cap.voltage_v < 4.0
+
+    def test_rc_charging_time_constant(self):
+        """One RC of charging reaches ~63% of the source voltage."""
+        c, r_src = 1000e-6, 5_000.0
+        cap = Supercapacitor(capacitance_f=c, leakage_resistance_ohm=1e12)
+        tau = r_src * c
+        steps = 2_000
+        dt = tau / steps
+        for _ in range(steps):
+            cap.charge_from_source(dt, 1.0, r_src)
+        assert cap.voltage_v == pytest.approx(1.0 - 2.718281828**-1, rel=0.02)
+
+    def test_leakage_discharges(self):
+        cap = Supercapacitor(initial_voltage_v=3.0, leakage_resistance_ohm=1e4)
+        for _ in range(100):
+            cap.step(1e-2)
+        assert cap.voltage_v < 3.0
+
+    def test_never_negative(self):
+        cap = Supercapacitor(initial_voltage_v=0.1)
+        for _ in range(100):
+            cap.step(1e-1, i_load_a=1.0)
+        assert cap.voltage_v == 0.0
+
+    def test_clamps_at_rating(self):
+        cap = Supercapacitor(max_voltage_v=5.0)
+        for _ in range(100):
+            cap.step(1.0, i_in_a=1.0)
+        assert cap.voltage_v == 5.0
+
+    def test_time_to_reach(self):
+        cap = Supercapacitor(capacitance_f=1000e-6, leakage_resistance_ohm=1e12)
+        t = cap.time_to_reach(2.5, 4.0, 5_000.0, dt_s=1e-3)
+        # Analytic: t = RC * ln(V_src / (V_src - V_target)).
+        expected = 5_000.0 * 1000e-6 * 0.9808  # ln(4/1.5)
+        assert t == pytest.approx(expected, rel=0.05)
+
+    def test_time_to_reach_unreachable(self):
+        cap = Supercapacitor()
+        assert cap.time_to_reach(5.0, 2.0, 1_000.0, dt_s=1e-2, timeout_s=5.0) is None
+
+    def test_time_to_reach_already_there(self):
+        cap = Supercapacitor(initial_voltage_v=3.0)
+        assert cap.time_to_reach(2.0, 4.0, 1_000.0) == 0.0
+
+    def test_reset(self):
+        cap = Supercapacitor(initial_voltage_v=2.0)
+        cap.reset()
+        assert cap.voltage_v == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Supercapacitor(capacitance_f=0.0)
+        with pytest.raises(ValueError):
+            Supercapacitor(initial_voltage_v=10.0, max_voltage_v=5.0)
+        cap = Supercapacitor()
+        with pytest.raises(ValueError):
+            cap.step(-1.0)
+        with pytest.raises(ValueError):
+            cap.step(1.0, i_in_a=-1.0)
+        with pytest.raises(ValueError):
+            cap.charge_from_source(1.0, 1.0, 0.0)
+
+    @given(
+        v0=st.floats(0.0, 5.0),
+        i_in=st.floats(0.0, 1.0),
+        i_load=st.floats(0.0, 1.0),
+    )
+    def test_voltage_always_in_range(self, v0, i_in, i_load):
+        cap = Supercapacitor(initial_voltage_v=min(v0, 5.5), max_voltage_v=5.5)
+        for _ in range(10):
+            cap.step(1e-2, i_in, i_load)
+        assert 0.0 <= cap.voltage_v <= 5.5
+
+
+class TestLDO:
+    def test_regulates_above_minimum(self):
+        ldo = LowDropoutRegulator()
+        assert ldo.output_voltage(3.0) == pytest.approx(1.8)
+        assert ldo.is_regulating(3.0)
+
+    def test_dropout_region(self):
+        ldo = LowDropoutRegulator(output_v=1.8, dropout_v=0.12)
+        v = ldo.output_voltage(1.85)
+        assert v == pytest.approx(1.85 - 0.12)
+        assert not ldo.is_regulating(1.85)
+
+    def test_uvlo(self):
+        ldo = LowDropoutRegulator(undervoltage_lockout_v=1.0)
+        assert ldo.output_voltage(0.9) == 0.0
+        assert ldo.input_current(1e-3, 0.9) == 0.0
+
+    def test_input_current_includes_quiescent(self):
+        ldo = LowDropoutRegulator(quiescent_a=25e-6)
+        assert ldo.input_current(230e-6, 2.1) == pytest.approx(255e-6)
+
+    def test_power_loss_positive(self):
+        ldo = LowDropoutRegulator()
+        assert ldo.power_loss(230e-6, 2.5) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LowDropoutRegulator(output_v=0.0)
+        with pytest.raises(ValueError):
+            LowDropoutRegulator().input_current(-1.0, 2.0)

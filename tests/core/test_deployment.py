@@ -1,0 +1,104 @@
+"""Tests for deployment coverage maps and channel planning."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import POOL_A, POOL_B, Position
+from repro.core import Projector
+from repro.core.deployment import (
+    DeploymentPlan,
+    powerup_coverage,
+    snr_coverage,
+)
+from repro.net.fdma import ChannelPlan
+from repro.piezo import Transducer
+
+
+def make_projector(drive=100.0, carrier=None):
+    transducer = Transducer.from_cylinder_design()
+    f = carrier if carrier is not None else transducer.resonance_hz
+    return Projector(transducer=transducer, drive_voltage_v=drive, carrier_hz=f)
+
+
+class TestPowerupCoverage:
+    def test_strong_drive_covers_most_of_pool_a(self):
+        cov = powerup_coverage(POOL_A, make_projector(200.0), resolution_m=0.8)
+        assert cov.coverage_fraction > 0.8
+
+    def test_weak_drive_covers_little(self):
+        cov = powerup_coverage(POOL_A, make_projector(10.0), resolution_m=0.8)
+        assert cov.coverage_fraction < 0.4
+
+    def test_coverage_monotone_in_drive(self):
+        weak = powerup_coverage(POOL_A, make_projector(40.0), resolution_m=0.8)
+        strong = powerup_coverage(POOL_A, make_projector(250.0), resolution_m=0.8)
+        assert strong.coverage_fraction >= weak.coverage_fraction
+
+    def test_values_binary(self):
+        cov = powerup_coverage(POOL_A, make_projector(), resolution_m=1.0)
+        assert set(np.unique(cov.values)) <= {0.0, 1.0}
+
+    def test_value_at_lookup(self):
+        cov = powerup_coverage(POOL_A, make_projector(200.0), resolution_m=0.8)
+        assert cov.value_at(1.0, 1.5) in (0.0, 1.0)
+
+
+class TestSnrCoverage:
+    def test_snr_field_shape_and_units(self):
+        cov = snr_coverage(
+            POOL_A,
+            make_projector(100.0),
+            Position(1.0, 0.8, 0.65),
+            resolution_m=1.0,
+        )
+        finite = cov.values[np.isfinite(cov.values)]
+        assert len(finite) > 0
+        assert np.all(finite < 120.0)
+
+    def test_snr_falls_with_distance_on_average(self):
+        cov = snr_coverage(
+            POOL_B,
+            make_projector(100.0),
+            Position(0.6, 0.6, 0.5),
+            resolution_m=1.0,
+        )
+        near = cov.value_at(1.0, 0.6)
+        far = cov.value_at(9.0, 0.6)
+        assert near > far
+
+
+class TestDeploymentPlan:
+    def test_assigns_channels_and_checks_feasibility(self):
+        plan = DeploymentPlan(
+            tank=POOL_A,
+            projector=make_projector(250.0),
+            channel_plan=ChannelPlan(),
+        )
+        reports = plan.plan(
+            {
+                1: Position(1.5, 1.5, 0.6),
+                2: Position(2.5, 1.5, 0.6),
+            }
+        )
+        assert len(reports) == 2
+        channels = {r["channel_hz"] for r in reports}
+        assert channels == {15_000.0, 18_000.0}
+        assert all(r["incident_pa"] > 0 for r in reports)
+        # Close to a strong projector, the 15 kHz node powers up.
+        r15 = next(r for r in reports if r["channel_hz"] == 15_000.0)
+        assert r15["can_power_up"]
+
+    def test_too_many_nodes_rejected(self):
+        plan = DeploymentPlan(
+            tank=POOL_A,
+            projector=make_projector(),
+            channel_plan=ChannelPlan(),
+        )
+        with pytest.raises(ValueError, match="more nodes than channels"):
+            plan.plan(
+                {
+                    1: Position(1.0, 1.0, 0.6),
+                    2: Position(2.0, 1.0, 0.6),
+                    3: Position(3.0, 1.0, 0.6),
+                }
+            )

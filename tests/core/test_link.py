@@ -1,0 +1,178 @@
+"""Integration tests for the single-link waveform simulation."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import POOL_A, Position
+from repro.core import BackscatterLink, Projector
+from repro.net.messages import Command, Query
+from repro.node.node import Environment, PABNode
+from repro.piezo import Transducer
+from repro.sensing.pressure import ATMOSPHERE_MBAR, WaterColumn
+
+
+def make_link(
+    *,
+    drive=50.0,
+    node_distance=1.0,
+    bitrate=1_000.0,
+    environment=None,
+    channel=None,
+):
+    transducer = Transducer.from_cylinder_design()
+    f = channel if channel is not None else transducer.resonance_hz
+    projector = Projector(
+        transducer=transducer, drive_voltage_v=drive, carrier_hz=f
+    )
+    node = PABNode(
+        address=7,
+        channel_frequencies_hz=(f,),
+        bitrate=bitrate,
+        environment=environment,
+    )
+    return BackscatterLink(
+        POOL_A,
+        projector,
+        Position(0.5, 1.5, 0.6),
+        node,
+        Position(0.5 + node_distance, 1.5, 0.6),
+        Position(1.0, 0.8, 0.6),
+    )
+
+
+PING = Query(destination=7, command=Command.PING)
+
+
+class TestBudget:
+    def test_budget_fields_sane(self):
+        b = make_link().budget()
+        assert b.source_pressure_pa > 0
+        assert 0 < b.incident_pressure_pa
+        assert 0 < b.modulation_depth <= 1.0
+        assert b.uplink_pressure_pa < b.incident_pressure_pa
+        assert b.predicted_snr_db > 0
+
+    def test_budget_weakens_with_distance(self):
+        near = make_link(node_distance=1.0).budget()
+        far = make_link(node_distance=3.0).budget()
+        assert far.incident_pressure_pa < near.incident_pressure_pa
+
+
+class TestExchange:
+    def test_full_ping_exchange(self):
+        result = make_link().run_query(PING)
+        assert result.powered_up
+        assert result.query_decoded
+        assert result.success
+        assert result.ber == 0.0
+        assert result.demod.packet.address == 7
+
+    def test_weak_downlink_no_power_up(self):
+        result = make_link(drive=2.0).run_query(PING)
+        assert not result.powered_up
+        assert result.demod is None
+
+    def test_sensor_query_end_to_end(self):
+        """The headline application: read pH over the acoustic link."""
+        env = Environment(
+            water=WaterColumn(depth_m=0.6, temperature_c=21.0), true_ph=7.8
+        )
+        link = make_link(environment=env)
+        result = link.run_query(Query(destination=7, command=Command.READ_PH))
+        assert result.success
+        from repro.net.messages import Response
+
+        response = Response.from_packet(result.demod.packet)
+        assert response.reading().values[0] == pytest.approx(7.8, abs=0.15)
+
+    def test_pressure_query_end_to_end(self):
+        env = Environment(water=WaterColumn(depth_m=0.6, temperature_c=18.0))
+        link = make_link(environment=env)
+        result = link.run_query(
+            Query(destination=7, command=Command.READ_PRESSURE_TEMP)
+        )
+        assert result.success
+        from repro.net.messages import Response
+
+        p, t = Response.from_packet(result.demod.packet).reading().values
+        assert p == pytest.approx(ATMOSPHERE_MBAR + 98.1 * 0.6, rel=0.01)
+        assert t == pytest.approx(18.0, abs=0.3)
+
+    def test_wrong_address_no_reply(self):
+        link = make_link()
+        result = link.run_query(Query(destination=9, command=Command.PING))
+        assert result.powered_up and result.query_decoded
+        assert result.response is None
+
+    def test_snr_decreases_with_distance(self):
+        near = make_link(node_distance=1.0).measure_uplink_snr(PING)
+        far = make_link(node_distance=3.0).measure_uplink_snr(PING)
+        assert near > far
+
+    def test_oracle_snr_decreases_with_bitrate(self):
+        """The Fig. 8 trend, spot-checked at two rates."""
+        slow = make_link(bitrate=200.0).measure_uplink_snr(PING)
+        fast = make_link(bitrate=3_000.0).measure_uplink_snr(PING)
+        assert slow > fast + 5.0
+
+
+class TestSwitchingDemo:
+    def test_fig2_structure(self):
+        """Fig. 2: flat carrier after projector-on, then two-level
+        alternation when the node starts switching."""
+        link = make_link()
+        link.node.force_power(True)
+        demo = link.switching_demo(
+            silence_s=0.2, carrier_only_s=0.3, switching_s=0.5
+        )
+        env = demo["envelope_pa"]
+        fs = link.sample_rate
+        t_carrier = int(demo["carrier_on_s"] * fs)
+        t_switch = int(demo["backscatter_on_s"] * fs)
+        silence = env[: t_carrier - int(0.02 * fs)]
+        carrier = env[t_carrier + int(0.05 * fs) : t_switch - int(0.02 * fs)]
+        switching = env[t_switch + int(0.05 * fs) :]
+        # Silence is quiet; carrier-only is a steady level; switching
+        # alternates between two levels (higher variance).
+        assert np.std(silence) < 0.05 * np.mean(carrier)
+        assert np.std(carrier) < 0.1 * np.mean(carrier)
+        assert np.std(switching) > 2.0 * np.std(carrier)
+
+    def test_switch_rate_visible(self):
+        link = make_link()
+        link.node.force_power(True)
+        demo = link.switching_demo(
+            silence_s=0.1, carrier_only_s=0.2, switching_s=1.0,
+            switch_rate_hz=10.0,
+        )
+        fs = link.sample_rate
+        start = int(demo["backscatter_on_s"] * fs) + int(0.1 * fs)
+        seg = demo["envelope_pa"][start:]
+        seg = seg - np.mean(seg)
+        spec = np.abs(np.fft.rfft(seg * np.hanning(len(seg))))
+        freqs = np.fft.rfftfreq(len(seg), 1.0 / fs)
+        band = (freqs > 2.0) & (freqs < 40.0)
+        peak = freqs[band][np.argmax(spec[band])]
+        assert peak == pytest.approx(10.0, abs=1.5)
+
+
+class TestChannelReport:
+    def test_report_structure(self):
+        link = make_link()
+        report = link.channel_report()
+        assert set(report) == {
+            "projector_to_node",
+            "node_to_hydrophone",
+            "projector_to_hydrophone",
+        }
+        for leg in report.values():
+            assert leg["n_paths"] > 1
+            assert leg["rms_delay_spread_s"] > 0
+            assert leg["delay_spread_chips"] > 0
+
+    def test_spread_scales_with_bitrate(self):
+        slow = make_link(bitrate=500.0).channel_report()
+        fast = make_link(bitrate=2_000.0).channel_report()
+        assert fast["node_to_hydrophone"]["delay_spread_chips"] > (
+            slow["node_to_hydrophone"]["delay_spread_chips"]
+        )

@@ -1,0 +1,56 @@
+"""Tests for node mobility in the waveform link (paper Sec. 8)."""
+
+import pytest
+
+from repro.acoustics import POOL_A, Position
+from repro.core import BackscatterLink, Projector
+from repro.net.messages import Command, Query
+from repro.node.node import PABNode
+from repro.piezo import Transducer
+
+PING = Query(destination=7, command=Command.PING)
+
+
+def make_link(velocity_mps, bitrate=1_000.0):
+    transducer = Transducer.from_cylinder_design()
+    f = transducer.resonance_hz
+    projector = Projector(
+        transducer=transducer, drive_voltage_v=50.0, carrier_hz=f
+    )
+    node = PABNode(address=7, channel_frequencies_hz=(f,), bitrate=bitrate)
+    return BackscatterLink(
+        POOL_A,
+        projector,
+        Position(0.5, 1.5, 0.6),
+        node,
+        Position(1.5, 1.5, 0.6),
+        Position(1.0, 0.8, 0.6),
+        node_velocity_mps=velocity_mps,
+    )
+
+
+class TestDriftingNode:
+    def test_static_node_decodes(self):
+        assert make_link(0.0).run_query(PING).success
+
+    def test_slow_drift_tolerated(self):
+        """Slow drift (tethered sensor swaying, weak current) survives
+        thanks to the receiver's phase tracking."""
+        for velocity in (0.1, 0.2, 0.3):
+            result = make_link(velocity).run_query(PING)
+            assert result.success, f"failed at {velocity} m/s"
+
+    def test_fast_drift_breaks_the_link(self):
+        """Past the chip-slip limit the frame dies — the mobility
+        challenge the paper's discussion flags."""
+        result = make_link(4.0).run_query(PING)
+        assert not result.success
+
+    def test_drift_costs_snr(self):
+        static = make_link(0.0).run_query(PING)
+        drifting = make_link(0.2).run_query(PING)
+        assert static.snr_db > drifting.snr_db
+
+    def test_receding_node_also_works(self):
+        result = make_link(-0.1).run_query(PING)
+        assert result.success

@@ -1,0 +1,155 @@
+"""Integration tests for the multi-node network and experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import POOL_A, POOL_B, Position
+from repro.core import PABNetwork, Projector
+from repro.core.experiment import (
+    ExperimentTable,
+    ber_snr_sweep,
+    powerup_range_sweep,
+)
+from repro.dsp.packets import CONCURRENT_PREAMBLES, PacketFormat
+from repro.net.messages import Command, Query
+from repro.node.node import PABNode
+from repro.piezo import Transducer
+
+
+def make_network():
+    net = PABNetwork(
+        POOL_A,
+        Position(0.5, 1.5, 0.6),
+        Position(1.0, 0.8, 0.6),
+        projector_transducer_factory=Transducer.from_cylinder_design,
+        drive_voltage_v=150.0,
+    )
+    for i, (freq, pos) in enumerate(
+        [(15_000.0, Position(1.5, 2.0, 0.6)), (18_000.0, Position(1.8, 1.2, 0.6))]
+    ):
+        node = PABNode(address=i + 1, channel_frequencies_hz=(freq,))
+        node.firmware.config.uplink_format = PacketFormat(
+            preamble=CONCURRENT_PREAMBLES[i]
+        )
+        net.add_node(node, pos)
+    return net
+
+
+class TestNetworkSetup:
+    def test_add_node_validation(self):
+        net = make_network()
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_node(PABNode(address=1), Position(2.0, 2.0, 0.6))
+        with pytest.raises(ValueError, match="outside"):
+            net.add_node(PABNode(address=5), Position(99.0, 0.0, 0.0))
+
+    def test_round_validation(self):
+        net = make_network()
+        with pytest.raises(ValueError, match="one query per node"):
+            net.run_concurrent_round([Query(destination=1, command=Command.PING)])
+
+
+class TestConcurrentRound:
+    def test_collision_decoding_lifts_sinr(self):
+        """The Fig. 10 headline: projection boosts SINR for both nodes."""
+        net = make_network()
+        result = net.run_concurrent_round(
+            [
+                Query(destination=1, command=Command.PING),
+                Query(destination=2, command=Command.PING),
+            ]
+        )
+        assert len(result.outcomes) == 2
+        assert np.isfinite(result.condition_number)
+        for outcome in result.outcomes:
+            assert outcome.response is not None  # both powered and replied
+            assert outcome.sinr_after_db > outcome.sinr_before_db + 3.0
+
+    def test_at_least_one_node_decodes(self):
+        net = make_network()
+        result = net.run_concurrent_round(
+            [
+                Query(destination=1, command=Command.PING),
+                Query(destination=2, command=Command.PING),
+            ]
+        )
+        assert any(o.success for o in result.outcomes)
+
+
+class TestExperimentTable:
+    def test_add_and_render(self):
+        t = ExperimentTable(title="demo", columns=("a", "b"))
+        t.add_row(1.0, 2.0)
+        text = t.to_text()
+        assert "demo" in text and "1.000" in text
+        csv = t.to_csv()
+        assert csv.startswith("a,b")
+
+    def test_column_access(self):
+        t = ExperimentTable(title="demo", columns=("a", "b"))
+        t.add_row(1.0, 2.0)
+        t.add_row(3.0, 4.0)
+        assert t.column("b") == [2.0, 4.0]
+        with pytest.raises(KeyError):
+            t.column("c")
+
+    def test_row_width_validation(self):
+        t = ExperimentTable(title="demo", columns=("a", "b"))
+        with pytest.raises(ValueError):
+            t.add_row(1.0)
+
+
+class TestBerSnrSweep:
+    def test_monotone_decreasing(self):
+        table = ber_snr_sweep([0.0, 4.0, 8.0, 12.0], bits_per_point=4_000)
+        bers = table.column("ber")
+        assert bers == sorted(bers, reverse=True)
+
+    def test_floor_applied(self):
+        table = ber_snr_sweep([20.0], bits_per_point=2_000)
+        assert table.column("ber")[0] >= 1e-5
+
+    def test_decodes_from_2db(self):
+        """Paper Sec. 6.1a: decoding works from ~2 dB SNR (BER < ~10%)."""
+        table = ber_snr_sweep([2.0], bits_per_point=4_000)
+        assert table.column("ber")[0] < 0.12
+
+
+class TestPowerupRangeSweep:
+    @staticmethod
+    def axis(tank):
+        def fn(dist):
+            if 0.2 + dist > tank.length - 0.2:
+                raise ValueError("outside")
+            return (
+                Position(0.2, tank.width / 2, tank.depth / 2),
+                Position(0.2 + dist, tank.width / 2, tank.depth / 2),
+            )
+
+        return fn
+
+    def run(self, tank, voltages):
+        f = Transducer.from_cylinder_design().resonance_hz
+        return powerup_range_sweep(
+            tank,
+            voltages,
+            node_factory=lambda: PABNode(address=1, channel_frequencies_hz=(f,)),
+            projector_factory=lambda v: Projector(
+                transducer=Transducer.from_cylinder_design(),
+                drive_voltage_v=v,
+                carrier_hz=f,
+            ),
+            axis_positions=self.axis(tank),
+        )
+
+    def test_range_grows_with_voltage(self):
+        table = self.run(POOL_B, [25.0, 100.0, 300.0])
+        distances = table.column("max_distance_m")
+        assert distances[0] <= distances[1] <= distances[2]
+        assert distances[2] > distances[0]
+
+    def test_pool_b_outranges_pool_a(self):
+        """Fig. 9: the corridor pool reaches farther at the same drive."""
+        d_a = self.run(POOL_A, [150.0]).column("max_distance_m")[0]
+        d_b = self.run(POOL_B, [150.0]).column("max_distance_m")[0]
+        assert d_b > d_a

@@ -1,0 +1,135 @@
+"""Tests for the projector and hydrophone front ends."""
+
+import numpy as np
+import pytest
+
+from repro.core import Hydrophone, MultiToneDownlink, Projector
+from repro.dsp import tone
+from repro.net.messages import Command, Query
+from repro.piezo import Transducer
+
+FS = 96_000.0
+
+
+def make_projector(carrier=15_000.0, drive=50.0):
+    return Projector(
+        transducer=Transducer.from_cylinder_design(),
+        drive_voltage_v=drive,
+        carrier_hz=carrier,
+    )
+
+
+class TestProjector:
+    def test_source_pressure_scales_with_drive(self):
+        weak = make_projector(drive=10.0)
+        strong = make_projector(drive=100.0)
+        assert strong.source_pressure_pa == pytest.approx(
+            10.0 * weak.source_pressure_pa
+        )
+
+    def test_source_level_db(self):
+        p = make_projector(drive=350.0)
+        assert 180.0 < p.source_level_db() < 195.0
+
+    def test_query_waveform_is_on_off_keyed(self):
+        p = make_projector()
+        wave = p.query_waveform(Query(destination=1, command=Command.PING), FS)
+        assert np.max(np.abs(wave)) == pytest.approx(p.source_pressure_pa, rel=0.01)
+        assert np.min(np.abs(wave)) == 0.0
+
+    def test_carrier_waveform(self):
+        p = make_projector()
+        cw = p.carrier_waveform(0.1, FS)
+        assert len(cw) == int(0.1 * FS)
+        spec = np.abs(np.fft.rfft(cw))
+        f = np.fft.rfftfreq(len(cw), 1 / FS)
+        assert f[np.argmax(spec)] == pytest.approx(15_000.0, abs=20.0)
+
+    def test_query_then_carrier(self):
+        p = make_projector()
+        wave, start = p.query_then_carrier(
+            Query(destination=1, command=Command.PING), 0.1, FS
+        )
+        assert 0 < start < len(wave)
+        assert len(wave) - start == int(0.1 * FS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_projector(drive=-1.0)
+        with pytest.raises(ValueError):
+            make_projector(carrier=0.0)
+        with pytest.raises(ValueError):
+            make_projector().query_then_carrier(
+                Query(destination=1, command=Command.PING), -1.0, FS
+            )
+
+
+class TestMultiToneDownlink:
+    def make(self):
+        return MultiToneDownlink(
+            [make_projector(15_000.0), make_projector(18_000.0)]
+        )
+
+    def test_contains_both_carriers(self):
+        dl = self.make()
+        queries = [
+            Query(destination=1, command=Command.PING),
+            Query(destination=2, command=Command.PING),
+        ]
+        wave, start = dl.queries_then_carrier(queries, 0.1, FS)
+        cw = wave[start:]
+        spec = np.abs(np.fft.rfft(cw))
+        f = np.fft.rfftfreq(len(cw), 1 / FS)
+        p15 = spec[np.argmin(np.abs(f - 15_000.0))]
+        p18 = spec[np.argmin(np.abs(f - 18_000.0))]
+        floor = np.median(spec)
+        assert p15 > 50 * floor and p18 > 50 * floor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiToneDownlink([])
+        with pytest.raises(ValueError):
+            MultiToneDownlink([make_projector(15_000.0), make_projector(15_000.0)])
+        with pytest.raises(ValueError):
+            self.make().queries_then_carrier(
+                [Query(destination=1, command=Command.PING)], 0.1, FS
+            )
+
+
+class TestHydrophone:
+    def test_sensitivity_conversion(self):
+        h = Hydrophone(FS, sensitivity_db=-180.0)
+        # -180 dB re 1 V/uPa = 1e-3 V/Pa.
+        assert h.sensitivity_v_per_pa == pytest.approx(1e-3)
+        recorded = h.record(np.array([100.0]))
+        assert recorded[0] == pytest.approx(0.1)
+
+    def test_detect_single_carrier(self):
+        h = Hydrophone(FS)
+        x = tone(15_000.0, 0.3, FS)
+        carriers = h.detect_carriers(x)
+        assert len(carriers) == 1
+        assert carriers[0] == pytest.approx(15_000.0, abs=20.0)
+
+    def test_detect_two_carriers(self):
+        h = Hydrophone(FS)
+        x = tone(15_000.0, 0.3, FS) + 0.8 * tone(18_000.0, 0.3, FS)
+        carriers = h.detect_carriers(x)
+        assert len(carriers) == 2
+        assert carriers[0] == pytest.approx(15_000.0, abs=20.0)
+        assert carriers[1] == pytest.approx(18_000.0, abs=20.0)
+
+    def test_detect_ignores_out_of_band(self):
+        h = Hydrophone(FS)
+        x = tone(2_000.0, 0.3, FS)
+        assert h.detect_carriers(x) == []
+
+    def test_detect_validation(self):
+        with pytest.raises(ValueError):
+            Hydrophone(FS).detect_carriers(np.ones(10))
+        with pytest.raises(ValueError):
+            Hydrophone(0.0)
+
+    def test_demodulator_factory(self):
+        dem = Hydrophone(FS).demodulator(15_000.0, 1_000.0)
+        assert dem.sample_rate == FS

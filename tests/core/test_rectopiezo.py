@@ -1,0 +1,73 @@
+"""Tests for the recto-piezo bank."""
+
+import numpy as np
+import pytest
+
+from repro.core import RectoPiezoBank
+from repro.piezo import Transducer
+
+
+def make_bank(freqs=(15_000.0, 18_000.0)):
+    return RectoPiezoBank(Transducer.from_cylinder_design(), freqs)
+
+
+class TestBank:
+    def test_modes(self):
+        bank = make_bank()
+        assert len(bank) == 2
+        assert bank.frequencies() == [15_000.0, 18_000.0]
+        assert bank.mode(1).frequency_hz == 18_000.0
+
+    def test_mode_index_validation(self):
+        bank = make_bank()
+        with pytest.raises(IndexError):
+            bank.mode(5)
+
+    def test_construction_validation(self):
+        t = Transducer.from_cylinder_design()
+        with pytest.raises(ValueError):
+            RectoPiezoBank(t, ())
+        with pytest.raises(ValueError):
+            RectoPiezoBank(t, (-1.0,))
+
+    def test_each_mode_harvests_best_at_own_channel(self):
+        bank = make_bank()
+        p = bank.mode(0).harvester.calibrate_pressure_for_peak(4.0)
+        for mode in bank.modes:
+            own = mode.harvester.rectified_voltage(p, mode.frequency_hz)
+            other = [
+                mode.harvester.rectified_voltage(p, m.frequency_hz)
+                for m in bank.modes
+                if m is not mode
+            ]
+            assert all(own > o for o in other)
+
+
+class TestReflectionStates:
+    def test_reflect_stronger_than_absorb_on_channel(self):
+        bank = make_bank()
+        for mode in bank.modes:
+            gamma_a, gamma_r = bank.reflection_states(
+                mode.index, mode.frequency_hz
+            )
+            assert abs(gamma_r) > abs(gamma_a)
+
+    def test_modulation_depth_peaks_on_channel(self):
+        bank = make_bank((15_000.0,))
+        d_on = bank.modulation_depth(0, 15_000.0)
+        d_off = bank.modulation_depth(0, 20_000.0)
+        assert d_on > 2.0 * d_off
+
+    def test_frequency_agnostic_interference(self):
+        """Sec. 3.3.2: a node still modulates other channels' carriers —
+        the modulation depth at the other channel is nonzero."""
+        bank = make_bank()
+        cross = bank.modulation_depth(1, 15_000.0)  # 18k node at 15k carrier
+        assert cross > 0.05
+
+    def test_depth_matches_state_difference(self):
+        bank = make_bank((15_000.0,))
+        gamma_a, gamma_r = bank.reflection_states(0, 15_000.0)
+        assert bank.modulation_depth(0, 15_000.0) == pytest.approx(
+            abs(gamma_r - gamma_a)
+        )

@@ -1,0 +1,84 @@
+"""Tests for the monitoring-session simulator."""
+
+import pytest
+
+from repro.circuits import EnergyHarvester
+from repro.core.session import MonitoringSession
+from repro.piezo import Transducer
+
+
+def make_session(pressure, **kw):
+    transducer = Transducer.from_cylinder_design()
+    harvester = EnergyHarvester(transducer)
+    return MonitoringSession(harvester, pressure, **kw)
+
+
+STRONG_PA = 900.0
+MARGINAL_PA = 420.0
+WEAK_PA = 100.0
+
+
+class TestSession:
+    def test_strong_field_delivers_everything(self):
+        session = make_session(STRONG_PA, poll_interval_s=5.0)
+        report = session.run(30.0)
+        assert report.cold_start_s < 5.0
+        assert report.readings_delivered >= 4
+        assert report.delivery_ratio == 1.0
+        assert report.brownouts == 0
+
+    def test_weak_field_never_starts(self):
+        session = make_session(WEAK_PA, poll_interval_s=5.0)
+        report = session.run(20.0)
+        assert report.cold_start_s == float("inf")
+        assert report.readings_delivered == 0
+
+    def test_marginal_field_duty_cycles(self):
+        """Near the threshold the supercap rides through polls: the node
+        delivers readings even though continuous backscatter is not
+        sustainable."""
+        session = make_session(MARGINAL_PA, poll_interval_s=8.0)
+        report = session.run(40.0)
+        assert report.cold_start_s < 20.0
+        assert report.readings_delivered >= 1
+
+    def test_energy_trace_recorded(self):
+        session = make_session(STRONG_PA, poll_interval_s=5.0)
+        report = session.run(10.0)
+        assert len(report.energy_trace) > 10
+        times = [t for t, _v in report.energy_trace]
+        assert times == sorted(times)
+        volts = [v for _t, v in report.energy_trace]
+        assert all(0.0 <= v <= 5.5 for v in volts)
+
+    def test_tighter_schedule_delivers_more_but_strains_more(self):
+        fast = make_session(STRONG_PA, poll_interval_s=2.0).run(30.0)
+        slow = make_session(STRONG_PA, poll_interval_s=10.0).run(30.0)
+        assert fast.readings_delivered > slow.readings_delivered
+
+    def test_carrier_duty_zero_starves_the_node(self):
+        """If the projector goes silent between polls, a marginal field
+        cannot keep the reservoir topped up."""
+        always_on = make_session(
+            MARGINAL_PA, poll_interval_s=6.0, carrier_duty=1.0
+        ).run(60.0)
+        duty_cycled = make_session(
+            MARGINAL_PA, poll_interval_s=6.0, carrier_duty=0.0
+        ).run(60.0)
+        assert duty_cycled.readings_delivered <= always_on.readings_delivered
+
+    def test_poll_durations(self):
+        session = make_session(STRONG_PA, bitrate=1_000.0, payload_bytes=4)
+        decode_s, backscatter_s = session.poll_durations()
+        assert decode_s > 0.1  # PWM downlink is slow
+        assert backscatter_s == pytest.approx((13 + 16 + 32 + 16) / 1_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_session(-1.0)
+        with pytest.raises(ValueError):
+            make_session(100.0, poll_interval_s=0.0)
+        with pytest.raises(ValueError):
+            make_session(100.0, carrier_duty=1.5)
+        with pytest.raises(ValueError):
+            make_session(100.0).run(0.0)

@@ -1,0 +1,53 @@
+"""Tests for CRC implementations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsp import append_crc16, check_crc16, crc8, crc16_ccitt
+
+
+class TestCRC16:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE("123456789") = 0x29B1 (standard check value).
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    def test_empty_is_init(self):
+        assert crc16_ccitt(b"") == 0xFFFF
+
+    def test_accepts_str(self):
+        assert crc16_ccitt("123456789") == 0x29B1
+
+    def test_append_and_check_roundtrip(self):
+        frame = append_crc16(b"payload bytes")
+        assert check_crc16(frame)
+
+    def test_detects_single_bit_flip(self):
+        frame = bytearray(append_crc16(b"payload bytes"))
+        frame[3] ^= 0x10
+        assert not check_crc16(bytes(frame))
+
+    def test_short_frame_rejected(self):
+        assert not check_crc16(b"\x00")
+
+    @given(data=st.binary(max_size=64))
+    def test_roundtrip_property(self, data):
+        assert check_crc16(append_crc16(data))
+
+    @given(data=st.binary(min_size=1, max_size=64), bit=st.integers(0, 7))
+    def test_any_corruption_in_first_byte_detected(self, data, bit):
+        frame = bytearray(append_crc16(data))
+        frame[0] ^= 1 << bit
+        assert not check_crc16(bytes(frame))
+
+
+class TestCRC8:
+    def test_known_vector(self):
+        # CRC-8 (poly 0x07, init 0) of "123456789" = 0xF4.
+        assert crc8(b"123456789") == 0xF4
+
+    def test_range(self):
+        assert 0 <= crc8(b"x") <= 0xFF
+
+    @given(data=st.binary(max_size=32))
+    def test_deterministic(self, data):
+        assert crc8(data) == crc8(data)

@@ -1,0 +1,121 @@
+"""Tests for FM0 line coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import (
+    CHIPS_PER_BIT,
+    fm0_decode_chips,
+    fm0_encode,
+    fm0_expected_chips,
+    fm0_ml_decode,
+)
+
+bit_lists = st.lists(st.integers(0, 1), min_size=1, max_size=64)
+
+
+class TestEncode:
+    def test_length(self):
+        assert len(fm0_encode([1, 0, 1])) == 3 * CHIPS_PER_BIT
+
+    def test_transition_at_every_bit_boundary(self):
+        """The defining FM0 property the paper relies on for robust bit
+        delineation: the level always flips at a bit boundary."""
+        bits = [1, 1, 0, 0, 1, 0, 1]
+        chips = fm0_encode(bits)
+        for i in range(1, len(bits)):
+            last_of_prev = chips[2 * i - 1]
+            first_of_cur = chips[2 * i]
+            assert first_of_cur != last_of_prev
+
+    def test_zero_has_midbit_transition(self):
+        chips = fm0_encode([0])
+        assert chips[0] != chips[1]
+
+    def test_one_holds_level(self):
+        chips = fm0_encode([1])
+        assert chips[0] == chips[1]
+
+    def test_initial_level(self):
+        up = fm0_encode([1], initial_level=0)
+        down = fm0_encode([1], initial_level=1)
+        assert up[0] != down[0]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            fm0_encode([0, 2])
+        with pytest.raises(ValueError):
+            fm0_encode([1], initial_level=5)
+
+    def test_empty(self):
+        assert len(fm0_encode([])) == 0
+
+
+class TestHardDecode:
+    @given(bits=bit_lists)
+    def test_roundtrip(self, bits):
+        chips = fm0_encode(bits)
+        np.testing.assert_array_equal(fm0_decode_chips(chips), bits)
+
+    def test_rejects_odd_chips(self):
+        with pytest.raises(ValueError):
+            fm0_decode_chips([1, 0, 1])
+
+    def test_soft_returns_margins(self):
+        bits, margins = fm0_decode_chips(
+            fm0_encode([1, 0]).astype(float), soft=True
+        )
+        assert len(bits) == len(margins) == 2
+
+
+class TestMLDecode:
+    @given(bits=bit_lists)
+    @settings(max_examples=30)
+    def test_noiseless_roundtrip(self, bits):
+        amplitudes = fm0_encode(bits).astype(float) * 2.0 - 1.0
+        np.testing.assert_array_equal(fm0_ml_decode(amplitudes), bits)
+
+    def test_robust_to_moderate_noise(self):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, 200)
+        amplitudes = fm0_encode(bits) * 2.0 - 1.0 + rng.normal(0, 0.35, 400)
+        decoded = fm0_ml_decode(amplitudes)
+        errors = int(np.sum(decoded != bits))
+        assert errors <= 2
+
+    def test_beats_naive_decode_in_noise(self):
+        """Viterbi exploits FM0 memory, so in heavy noise it should make
+        no more errors than per-bit hard decisions."""
+        rng = np.random.default_rng(11)
+        bits = rng.integers(0, 2, 500)
+        amplitudes = fm0_encode(bits) * 2.0 - 1.0 + rng.normal(0, 0.8, 1000)
+        ml_errors = int(np.sum(fm0_ml_decode(amplitudes) != bits))
+        hard = fm0_decode_chips((amplitudes > 0).astype(float))
+        hard_errors = int(np.sum(hard != bits))
+        assert ml_errors <= hard_errors
+
+    def test_unknown_initial_level_recovered(self):
+        bits = np.array([1, 0, 0, 1, 1, 0])
+        amplitudes = fm0_encode(bits, initial_level=0) * 2.0 - 1.0
+        decoded = fm0_ml_decode(amplitudes, initial_level=1)
+        np.testing.assert_array_equal(decoded, bits)
+
+    def test_empty(self):
+        assert len(fm0_ml_decode(np.zeros(0))) == 0
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            fm0_ml_decode(np.zeros(3))
+
+
+class TestExpectedChips:
+    def test_bipolar(self):
+        chips = fm0_expected_chips([1, 0, 1])
+        assert set(np.unique(chips)) <= {-1.0, 1.0}
+
+    def test_matches_encode(self):
+        bits = [0, 1, 1, 0]
+        np.testing.assert_array_equal(
+            fm0_expected_chips(bits), fm0_encode(bits) * 2.0 - 1.0
+        )

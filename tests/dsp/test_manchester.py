@@ -1,0 +1,72 @@
+"""Tests for Manchester line coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsp import (
+    manchester_decode_chips,
+    manchester_encode,
+    manchester_expected_chips,
+)
+from repro.dsp.manchester import has_midbit_transition
+
+bit_lists = st.lists(st.integers(0, 1), min_size=1, max_size=64)
+
+
+class TestEncode:
+    def test_zero_is_high_low(self):
+        np.testing.assert_array_equal(manchester_encode([0]), [1, 0])
+
+    def test_one_is_low_high(self):
+        np.testing.assert_array_equal(manchester_encode([1]), [0, 1])
+
+    def test_every_bit_has_midbit_transition(self):
+        """The property the paper cites for robust bit delineation."""
+        chips = manchester_encode([0, 1, 1, 0, 1, 0, 0])
+        assert has_midbit_transition(chips)
+
+    def test_dc_free(self):
+        chips = manchester_encode(np.random.default_rng(0).integers(0, 2, 100))
+        assert np.mean(chips) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            manchester_encode([2])
+        with pytest.raises(ValueError):
+            manchester_encode(np.ones((2, 2)))
+
+    def test_empty(self):
+        assert len(manchester_encode([])) == 0
+
+
+class TestDecode:
+    @given(bits=bit_lists)
+    def test_roundtrip(self, bits):
+        chips = manchester_encode(bits).astype(float)
+        np.testing.assert_array_equal(manchester_decode_chips(chips), bits)
+
+    def test_noisy_decode(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 500)
+        chips = manchester_expected_chips(bits) + rng.normal(0, 0.4, 1000)
+        errors = int(np.sum(manchester_decode_chips(chips) != bits))
+        assert errors <= 3
+
+    def test_rejects_odd_chips(self):
+        with pytest.raises(ValueError):
+            manchester_decode_chips([1.0, 0.0, 1.0])
+
+    def test_expected_chips_bipolar(self):
+        chips = manchester_expected_chips([0, 1])
+        assert set(np.unique(chips)) <= {-1.0, 1.0}
+
+
+class TestInvariants:
+    def test_midbit_check_rejects_bad_stream(self):
+        assert not has_midbit_transition([1, 1, 0, 1])
+        assert not has_midbit_transition([1, 0, 1])
+
+    @given(bits=bit_lists)
+    def test_all_encodings_pass_invariant(self, bits):
+        assert has_midbit_transition(manchester_encode(bits))

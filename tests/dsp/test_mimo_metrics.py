@@ -1,0 +1,130 @@
+"""Tests for collision decoding and link metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import (
+    bit_error_rate,
+    ebn0_from_snr_db,
+    estimate_channel_matrix,
+    sinr_db,
+    snr_db,
+    zero_forcing_decode,
+)
+from repro.dsp.metrics import theoretical_fm0_ber
+from repro.dsp.mimo import sinr_gain_db
+
+
+def make_collision(seed=0, h=None, noise=0.05, n=400, train=64):
+    """Two chip streams mixed through a 2x2 channel."""
+    rng = np.random.default_rng(seed)
+    x = rng.choice([-1.0, 1.0], size=(2, n))
+    # Near-orthogonal training prefixes.
+    x[0, :train] = np.tile([1, -1], train // 2)
+    x[1, :train] = np.tile([1, 1, -1, -1], train // 4)
+    if h is None:
+        h = np.array([[1.0, 0.35], [0.3, 0.9]])
+    y = h @ x + rng.normal(0, noise, (2, n))
+    return x, y, h, train
+
+
+class TestChannelEstimation:
+    def test_recovers_channel(self):
+        x, y, h, train = make_collision()
+        h_est = estimate_channel_matrix(y[:, :train], x[:, :train])
+        np.testing.assert_allclose(h_est, h, atol=0.05)
+
+    def test_rejects_parallel_training(self):
+        x = np.ones((2, 32))
+        y = np.ones((2, 32))
+        with pytest.raises(ValueError):
+            estimate_channel_matrix(y, x)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            estimate_channel_matrix(np.ones(4), np.ones(4))
+        with pytest.raises(ValueError):
+            estimate_channel_matrix(np.ones((2, 8)), np.ones((3, 8)))
+
+
+class TestZeroForcing:
+    def test_separates_streams(self):
+        x, y, h, train = make_collision()
+        result = zero_forcing_decode(y, h)
+        errors = np.sum(np.sign(result.separated) != x)
+        assert errors / x.size < 0.01
+
+    def test_sinr_improves(self):
+        """The headline Fig. 10 behaviour: projection lifts SINR."""
+        x, y, h, train = make_collision(noise=0.1)
+        result = zero_forcing_decode(y, h)
+        gain = sinr_gain_db(y[0], result.separated[0], x[0])
+        assert gain > 3.0
+
+    def test_rejects_singular_channel(self):
+        y = np.ones((2, 10))
+        h = np.array([[1.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(ValueError):
+            zero_forcing_decode(y, h)
+
+    def test_condition_number_reported(self):
+        x, y, h, train = make_collision()
+        result = zero_forcing_decode(y, h)
+        assert result.condition_number == pytest.approx(np.linalg.cond(h))
+
+    @settings(max_examples=20)
+    @given(seed=st.integers(0, 1000))
+    def test_roundtrip_noiseless(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.choice([-1.0, 1.0], size=(2, 64))
+        h = np.array([[1.0, 0.4], [0.25, 0.8]])
+        result = zero_forcing_decode(h @ x, h)
+        np.testing.assert_allclose(result.separated, x, atol=1e-9)
+
+
+class TestMetrics:
+    def test_snr_of_clean_signal_high(self):
+        ref = np.tile([1.0, -1.0], 100)
+        assert snr_db(2.0 * ref, ref) == float("inf")
+
+    def test_snr_known_value(self):
+        rng = np.random.default_rng(0)
+        ref = rng.choice([-1.0, 1.0], 100_000)
+        rx = ref + rng.normal(0, 0.5, len(ref))
+        # SNR = 1 / 0.25 = 6 dB.
+        assert snr_db(rx, ref) == pytest.approx(6.0, abs=0.2)
+
+    def test_sinr_includes_interference(self):
+        rng = np.random.default_rng(1)
+        ref = rng.choice([-1.0, 1.0], 50_000)
+        interferer = rng.choice([-1.0, 1.0], 50_000)
+        clean = snr_db(ref + 0.1 * rng.normal(size=50_000), ref)
+        jammed = sinr_db(
+            ref + 0.5 * interferer + 0.1 * rng.normal(size=50_000), ref
+        )
+        assert jammed < clean
+
+    def test_ber_counts(self):
+        assert bit_error_rate([0, 1, 1, 0], [0, 1, 0, 0]) == 0.25
+        assert bit_error_rate([0, 1], [0, 1]) == 0.0
+
+    def test_ber_penalises_missing_bits(self):
+        assert bit_error_rate([0, 1], [0, 1, 1, 1]) == 0.5
+
+    def test_ber_validation(self):
+        with pytest.raises(ValueError):
+            bit_error_rate([], [])
+
+    def test_ebn0_conversion(self):
+        # Bandwidth == bitrate: Eb/N0 equals SNR.
+        assert ebn0_from_snr_db(10.0, 1_000.0, 1_000.0) == pytest.approx(10.0)
+        assert ebn0_from_snr_db(10.0, 1_000.0, 2_000.0) == pytest.approx(13.01, abs=0.01)
+
+    def test_theoretical_ber_monotone(self):
+        assert theoretical_fm0_ber(0.0) > theoretical_fm0_ber(6.0) > (
+            theoretical_fm0_ber(12.0)
+        )
+
+    def test_theoretical_ber_half_at_minus_inf(self):
+        assert theoretical_fm0_ber(-60.0) == pytest.approx(0.5, abs=0.01)

@@ -1,0 +1,109 @@
+"""Tests for packet framing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsp import DEFAULT_FORMAT, Packet, PacketFormat
+from repro.dsp.packets import (
+    BROADCAST_ADDRESS,
+    DOWNLINK_PREAMBLE,
+    FramingError,
+    bits_to_bytes,
+    bytes_to_bits,
+)
+
+
+class TestBitHelpers:
+    def test_roundtrip(self):
+        data = b"\x00\xff\xa5"
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_msb_first(self):
+        np.testing.assert_array_equal(
+            bytes_to_bits(b"\x80"), [1, 0, 0, 0, 0, 0, 0, 0]
+        )
+
+    def test_rejects_partial_bytes(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([1, 0, 1])
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([2] * 8)
+
+    @given(data=st.binary(max_size=32))
+    def test_roundtrip_property(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+class TestPacketFormat:
+    def test_default_preamble_is_barker(self):
+        assert len(DEFAULT_FORMAT.preamble) == 13
+
+    def test_downlink_preamble_length_matches_paper(self):
+        # Sec. 5.1a: "The transmitter's downlink query includes a 9-bit
+        # preamble."
+        assert len(DOWNLINK_PREAMBLE) == 9
+
+    def test_overhead(self):
+        assert DEFAULT_FORMAT.overhead_bits() == 13 + 8 + 8 + 16
+
+    def test_frame_bits(self):
+        p = Packet(address=1, payload=b"abc")
+        assert DEFAULT_FORMAT.frame_bits(p) == DEFAULT_FORMAT.overhead_bits() + 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketFormat(preamble=(1, 0))
+        with pytest.raises(ValueError):
+            PacketFormat(preamble=(1, 0, 2, 1, 1))
+
+
+class TestPacket:
+    def test_roundtrip(self):
+        p = Packet(address=42, payload=b"hello")
+        assert Packet.from_bits(p.to_bits()) == p
+
+    def test_empty_payload(self):
+        p = Packet(address=0)
+        assert Packet.from_bits(p.to_bits()) == p
+
+    def test_broadcast_address(self):
+        p = Packet(address=BROADCAST_ADDRESS)
+        assert Packet.from_bits(p.to_bits()).address == 0xFF
+
+    def test_address_validation(self):
+        with pytest.raises(ValueError):
+            Packet(address=300)
+
+    def test_corrupted_payload_raises(self):
+        bits = Packet(address=1, payload=b"data!").to_bits()
+        bits[30] ^= 1
+        with pytest.raises(FramingError):
+            Packet.from_bits(bits)
+
+    def test_bad_preamble_raises(self):
+        bits = Packet(address=1, payload=b"x").to_bits()
+        bits[0] ^= 1
+        with pytest.raises(FramingError):
+            Packet.from_bits(bits)
+
+    def test_truncated_raises(self):
+        bits = Packet(address=1, payload=b"a long payload").to_bits()
+        with pytest.raises(FramingError):
+            Packet.from_bits(bits[:40])
+
+    def test_trailing_bits_ignored(self):
+        p = Packet(address=9, payload=b"xy")
+        bits = np.concatenate([p.to_bits(), np.zeros(37, dtype=np.int8)])
+        assert Packet.from_bits(bits) == p
+
+    def test_payload_too_long(self):
+        with pytest.raises(ValueError):
+            Packet(address=1, payload=b"a" * 300).to_bits()
+
+    @given(addr=st.integers(0, 255), payload=st.binary(max_size=40))
+    def test_roundtrip_property(self, addr, payload):
+        p = Packet(address=addr, payload=payload)
+        assert Packet.from_bits(p.to_bits()) == p

@@ -1,0 +1,91 @@
+"""Tests for spectral analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import fm0_encode, tone
+from repro.dsp.spectral import (
+    band_power_db,
+    occupied_bandwidth,
+    peak_frequency,
+    spectrogram,
+    welch_psd,
+)
+from repro.dsp.waveforms import upconvert_chips
+
+FS = 96_000.0
+
+
+class TestWelch:
+    def test_tone_peak_location(self):
+        x = tone(15_000.0, 0.5, FS)
+        assert peak_frequency(x, FS) == pytest.approx(15_000.0, abs=100.0)
+
+    def test_psd_units(self):
+        """Total integrated PSD equals the mean-square value."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 2.0, 200_000)
+        freqs, psd = welch_psd(x, FS)
+        total = float(np.trapezoid(psd, freqs))
+        assert total == pytest.approx(4.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            welch_psd(np.ones((2, 2)), FS)
+        with pytest.raises(ValueError):
+            welch_psd(np.ones(100), 0.0)
+
+
+class TestSpectrogram:
+    def test_shapes(self):
+        x = tone(10_000.0, 0.5, FS)
+        freqs, times, power = spectrogram(x, FS)
+        assert power.shape == (len(freqs), len(times))
+
+    def test_chirp_visible(self):
+        t = np.arange(int(FS * 0.5)) / FS
+        x = np.sin(2 * np.pi * (5_000.0 + 20_000.0 * t) * t)
+        freqs, times, power = spectrogram(x, FS)
+        first_peak = freqs[np.argmax(power[:, 0])]
+        last_peak = freqs[np.argmax(power[:, -1])]
+        assert last_peak > first_peak + 5_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spectrogram(np.ones(100), FS, overlap=1.5)
+
+
+class TestOccupiedBandwidth:
+    def test_tone_is_narrow(self):
+        x = tone(15_000.0, 1.0, FS)
+        assert occupied_bandwidth(x, FS) < 500.0
+
+    def test_backscatter_bandwidth_grows_with_bitrate(self):
+        """The physical root of Fig. 8: faster chips occupy more band."""
+        rng = np.random.default_rng(1)
+
+        def modulated(bitrate):
+            chips = fm0_encode(rng.integers(0, 2, 400)).astype(float)
+            m = upconvert_chips(chips * 2.0 - 1.0, 2 * bitrate, FS)
+            t = np.arange(len(m)) / FS
+            return m * np.sin(2 * np.pi * 15_000.0 * t)
+
+        slow = occupied_bandwidth(modulated(500.0), FS, fraction=0.9)
+        fast = occupied_bandwidth(modulated(4_000.0), FS, fraction=0.9)
+        assert fast > 2.0 * slow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            occupied_bandwidth(np.ones(100), FS, fraction=1.5)
+
+
+class TestBandPower:
+    def test_in_band_vs_out_of_band(self):
+        x = tone(15_000.0, 0.5, FS)
+        in_band = band_power_db(x, FS, 14_000.0, 16_000.0)
+        out_band = band_power_db(x, FS, 30_000.0, 40_000.0)
+        assert in_band > out_band + 30.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            band_power_db(np.ones(100), FS, 5_000.0, 1_000.0)

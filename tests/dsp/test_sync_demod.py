@@ -1,0 +1,160 @@
+"""Tests for synchronisation and the full demodulator."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    BackscatterDemodulator,
+    Packet,
+    correct_cfo,
+    detect_packet,
+    estimate_cfo,
+    fm0_encode,
+    tone,
+)
+from repro.dsp.sync import preamble_template
+from repro.dsp.waveforms import upconvert_chips
+
+FS = 96_000.0
+CARRIER = 15_000.0
+BITRATE = 1_000.0
+
+
+def synth_backscatter(
+    packet: Packet,
+    *,
+    carrier_amp=1.0,
+    mod_amp=0.1,
+    mod_phase=0.7,
+    noise=0.0,
+    cfo=0.0,
+    pad_s=0.01,
+    seed=0,
+    bitrate=BITRATE,
+):
+    """Synthetic hydrophone recording: carrier + backscatter + noise."""
+    chips = fm0_encode(packet.to_bits()).astype(float)
+    m = upconvert_chips(chips, 2 * bitrate, FS)
+    pad = np.zeros(int(pad_s * FS))
+    m = np.concatenate([pad, m, pad])
+    t = np.arange(len(m)) / FS
+    f = CARRIER + cfo
+    y = carrier_amp * np.sin(2 * np.pi * f * t)
+    y += mod_amp * m * np.sin(2 * np.pi * f * t + mod_phase)
+    if noise > 0:
+        y += np.random.default_rng(seed).normal(0, noise, len(y))
+    return y
+
+
+class TestCFO:
+    def test_estimate_pure_offset(self):
+        bb = np.exp(2j * np.pi * 3.0 * np.arange(int(FS)) / FS)
+        assert estimate_cfo(bb, FS) == pytest.approx(3.0, abs=0.01)
+
+    def test_correct_removes_rotation(self):
+        bb = np.exp(2j * np.pi * 3.0 * np.arange(int(FS)) / FS)
+        fixed = correct_cfo(bb, 3.0, FS)
+        assert np.std(np.angle(fixed)) < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_cfo(np.ones(5), FS, lag_s=1.0)
+        with pytest.raises(ValueError):
+            estimate_cfo(np.ones(100), 0.0)
+
+
+class TestDetection:
+    def test_finds_preamble_position(self):
+        preamble = (1, 1, 1, 0, 1, 0, 0, 1, 0)
+        template = preamble_template(preamble, 2 * BITRATE, FS)
+        offset = 1234
+        x = np.concatenate(
+            [np.zeros(offset), template, np.zeros(500)]
+        ) + np.random.default_rng(1).normal(0, 0.05, offset + len(template) + 500)
+        det = detect_packet(x, preamble, 2 * BITRATE, FS)
+        assert det is not None
+        assert det.start_index == pytest.approx(offset, abs=3)
+        assert not det.inverted
+
+    def test_detects_inverted_polarity(self):
+        preamble = (1, 1, 1, 0, 1, 0, 0, 1, 0)
+        template = preamble_template(preamble, 2 * BITRATE, FS)
+        x = np.concatenate([np.zeros(700), -template, np.zeros(300)])
+        det = detect_packet(x, preamble, 2 * BITRATE, FS)
+        assert det is not None and det.inverted
+
+    def test_none_on_noise(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1.0, 5000)
+        det = detect_packet(x, (1, 1, 1, 0, 1, 0, 0, 1, 0), 2 * BITRATE, FS,
+                            threshold=0.9)
+        assert det is None
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            detect_packet(np.zeros(10), (1, 0, 1, 1, 0), 2 * BITRATE, FS)
+
+
+class TestDemodulator:
+    def test_clean_roundtrip(self):
+        p = Packet(address=7, payload=b"sensor data 123")
+        y = synth_backscatter(p, noise=0.01)
+        res = BackscatterDemodulator(CARRIER, BITRATE, FS).demodulate(y)
+        assert res.success
+        assert res.packet == p
+
+    def test_cfo_estimated_and_tolerated(self):
+        p = Packet(address=1, payload=b"abcdef")
+        y = synth_backscatter(p, cfo=0.8, noise=0.01)
+        res = BackscatterDemodulator(CARRIER, BITRATE, FS).demodulate(y)
+        assert res.success
+        assert res.cfo_hz == pytest.approx(0.8, abs=0.05)
+
+    def test_snr_decreases_with_noise(self):
+        p = Packet(address=1, payload=b"abcdef")
+        quiet = BackscatterDemodulator(CARRIER, BITRATE, FS).demodulate(
+            synth_backscatter(p, noise=0.005)
+        )
+        loud = BackscatterDemodulator(CARRIER, BITRATE, FS).demodulate(
+            synth_backscatter(p, noise=0.05)
+        )
+        assert quiet.success
+        assert quiet.snr_db > loud.snr_db
+
+    def test_fails_gracefully_on_pure_noise(self):
+        rng = np.random.default_rng(5)
+        y = rng.normal(0, 1.0, int(0.2 * FS))
+        dem = BackscatterDemodulator(CARRIER, BITRATE, FS, detection_threshold=0.9)
+        res = dem.demodulate(y)
+        assert not res.success
+        assert res.error is not None
+
+    def test_crc_guards_against_heavy_noise(self):
+        """Under crushing noise the demodulator must either fail cleanly
+        or produce a correct packet — never a silently corrupted one."""
+        p = Packet(address=3, payload=b"important")
+        for seed in range(5):
+            y = synth_backscatter(p, noise=1.0, seed=seed)
+            res = BackscatterDemodulator(CARRIER, BITRATE, FS).demodulate(y)
+            if res.success:
+                assert res.packet == p
+
+    def test_different_bitrates(self):
+        for bitrate in (200.0, 500.0, 2_000.0):
+            p = Packet(address=2, payload=b"xy")
+            y = synth_backscatter(p, bitrate=bitrate, noise=0.01)
+            res = BackscatterDemodulator(CARRIER, bitrate, FS).demodulate(y)
+            assert res.success, f"failed at {bitrate} bps"
+
+    def test_inverted_modulation_decodes(self):
+        p = Packet(address=9, payload=b"flip")
+        y = synth_backscatter(p, mod_amp=-0.1)
+        res = BackscatterDemodulator(CARRIER, BITRATE, FS).demodulate(y)
+        assert res.success
+        assert res.packet == p
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackscatterDemodulator(0.0, BITRATE, FS)
+        with pytest.raises(ValueError):
+            BackscatterDemodulator(CARRIER, 50_000.0, FS)

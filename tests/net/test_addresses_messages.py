@@ -1,0 +1,126 @@
+"""Tests for addressing and application messages."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import BROADCAST, Command, NodeAddress, Query, Response
+from repro.net.messages import BITRATE_TABLE
+from repro.sensing.ph import PhSensor
+from repro.sensing.pressure import MS5837Driver
+
+
+class TestNodeAddress:
+    def test_accepts_own_and_broadcast(self):
+        a = NodeAddress(7)
+        assert a.accepts(7)
+        assert a.accepts(BROADCAST)
+        assert not a.accepts(8)
+
+    def test_broadcast_flag(self):
+        assert NodeAddress(0xFF).is_broadcast
+        assert not NodeAddress(0).is_broadcast
+
+    def test_int_conversion(self):
+        assert int(NodeAddress(42)) == 42
+
+    def test_str(self):
+        assert str(NodeAddress(0x0A)) == "node-0x0a"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeAddress(256)
+        with pytest.raises(ValueError):
+            NodeAddress(-1)
+
+    def test_ordering(self):
+        assert NodeAddress(1) < NodeAddress(2)
+
+
+class TestQuery:
+    def test_packet_roundtrip(self):
+        q = Query(destination=7, command=Command.READ_PH, argument=3)
+        assert Query.from_packet(q.to_packet()) == q
+
+    @given(
+        dest=st.integers(0, 255),
+        cmd=st.sampled_from(list(Command)),
+        arg=st.integers(0, 255),
+    )
+    def test_roundtrip_property(self, dest, cmd, arg):
+        q = Query(destination=dest, command=cmd, argument=arg)
+        assert Query.from_packet(q.to_packet()) == q
+
+    def test_rejects_short_payload(self):
+        from repro.dsp.packets import Packet
+
+        with pytest.raises(ValueError):
+            Query.from_packet(Packet(address=1, payload=b"\x01"))
+
+    def test_rejects_unknown_command(self):
+        from repro.dsp.packets import Packet
+
+        with pytest.raises(ValueError, match="unknown command"):
+            Query.from_packet(Packet(address=1, payload=b"\x99\x00"))
+
+    def test_bitrate_lookup(self):
+        q = Query(destination=1, command=Command.SET_BITRATE, argument=5)
+        assert q.bitrate() == BITRATE_TABLE[5]
+
+    def test_bitrate_lookup_wrong_command(self):
+        q = Query(destination=1, command=Command.PING)
+        with pytest.raises(ValueError):
+            q.bitrate()
+
+    def test_bitrate_table_matches_paper_rates(self):
+        """Sec. 6.1b lists the tested bitrates."""
+        for rate in (100.0, 200.0, 400.0, 600.0, 800.0, 1_000.0, 2_000.0,
+                     2_800.0, 3_000.0, 5_000.0):
+            assert rate in BITRATE_TABLE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Query(destination=300, command=Command.PING)
+        with pytest.raises(ValueError):
+            Query(destination=1, command=Command.PING, argument=300)
+
+
+class TestResponse:
+    def test_packet_roundtrip(self):
+        r = Response(source=9, command=Command.READ_PH, data=b"\x02\xe6")
+        assert Response.from_packet(r.to_packet()) == r
+
+    def test_ph_reading(self):
+        payload = PhSensor().encode_reading(7.42)
+        r = Response(source=1, command=Command.READ_PH, data=payload)
+        reading = r.reading()
+        assert reading.kind == "ph"
+        assert reading.values[0] == pytest.approx(7.42)
+
+    def test_pressure_temp_reading(self):
+        payload = MS5837Driver.encode_reading(1013.2, 21.5)
+        r = Response(source=1, command=Command.READ_PRESSURE_TEMP, data=payload)
+        p, t = r.reading().values
+        assert p == pytest.approx(1013.2)
+        assert t == pytest.approx(21.5)
+
+    def test_temperature_reading(self):
+        raw = int(round((18.5 + 100.0) * 100.0))
+        r = Response(
+            source=1,
+            command=Command.READ_TEMPERATURE,
+            data=bytes([(raw >> 8) & 0xFF, raw & 0xFF]),
+        )
+        assert r.reading().values[0] == pytest.approx(18.5)
+
+    def test_ping_reading(self):
+        assert Response(source=1, command=Command.PING).reading().kind == "pong"
+
+    def test_no_reading_for_config_commands(self):
+        r = Response(source=1, command=Command.SET_BITRATE, data=b"\x05")
+        with pytest.raises(ValueError):
+            r.reading()
+
+    def test_reading_str(self):
+        payload = PhSensor().encode_reading(7.0)
+        r = Response(source=1, command=Command.READ_PH, data=payload)
+        assert "ph(" in str(r.reading())

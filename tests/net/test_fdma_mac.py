@@ -1,0 +1,161 @@
+"""Tests for the FDMA channel plan and polling MAC."""
+
+import pytest
+
+from repro.net import Channel, ChannelPlan, Command, MacStats, PollingMac, Query
+
+
+class TestChannel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Channel(index=0, frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            Channel(index=-1, frequency_hz=15_000.0)
+
+
+class TestChannelPlan:
+    def test_default_matches_paper(self):
+        plan = ChannelPlan()
+        assert plan.frequencies_hz == (15_000.0, 18_000.0)
+
+    def test_spacing_enforced(self):
+        with pytest.raises(ValueError, match="closer"):
+            ChannelPlan(frequencies_hz=(15_000.0, 15_500.0))
+
+    def test_sorted(self):
+        plan = ChannelPlan(frequencies_hz=(18_000.0, 12_000.0, 15_000.0))
+        assert plan.frequencies_hz == (12_000.0, 15_000.0, 18_000.0)
+
+    def test_assign_and_lookup(self):
+        plan = ChannelPlan()
+        ch = plan.assign(0x01, 1)
+        assert ch.frequency_hz == 18_000.0
+        assert plan.channel_of(0x01).index == 1
+
+    def test_channel_exclusive(self):
+        plan = ChannelPlan()
+        plan.assign(0x01, 0)
+        with pytest.raises(ValueError, match="already held"):
+            plan.assign(0x02, 0)
+
+    def test_reassign_same_node_ok(self):
+        plan = ChannelPlan()
+        plan.assign(0x01, 0)
+        plan.assign(0x01, 0)
+
+    def test_unassigned_lookup(self):
+        with pytest.raises(KeyError):
+            ChannelPlan().channel_of(0x09)
+
+    def test_concurrent_groups(self):
+        plan = ChannelPlan()
+        assert plan.concurrent_groups() == []
+        plan.assign(0x01, 0)
+        plan.assign(0x02, 1)
+        assert plan.concurrent_groups() == [[0x01, 0x02]]
+
+    def test_capacity_factor(self):
+        plan = ChannelPlan()
+        assert plan.aggregate_capacity_factor == 1
+        plan.assign(0x01, 0)
+        plan.assign(0x02, 1)
+        assert plan.aggregate_capacity_factor == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelPlan(frequencies_hz=())
+        with pytest.raises(ValueError):
+            ChannelPlan(frequencies_hz=(-1.0, 18_000.0))
+        with pytest.raises(ValueError):
+            ChannelPlan().assign(0x01, 5)
+
+
+class FakeResult:
+    def __init__(self, success, payload=b""):
+        self.success = success
+        if success:
+            class P:  # minimal packet-like object
+                pass
+
+            packet = P()
+            packet.payload = payload
+
+            class D:
+                pass
+
+            self.demod = D()
+            self.demod.packet = packet
+        else:
+            self.demod = None
+
+
+class FlakyLink:
+    """Fails the first ``fail_count`` attempts, then succeeds."""
+
+    def __init__(self, fail_count):
+        self.fail_count = fail_count
+        self.calls = 0
+
+    def __call__(self, query):
+        self.calls += 1
+        if self.calls <= self.fail_count:
+            return FakeResult(False)
+        return FakeResult(True, payload=b"\x01\x02")
+
+
+class TestPollingMac:
+    def query(self):
+        return Query(destination=1, command=Command.PING)
+
+    def test_success_first_try(self):
+        mac = PollingMac(transact=FlakyLink(0))
+        result = mac.poll(self.query())
+        assert result.success
+        assert mac.stats.attempts == 1
+        assert mac.stats.retries == 0
+        assert mac.stats.successes == 1
+        assert mac.stats.payload_bits_delivered == 16
+
+    def test_retry_then_success(self):
+        mac = PollingMac(transact=FlakyLink(2), max_retries=2)
+        result = mac.poll(self.query())
+        assert result.success
+        assert mac.stats.attempts == 3
+        assert mac.stats.retries == 2
+
+    def test_gives_up_after_max_retries(self):
+        mac = PollingMac(transact=FlakyLink(10), max_retries=2)
+        result = mac.poll(self.query())
+        assert not result.success
+        assert mac.stats.attempts == 3
+        assert mac.stats.successes == 0
+
+    def test_delivery_ratio(self):
+        mac = PollingMac(transact=FlakyLink(1), max_retries=1)
+        mac.poll(self.query())
+        mac.poll(self.query())
+        assert mac.stats.delivery_ratio == pytest.approx(1.0)
+
+    def test_goodput_accounting(self):
+        mac = PollingMac(
+            transact=FlakyLink(0),
+            airtime_estimator=lambda q, r: 0.5,
+        )
+        mac.poll(self.query())
+        assert mac.stats.airtime_s == pytest.approx(0.5)
+        assert mac.stats.goodput_bps == pytest.approx(16 / 0.5)
+
+    def test_run_schedule(self):
+        mac = PollingMac(transact=FlakyLink(0))
+        results = mac.run_schedule([self.query() for _ in range(3)])
+        assert len(results) == 3
+        assert mac.stats.successes == 3
+
+    def test_empty_stats(self):
+        stats = MacStats()
+        assert stats.delivery_ratio == 0.0
+        assert stats.goodput_bps == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PollingMac(transact=FlakyLink(0), max_retries=-1)

@@ -1,0 +1,106 @@
+"""Tests for the slotted-ALOHA inventory layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.inventory import (
+    InventoryReader,
+    expected_rounds,
+    slot_choice,
+)
+
+
+class TestSlotChoice:
+    def test_deterministic(self):
+        assert slot_choice(7, 3, 8) == slot_choice(7, 3, 8)
+
+    def test_changes_with_nonce(self):
+        choices = {slot_choice(7, nonce, 64) for nonce in range(32)}
+        assert len(choices) > 10  # spread over slots across rounds
+
+    def test_in_range(self):
+        for addr in range(30):
+            assert 0 <= slot_choice(addr, 1, 5) < 5
+
+    def test_roughly_uniform(self):
+        counts = [0] * 4
+        for addr in range(400):
+            counts[slot_choice(addr, 9, 4)] += 1
+        assert min(counts) > 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slot_choice(1, 1, 0)
+
+
+class TestInventoryReader:
+    def test_discovers_everyone(self):
+        reader = InventoryReader(initial_frame_size=4)
+        population = set(range(1, 13))
+        discovered, stats = reader.run(population)
+        assert discovered == population
+        assert stats.rounds >= 1
+        assert stats.singles + stats.resolved_collisions >= len(population)
+
+    def test_empty_population(self):
+        discovered, stats = InventoryReader().run([])
+        assert discovered == set()
+        assert stats.rounds == 1
+
+    def test_single_node(self):
+        discovered, stats = InventoryReader(initial_frame_size=1).run([42])
+        assert discovered == {42}
+
+    def test_collision_decoding_speeds_discovery(self):
+        """With the paper's 2-way collision decoder, 2-node collision
+        slots resolve instead of wasting the round."""
+        population = set(range(40))
+        base_reader = InventoryReader(
+            initial_frame_size=8, collision_decode_limit=1
+        )
+        pab_reader = InventoryReader(
+            initial_frame_size=8, collision_decode_limit=2
+        )
+        _d1, base = base_reader.run(population)
+        _d2, pab = pab_reader.run(population)
+        assert pab.efficiency > base.efficiency
+        assert pab.resolved_collisions > 0
+
+    def test_frame_adaptation_handles_dense_population(self):
+        reader = InventoryReader(initial_frame_size=1, max_rounds=200)
+        population = set(range(60))
+        discovered, stats = reader.run(population)
+        assert discovered == population
+
+    def test_max_rounds_bounds_work(self):
+        reader = InventoryReader(initial_frame_size=1, max_rounds=2)
+        discovered, stats = reader.run(set(range(100)))
+        assert stats.rounds == 2  # gave up, bounded
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InventoryReader(initial_frame_size=0)
+        with pytest.raises(ValueError):
+            InventoryReader(collision_decode_limit=0)
+        with pytest.raises(ValueError):
+            InventoryReader(max_rounds=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(0, 50))
+    def test_discovery_complete_for_any_population(self, n):
+        reader = InventoryReader(initial_frame_size=8, max_rounds=400)
+        population = set(range(n))
+        discovered, _stats = reader.run(population)
+        assert discovered == population
+
+
+class TestExpectedRounds:
+    def test_more_nodes_more_rounds(self):
+        assert expected_rounds(64, 16) > expected_rounds(4, 16)
+
+    def test_zero_nodes_zero_rounds(self):
+        assert expected_rounds(0, 8) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_rounds(-1, 8)

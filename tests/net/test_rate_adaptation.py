@@ -1,0 +1,106 @@
+"""Tests for SNR-driven rate adaptation."""
+
+import pytest
+
+from repro.net.rate_adaptation import (
+    DECODE_THRESHOLD_DB,
+    RateAdapter,
+    best_static_rate,
+)
+
+
+class TestRateAdapter:
+    def test_starts_at_bottom(self):
+        adapter = RateAdapter()
+        assert adapter.bitrate == 100.0
+
+    def test_ladder_excludes_undecodable_5kbps(self):
+        assert 5_000.0 not in RateAdapter().ladder
+        assert 3_000.0 in RateAdapter().ladder
+
+    def test_steps_up_after_streak(self):
+        adapter = RateAdapter(up_streak=3)
+        for _ in range(3):
+            adapter.report(success=True, snr_db=20.0)
+        assert adapter.bitrate == 200.0
+
+    def test_no_step_up_without_margin(self):
+        adapter = RateAdapter(up_streak=2, up_margin_db=6.0)
+        for _ in range(10):
+            adapter.report(success=True, snr_db=DECODE_THRESHOLD_DB + 1.0)
+        assert adapter.bitrate == 100.0
+
+    def test_steps_down_on_failure(self):
+        adapter = RateAdapter(start_index=4)
+        before = adapter.bitrate
+        adapter.report(success=False)
+        assert adapter.bitrate < before
+
+    def test_steps_down_on_low_snr_even_if_decoded(self):
+        adapter = RateAdapter(start_index=4)
+        before = adapter.bitrate
+        adapter.report(success=True, snr_db=1.0)
+        assert adapter.bitrate < before
+
+    def test_clamped_at_ends(self):
+        adapter = RateAdapter()
+        adapter.report(success=False)
+        assert adapter.bitrate == 100.0  # already at the bottom
+        top = RateAdapter(start_index=8)
+        for _ in range(20):
+            top.report(success=True, snr_db=30.0)
+        assert top.bitrate == top.ladder[-1]
+
+    def test_failure_resets_streak(self):
+        adapter = RateAdapter(up_streak=3)
+        adapter.report(success=True, snr_db=20.0)
+        adapter.report(success=True, snr_db=20.0)
+        adapter.report(success=False)
+        adapter.report(success=True, snr_db=20.0)
+        adapter.report(success=True, snr_db=20.0)
+        assert adapter.bitrate == 100.0  # streak broken, never stepped up
+
+    def test_converges_on_channel_with_known_knee(self):
+        """Against a Fig. 8-shaped SNR profile, the adapter settles near
+        the fastest decodable rate."""
+        snr_profile = {
+            100.0: 26.0, 200.0: 24.0, 400.0: 19.0, 600.0: 15.0,
+            800.0: 12.0, 1_000.0: 11.0, 2_000.0: 6.0, 2_800.0: 5.0,
+            3_000.0: 3.0,
+        }
+        adapter = RateAdapter(up_streak=2, up_margin_db=4.0)
+        for _ in range(60):
+            snr = snr_profile[adapter.bitrate]
+            adapter.report(success=snr > DECODE_THRESHOLD_DB, snr_db=snr)
+        # Settles in the 1-2.8 kbps region (fast but with margin).
+        assert 800.0 <= adapter.bitrate <= 2_800.0
+
+    def test_reset(self):
+        adapter = RateAdapter(up_streak=1)
+        adapter.report(success=True, snr_db=30.0)
+        adapter.reset()
+        assert adapter.bitrate == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateAdapter(ladder=())
+        with pytest.raises(ValueError):
+            RateAdapter(ladder=(200.0, 100.0))
+        with pytest.raises(ValueError):
+            RateAdapter(start_index=99)
+        with pytest.raises(ValueError):
+            RateAdapter(up_streak=0)
+
+
+class TestBestStaticRate:
+    def test_picks_fastest_decodable(self):
+        snrs = {100.0: 20.0, 1_000.0: 8.0, 3_000.0: 1.0}
+        assert best_static_rate(snrs) == 1_000.0
+
+    def test_margin_pushes_down(self):
+        snrs = {100.0: 20.0, 1_000.0: 8.0, 3_000.0: 1.0}
+        assert best_static_rate(snrs, margin_db=10.0) == 100.0
+
+    def test_nothing_decodable(self):
+        with pytest.raises(ValueError):
+            best_static_rate({1_000.0: 0.0})

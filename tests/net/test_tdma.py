@@ -1,0 +1,96 @@
+"""Tests for the TDMA baseline and throughput comparison."""
+
+import pytest
+
+from repro.net import (
+    SlotTiming,
+    TdmaScheduler,
+    compare_throughput,
+    slot_timing,
+)
+
+
+class TestSlotTiming:
+    def test_total(self):
+        slot = SlotTiming(query_s=0.5, reply_s=0.1, guard_s=0.05)
+        assert slot.total_s == pytest.approx(0.65)
+
+    def test_slot_timing_components(self):
+        slot = slot_timing(payload_bytes=4, bitrate=1_000.0)
+        assert slot.query_s > 0
+        # Reply: (13+8+8+32+16) bits / 1 kbps.
+        assert slot.reply_s == pytest.approx((13 + 16 + 32 + 16) / 1_000.0)
+
+    def test_faster_bitrate_shorter_reply(self):
+        slow = slot_timing(4, 500.0)
+        fast = slot_timing(4, 2_000.0)
+        assert fast.reply_s < slow.reply_s
+        assert fast.query_s == slow.query_s  # downlink rate unchanged
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slot_timing(-1, 1_000.0)
+        with pytest.raises(ValueError):
+            slot_timing(4, 0.0)
+
+
+class TestThroughputComparison:
+    def test_two_nodes_double_throughput(self):
+        """The paper's headline concurrency gain (Sec. 1: 'doubling the
+        network throughput through concurrent transmissions')."""
+        cmp = compare_throughput(2, payload_bytes=4, bitrate=1_000.0)
+        assert cmp.speedup == pytest.approx(2.0)
+
+    def test_n_nodes_scale(self):
+        cmp = compare_throughput(4, payload_bytes=4, bitrate=1_000.0)
+        assert cmp.speedup == pytest.approx(4.0)
+
+    def test_decoding_losses_reduce_gain(self):
+        cmp = compare_throughput(
+            2, payload_bytes=4, bitrate=1_000.0, fdma_success_ratio=0.75
+        )
+        assert cmp.speedup == pytest.approx(1.5)
+
+    def test_single_node_no_gain(self):
+        cmp = compare_throughput(1, payload_bytes=4, bitrate=1_000.0)
+        assert cmp.speedup == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_throughput(0, 4, 1_000.0)
+        with pytest.raises(ValueError):
+            compare_throughput(2, 4, 1_000.0, fdma_success_ratio=2.0)
+
+
+class TestTdmaScheduler:
+    def test_round_robin_order(self):
+        sched = TdmaScheduler([3, 1, 2])
+        assert sched.next_round() == [1, 2, 3]
+
+    def test_failed_nodes_prioritised(self):
+        sched = TdmaScheduler([1, 2, 3])
+        sched.report(3, success=False)
+        assert sched.next_round()[0] == 3
+
+    def test_success_clears_deficit(self):
+        sched = TdmaScheduler([1, 2])
+        sched.report(2, success=False)
+        sched.report(2, success=True)
+        assert sched.next_round() == [1, 2]
+
+    def test_repeated_failures_accumulate(self):
+        sched = TdmaScheduler([1, 2, 3])
+        sched.report(2, success=False)
+        sched.report(3, success=False)
+        sched.report(3, success=False)
+        assert sched.next_round() == [3, 2, 1]
+
+    def test_duplicate_addresses_deduped(self):
+        sched = TdmaScheduler([1, 1, 2])
+        assert sched.addresses == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TdmaScheduler([])
+        with pytest.raises(KeyError):
+            TdmaScheduler([1]).report(9, success=True)

@@ -1,0 +1,133 @@
+"""Tests for the battery-assisted backscatter node (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.node import BatteryAssistedNode, PABNode, PowerState
+
+
+def make_node(**kw):
+    return BatteryAssistedNode(address=5, **kw)
+
+
+class TestPowering:
+    def test_alive_from_start(self):
+        node = make_node()
+        assert node.is_powered
+
+    def test_powers_up_in_any_field(self):
+        """The battery removes the harvesting constraint entirely."""
+        node = make_node()
+        assert node.try_power_up(0.001, node.channel_frequency_hz)
+        free = PABNode(address=6)
+        assert not free.try_power_up(0.001, free.channel_frequency_hz)
+
+    def test_dies_when_battery_exhausted(self):
+        node = make_node(battery_capacity_j=1e-3)
+        node.drain(10_000.0, PowerState.BACKSCATTER, bitrate=1_000.0)
+        assert node.battery_energy_j == 0.0
+        assert not node.is_powered
+        assert not node.try_power_up(1_000.0, node.channel_frequency_hz)
+
+    def test_drain_accounting(self):
+        node = make_node(battery_capacity_j=1.0)
+        before = node.battery_energy_j
+        node.drain(100.0, PowerState.IDLE)
+        spent = before - node.battery_energy_j
+        assert spent == pytest.approx(
+            100.0 * node.power_model.power_w(PowerState.IDLE), rel=1e-6
+        )
+
+    def test_amplifier_power_counted_during_backscatter(self):
+        node = make_node(battery_capacity_j=1.0, reflection_gain=4.0)
+        n2 = make_node(battery_capacity_j=1.0, reflection_gain=1.0)
+        node.drain(100.0, PowerState.BACKSCATTER, bitrate=1_000.0)
+        n2.drain(100.0, PowerState.BACKSCATTER, bitrate=1_000.0)
+        assert node.battery_energy_j < n2.battery_energy_j
+
+    def test_lifetime_estimate(self):
+        node = make_node(battery_capacity_j=100.0)
+        life = node.expected_lifetime_s(duty_cycle=0.01)
+        # ~100 J at ~280 uW mean draw: days-scale on a coin cell.
+        assert life > 1e5
+        assert node.expected_lifetime_s(duty_cycle=1.0) < life
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_node(reflection_gain=0.5)
+        with pytest.raises(ValueError):
+            make_node(battery_capacity_j=0.0)
+        with pytest.raises(ValueError):
+            make_node().drain(-1.0, PowerState.IDLE)
+        with pytest.raises(ValueError):
+            make_node().expected_lifetime_s(duty_cycle=2.0)
+
+
+class TestAmplifiedReflection:
+    def test_modulation_amplified(self):
+        """The active stage multiplies the modulated reflection."""
+        passive = PABNode(address=1)
+        active = make_node(reflection_gain=4.0)
+        f = passive.channel_frequency_hz
+        chips = np.array([0, 1])
+        _ga_p, gr_p, traj_p = passive.reflection_trajectory(chips, f)
+        _ga_a, gr_a, traj_a = active.reflection_trajectory(chips, f)
+        depth_passive = abs(traj_p[1] - traj_p[0])
+        depth_active = abs(traj_a[1] - traj_a[0])
+        assert depth_active == pytest.approx(4.0 * depth_passive, rel=1e-6)
+
+    def test_absorb_state_unchanged(self):
+        passive = PABNode(address=1)
+        active = make_node()
+        f = passive.channel_frequency_hz
+        ga_p, _g, _t = passive.reflection_trajectory(np.array([0]), f)
+        ga_a, _g2, _t2 = active.reflection_trajectory(np.array([0]), f)
+        assert ga_a == ga_p
+
+    def test_unit_gain_matches_passive(self):
+        passive = PABNode(address=1)
+        active = make_node(reflection_gain=1.0)
+        f = passive.channel_frequency_hz
+        chips = np.array([0, 1, 1, 0])
+        _a, _b, traj_p = passive.reflection_trajectory(chips, f)
+        _c, _d, traj_a = active.reflection_trajectory(chips, f)
+        np.testing.assert_allclose(traj_a, traj_p)
+
+
+class TestRangeExtension:
+    def test_battery_assisted_works_where_battery_free_cannot(self):
+        """The future-work claim: battery assistance extends the operating
+        range beyond the power-up-limited envelope."""
+        from repro.acoustics import POOL_B, Position
+        from repro.core import BackscatterLink, Projector
+        from repro.net.messages import Command, Query
+        from repro.piezo import Transducer
+
+        transducer = Transducer.from_cylinder_design()
+        f = transducer.resonance_hz
+        # A weak projector: too weak to power a battery-free node at 6 m.
+        def build(node):
+            projector = Projector(
+                transducer=transducer, drive_voltage_v=20.0, carrier_hz=f
+            )
+            return BackscatterLink(
+                POOL_B, projector, Position(0.3, 0.6, 0.5),
+                node, Position(6.3, 0.6, 0.5), Position(1.0, 0.6, 0.5),
+            )
+
+        free = PABNode(address=1, channel_frequencies_hz=(f,), bitrate=200.0)
+        result_free = build(free).run_query(
+            Query(destination=1, command=Command.PING)
+        )
+        assert not result_free.powered_up
+
+        assisted = BatteryAssistedNode(
+            address=1, channel_frequencies_hz=(f,), bitrate=200.0,
+            reflection_gain=4.0,
+        )
+        result_assisted = build(assisted).run_query(
+            Query(destination=1, command=Command.PING)
+        )
+        assert result_assisted.powered_up
+        assert result_assisted.query_decoded
+        assert result_assisted.success

@@ -1,0 +1,112 @@
+"""Tests for the cold-start / power-up energy engine."""
+
+import pytest
+
+from repro.circuits import EnergyHarvester
+from repro.constants import POWER_UP_THRESHOLD_V
+from repro.node import PowerState, PowerUpSimulator
+from repro.piezo import Transducer
+
+
+def make_sim():
+    t = Transducer.from_cylinder_design()
+    harvester = EnergyHarvester(t)
+    return PowerUpSimulator(harvester), t.resonance_hz
+
+
+#: Incident pressure comfortably above the ~310 Pa power-up threshold.
+STRONG_PA = 600.0
+WEAK_PA = 100.0
+
+
+class TestCanPowerUp:
+    def test_strong_field_powers_up(self):
+        sim, f0 = make_sim()
+        assert sim.can_power_up(STRONG_PA, f0)
+
+    def test_weak_field_does_not(self):
+        sim, f0 = make_sim()
+        assert not sim.can_power_up(WEAK_PA, f0)
+
+    def test_off_channel_does_not(self):
+        sim, f0 = make_sim()
+        assert not sim.can_power_up(STRONG_PA, f0 * 1.5)
+
+    def test_threshold_behaviour_is_monotone(self):
+        sim, f0 = make_sim()
+        results = [sim.can_power_up(p, f0) for p in (50.0, 150.0, 300.0, 600.0, 1200.0)]
+        # Once power-up becomes possible it stays possible.
+        first_true = results.index(True) if True in results else len(results)
+        assert all(results[first_true:])
+
+
+class TestColdStart:
+    def test_successful_cold_start(self):
+        sim, f0 = make_sim()
+        result = sim.cold_start(STRONG_PA, f0)
+        assert result.powered_up
+        assert 0.0 < result.time_to_power_up_s < 60.0
+        assert result.equilibrium_voltage_v >= POWER_UP_THRESHOLD_V
+
+    def test_failed_cold_start(self):
+        sim, f0 = make_sim()
+        result = sim.cold_start(WEAK_PA, f0, timeout_s=2.0)
+        assert not result.powered_up
+        assert result.time_to_power_up_s == float("inf")
+
+    def test_stronger_field_charges_faster(self):
+        sim, f0 = make_sim()
+        slow = sim.cold_start(400.0, f0).time_to_power_up_s
+        fast = sim.cold_start(1_200.0, f0).time_to_power_up_s
+        assert fast < slow
+
+    def test_invalid_threshold(self):
+        t = Transducer.from_cylinder_design()
+        with pytest.raises(ValueError):
+            PowerUpSimulator(EnergyHarvester(t), threshold_v=0.0)
+
+
+class TestSustainability:
+    def test_idle_sustainable_in_strong_field(self):
+        sim, f0 = make_sim()
+        assert sim.sustainable(STRONG_PA, f0, PowerState.IDLE)
+
+    def test_nothing_sustainable_in_weak_field(self):
+        sim, f0 = make_sim()
+        assert not sim.sustainable(WEAK_PA, f0, PowerState.BACKSCATTER, bitrate=1_000.0)
+
+    def test_backscatter_needs_more_than_idle(self):
+        """Find a field strength where IDLE holds but backscatter doesn't."""
+        sim, f0 = make_sim()
+        found = False
+        for p in (500.0, 600.0, 700.0, 800.0, 900.0, 1_000.0, 1_200.0):
+            idle_ok = sim.sustainable(p, f0, PowerState.IDLE)
+            tx_ok = sim.sustainable(p, f0, PowerState.BACKSCATTER, bitrate=1_000.0)
+            if idle_ok and not tx_ok:
+                found = True
+            assert not (tx_ok and not idle_ok)  # never the reverse
+        assert found
+
+
+class TestDutyCycle:
+    def test_burst_completes_in_strong_field(self):
+        sim, f0 = make_sim()
+        assert sim.run_duty_cycle(
+            STRONG_PA, f0, backscatter_s=0.2, bitrate=1_000.0
+        )
+
+    def test_burst_fails_without_power_up(self):
+        sim, f0 = make_sim()
+        assert not sim.run_duty_cycle(
+            WEAK_PA, f0, backscatter_s=0.2, bitrate=1_000.0
+        )
+
+    def test_supercap_rides_through_burst(self):
+        """The 1000 uF supercap powers a short reply even when harvesting
+        alone cannot sustain continuous backscatter."""
+        sim, f0 = make_sim()
+        # Field strong enough to power up but not to sustain continuous TX.
+        p = 500.0
+        assert sim.can_power_up(p, f0)
+        assert not sim.sustainable(p, f0, PowerState.BACKSCATTER, bitrate=1_000.0)
+        assert sim.run_duty_cycle(p, f0, backscatter_s=0.1, bitrate=1_000.0)

@@ -1,0 +1,116 @@
+"""Failure-injection tests: the node under faults.
+
+A battery-free platform lives or dies by how it degrades: peripheral
+faults, brownouts mid-exchange, and corrupted downlinks must leave the
+node silent (so the reader's CRC/retry machinery handles it) rather than
+replying with garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.messages import Command, Query
+from repro.node import FirmwareState, PABNode
+from repro.node.node import Environment
+from repro.sensing.i2c import I2CError
+from repro.sensing.pressure import MS5837, WaterColumn
+
+
+class TestPeripheralFaults:
+    def make_powered_node(self):
+        node = PABNode(address=7)
+        node.force_power(True)
+        return node
+
+    def test_pressure_sensor_detached_mid_operation(self):
+        """I2C NACK during a conversion leaves the node silent, not crashed."""
+        node = self.make_powered_node()
+        # First read succeeds.
+        assert node.respond(
+            Query(destination=7, command=Command.READ_PRESSURE_TEMP)
+        ) is not None
+        node.firmware.response_sent()
+        # The sensor falls off the bus.
+        node.i2c.detach(MS5837.address)
+        response = node.respond(
+            Query(destination=7, command=Command.READ_PRESSURE_TEMP)
+        )
+        assert response is None
+        # The node is still alive and can answer other queries.
+        assert node.firmware.state is FirmwareState.IDLE
+        assert node.respond(Query(destination=7, command=Command.PING)) is not None
+
+    def test_sensor_fault_does_not_leak_i2c_error(self):
+        node = self.make_powered_node()
+        node.i2c.detach(MS5837.address)
+        try:
+            node.respond(Query(destination=7, command=Command.READ_PRESSURE_TEMP))
+        except I2CError:
+            pytest.fail("I2C fault leaked out of the firmware")
+
+    def test_reattached_sensor_recovers(self):
+        node = self.make_powered_node()
+        node.i2c.detach(MS5837.address)
+        assert node.respond(
+            Query(destination=7, command=Command.READ_PRESSURE_TEMP)
+        ) is None
+        node.i2c.attach(MS5837(node.environment.water))
+        # The driver re-initialises (reset + PROM) transparently.
+        node.firmware.pressure_driver._prom = None
+        assert node.respond(
+            Query(destination=7, command=Command.READ_PRESSURE_TEMP)
+        ) is not None
+
+
+class TestBrownout:
+    def test_brownout_mid_response(self):
+        node = PABNode(address=7)
+        node.force_power(True)
+        response = node.respond(Query(destination=7, command=Command.PING))
+        assert response is not None
+        assert node.firmware.state is FirmwareState.RESPONDING
+        # The supply collapses before the reply finishes.
+        node.force_power(False)
+        assert node.firmware.state is FirmwareState.OFF
+        # Everything is refused until the node powers up again.
+        assert node.respond(Query(destination=7, command=Command.PING)) is None
+        assert node.receive_query(np.ones(10), 96_000.0) is None
+
+    def test_reboot_after_brownout(self):
+        node = PABNode(address=7)
+        node.force_power(True)
+        node.force_power(False)
+        f = node.channel_frequency_hz
+        assert node.try_power_up(600.0, f)
+        assert node.respond(Query(destination=7, command=Command.PING)) is not None
+
+
+class TestCorruptedDownlink:
+    def test_flipped_bits_yield_no_query(self):
+        node = PABNode(address=7)
+        node.force_power(True)
+        query = Query(destination=7, command=Command.PING)
+        from repro.node.firmware import DOWNLINK_FORMAT
+
+        bits = query.to_packet().to_bits(DOWNLINK_FORMAT).copy()
+        bits[len(DOWNLINK_FORMAT.preamble) + 3] ^= 1  # corrupt the header
+        assert node.firmware.parse_query_bits(bits) is None
+
+    def test_unknown_command_ignored(self):
+        from repro.dsp.packets import Packet
+        from repro.node.firmware import DOWNLINK_FORMAT
+
+        node = PABNode(address=7)
+        node.force_power(True)
+        rogue = Packet(address=7, payload=b"\x77\x00")  # opcode 0x77 unknown
+        bits = rogue.to_bits(DOWNLINK_FORMAT)
+        assert node.firmware.parse_query_bits(bits) is None
+
+    def test_truncated_downlink_ignored(self):
+        node = PABNode(address=7)
+        node.force_power(True)
+        query = Query(destination=7, command=Command.PING)
+        from repro.node.firmware import DOWNLINK_FORMAT
+
+        bits = query.to_packet().to_bits(DOWNLINK_FORMAT)[:20]
+        assert node.firmware.parse_query_bits(bits) is None

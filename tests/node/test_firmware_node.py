@@ -1,0 +1,251 @@
+"""Tests for the MCU firmware state machine and the composed PABNode."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.packets import PacketFormat, PREAMBLE_BANK
+from repro.dsp.pwm import pwm_encode
+from repro.net.addresses import NodeAddress
+from repro.net.messages import BITRATE_TABLE, Command, Query, Response
+from repro.node import (
+    FirmwareConfig,
+    FirmwareState,
+    NodeFirmware,
+    PABNode,
+    PowerState,
+)
+from repro.node.firmware import DOWNLINK_FORMAT
+from repro.node.node import Environment
+from repro.sensing.pressure import ATMOSPHERE_MBAR, WaterColumn
+
+
+def make_firmware(**kw):
+    return NodeFirmware(FirmwareConfig(address=NodeAddress(7)), **kw)
+
+
+class TestLifecycle:
+    def test_starts_off(self):
+        fw = make_firmware()
+        assert fw.state is FirmwareState.OFF
+        assert fw.power_state is PowerState.COLD
+
+    def test_boot_and_brownout(self):
+        fw = make_firmware()
+        fw.boot()
+        assert fw.state is FirmwareState.IDLE
+        fw.brown_out()
+        assert fw.state is FirmwareState.OFF
+
+    def test_off_firmware_ignores_everything(self):
+        fw = make_firmware()
+        assert fw.handle_query(Query(destination=7, command=Command.PING)) is None
+        assert fw.decode_downlink_envelope(np.ones(100), 96_000.0) is None
+
+
+class TestQueryHandling:
+    def test_ping(self):
+        fw = make_firmware()
+        fw.boot()
+        resp = fw.handle_query(Query(destination=7, command=Command.PING))
+        assert resp == Response(source=7, command=Command.PING)
+        assert fw.state is FirmwareState.RESPONDING
+        fw.response_sent()
+        assert fw.state is FirmwareState.IDLE
+
+    def test_address_filtering(self):
+        fw = make_firmware()
+        fw.boot()
+        assert fw.handle_query(Query(destination=9, command=Command.PING)) is None
+        assert fw.queries_ignored == 1
+
+    def test_broadcast_accepted(self):
+        fw = make_firmware()
+        fw.boot()
+        assert fw.handle_query(Query(destination=0xFF, command=Command.PING))
+
+    def test_set_bitrate(self):
+        fw = make_firmware()
+        fw.boot()
+        resp = fw.handle_query(
+            Query(destination=7, command=Command.SET_BITRATE, argument=6)
+        )
+        assert resp is not None
+        assert fw.config.bitrate == BITRATE_TABLE[6]
+
+    def test_set_bitrate_bad_code(self):
+        fw = make_firmware()
+        fw.boot()
+        resp = fw.handle_query(
+            Query(destination=7, command=Command.SET_BITRATE, argument=200)
+        )
+        assert resp is None
+
+    def test_set_resonance_mode(self):
+        fw = make_firmware(n_resonance_modes=2)
+        fw.boot()
+        resp = fw.handle_query(
+            Query(destination=7, command=Command.SET_RESONANCE_MODE, argument=1)
+        )
+        assert resp is not None
+        assert fw.config.resonance_mode == 1
+
+    def test_set_resonance_mode_out_of_range(self):
+        fw = make_firmware(n_resonance_modes=1)
+        fw.boot()
+        assert fw.handle_query(
+            Query(destination=7, command=Command.SET_RESONANCE_MODE, argument=3)
+        ) is None
+
+    def test_sensor_command_without_sensor(self):
+        fw = make_firmware()  # no sensors attached
+        fw.boot()
+        assert fw.handle_query(Query(destination=7, command=Command.READ_PH)) is None
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            NodeFirmware(FirmwareConfig(address=NodeAddress(1)), n_resonance_modes=0)
+        with pytest.raises(ValueError):
+            NodeFirmware(
+                FirmwareConfig(address=NodeAddress(1), resonance_mode=2),
+                n_resonance_modes=1,
+            )
+
+
+class TestDownlinkDecode:
+    def test_clean_envelope_roundtrip(self):
+        fw = make_firmware()
+        fw.boot()
+        query = Query(destination=7, command=Command.PING)
+        bits = query.to_packet().to_bits(DOWNLINK_FORMAT)
+        fs = 96_000.0
+        env = pwm_encode(bits, fw.config.pwm_code, fs)
+        decoded = fw.decode_downlink_envelope(env, fs)
+        assert decoded == query
+
+    def test_envelope_with_noise(self):
+        fw = make_firmware()
+        fw.boot()
+        query = Query(destination=7, command=Command.READ_PH, argument=0)
+        bits = query.to_packet().to_bits(DOWNLINK_FORMAT)
+        fs = 96_000.0
+        env = pwm_encode(bits, fw.config.pwm_code, fs)
+        env = env + np.random.default_rng(0).normal(0, 0.05, len(env))
+        assert fw.decode_downlink_envelope(env, fs) == query
+
+    def test_garbage_returns_none(self):
+        fw = make_firmware()
+        fw.boot()
+        rng = np.random.default_rng(1)
+        assert fw.decode_downlink_envelope(rng.normal(size=5000), 96_000.0) is None
+
+    def test_parse_query_with_leading_noise_bits(self):
+        fw = make_firmware()
+        fw.boot()
+        query = Query(destination=7, command=Command.PING)
+        bits = query.to_packet().to_bits(DOWNLINK_FORMAT)
+        noisy = np.concatenate([[1, 0, 0, 1, 1], bits])
+        assert fw.parse_query_bits(noisy) == query
+
+
+class TestUplink:
+    def test_chips_are_fm0(self):
+        fw = make_firmware()
+        fw.boot()
+        resp = Response(source=7, command=Command.PING)
+        chips = fw.build_uplink_chips(resp)
+        assert set(np.unique(chips)) <= {0, 1}
+        bits = resp.to_packet().to_bits(fw.config.uplink_format)
+        assert len(chips) == 2 * len(bits)
+
+    def test_custom_uplink_format(self):
+        cfg = FirmwareConfig(
+            address=NodeAddress(7),
+            uplink_format=PacketFormat(preamble=PREAMBLE_BANK[1]),
+        )
+        fw = NodeFirmware(cfg)
+        fw.boot()
+        chips = fw.build_uplink_chips(Response(source=7, command=Command.PING))
+        assert len(chips) == 2 * (13 + 8 + 8 + 8 + 16)
+
+
+class TestPABNode:
+    def make_node(self, **kw):
+        env = Environment(
+            water=WaterColumn(depth_m=0.5, temperature_c=21.0), true_ph=7.4
+        )
+        return PABNode(address=7, environment=env, **kw)
+
+    def test_initial_state(self):
+        node = self.make_node()
+        assert not node.is_powered
+        assert node.channel_frequency_hz == pytest.approx(15_000.0, rel=0.01)
+
+    def test_force_power(self):
+        node = self.make_node()
+        node.force_power(True)
+        assert node.is_powered
+        node.force_power(False)
+        assert not node.is_powered
+
+    def test_power_up_from_field(self):
+        node = self.make_node()
+        f = node.channel_frequency_hz
+        assert node.try_power_up(600.0, f)
+        assert not node.try_power_up(50.0, f)
+
+    def test_unpowered_node_is_silent(self):
+        node = self.make_node()
+        assert node.respond(Query(destination=7, command=Command.PING)) is None
+        assert node.receive_query(np.ones(100), 96_000.0) is None
+
+    def test_ping_roundtrip(self):
+        node = self.make_node()
+        node.force_power(True)
+        resp = node.respond(Query(destination=7, command=Command.PING))
+        assert resp.source == 7
+
+    def test_ph_sensing_through_node(self):
+        node = self.make_node()
+        node.force_power(True)
+        resp = node.respond(Query(destination=7, command=Command.READ_PH))
+        reading = resp.reading()
+        assert reading.kind == "ph"
+        assert reading.values[0] == pytest.approx(7.4, abs=0.15)
+
+    def test_pressure_sensing_through_node(self):
+        node = self.make_node()
+        node.force_power(True)
+        resp = node.respond(
+            Query(destination=7, command=Command.READ_PRESSURE_TEMP)
+        )
+        pressure, temperature = resp.reading().values
+        expected = ATMOSPHERE_MBAR + 98.1 * 0.5
+        assert pressure == pytest.approx(expected, rel=0.01)
+        assert temperature == pytest.approx(21.0, abs=0.2)
+
+    def test_temperature_sensing_through_node(self):
+        node = self.make_node()
+        node.force_power(True)
+        resp = node.respond(Query(destination=7, command=Command.READ_TEMPERATURE))
+        assert resp.reading().values[0] == pytest.approx(21.0, abs=1.0)
+
+    def test_reflection_trajectory(self):
+        node = self.make_node()
+        gamma_a, gamma_r, traj = node.reflection_trajectory(
+            np.array([0, 1, 0]), node.channel_frequency_hz
+        )
+        assert abs(gamma_r) > abs(gamma_a)
+        assert traj[1] == gamma_r
+        assert traj[0] == traj[2] == gamma_a
+
+    def test_multi_mode_node(self):
+        node = PABNode(address=3, channel_frequencies_hz=(15_000.0, 18_000.0))
+        assert len(node.bank) == 2
+        node.force_power(True)
+        node.respond(
+            Query(destination=3, command=Command.SET_RESONANCE_MODE, argument=1)
+        )
+        assert node.channel_frequency_hz == 18_000.0
+
+    def test_repr(self):
+        assert "node-0x07" in repr(self.make_node())

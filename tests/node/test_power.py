@@ -1,0 +1,81 @@
+"""Tests for the node power model (paper Sec. 6.4 / Fig. 11)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import MEASURED_IDLE_POWER_W
+from repro.node import NodePowerModel, PowerState
+from repro.node.power import MEASUREMENT_SUPPLY_V
+
+
+class TestCurrents:
+    def test_cold_draws_nothing(self):
+        assert NodePowerModel().current_a(PowerState.COLD) == 0.0
+
+    def test_idle_matches_paper_measurement(self):
+        """The model is calibrated to the paper's 124 uW idle figure."""
+        p = NodePowerModel().power_w(PowerState.IDLE)
+        assert p == pytest.approx(MEASURED_IDLE_POWER_W, rel=1e-6)
+
+    def test_backscatter_near_500uw(self):
+        """Fig. 11: ~500 uW while backscattering."""
+        for bitrate in (100.0, 1_000.0, 3_000.0):
+            p = NodePowerModel().power_w(PowerState.BACKSCATTER, bitrate=bitrate)
+            assert 400e-6 < p < 650e-6
+
+    def test_backscatter_grows_slowly_with_bitrate(self):
+        m = NodePowerModel()
+        p100 = m.power_w(PowerState.BACKSCATTER, bitrate=100.0)
+        p3000 = m.power_w(PowerState.BACKSCATTER, bitrate=3_000.0)
+        assert p3000 > p100
+        assert (p3000 - p100) / p100 < 0.2  # gentle trend, as in Fig. 11
+
+    def test_ordering_of_states(self):
+        m = NodePowerModel()
+        idle = m.power_w(PowerState.IDLE)
+        decode = m.power_w(PowerState.DECODING)
+        backscatter = m.power_w(PowerState.BACKSCATTER, bitrate=1_000.0)
+        sensing = m.power_w(PowerState.SENSING)
+        assert idle < decode < backscatter < sensing
+
+    def test_validation(self):
+        m = NodePowerModel()
+        with pytest.raises(ValueError):
+            m.current_a(PowerState.IDLE, bitrate=-1.0)
+        with pytest.raises(ValueError):
+            m.current_a(PowerState.IDLE, supply_v=0.0)
+        with pytest.raises(ValueError):
+            NodePowerModel(mcu_active_a=-1.0)
+
+    @given(bitrate=st.floats(0.0, 10_000.0))
+    def test_power_scales_with_supply(self, bitrate):
+        m = NodePowerModel()
+        p1 = m.power_w(PowerState.BACKSCATTER, bitrate=bitrate, supply_v=1.8)
+        p2 = m.power_w(PowerState.BACKSCATTER, bitrate=bitrate, supply_v=3.6)
+        assert p2 == pytest.approx(2.0 * p1)
+
+
+class TestFig11Sweep:
+    def test_sweep_structure(self):
+        sweep = NodePowerModel().fig11_sweep([500.0, 1_000.0])
+        assert set(sweep) == {"idle", 500.0, 1_000.0}
+        assert sweep["idle"] < sweep[500.0]
+
+    def test_supply_voltage_constant(self):
+        assert MEASUREMENT_SUPPLY_V == pytest.approx(2.1)
+
+
+class TestEnergyPerBit:
+    def test_lower_at_higher_bitrate(self):
+        """Backscatter amortises the static draw over more bits."""
+        m = NodePowerModel()
+        assert m.energy_per_bit_j(3_000.0) < m.energy_per_bit_j(100.0)
+
+    def test_magnitude(self):
+        # ~500 uW / 1 kbps = 500 nJ/bit.
+        m = NodePowerModel()
+        assert m.energy_per_bit_j(1_000.0) == pytest.approx(540e-9, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodePowerModel().energy_per_bit_j(0.0)

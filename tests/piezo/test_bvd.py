@@ -1,0 +1,139 @@
+"""Tests for the Butterworth-Van Dyke model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.piezo import BVDParameters, ButterworthVanDyke
+
+
+def make_bvd(fs=15_000.0, q=9.0, c0=25e-9, k=0.28):
+    return ButterworthVanDyke.from_resonance(fs, q, c0, k)
+
+
+class TestConstruction:
+    def test_from_resonance_roundtrip(self):
+        bvd = make_bvd()
+        assert bvd.series_resonance_hz == pytest.approx(15_000.0)
+        assert bvd.quality_factor == pytest.approx(9.0)
+        assert bvd.effective_coupling == pytest.approx(0.28, rel=1e-6)
+        assert bvd.params.c0 == 25e-9
+
+    def test_parallel_above_series(self):
+        bvd = make_bvd()
+        assert bvd.parallel_resonance_hz > bvd.series_resonance_hz
+
+    def test_bandwidth(self):
+        bvd = make_bvd(fs=15_000.0, q=10.0)
+        assert bvd.bandwidth_hz == pytest.approx(1_500.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ButterworthVanDyke.from_resonance(-1.0, 9.0, 25e-9, 0.3)
+        with pytest.raises(ValueError):
+            ButterworthVanDyke.from_resonance(15e3, 0.0, 25e-9, 0.3)
+        with pytest.raises(ValueError):
+            ButterworthVanDyke.from_resonance(15e3, 9.0, 25e-9, 1.2)
+        with pytest.raises(ValueError):
+            ButterworthVanDyke.from_resonance(15e3, 9.0, -1e-9, 0.3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BVDParameters(c0=0.0, r_m=1.0, l_m=1.0, c_m=1.0)
+
+    @given(
+        fs=st.floats(5_000.0, 50_000.0),
+        q=st.floats(2.0, 100.0),
+        k=st.floats(0.05, 0.6),
+    )
+    def test_roundtrip_property(self, fs, q, k):
+        bvd = ButterworthVanDyke.from_resonance(fs, q, 25e-9, k)
+        assert bvd.series_resonance_hz == pytest.approx(fs, rel=1e-9)
+        assert bvd.quality_factor == pytest.approx(q, rel=1e-9)
+        assert bvd.effective_coupling == pytest.approx(k, rel=1e-6)
+
+
+class TestImpedance:
+    def test_motional_minimum_at_series_resonance(self):
+        bvd = make_bvd()
+        freqs = np.linspace(10e3, 20e3, 2001)
+        z = np.abs(bvd.motional_impedance(freqs))
+        f_min = freqs[np.argmin(z)]
+        assert f_min == pytest.approx(15_000.0, abs=10.0)
+
+    def test_motional_impedance_at_resonance_is_rm(self):
+        bvd = make_bvd()
+        z = bvd.motional_impedance(bvd.series_resonance_hz)
+        assert z == pytest.approx(bvd.params.r_m, rel=1e-6)
+
+    def test_terminal_impedance_maximum_near_parallel_resonance(self):
+        bvd = make_bvd()
+        freqs = np.linspace(14e3, 17e3, 4001)
+        z = np.abs(bvd.impedance(freqs))
+        f_max = freqs[np.argmax(z)]
+        # With a low in-water Q the loss shifts the |Z| peak slightly above
+        # the lossless anti-resonance, so allow 5%.
+        assert f_max == pytest.approx(bvd.parallel_resonance_hz, rel=0.05)
+        assert f_max > bvd.series_resonance_hz
+
+    def test_capacitive_far_below_resonance(self):
+        bvd = make_bvd()
+        f = 1_000.0
+        z = bvd.impedance(f)
+        expected = 1.0 / (
+            2j * np.pi * f * (bvd.params.c0 + bvd.params.c_m)
+        )
+        assert z.imag == pytest.approx(expected.imag, rel=0.05)
+        assert z.imag < 0
+
+    def test_scalar_and_array_agree(self):
+        bvd = make_bvd()
+        z_scalar = bvd.impedance(15_000.0)
+        z_array = bvd.impedance(np.array([15_000.0]))
+        assert isinstance(z_scalar, complex)
+        assert z_array[0] == pytest.approx(z_scalar)
+
+    def test_admittance_inverse(self):
+        bvd = make_bvd()
+        f = 14_500.0
+        assert bvd.admittance(f) * bvd.impedance(f) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            make_bvd().impedance(0.0)
+
+    def test_positive_real_part_everywhere(self):
+        bvd = make_bvd()
+        freqs = np.linspace(1e3, 50e3, 500)
+        assert np.all(np.real(bvd.impedance(freqs)) > 0)
+
+
+class TestResonanceResponse:
+    def test_unity_at_resonance(self):
+        bvd = make_bvd()
+        assert bvd.resonance_response(bvd.series_resonance_hz) == pytest.approx(1.0)
+
+    def test_half_power_at_band_edges(self):
+        bvd = make_bvd(fs=15_000.0, q=10.0)
+        bw = bvd.bandwidth_hz
+        # At f_s +- bw/2 the response is ~1/sqrt(2).
+        edge = bvd.resonance_response(15_000.0 + bw / 2.0)
+        assert edge == pytest.approx(1.0 / np.sqrt(2.0), rel=0.05)
+
+    def test_symmetric_in_log_frequency(self):
+        bvd = make_bvd()
+        fs = bvd.series_resonance_hz
+        assert bvd.resonance_response(fs * 1.2) == pytest.approx(
+            bvd.resonance_response(fs / 1.2)
+        )
+
+    def test_higher_q_narrower(self):
+        low_q = make_bvd(q=5.0)
+        high_q = make_bvd(q=50.0)
+        f_off = 16_000.0
+        assert high_q.resonance_response(f_off) < low_q.resonance_response(f_off)
+
+    @given(f=st.floats(1_000.0, 60_000.0))
+    def test_bounded(self, f):
+        r = make_bvd().resonance_response(f)
+        assert 0.0 < r <= 1.0

@@ -1,0 +1,113 @@
+"""Tests for materials database and cylinder design."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import CYLINDER_IN_AIR_RESONANCE_HZ
+from repro.piezo import MATERIALS, PZT4, PZT5A, design_cylinder_transducer
+from repro.piezo.cylinder import radial_resonance_hz, water_loading_factor
+from repro.piezo.materials import PiezoMaterial
+
+
+class TestMaterials:
+    def test_database_contains_both(self):
+        assert "PZT-4" in MATERIALS and "PZT-5A" in MATERIALS
+
+    def test_soft_pzt_more_sensitive(self):
+        # Soft PZT has larger |d31| (receive sensitivity) but lower Q.
+        assert abs(PZT5A.d31) > abs(PZT4.d31)
+        assert PZT5A.q_mechanical < PZT4.q_mechanical
+
+    def test_bar_sound_speed_in_ceramic_range(self):
+        # PZT bar speeds are ~2800-3400 m/s.
+        for m in (PZT4, PZT5A):
+            assert 2500.0 < m.bar_sound_speed < 3600.0
+
+    def test_epsilon_t(self):
+        assert PZT4.epsilon_t == pytest.approx(1300.0 * 8.8541878128e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiezoMaterial(
+                name="bad", d31=-1e-12, d33=1e-12, epsilon_r=1000.0,
+                s11_e=1e-11, k31=1.5, k33=0.7, q_mechanical=100.0,
+                density=7500.0,
+            )
+        with pytest.raises(ValueError):
+            PiezoMaterial(
+                name="bad", d31=-1e-12, d33=1e-12, epsilon_r=1000.0,
+                s11_e=1e-11, k31=0.3, k33=0.7, q_mechanical=-1.0,
+                density=7500.0,
+            )
+
+
+class TestRadialResonance:
+    def test_17khz_needs_3cm_radius(self):
+        # The ring-frequency formula should give a radius of a few cm for
+        # the paper's 17 kHz part.
+        a = PZT4.bar_sound_speed / (2.0 * 3.14159265 * 17_000.0)
+        assert 0.02 < a < 0.04
+        assert radial_resonance_hz(PZT4, a) == pytest.approx(17_000.0, rel=1e-3)
+
+    def test_inverse_with_radius(self):
+        assert radial_resonance_hz(PZT4, 0.02) > radial_resonance_hz(PZT4, 0.04)
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError):
+            radial_resonance_hz(PZT4, 0.0)
+
+
+class TestWaterLoading:
+    def test_positive(self):
+        assert water_loading_factor(PZT4, 0.03, 0.0035) > 0.0
+
+    def test_thicker_wall_less_loading(self):
+        thin = water_loading_factor(PZT4, 0.03, 0.002)
+        thick = water_loading_factor(PZT4, 0.03, 0.006)
+        assert thin > thick
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            water_loading_factor(PZT4, 0.03, 0.0)
+        with pytest.raises(ValueError):
+            water_loading_factor(PZT4, 0.03, 0.003, radiation_mass_coefficient=-1.0)
+
+
+class TestDesignCylinder:
+    def test_paper_part_lands_near_15khz_in_water(self):
+        """The paper's 17 kHz in-air cylinder operates at ~15 kHz in water."""
+        d = design_cylinder_transducer()
+        assert d.in_air_resonance_hz == pytest.approx(CYLINDER_IN_AIR_RESONANCE_HZ)
+        assert d.in_water_resonance_hz == pytest.approx(15_000.0, rel=0.03)
+
+    def test_capacitance_order_of_magnitude(self):
+        # Tens of nF for a cylinder of this size.
+        d = design_cylinder_transducer()
+        assert 5e-9 < d.clamped_capacitance_f < 100e-9
+
+    def test_bvd_conversion_consistent(self):
+        d = design_cylinder_transducer()
+        bvd = d.to_bvd()
+        assert bvd.series_resonance_hz == pytest.approx(d.in_water_resonance_hz)
+        assert bvd.quality_factor == pytest.approx(d.in_water_q)
+
+    def test_geometry_driven_design(self):
+        d = design_cylinder_transducer(target_in_air_resonance_hz=None)
+        assert d.in_air_resonance_hz > 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            design_cylinder_transducer(outer_radius_m=-1.0)
+        with pytest.raises(ValueError):
+            design_cylinder_transducer(coupling_derating=0.0)
+        with pytest.raises(ValueError):
+            design_cylinder_transducer(target_in_air_resonance_hz=-5.0)
+
+    @given(f_air=st.floats(8_000.0, 40_000.0))
+    def test_water_resonance_below_air_resonance(self, f_air):
+        d = design_cylinder_transducer(target_in_air_resonance_hz=f_air)
+        assert d.in_water_resonance_hz < d.in_air_resonance_hz
+
+    def test_effective_coupling_below_material_coupling(self):
+        d = design_cylinder_transducer()
+        assert d.effective_coupling < d.material.k31

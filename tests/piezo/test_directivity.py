@@ -1,0 +1,104 @@
+"""Tests for transducer directivity patterns."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.piezo.directivity import (
+    DirectivityPattern,
+    line_source_pattern,
+    piston_pattern,
+    wavelength_m,
+)
+
+
+class TestWavelength:
+    def test_15khz_in_water(self):
+        assert wavelength_m(15_000.0) == pytest.approx(0.0987, abs=0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wavelength_m(0.0)
+
+
+class TestLineSource:
+    def test_unity_at_broadside(self):
+        assert line_source_pattern(0.0, 0.04, 15_000.0) == pytest.approx(1.0)
+
+    def test_papers_cylinder_nearly_omni(self):
+        """A 4 cm cylinder at 15 kHz (lambda ~ 10 cm) barely narrows:
+        the paper's omnidirectionality claim quantified."""
+        worst = line_source_pattern(math.pi / 2, 0.04, 15_000.0)
+        assert worst > 0.7
+
+    def test_long_array_is_directional(self):
+        worst = line_source_pattern(math.pi / 2, 0.5, 15_000.0)
+        assert worst < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_source_pattern(0.1, -1.0, 15_000.0)
+
+    @given(theta=st.floats(-math.pi / 2, math.pi / 2))
+    def test_bounded(self, theta):
+        g = line_source_pattern(theta, 0.1, 15_000.0)
+        assert 0.0 <= g <= 1.0 + 1e-9
+
+
+class TestPiston:
+    def test_unity_on_axis(self):
+        assert piston_pattern(0.0, 0.1, 15_000.0) == pytest.approx(1.0)
+
+    def test_large_piston_narrow_beam(self):
+        wide = piston_pattern(math.radians(30.0), 0.02, 15_000.0)
+        narrow = piston_pattern(math.radians(30.0), 0.2, 15_000.0)
+        assert narrow < wide
+
+    def test_first_null_location(self):
+        """First null of a piston at sin(t) = 0.61 lambda / a."""
+        a, f = 0.2, 15_000.0
+        lam = wavelength_m(f)
+        theta_null = math.asin(0.61 * lam / a)
+        assert piston_pattern(theta_null, a, f) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            piston_pattern(0.1, 0.0, 15_000.0)
+
+
+class TestDirectivityPattern:
+    def test_omni_everything_unity(self):
+        p = DirectivityPattern(kind="omni")
+        assert p.gain(1.0) == 1.0
+        assert p.directivity_index_db() == pytest.approx(0.0, abs=0.01)
+        assert p.beamwidth_deg() == 360.0
+
+    def test_piston_di_positive(self):
+        p = DirectivityPattern(kind="piston", characteristic_m=0.15)
+        assert p.directivity_index_db() > 3.0
+
+    def test_bigger_piston_higher_di(self):
+        small = DirectivityPattern(kind="piston", characteristic_m=0.05)
+        large = DirectivityPattern(kind="piston", characteristic_m=0.2)
+        assert large.directivity_index_db() > small.directivity_index_db()
+
+    def test_beamwidth_shrinks_with_size(self):
+        small = DirectivityPattern(kind="piston", characteristic_m=0.08)
+        large = DirectivityPattern(kind="piston", characteristic_m=0.25)
+        assert large.beamwidth_deg() < small.beamwidth_deg()
+
+    def test_line_pattern_kind(self):
+        p = DirectivityPattern(kind="line", characteristic_m=0.04)
+        assert p.gain(0.0) == pytest.approx(1.0)
+        assert 0.0 <= p.directivity_index_db() < 3.0  # nearly omni
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            DirectivityPattern(kind="horn")
+
+    def test_vectorised_gain(self):
+        p = DirectivityPattern(kind="piston", characteristic_m=0.1)
+        gains = p.gain(np.linspace(0, math.pi / 2, 10))
+        assert gains.shape == (10,)

@@ -1,0 +1,133 @@
+"""Tests for the full transducer model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.piezo import ButterworthVanDyke, Transducer
+
+
+def make_transducer(**kw) -> Transducer:
+    return Transducer.from_cylinder_design(**kw)
+
+
+class TestBasics:
+    def test_default_resonance_near_15khz(self):
+        t = make_transducer()
+        assert t.resonance_hz == pytest.approx(15_000.0, rel=0.03)
+
+    def test_impedance_delegates_to_bvd(self):
+        t = make_transducer()
+        assert t.impedance(15_000.0) == t.bvd.impedance(15_000.0)
+
+    def test_invalid_backscatter_loss(self):
+        bvd = ButterworthVanDyke.from_resonance(15e3, 9.0, 25e-9, 0.28)
+        with pytest.raises(ValueError):
+            Transducer(bvd=bvd, backscatter_loss=0.0)
+        with pytest.raises(ValueError):
+            Transducer(bvd=bvd, backscatter_loss=1.5)
+
+
+class TestTransmit:
+    def test_tvr_at_resonance(self):
+        t = make_transducer(tvr_db=140.0)
+        f = t.resonance_hz
+        # 140 dB re uPa*m/V = 10 Pa*m/V.
+        assert t.transmit_pressure_per_volt(f) == pytest.approx(10.0, rel=1e-6)
+
+    def test_pressure_linear_in_voltage(self):
+        t = make_transducer()
+        f = t.resonance_hz
+        assert float(t.transmit_pressure(100.0, f)) == pytest.approx(
+            10.0 * float(t.transmit_pressure(10.0, f))
+        )
+
+    def test_off_resonance_weaker(self):
+        t = make_transducer()
+        assert float(t.transmit_pressure(1.0, t.resonance_hz)) > float(
+            t.transmit_pressure(1.0, t.resonance_hz * 1.3)
+        )
+
+    def test_source_level_reasonable(self):
+        t = make_transducer(tvr_db=140.0)
+        sl = t.source_level_db(350.0, t.resonance_hz)
+        # 350 V on a 140 dB TVR projector: ~188 dB re uPa @ 1 m.
+        assert 180.0 < sl < 195.0
+
+    def test_source_level_zero_drive(self):
+        t = make_transducer()
+        assert t.source_level_db(0.0, t.resonance_hz) == float("-inf")
+
+
+class TestReceive:
+    def test_sensitivity_at_resonance(self):
+        t = make_transducer(ocv_db=-178.0)
+        v_per_pa = t.open_circuit_voltage_per_pascal(t.resonance_hz)
+        assert v_per_pa == pytest.approx(10.0 ** (-178.0 / 20.0) * 1e6, rel=1e-6)
+
+    def test_open_circuit_voltage_scales(self):
+        t = make_transducer()
+        f = t.resonance_hz
+        assert float(t.open_circuit_voltage(200.0, f)) == pytest.approx(
+            2.0 * float(t.open_circuit_voltage(100.0, f))
+        )
+
+    def test_available_power_positive_and_peaks_at_resonance(self):
+        t = make_transducer()
+        p_res = t.available_power_w(100.0, t.resonance_hz)
+        p_off = t.available_power_w(100.0, t.resonance_hz * 1.2)
+        assert p_res > p_off > 0.0
+
+    def test_available_power_formula(self):
+        t = make_transducer()
+        f = t.resonance_hz
+        v = float(t.open_circuit_voltage(50.0, f))
+        r_s = float(np.real(t.impedance(f)))
+        assert t.available_power_w(50.0, f) == pytest.approx(
+            v**2 / 2.0 / (4.0 * r_s)
+        )
+
+
+class TestBackscatter:
+    def test_short_circuit_full_reflection(self):
+        t = make_transducer()
+        f = t.resonance_hz
+        gamma = t.reflection_coefficient(0.0, f)
+        assert abs(gamma) == pytest.approx(1.0, rel=1e-9)
+
+    def test_conjugate_match_absorbs(self):
+        t = make_transducer()
+        f = t.resonance_hz
+        z_match = np.conjugate(t.impedance(f))
+        gamma = t.reflection_coefficient(z_match, f)
+        assert abs(gamma) < 1e-9
+
+    def test_modulation_depth_positive_with_match(self):
+        t = make_transducer()
+        f = t.resonance_hz
+        z_match = np.conjugate(t.impedance(f))
+        depth = t.modulation_depth(z_match, f)
+        assert depth > 0.5  # short vs matched: |Gamma| difference ~1
+
+    def test_modulation_depth_falls_off_resonance(self):
+        """Sec. 3.3.2 footnote: modulation depth decreases away from
+        resonance because matching and efficiency degrade."""
+        t = make_transducer()
+        f0 = t.resonance_hz
+        z_match = np.conjugate(t.impedance(f0))  # matched at f0 only
+        on = t.modulation_depth(z_match, f0)
+        off = t.modulation_depth(z_match, f0 * 1.2)
+        assert off < on
+
+    def test_reflected_pressure_includes_loss(self):
+        t = make_transducer(backscatter_loss=0.7)
+        f = t.resonance_hz
+        p_ref = t.reflected_pressure(100.0, 0.0, f)
+        assert abs(complex(p_ref)) == pytest.approx(70.0, rel=0.01)
+
+    @given(r=st.floats(1.0, 1e5), x=st.floats(-1e5, 1e5))
+    def test_passivity(self, r, x):
+        """|Gamma| <= 1 for any passive load (Re Z_L >= 0)."""
+        t = make_transducer()
+        gamma = t.reflection_coefficient(complex(r, x), t.resonance_hz)
+        assert abs(gamma) <= 1.0 + 1e-9

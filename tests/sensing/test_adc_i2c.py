@@ -1,0 +1,124 @@
+"""Tests for ADC and I2C bus models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sensing import I2CBus, I2CDevice, I2CError, SarADC
+
+
+class TestSarADC:
+    def test_full_scale(self):
+        adc = SarADC(noise_lsb_rms=0.0)
+        assert adc.sample(1.8) == adc.max_code
+
+    def test_zero(self):
+        adc = SarADC(noise_lsb_rms=0.0)
+        assert adc.sample(0.0) == 0
+
+    def test_midscale(self):
+        adc = SarADC(noise_lsb_rms=0.0)
+        assert adc.sample(0.9) == pytest.approx(512, abs=1)
+
+    def test_clipping(self):
+        adc = SarADC(noise_lsb_rms=0.0)
+        assert adc.sample(5.0) == adc.max_code
+        assert adc.sample(-1.0) == 0
+
+    def test_lsb(self):
+        adc = SarADC(resolution_bits=10, reference_v=1.8)
+        assert adc.lsb_v == pytest.approx(1.8 / 1024)
+
+    def test_to_voltage_roundtrip(self):
+        adc = SarADC(noise_lsb_rms=0.0)
+        code = adc.sample(1.0)
+        assert adc.to_voltage(code) == pytest.approx(1.0, abs=adc.lsb_v)
+
+    def test_to_voltage_validates(self):
+        with pytest.raises(ValueError):
+            SarADC().to_voltage(5000)
+
+    def test_averaging_reduces_noise(self):
+        adc = SarADC(noise_lsb_rms=2.0, seed=1)
+        import numpy as np
+
+        singles = [adc.to_voltage(adc.sample(0.9)) for _ in range(50)]
+        averaged = [adc.sample_average(0.9, n=64) for _ in range(50)]
+        assert np.std(averaged) < np.std(singles)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SarADC(resolution_bits=2)
+        with pytest.raises(ValueError):
+            SarADC(reference_v=0.0)
+        with pytest.raises(ValueError):
+            SarADC().sample_average(1.0, n=0)
+
+    @given(v=st.floats(0.0, 1.8))
+    def test_monotone(self, v):
+        adc = SarADC(noise_lsb_rms=0.0)
+        assert adc.sample(min(v + 0.01, 1.8)) >= adc.sample(v)
+
+
+class Echo(I2CDevice):
+    address = 0x42
+
+    def __init__(self):
+        self.buffer = b""
+
+    def write(self, data: bytes) -> None:
+        self.buffer = data
+
+    def read(self, length: int) -> bytes:
+        return self.buffer[:length].ljust(length, b"\x00")
+
+
+class TestI2CBus:
+    def test_attach_and_scan(self):
+        bus = I2CBus()
+        bus.attach(Echo())
+        assert bus.scan() == [0x42]
+
+    def test_write_read(self):
+        bus = I2CBus()
+        bus.attach(Echo())
+        bus.write(0x42, b"\xab\xcd")
+        assert bus.read(0x42, 2) == b"\xab\xcd"
+
+    def test_write_read_combined(self):
+        bus = I2CBus()
+        bus.attach(Echo())
+        assert bus.write_read(0x42, b"\x55", 1) == b"\x55"
+
+    def test_nack_on_missing_device(self):
+        bus = I2CBus()
+        with pytest.raises(I2CError, match="NACK"):
+            bus.write(0x10, b"\x00")
+        with pytest.raises(I2CError, match="NACK"):
+            bus.read(0x10, 1)
+
+    def test_address_conflict(self):
+        bus = I2CBus()
+        bus.attach(Echo())
+        with pytest.raises(ValueError, match="conflict"):
+            bus.attach(Echo())
+
+    def test_reserved_addresses_rejected(self):
+        bus = I2CBus()
+        bad = Echo()
+        bad.address = 0x03
+        with pytest.raises(ValueError):
+            bus.attach(bad)
+
+    def test_detach(self):
+        bus = I2CBus()
+        bus.attach(Echo())
+        bus.detach(0x42)
+        assert bus.scan() == []
+        with pytest.raises(KeyError):
+            bus.detach(0x42)
+
+    def test_negative_read_length(self):
+        bus = I2CBus()
+        bus.attach(Echo())
+        with pytest.raises(ValueError):
+            bus.read(0x42, -1)

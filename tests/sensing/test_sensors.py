@@ -1,0 +1,174 @@
+"""Tests for the pH, pressure, and temperature sensing chains."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sensing import (
+    I2CBus,
+    I2CError,
+    MS5837,
+    PhProbe,
+    PhSensor,
+    ThermistorChannel,
+    WaterColumn,
+)
+from repro.sensing.ph import nernst_slope_v
+from repro.sensing.pressure import (
+    ATMOSPHERE_MBAR,
+    DEFAULT_PROM,
+    MS5837Driver,
+    compensate,
+    synthesize_raw,
+)
+
+
+class TestPh:
+    def test_nernst_slope_at_25c(self):
+        assert nernst_slope_v(25.0) == pytest.approx(0.05916, abs=1e-4)
+
+    def test_neutral_ph_zero_emf(self):
+        assert PhProbe().emf(7.0) == 0.0
+
+    def test_acid_positive_emf(self):
+        assert PhProbe().emf(4.0) > 0.0
+
+    def test_paper_verification_point(self):
+        """Sec. 6.5: 'the MCU computes the correct pH (of 7)'."""
+        sensor = PhSensor()
+        assert sensor.read_ph(7.0) == pytest.approx(7.0, abs=0.1)
+
+    @settings(max_examples=25)
+    @given(ph=st.floats(2.0, 12.0))
+    def test_accuracy_across_range(self, ph):
+        sensor = PhSensor()
+        assert sensor.read_ph(ph) == pytest.approx(ph, abs=0.15)
+
+    def test_aged_probe_still_invertible(self):
+        sensor = PhSensor(probe=PhProbe(slope_efficiency=0.9))
+        assert sensor.read_ph(5.0) == pytest.approx(5.0, abs=0.2)
+
+    def test_payload_roundtrip(self):
+        sensor = PhSensor()
+        payload = sensor.encode_reading(7.42)
+        assert PhSensor.decode_reading(payload) == pytest.approx(7.42)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhProbe().emf(20.0)
+        with pytest.raises(ValueError):
+            PhProbe(slope_efficiency=0.1)
+        with pytest.raises(ValueError):
+            PhSensor().encode_reading(15.0)
+        with pytest.raises(ValueError):
+            PhSensor.decode_reading(b"\x00")
+        with pytest.raises(ValueError):
+            nernst_slope_v(500.0)
+
+
+class TestCompensationMath:
+    def test_synthesize_compensate_roundtrip(self):
+        p, t = 1013.25, 21.5
+        d1, d2 = synthesize_raw(p, t, DEFAULT_PROM)
+        p2, t2 = compensate(d1, d2, DEFAULT_PROM)
+        assert p2 == pytest.approx(p, abs=0.2)
+        assert t2 == pytest.approx(t, abs=0.02)
+
+    @settings(max_examples=25)
+    @given(
+        depth=st.floats(0.0, 100.0),
+        temp=st.floats(1.0, 35.0),
+    )
+    def test_roundtrip_property(self, depth, temp):
+        col = WaterColumn(depth_m=depth, temperature_c=temp)
+        d1, d2 = synthesize_raw(col.absolute_pressure_mbar, temp, DEFAULT_PROM)
+        p2, t2 = compensate(d1, d2, DEFAULT_PROM)
+        assert p2 == pytest.approx(col.absolute_pressure_mbar, rel=1e-3)
+        assert t2 == pytest.approx(temp, abs=0.05)
+
+
+class TestMS5837:
+    def make(self, depth=0.0, temp=21.0):
+        env = WaterColumn(depth_m=depth, temperature_c=temp)
+        bus = I2CBus()
+        bus.attach(MS5837(env))
+        return bus, MS5837Driver(bus), env
+
+    def test_paper_verification_point(self):
+        """Sec. 6.5: correct readings of room temperature and ~1 bar."""
+        _bus, driver, _env = self.make(depth=0.0, temp=21.0)
+        pressure, temperature = driver.read()
+        assert pressure == pytest.approx(ATMOSPHERE_MBAR, rel=0.01)
+        assert temperature == pytest.approx(21.0, abs=0.1)
+
+    def test_depth_increases_pressure(self):
+        _b, shallow, _e = self.make(depth=0.5)
+        _b2, deep, _e2 = self.make(depth=10.0)
+        assert deep.read()[0] > shallow.read()[0] + 800.0
+
+    def test_prom_read(self):
+        bus, driver, _ = self.make()
+        driver.initialise()
+        assert driver._prom == DEFAULT_PROM
+
+    def test_conversion_requires_reset(self):
+        env = WaterColumn()
+        device = MS5837(env)
+        with pytest.raises(I2CError, match="reset"):
+            device.write(bytes([0x40]))
+
+    def test_unknown_command_rejected(self):
+        device = MS5837(WaterColumn())
+        with pytest.raises(I2CError):
+            device.write(bytes([0x99]))
+
+    def test_multibyte_command_rejected(self):
+        device = MS5837(WaterColumn())
+        with pytest.raises(I2CError):
+            device.write(b"\x1e\x00")
+
+    def test_payload_roundtrip(self):
+        payload = MS5837Driver.encode_reading(1013.2, 21.57)
+        p, t = MS5837Driver.decode_reading(payload)
+        assert p == pytest.approx(1013.2)
+        assert t == pytest.approx(21.57)
+
+    def test_encode_validates(self):
+        with pytest.raises(ValueError):
+            MS5837Driver.encode_reading(99_999.0, 21.0)
+        with pytest.raises(ValueError):
+            MS5837Driver.decode_reading(b"\x00\x00")
+
+    def test_environment_change_tracked(self):
+        bus, driver, env = self.make(depth=0.0)
+        p0, _ = driver.read()
+        env.depth_m = 5.0
+        p1, _ = driver.read()
+        assert p1 > p0 + 400.0
+
+
+class TestThermistor:
+    def test_r25(self):
+        assert ThermistorChannel().resistance(25.0) == pytest.approx(10_000.0)
+
+    def test_ntc_behaviour(self):
+        ch = ThermistorChannel()
+        assert ch.resistance(50.0) < ch.resistance(0.0)
+
+    def test_roundtrip_through_divider(self):
+        ch = ThermistorChannel()
+        v = ch.divider_voltage(18.0)
+        assert ch.temperature_from_voltage(v) == pytest.approx(18.0, abs=1e-9)
+
+    @settings(max_examples=25)
+    @given(t=st.floats(0.0, 40.0))
+    def test_full_chain_accuracy(self, t):
+        ch = ThermistorChannel()
+        assert ch.read(t) == pytest.approx(t, abs=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermistorChannel(r25_ohm=0.0)
+        with pytest.raises(ValueError):
+            ThermistorChannel().temperature_from_voltage(5.0)
+        with pytest.raises(ValueError):
+            ThermistorChannel().resistance(-300.0)

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("demo", "fig3", "fig7", "fig8", "fig9", "fig11", "envs"):
+            args = parser.parse_args([cmd])
+            assert callable(args.func)
+
+    def test_demo_options(self):
+        args = build_parser().parse_args(
+            ["demo", "--distance", "2.0", "--drive", "80", "--bitrate", "500"]
+        )
+        assert args.distance == 2.0
+        assert args.drive == 80.0
+        assert args.bitrate == 500.0
+
+
+class TestCommands:
+    def test_envs(self, capsys):
+        assert main(["envs"]) == 0
+        out = capsys.readouterr().out
+        assert "coastal ocean" in out
+        assert "river" in out
+
+    def test_fig11(self, capsys):
+        assert main(["fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "idle" in out
+        assert "124.0" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "recto-piezo" in out
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--bits", "500"]) == 0
+        assert "ber" in capsys.readouterr().out
+
+    def test_demo_success_exit_code(self, capsys):
+        assert main(["demo", "--distance", "1.0"]) == 0
+
+    def test_demo_failure_exit_code(self, capsys):
+        # Too weak to power up: non-zero exit status.
+        assert main(["demo", "--drive", "1.0"]) == 1
+
+
+class TestCoverageCommand:
+    def test_coverage_map_rendered(self, capsys):
+        from repro.cli import main
+
+        assert main(["coverage", "--tank", "a", "--drive", "100",
+                     "--resolution", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Power-up coverage" in out
+        assert "#" in out

@@ -1,0 +1,137 @@
+"""Cross-module property tests: invariants of the whole stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import BackscatterDemodulator, Packet, fm0_encode
+from repro.dsp.waveforms import upconvert_chips
+
+FS = 96_000.0
+CARRIER = 15_000.0
+BITRATE = 1_000.0
+
+
+def synth(packet, *, mod_amp=0.12, noise=0.01, seed=0):
+    chips = fm0_encode(packet.to_bits()).astype(float)
+    m = upconvert_chips(chips, 2 * BITRATE, FS)
+    pad = np.zeros(int(0.01 * FS))
+    m = np.concatenate([pad, m, pad])
+    t = np.arange(len(m)) / FS
+    y = np.sin(2 * np.pi * CARRIER * t) * (1.0 + mod_amp * m)
+    return y + np.random.default_rng(seed).normal(0, noise, len(y))
+
+
+class TestModemRoundtripProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        addr=st.integers(0, 255),
+        payload=st.binary(min_size=0, max_size=12),
+        seed=st.integers(0, 100),
+    )
+    def test_any_packet_roundtrips_at_high_snr(self, addr, payload, seed):
+        """Every well-formed packet survives the full modem chain."""
+        packet = Packet(address=addr, payload=payload)
+        dem = BackscatterDemodulator(CARRIER, BITRATE, FS)
+        result = dem.demodulate(synth(packet, seed=seed))
+        assert result.success
+        assert result.packet == packet
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_never_returns_wrong_packet(self, seed):
+        """Under any noise, the output is the true packet or a failure —
+        never a CRC-passing impostor."""
+        packet = Packet(address=9, payload=b"guard")
+        rng_noise = float(np.random.default_rng(seed).uniform(0.005, 0.6))
+        dem = BackscatterDemodulator(CARRIER, BITRATE, FS)
+        result = dem.demodulate(synth(packet, noise=rng_noise, seed=seed))
+        if result.success:
+            assert result.packet == packet
+
+
+class TestEnergyCommunicationConsistency:
+    def test_powerup_threshold_consistent_between_engines(self):
+        """The energy engine's power-up verdict matches the harvester's
+        rectified-voltage threshold crossing."""
+        from repro.circuits import EnergyHarvester
+        from repro.constants import POWER_UP_THRESHOLD_V
+        from repro.node import PowerUpSimulator
+        from repro.piezo import Transducer
+
+        t = Transducer.from_cylinder_design()
+        h = EnergyHarvester(t)
+        sim = PowerUpSimulator(h)
+        f = t.resonance_hz
+        for pressure in (100.0, 250.0, 320.0, 500.0, 900.0):
+            voltage = h.rectified_voltage(pressure, f)
+            # can_power_up additionally accounts for capacitor leakage,
+            # so it can only be stricter than the raw threshold.
+            if sim.can_power_up(pressure, f):
+                assert voltage >= POWER_UP_THRESHOLD_V
+            elif voltage < POWER_UP_THRESHOLD_V:
+                assert not sim.can_power_up(pressure, f)
+
+    def test_budget_predicts_decode_outcome_ordering(self):
+        """Geometries with much higher predicted SNR should never decode
+        worse than hopeless ones."""
+        from repro.acoustics import POOL_A, Position
+        from repro.core import BackscatterLink, Projector
+        from repro.net.messages import Command, Query
+        from repro.node.node import PABNode
+        from repro.piezo import Transducer
+
+        transducer = Transducer.from_cylinder_design()
+        f = transducer.resonance_hz
+
+        def run(drive):
+            projector = Projector(
+                transducer=transducer, drive_voltage_v=drive, carrier_hz=f
+            )
+            node = PABNode(address=7, channel_frequencies_hz=(f,))
+            link = BackscatterLink(
+                POOL_A, projector, Position(0.5, 1.5, 0.6),
+                node, Position(1.5, 1.5, 0.6), Position(1.0, 0.8, 0.6),
+            )
+            return link.budget(), link.run_query(
+                Query(destination=7, command=Command.PING)
+            )
+
+        budget_strong, result_strong = run(60.0)
+        budget_weak, result_weak = run(1.0)
+        assert budget_strong.predicted_snr_db > budget_weak.predicted_snr_db
+        assert result_strong.success
+        assert not result_weak.success
+
+
+class TestExperimentHarness:
+    def test_snr_vs_bitrate_sweep_structure(self):
+        from repro.acoustics import POOL_A, Position
+        from repro.core import Projector
+        from repro.core.experiment import snr_vs_bitrate_sweep
+        from repro.core.link import BackscatterLink
+        from repro.net.messages import Command, Query
+        from repro.node.node import PABNode
+        from repro.piezo import Transducer
+
+        transducer = Transducer.from_cylinder_design()
+        f = transducer.resonance_hz
+
+        def link_factory(bitrate, trial):
+            projector = Projector(
+                transducer=transducer, drive_voltage_v=50.0, carrier_hz=f
+            )
+            node = PABNode(address=7, channel_frequencies_hz=(f,), bitrate=bitrate)
+            return BackscatterLink(
+                POOL_A, projector, Position(0.5, 1.5, 0.6),
+                node, Position(1.5, 1.5, 0.6), Position(1.0, 0.8, 0.6),
+            )
+
+        table = snr_vs_bitrate_sweep(
+            link_factory,
+            [1_000.0],
+            lambda: Query(destination=7, command=Command.PING),
+            trials=1,
+        )
+        assert table.column("bitrate_bps") == [1_000.0]
+        assert np.isfinite(table.column("snr_db_mean")[0])
