@@ -95,6 +95,18 @@ class LinkBudget:
     noise_rms_pa: float
     predicted_snr_db: float
 
+    @classmethod
+    def empty(cls) -> "LinkBudget":
+        """An all-zero budget for fabricated (fault-injected) results."""
+        return cls(
+            source_pressure_pa=0.0,
+            incident_pressure_pa=0.0,
+            modulation_depth=0.0,
+            uplink_pressure_pa=0.0,
+            noise_rms_pa=0.0,
+            predicted_snr_db=float("-inf"),
+        )
+
 
 @dataclass
 class LinkResult:
@@ -126,11 +138,32 @@ class LinkResult:
     ber: float
     snr_db: float
     budget: LinkBudget
+    fault: str | None = None
 
     @property
     def success(self) -> bool:
         """Whether the reader got a CRC-clean reply."""
         return self.demod is not None and self.demod.success
+
+    @classmethod
+    def faulted(cls, fault: str, *, powered_up: bool = False) -> "LinkResult":
+        """A physically-shaped failure fabricated by a fault injector.
+
+        Hook for :mod:`repro.faults`: injectors wrapping a
+        :class:`BackscatterLink` can return results that look exactly
+        like a real failed exchange (``success`` is ``False``, no
+        demod) while carrying the injected-fault label for diagnosis.
+        """
+        return cls(
+            powered_up=powered_up,
+            query_decoded=False,
+            response=None,
+            demod=None,
+            ber=float("nan"),
+            snr_db=float("nan"),
+            budget=LinkBudget.empty(),
+            fault=fault,
+        )
 
 
 class BackscatterLink:
@@ -346,6 +379,15 @@ class BackscatterLink:
         return reflected
 
     # -- the exchange ----------------------------------------------------------------------
+
+    def transact(self, query: Query) -> LinkResult:
+        """Alias for :meth:`run_query`.
+
+        This is the hook the MAC/reader stack and the fault injectors
+        in :mod:`repro.faults` wrap: anything shaped
+        ``transact(query) -> LinkResult`` is a valid transport.
+        """
+        return self.run_query(query)
 
     def run_query(self, query: Query) -> LinkResult:
         """Simulate one full query/response exchange."""

@@ -1,0 +1,45 @@
+"""Fault injection and resilience instrumentation.
+
+The paper's deployment environment (Sec. 5-6) is an open, hostile
+medium: battery-free nodes brown out mid-packet when harvested power
+dips below the 2.5 V threshold, ambient noise is bursty, and links drop
+out intermittently.  This package provides the adversarial half of that
+story — composable, seeded fault injectors that wrap any
+``transact(query) -> LinkResult``-shaped callable — plus the structured
+event log the resilient reader stack (``repro.net.mac``,
+``repro.net.health``, ``repro.net.reader``) emits so tests can assert
+recovery behaviour deterministically.
+
+Everything here is reproducible by construction: every stochastic
+injector takes an explicit ``seed`` (or ``rng``), and the event log
+serialises to byte-identical lines for identical seeds.
+"""
+
+from repro.faults.events import Event, EventKind, EventLog
+from repro.faults.injectors import (
+    BrownoutInjector,
+    FaultInjector,
+    GarbledReplyInjector,
+    GilbertElliottInjector,
+    InjectedResult,
+    NoiseBurstInjector,
+    TransportExceptionInjector,
+    TransportError,
+)
+from repro.faults.schedule import FaultSchedule, ScheduledFaultInjector
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventLog",
+    "FaultInjector",
+    "InjectedResult",
+    "NoiseBurstInjector",
+    "BrownoutInjector",
+    "GilbertElliottInjector",
+    "GarbledReplyInjector",
+    "TransportExceptionInjector",
+    "TransportError",
+    "FaultSchedule",
+    "ScheduledFaultInjector",
+]

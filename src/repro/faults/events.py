@@ -1,0 +1,180 @@
+"""Structured event log for fault-injection and recovery accounting.
+
+The resilient reader stack emits one :class:`Event` per noteworthy
+occurrence — an injected fault, a retry, a health-state transition, a
+bitrate downgrade, a recovery — into an :class:`EventLog`.  Tests assert
+against the log (same seed => byte-identical ``to_lines()``), and
+deployments read availability and MTTR per node from it.
+
+Time is whatever clock the emitter uses.  The reader stack uses its
+polling-round counter (a deterministic virtual clock); waveform-level
+harnesses may use accumulated airtime seconds.  The log itself never
+consults a wall clock, so it is reproducible by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EventKind(str, enum.Enum):
+    """Event categories the stack emits."""
+
+    FAULT = "fault"            # an injector fired
+    ATTEMPT = "attempt"        # one MAC transmission
+    RETRY = "retry"            # a retransmission was scheduled
+    BACKOFF = "backoff"        # the MAC waited before retrying
+    EXCEPTION = "exception"    # transact raised; contained by the MAC
+    STATE = "state"            # health state transition
+    BITRATE = "bitrate"        # bitrate change commanded
+    PROBE = "probe"            # quarantined node probed
+    RECOVERY = "recovery"      # node returned to HEALTHY
+    GIVE_UP = "give_up"        # retry/timeout budget exhausted
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Event:
+    """One log entry.
+
+    Attributes
+    ----------
+    seq:
+        Monotonic sequence number (assigned by the log).
+    t:
+        Virtual time of the event (rounds or seconds — emitter's choice).
+    node:
+        Node address the event concerns (``-1`` for reader-wide events).
+    kind:
+        The :class:`EventKind`.
+    detail:
+        Free-form ``key=value`` payload, rendered sorted by key so the
+        serialisation is deterministic.
+    """
+
+    seq: int
+    t: float
+    node: int
+    kind: EventKind
+    detail: tuple = ()
+
+    def to_line(self) -> str:
+        """Deterministic one-line rendering."""
+        parts = [f"{self.seq:06d}", f"t={self.t:.6g}", f"node={self.node}", str(self.kind)]
+        parts.extend(f"{k}={v}" for k, v in self.detail)
+        return " ".join(parts)
+
+
+@dataclass
+class EventLog:
+    """Append-only recorder with per-node reliability metrics."""
+
+    events: list = field(default_factory=list)
+
+    def record(self, t: float, node: int, kind: EventKind | str, **detail) -> Event:
+        """Append one event; detail keys are sorted for determinism."""
+        event = Event(
+            seq=len(self.events),
+            t=float(t),
+            node=int(node),
+            kind=EventKind(kind),
+            detail=tuple(sorted((str(k), str(v)) for k, v in detail.items())),
+        )
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def filter(self, *, node: int | None = None, kind: EventKind | str | None = None) -> list:
+        """Events matching a node and/or kind."""
+        want_kind = EventKind(kind) if kind is not None else None
+        return [
+            e
+            for e in self.events
+            if (node is None or e.node == node)
+            and (want_kind is None or e.kind is want_kind)
+        ]
+
+    def to_lines(self) -> list[str]:
+        """Deterministic serialisation; identical seeds => identical lines."""
+        return [e.to_line() for e in self.events]
+
+    def dump(self) -> str:
+        """The whole log as one newline-joined string."""
+        return "\n".join(self.to_lines())
+
+    # -- reliability metrics --------------------------------------------------------------
+
+    def state_intervals(self, node: int, *, end_t: float | None = None) -> list:
+        """``(state, start_t, end_t)`` intervals from STATE events.
+
+        The first STATE event opens the record; the last interval is
+        closed at ``end_t`` (default: the last event's time).
+        """
+        transitions = self.filter(node=node, kind=EventKind.STATE)
+        if not transitions:
+            return []
+        if end_t is None:
+            end_t = self.events[-1].t if self.events else transitions[-1].t
+        intervals = []
+        for i, e in enumerate(transitions):
+            state = dict(e.detail).get("to", "?")
+            stop = transitions[i + 1].t if i + 1 < len(transitions) else end_t
+            intervals.append((state, e.t, max(stop, e.t)))
+        return intervals
+
+    def availability(self, node: int, *, end_t: float | None = None) -> float:
+        """Fraction of observed time the node was serving traffic.
+
+        Serving means HEALTHY or DEGRADED; QUARANTINED and PROBING time
+        counts as downtime.  Returns 1.0 when the node never left
+        HEALTHY (no transitions were logged).
+        """
+        intervals = self.state_intervals(node, end_t=end_t)
+        if not intervals:
+            return 1.0
+        total = sum(stop - start for _, start, stop in intervals)
+        if total <= 0:
+            return 1.0
+        up = sum(
+            stop - start
+            for state, start, stop in intervals
+            if state in ("HEALTHY", "DEGRADED")
+        )
+        return up / total
+
+    def mttr(self, node: int) -> float:
+        """Mean time from leaving HEALTHY to next returning HEALTHY.
+
+        ``nan`` when the node never completed a failure/repair cycle.
+        """
+        transitions = self.filter(node=node, kind=EventKind.STATE)
+        repairs = []
+        left_at = None
+        for e in transitions:
+            detail = dict(e.detail)
+            if detail.get("from") == "HEALTHY" and left_at is None:
+                left_at = e.t
+            elif detail.get("to") == "HEALTHY" and left_at is not None:
+                repairs.append(e.t - left_at)
+                left_at = None
+        return sum(repairs) / len(repairs) if repairs else float("nan")
+
+    def node_report(self, node: int, *, end_t: float | None = None) -> dict:
+        """Availability, MTTR, and event counts for one node."""
+        return {
+            "node": node,
+            "availability": self.availability(node, end_t=end_t),
+            "mttr": self.mttr(node),
+            "faults": len(self.filter(node=node, kind=EventKind.FAULT)),
+            "retries": len(self.filter(node=node, kind=EventKind.RETRY)),
+            "exceptions": len(self.filter(node=node, kind=EventKind.EXCEPTION)),
+            "transitions": len(self.filter(node=node, kind=EventKind.STATE)),
+        }

@@ -7,9 +7,19 @@ FDMA plan plus collision decoding at the hydrophone.
 """
 
 from repro.net.addresses import NodeAddress, BROADCAST
-from repro.net.messages import Command, Query, Response, SensorReading
+from repro.net.messages import (
+    BITRATE_TABLE,
+    Command,
+    Query,
+    Response,
+    SensorReading,
+    bitrate_code,
+    higher_bitrate,
+    lower_bitrate,
+)
 from repro.net.fdma import ChannelPlan, Channel
-from repro.net.mac import PollingMac, MacStats
+from repro.net.health import HealthPolicy, HealthState, NodeHealth
+from repro.net.mac import PollingMac, MacStats, RetryPolicy
 from repro.net.inventory import InventoryReader, InventoryStats
 from repro.net.reader import ReaderController, NodeRecord
 from repro.net.rate_adaptation import RateAdapter, best_static_rate
@@ -32,6 +42,14 @@ __all__ = [
     "Channel",
     "PollingMac",
     "MacStats",
+    "RetryPolicy",
+    "HealthPolicy",
+    "HealthState",
+    "NodeHealth",
+    "BITRATE_TABLE",
+    "bitrate_code",
+    "lower_bitrate",
+    "higher_bitrate",
     "InventoryReader",
     "InventoryStats",
     "ReaderController",

@@ -1,4 +1,4 @@
-"""Polling MAC with CRC-triggered retransmission.
+"""Polling MAC with CRC-triggered retransmission and fault containment.
 
 The paper's protocol is reader-driven, like RFID (Sec. 3.3.2): the
 projector queries nodes; the hydrophone checks each reply's CRC and
@@ -7,11 +7,21 @@ projector queries nodes; the hydrophone checks each reply's CRC and
 the waveform-level :class:`~repro.core.link.BackscatterLink`, the
 multi-node :class:`~repro.core.network.PABNetwork`, or a fast abstract
 link in tests — and accounts throughput the way the paper reports it.
+
+A deployed reader cannot afford to crash because one exchange went
+wrong: a ``transact`` exception is contained as a failed attempt (the
+counters stay consistent), and retransmissions follow a configurable
+:class:`RetryPolicy` — exponential backoff with seeded jitter and a
+per-query time budget — instead of hammering a node that is browned
+out or drowned in a noise burst.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.net.messages import Query
 
@@ -32,6 +42,10 @@ class MacStats:
         Application payload bits in successful replies.
     airtime_s:
         Total channel time consumed.
+    backoff_s:
+        Total time spent waiting between retransmissions.
+    exceptions:
+        Transport exceptions contained as failed attempts.
     """
 
     attempts: int = 0
@@ -39,12 +53,22 @@ class MacStats:
     retries: int = 0
     payload_bits_delivered: int = 0
     airtime_s: float = 0.0
+    backoff_s: float = 0.0
+    exceptions: int = 0
 
     @property
     def delivery_ratio(self) -> float:
-        """Successes over distinct queries attempted."""
+        """Successes over distinct queries attempted.
+
+        Guarded for the degenerate corners: no distinct queries (all
+        attempts were retries, or nothing was attempted) reports 0.0,
+        and the ratio is clamped to [0, 1] so merged or hand-built
+        counters can never report an impossible ratio.
+        """
         distinct = self.attempts - self.retries
-        return self.successes / distinct if distinct else 0.0
+        if distinct <= 0:
+            return 0.0
+        return min(max(self.successes / distinct, 0.0), 1.0)
 
     @property
     def goodput_bps(self) -> float:
@@ -53,49 +77,196 @@ class MacStats:
             self.payload_bits_delivered / self.airtime_s if self.airtime_s > 0 else 0.0
         )
 
+    def merge(self, *others: "MacStats") -> "MacStats":
+        """A new :class:`MacStats` summing this one with ``others``.
+
+        Used by :meth:`repro.net.reader.ReaderController.report` to
+        aggregate per-node counters into a network-wide view; the
+        operands are left untouched.
+        """
+        total = MacStats(
+            attempts=self.attempts,
+            successes=self.successes,
+            retries=self.retries,
+            payload_bits_delivered=self.payload_bits_delivered,
+            airtime_s=self.airtime_s,
+            backoff_s=self.backoff_s,
+            exceptions=self.exceptions,
+        )
+        for other in others:
+            total.attempts += other.attempts
+            total.successes += other.successes
+            total.retries += other.retries
+            total.payload_bits_delivered += other.payload_bits_delivered
+            total.airtime_s += other.airtime_s
+            total.backoff_s += other.backoff_s
+            total.exceptions += other.exceptions
+        return total
+
+
+@dataclass
+class RetryPolicy:
+    """Retransmission policy: bounded retries, backoff, time budget.
+
+    Parameters
+    ----------
+    max_retries:
+        Retransmissions after a failed attempt.
+    base_backoff_s:
+        Wait before the first retransmission.
+    multiplier:
+        Exponential growth factor per further retransmission.
+    jitter:
+        Fractional uniform jitter, e.g. 0.25 draws the wait from
+        ``[0.75, 1.25] * nominal``; decorrelates colliding readers.
+    max_backoff_s:
+        Backoff ceiling.
+    timeout_budget_s:
+        Total airtime + backoff allowed per query; once exceeded the
+        MAC gives up instead of starting another retransmission.
+    seed, rng:
+        Jitter reproducibility; ``rng`` wins when both are given.
+    """
+
+    max_retries: int = 2
+    base_backoff_s: float = 0.1
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    max_backoff_s: float = 5.0
+    timeout_budget_s: float = math.inf
+    seed: int | None = None
+    rng: object = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.timeout_budget_s <= 0:
+            raise ValueError("timeout budget must be positive")
+        if self.rng is None:
+            self.rng = np.random.default_rng(self.seed)
+
+    def backoff_s(self, retry_index: int) -> float:
+        """Wait before retransmission ``retry_index`` (0 = first retry)."""
+        if retry_index < 0:
+            raise ValueError("retry_index must be non-negative")
+        nominal = min(
+            self.base_backoff_s * self.multiplier**retry_index, self.max_backoff_s
+        )
+        if nominal <= 0:
+            return 0.0
+        if self.jitter > 0:
+            nominal *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        return float(nominal)
+
 
 @dataclass
 class PollingMac:
-    """Reader-driven polling with bounded retransmissions.
+    """Reader-driven polling with bounded, backed-off retransmissions.
 
     Parameters
     ----------
     transact:
         Callable ``(query) -> result`` where the result exposes
         ``success`` (bool) and optionally ``response`` and ``demod``.
+        Exceptions it raises are contained as failed attempts.
     airtime_estimator:
         Callable ``(query, result) -> seconds`` used for throughput
-        bookkeeping; a constant per-exchange estimate by default.
+        bookkeeping (``result`` is ``None`` when the attempt raised); a
+        constant per-exchange estimate by default.
     max_retries:
-        Retransmissions after a failed attempt.
+        Retransmissions after a failed attempt; ignored when a full
+        ``retry_policy`` is supplied.
+    retry_policy:
+        Optional :class:`RetryPolicy` adding exponential backoff with
+        jitter and a per-query timeout budget.
+    sleep:
+        Optional callable invoked with each backoff wait (e.g.
+        ``time.sleep`` on hardware).  Simulations leave it unset; the
+        wait is still accounted in :attr:`MacStats.backoff_s`.
+    log:
+        Optional :class:`~repro.faults.events.EventLog`; retries,
+        backoffs, contained exceptions, and give-ups are recorded with
+        the MAC's attempt counter as the virtual clock.
+    node:
+        Address used in event-log entries.
     """
 
     transact: object
     airtime_estimator: object = None
     max_retries: int = 2
     stats: MacStats = field(default_factory=MacStats)
+    retry_policy: RetryPolicy | None = None
+    sleep: object = None
+    log: object = None
+    node: int = -1
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         if self.airtime_estimator is None:
             self.airtime_estimator = lambda query, result: 0.3
+        self.last_exception: BaseException | None = None
+
+    def _record(self, kind: str, **detail) -> None:
+        if self.log is not None:
+            self.log.record(self.stats.attempts, self.node, kind, **detail)
 
     def poll(self, query: Query):
-        """One query with retransmission; returns the last result."""
+        """One query with retransmission; returns the last result.
+
+        Never raises on transport failure: an exception from
+        ``transact`` becomes a failed attempt (``None`` result if every
+        attempt raised), with all counters consistently updated.  The
+        last exception is kept on :attr:`last_exception` for diagnosis.
+        """
+        policy = self.retry_policy
+        max_retries = policy.max_retries if policy is not None else self.max_retries
+        budget = policy.timeout_budget_s if policy is not None else math.inf
+        spent_s = 0.0
         result = None
-        for attempt in range(self.max_retries + 1):
-            result = self.transact(query)
-            self.stats.attempts += 1
+        self.last_exception = None
+        for attempt in range(max_retries + 1):
             if attempt > 0:
+                wait = policy.backoff_s(attempt - 1) if policy is not None else 0.0
+                if spent_s + wait >= budget:
+                    self._record("give_up", reason="timeout_budget", spent_s=round(spent_s + wait, 6))
+                    break
                 self.stats.retries += 1
-            self.stats.airtime_s += float(self.airtime_estimator(query, result))
+                self._record("retry", attempt=attempt)
+                if wait > 0:
+                    spent_s += wait
+                    self.stats.backoff_s += wait
+                    self._record("backoff", wait_s=round(wait, 6))
+                    if self.sleep is not None:
+                        self.sleep(wait)
+            try:
+                result = self.transact(query)
+            except Exception as exc:
+                result = None
+                self.last_exception = exc
+                self.stats.attempts += 1
+                self.stats.exceptions += 1
+                airtime = float(self.airtime_estimator(query, None))
+                self.stats.airtime_s += airtime
+                spent_s += airtime
+                self._record("exception", error=type(exc).__name__)
+                continue
+            self.stats.attempts += 1
+            airtime = float(self.airtime_estimator(query, result))
+            self.stats.airtime_s += airtime
+            spent_s += airtime
             if getattr(result, "success", False):
                 self.stats.successes += 1
                 payload = getattr(
                     getattr(result, "demod", None), "packet", None
                 )
-                if payload is not None:
+                if payload is not None and hasattr(payload, "payload"):
                     self.stats.payload_bits_delivered += 8 * len(payload.payload)
                 break
         return result

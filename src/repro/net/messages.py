@@ -31,6 +31,29 @@ class Command(enum.IntEnum):
 BITRATE_TABLE = (100.0, 200.0, 400.0, 600.0, 800.0, 1_000.0, 2_000.0, 2_800.0, 3_000.0, 5_000.0)
 
 
+def bitrate_code(bitrate: float) -> int:
+    """The SET_BITRATE argument for a table bitrate; raises if absent."""
+    try:
+        return BITRATE_TABLE.index(bitrate)
+    except ValueError as exc:
+        raise ValueError(f"bitrate {bitrate} not in BITRATE_TABLE") from exc
+
+
+def lower_bitrate(bitrate: float) -> float | None:
+    """One rung down the rate ladder (Fig. 8: slower buys SNR margin).
+
+    Returns ``None`` when ``bitrate`` is already the table's floor.
+    """
+    code = bitrate_code(bitrate)
+    return BITRATE_TABLE[code - 1] if code > 0 else None
+
+
+def higher_bitrate(bitrate: float) -> float | None:
+    """One rung up the rate ladder; ``None`` at the ceiling."""
+    code = bitrate_code(bitrate)
+    return BITRATE_TABLE[code + 1] if code + 1 < len(BITRATE_TABLE) else None
+
+
 @dataclass(frozen=True)
 class Query:
     """A downlink query.

@@ -8,20 +8,37 @@ runs (the projector-side analogue of an RFID interrogator):
    verifying each acknowledgement;
 2. **poll** — run periodic sensing rounds through the retransmitting
    MAC, collecting decoded readings;
-3. **report** — aggregate per-node delivery statistics.
+3. **manage** — track each node's health (HEALTHY -> DEGRADED ->
+   QUARANTINED -> PROBING): repeated CRC failures downgrade the node's
+   bitrate one rung (Fig. 8: slower backscatter buys SNR margin),
+   unresponsive nodes are quarantined so they stop burning airtime and
+   re-probed on an exponential backoff schedule;
+4. **report** — aggregate per-node and network-wide delivery statistics
+   plus availability/MTTR from the structured event log.
 
 The controller is transport-agnostic: it drives any mapping of node
 address to a ``transact(query) -> LinkResult``-shaped callable — the
 waveform-level :class:`~repro.core.link.BackscatterLink` in simulations,
-or a stub in tests.
+a fault injector stack from :mod:`repro.faults`, or a stub in tests.
+Transport exceptions are contained by the MAC; a full polling campaign
+never crashes because one exchange went wrong.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.net.mac import MacStats, PollingMac
-from repro.net.messages import BITRATE_TABLE, Command, Query, Response
+from repro.faults.events import EventLog
+from repro.net.health import HealthPolicy, HealthState, NodeHealth
+from repro.net.mac import MacStats, PollingMac, RetryPolicy
+from repro.net.messages import (
+    BITRATE_TABLE,
+    Command,
+    Query,
+    Response,
+    bitrate_code,
+    lower_bitrate,
+)
 
 
 @dataclass
@@ -40,6 +57,11 @@ class NodeRecord:
         Decoded :class:`~repro.net.messages.SensorReading` history.
     stats:
         Per-node MAC counters.
+    health:
+        The node's :class:`~repro.net.health.NodeHealth` state machine.
+    pending_downgrade:
+        A commanded bitrate downgrade that has not been acknowledged
+        yet; retried before the node's next sensing poll.
     """
 
     address: int
@@ -47,10 +69,12 @@ class NodeRecord:
     resonance_mode: int | None = None
     readings: list = field(default_factory=list)
     stats: MacStats = field(default_factory=MacStats)
+    health: NodeHealth | None = None
+    pending_downgrade: bool = False
 
 
 class ReaderController:
-    """Orchestrates configuration and polling of a set of nodes.
+    """Orchestrates configuration, polling, and health of a node set.
 
     Parameters
     ----------
@@ -58,18 +82,54 @@ class ReaderController:
         Mapping ``{address: transact}`` where ``transact(query)`` returns
         an object with ``success`` and ``demod.packet``.
     max_retries:
-        Retransmissions per query.
+        Retransmissions per query (ignored when ``retry_policy`` is
+        given).
+    retry_policy:
+        Optional :class:`~repro.net.mac.RetryPolicy` shared by every
+        node's MAC: exponential backoff with seeded jitter and a
+        per-query timeout budget.
+    health_policy:
+        Thresholds for the per-node health state machine.
+    log:
+        Structured :class:`~repro.faults.events.EventLog`; a fresh one
+        is created when omitted.  The reader's polling-round counter is
+        the log's virtual clock.
     """
 
-    def __init__(self, transports: dict, *, max_retries: int = 2) -> None:
+    def __init__(
+        self,
+        transports: dict,
+        *,
+        max_retries: int = 2,
+        retry_policy: RetryPolicy | None = None,
+        health_policy: HealthPolicy | None = None,
+        log: EventLog | None = None,
+    ) -> None:
         if not transports:
             raise ValueError("need at least one node transport")
+        self.log = log if log is not None else EventLog()
+        self.health_policy = (
+            health_policy if health_policy is not None else HealthPolicy()
+        )
+        self._round = 0
         self._macs = {
-            int(addr): PollingMac(transact=fn, max_retries=max_retries)
+            int(addr): PollingMac(
+                transact=fn,
+                max_retries=max_retries,
+                retry_policy=retry_policy,
+                log=self.log,
+                node=int(addr),
+            )
             for addr, fn in transports.items()
         }
         self.nodes = {
-            addr: NodeRecord(address=addr) for addr in self._macs
+            addr: NodeRecord(
+                address=addr,
+                health=NodeHealth(
+                    node=addr, policy=self.health_policy, log=self.log
+                ),
+            )
+            for addr in self._macs
         }
 
     # -- configuration ----------------------------------------------------------------
@@ -77,15 +137,14 @@ class ReaderController:
     def set_bitrate(self, address: int, bitrate: float) -> bool:
         """Command a node to a bitrate from the table; True on ack."""
         record = self._record(address)
-        try:
-            code = BITRATE_TABLE.index(bitrate)
-        except ValueError as exc:
-            raise ValueError(f"bitrate {bitrate} not in BITRATE_TABLE") from exc
+        code = bitrate_code(bitrate)
         result = self._macs[address].poll(
             Query(destination=address, command=Command.SET_BITRATE, argument=code)
         )
+        record.stats = self._macs[address].stats
         if getattr(result, "success", False):
             record.bitrate = bitrate
+            record.pending_downgrade = False
             return True
         return False
 
@@ -99,6 +158,7 @@ class ReaderController:
                 argument=mode,
             )
         )
+        record.stats = self._macs[address].stats
         if getattr(result, "success", False):
             record.resonance_mode = mode
             return True
@@ -107,23 +167,60 @@ class ReaderController:
     # -- polling ----------------------------------------------------------------------
 
     def poll(self, address: int, command: Command):
-        """One sensing query to one node; stores the decoded reading."""
+        """One sensing query to one node; stores the decoded reading.
+
+        The outcome feeds the node's health state machine: entering
+        DEGRADED triggers a bitrate downgrade, a successful probe of a
+        quarantined node brings it back to HEALTHY.  Malformed replies
+        that somehow pass the CRC are contained as failures rather than
+        propagating parse errors.
+        """
         record = self._record(address)
-        result = self._macs[address].poll(
-            Query(destination=address, command=command)
-        )
-        record.stats = self._macs[address].stats
-        if getattr(result, "success", False):
-            packet = result.demod.packet
-            response = Response.from_packet(packet)
-            reading = response.reading()
-            record.readings.append(reading)
-            return reading
-        return None
+        if record.pending_downgrade and record.health.state is HealthState.DEGRADED:
+            self._downgrade_bitrate(address)
+        mac = self._macs[address]
+        result = mac.poll(Query(destination=address, command=command))
+        record.stats = mac.stats
+        success = getattr(result, "success", False)
+        reading = None
+        if success:
+            try:
+                response = Response.from_packet(result.demod.packet)
+                reading = response.reading()
+            except (AttributeError, TypeError, ValueError):
+                success = False
+            else:
+                record.readings.append(reading)
+        action = record.health.on_result(success, float(self._round))
+        if action == "degrade":
+            self._downgrade_bitrate(address)
+        elif action == "recovered":
+            record.pending_downgrade = False
+            self.log.record(self._round, address, "recovery")
+        return reading if success else None
 
     def poll_round(self, command: Command) -> dict:
-        """Poll every node once; returns ``{address: reading | None}``."""
-        return {addr: self.poll(addr, command) for addr in sorted(self._macs)}
+        """Poll every node once; returns ``{address: reading | None}``.
+
+        Quarantined nodes are skipped (their silence must not burn
+        airtime) until their probe backoff elapses, at which point they
+        get one PING; an acknowledged probe restores them to HEALTHY.
+        """
+        t = float(self._round)
+        out = {}
+        for addr in sorted(self._macs):
+            health = self.nodes[addr].health
+            if health.state is HealthState.QUARANTINED:
+                if health.due_for_probe(t):
+                    health.start_probe(t)
+                    self.log.record(t, addr, "probe")
+                    out[addr] = self.poll(addr, Command.PING)
+                else:
+                    out[addr] = None
+                continue
+            out[addr] = self.poll(addr, command)
+        self._round += 1
+        return out
 
     def run_schedule(self, command: Command, rounds: int) -> dict:
         """Run several polling rounds; returns delivery counts per node."""
@@ -135,6 +232,61 @@ class ReaderController:
                 if reading is not None:
                     delivered[addr] += 1
         return delivered
+
+    def run_campaign(self, command: Command, rounds: int) -> dict:
+        """A full resilient campaign: ``rounds`` rounds, then a report.
+
+        Unlike raw :meth:`run_schedule` this is the deployment loop:
+        transport exceptions are contained, dead nodes are quarantined
+        and re-probed, and the return value is the full
+        :meth:`report` including availability and MTTR per node.
+        """
+        self.run_schedule(command, rounds)
+        return self.report()
+
+    # -- health actions ----------------------------------------------------------------
+
+    def _downgrade_bitrate(self, address: int) -> bool:
+        """Step the node one rung down the rate ladder via SET_BITRATE.
+
+        The command goes through the MAC but bypasses health accounting
+        (a failed downgrade must not recursively degrade the node);
+        unacknowledged downgrades are retried before the node's next
+        sensing poll.
+        """
+        record = self.nodes[address]
+        current = record.bitrate
+        target = lower_bitrate(current) if current is not None else BITRATE_TABLE[0]
+        if target is None:
+            record.pending_downgrade = False
+            self.log.record(
+                self._round, address, "bitrate", action="at_floor", bitrate=current
+            )
+            return False
+        mac = self._macs[address]
+        result = mac.poll(
+            Query(
+                destination=address,
+                command=Command.SET_BITRATE,
+                argument=bitrate_code(target),
+            )
+        )
+        record.stats = mac.stats
+        acked = getattr(result, "success", False)
+        self.log.record(
+            self._round,
+            address,
+            "bitrate",
+            action="downgrade",
+            to=f"{target:g}",
+            acked=acked,
+        )
+        if acked:
+            record.bitrate = target
+            record.pending_downgrade = False
+        else:
+            record.pending_downgrade = True
+        return acked
 
     # -- reporting -----------------------------------------------------------------------
 
@@ -151,9 +303,51 @@ class ReaderController:
                     "readings": len(record.readings),
                     "attempts": record.stats.attempts,
                     "delivery_ratio": record.stats.delivery_ratio,
+                    "health": record.health.state.value,
                 }
             )
         return out
+
+    def report(self) -> dict:
+        """Network-wide report: merged MAC counters + per-node health.
+
+        The network totals use :meth:`~repro.net.mac.MacStats.merge`;
+        availability and MTTR come from the structured event log, in
+        units of polling rounds.
+        """
+        end_t = float(self._round)
+        per_node = {}
+        for addr in sorted(self.nodes):
+            record = self.nodes[addr]
+            stats = self._macs[addr].stats
+            per_node[addr] = {
+                "health": record.health.state.value,
+                "bitrate": record.bitrate,
+                "readings": len(record.readings),
+                "attempts": stats.attempts,
+                "successes": stats.successes,
+                "retries": stats.retries,
+                "exceptions": stats.exceptions,
+                "delivery_ratio": stats.delivery_ratio,
+                "availability": self.log.availability(addr, end_t=end_t),
+                "mttr_rounds": self.log.mttr(addr),
+            }
+        merged = MacStats().merge(*(self._macs[a].stats for a in sorted(self._macs)))
+        return {
+            "rounds": self._round,
+            "network": {
+                "attempts": merged.attempts,
+                "successes": merged.successes,
+                "retries": merged.retries,
+                "exceptions": merged.exceptions,
+                "delivery_ratio": merged.delivery_ratio,
+                "goodput_bps": merged.goodput_bps,
+                "airtime_s": merged.airtime_s,
+                "backoff_s": merged.backoff_s,
+            },
+            "nodes": per_node,
+            "events": len(self.log),
+        }
 
     def _record(self, address: int) -> NodeRecord:
         if address not in self.nodes:

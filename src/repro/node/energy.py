@@ -134,6 +134,41 @@ class PowerUpSimulator:
         draw = self.power_model.power_w(state, bitrate=bitrate, supply_v=supply_v)
         return op.dc_power_w >= draw
 
+    def brownout_recovery_time(
+        self,
+        incident_pressure_pa: float,
+        frequency_hz: float,
+        *,
+        from_v: float | None = None,
+        dt_s: float = 2e-3,
+        timeout_s: float = 120.0,
+    ) -> float | None:
+        """Recharge time after a brownout, or ``None`` if unrecoverable.
+
+        When the load momentarily exceeds harvest the capacitor dips
+        below the LDO's minimum input and the node goes dark; with the
+        pull-down open again all rectified energy recharges the cap.
+        This is the time from ``from_v`` (default: the LDO dropout
+        voltage, where the brownout tripped) back up to the power-up
+        threshold — the recovery interval a fault injector
+        (:meth:`repro.faults.injectors.BrownoutInjector.from_energy_model`)
+        should keep the node dark for.
+        """
+        start_v = (
+            from_v if from_v is not None else self.regulator.minimum_input_v
+        )
+        if start_v < 0:
+            raise ValueError("from_v must be non-negative")
+        if start_v >= self.threshold_v:
+            return 0.0
+        v_oc, r_out = self.harvester.charging_source(
+            incident_pressure_pa, frequency_hz
+        )
+        self.capacitor.reset(voltage_v=start_v)
+        return self.capacitor.time_to_reach(
+            self.threshold_v, v_oc, r_out, dt_s=dt_s, timeout_s=timeout_s
+        )
+
     def run_duty_cycle(
         self,
         incident_pressure_pa: float,

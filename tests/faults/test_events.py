@@ -1,0 +1,93 @@
+"""Tests for the structured fault/recovery event log."""
+
+import math
+
+import pytest
+
+from repro.faults import EventKind, EventLog
+
+
+class TestRecording:
+    def test_sequence_numbers_monotonic(self):
+        log = EventLog()
+        for t in range(3):
+            log.record(t, 1, "fault", injector="noise_burst")
+        assert [e.seq for e in log] == [0, 1, 2]
+
+    def test_detail_keys_sorted_for_determinism(self):
+        log = EventLog()
+        event = log.record(0, 1, "state", to="DEGRADED", **{"from": "HEALTHY"})
+        line = event.to_line()
+        assert line.index("from=HEALTHY") < line.index("to=DEGRADED")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().record(0, 1, "not-a-kind")
+
+    def test_filter_by_node_and_kind(self):
+        log = EventLog()
+        log.record(0, 1, "fault")
+        log.record(1, 2, "fault")
+        log.record(2, 1, "retry")
+        assert len(log.filter(node=1)) == 2
+        assert len(log.filter(kind="fault")) == 2
+        assert len(log.filter(node=1, kind=EventKind.RETRY)) == 1
+
+    def test_dump_is_deterministic(self):
+        def build():
+            log = EventLog()
+            log.record(0, 3, "fault", injector="brownout", dark_for=5)
+            log.record(1.5, 3, "state", to="DEGRADED", **{"from": "HEALTHY"})
+            return log.dump()
+
+        assert build() == build()
+
+
+class TestMetrics:
+    def make_cycle_log(self):
+        """HEALTHY until t=2, down (quarantined) until t=6, healthy to t=10."""
+        log = EventLog()
+        log.record(2, 7, "state", **{"from": "HEALTHY"}, to="QUARANTINED")
+        log.record(6, 7, "state", **{"from": "QUARANTINED"}, to="HEALTHY")
+        log.record(10, 7, "attempt")  # closes the observation window
+        return log
+
+    def test_state_intervals(self):
+        log = self.make_cycle_log()
+        intervals = log.state_intervals(7)
+        assert intervals == [("QUARANTINED", 2.0, 6.0), ("HEALTHY", 6.0, 10.0)]
+
+    def test_availability(self):
+        log = self.make_cycle_log()
+        # Observed from first transition (t=2) to end (t=10): 4 of 8 up.
+        assert log.availability(7) == pytest.approx(0.5)
+
+    def test_availability_no_transitions_is_one(self):
+        log = EventLog()
+        log.record(0, 1, "attempt")
+        assert log.availability(1) == 1.0
+
+    def test_mttr(self):
+        log = self.make_cycle_log()
+        assert log.mttr(7) == pytest.approx(4.0)
+
+    def test_mttr_nan_without_a_complete_cycle(self):
+        log = EventLog()
+        log.record(2, 7, "state", **{"from": "HEALTHY"}, to="QUARANTINED")
+        assert math.isnan(log.mttr(7))
+
+    def test_degraded_counts_as_serving(self):
+        log = EventLog()
+        log.record(0, 1, "state", **{"from": "HEALTHY"}, to="DEGRADED")
+        log.record(4, 1, "state", **{"from": "DEGRADED"}, to="HEALTHY")
+        log.record(8, 1, "attempt")
+        assert log.availability(1) == 1.0
+
+    def test_node_report_counts(self):
+        log = self.make_cycle_log()
+        log.record(3, 7, "retry")
+        log.record(4, 7, "exception")
+        report = log.node_report(7)
+        assert report["retries"] == 1
+        assert report["exceptions"] == 1
+        assert report["transitions"] == 2

@@ -1,0 +1,200 @@
+"""Tests for the composable, seeded fault injectors."""
+
+import pytest
+
+from repro.circuits import EnergyHarvester
+from repro.faults import (
+    BrownoutInjector,
+    EventLog,
+    GarbledReplyInjector,
+    GilbertElliottInjector,
+    NoiseBurstInjector,
+    TransportError,
+    TransportExceptionInjector,
+)
+from repro.node import PowerUpSimulator
+from repro.piezo import Transducer
+
+
+class OkResult:
+    success = True
+
+
+class OkTransport:
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, query):
+        self.calls += 1
+        return OkResult()
+
+
+QUERY = object()  # injectors never look inside the query
+
+
+class TestNoiseBurst:
+    def test_deterministic_window(self):
+        inner = OkTransport()
+        inj = NoiseBurstInjector(inner, start=2, duration=3)
+        outcomes = [inj(QUERY).success for _ in range(7)]
+        assert outcomes == [True, True, False, False, False, True, True]
+        assert inner.calls == 4  # burst transactions never reach the inner link
+
+    def test_burst_result_shape(self):
+        inj = NoiseBurstInjector(OkTransport(), start=0, duration=1, collapsed_snr_db=-7.5)
+        result = inj(QUERY)
+        assert not result.success
+        assert result.powered_up
+        assert result.snr_db == -7.5
+        assert result.fault == "noise_burst"
+
+    def test_stochastic_bursts_reproducible(self):
+        def run(seed):
+            inj = NoiseBurstInjector(
+                OkTransport(), duration=2, burst_prob=0.3, seed=seed
+            )
+            return [inj(QUERY).success for _ in range(50)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseBurstInjector(OkTransport(), duration=0)
+        with pytest.raises(ValueError):
+            NoiseBurstInjector(OkTransport(), burst_prob=1.5)
+        with pytest.raises(TypeError):
+            NoiseBurstInjector("not-callable")
+
+
+class TestBrownout:
+    def test_dark_interval(self):
+        inj = BrownoutInjector(OkTransport(), at=1, dark_for=3)
+        outcomes = [inj(QUERY) for _ in range(6)]
+        assert [r.success for r in outcomes] == [True, False, False, False, True, True]
+        assert all(not r.powered_up for r in outcomes[1:4])
+
+    def test_from_energy_model(self):
+        transducer = Transducer.from_cylinder_design()
+        sim = PowerUpSimulator(EnergyHarvester(transducer))
+        inj = BrownoutInjector.from_energy_model(
+            OkTransport(),
+            sim,
+            600.0,  # strong illumination: recovery is possible
+            transducer.resonance_hz,
+            poll_period_s=0.5,
+            at=0,
+        )
+        assert inj.dark_for >= 1
+        assert not inj(QUERY).success  # dark right away
+
+    def test_from_energy_model_unrecoverable_is_long(self):
+        transducer = Transducer.from_cylinder_design()
+        sim = PowerUpSimulator(EnergyHarvester(transducer))
+        inj = BrownoutInjector.from_energy_model(
+            OkTransport(), sim, 50.0, transducer.resonance_hz, poll_period_s=0.5, at=0
+        )
+        assert inj.dark_for >= 1000
+
+    def test_recovery_time_zero_above_threshold(self):
+        transducer = Transducer.from_cylinder_design()
+        sim = PowerUpSimulator(EnergyHarvester(transducer))
+        assert (
+            sim.brownout_recovery_time(
+                600.0, transducer.resonance_hz, from_v=sim.threshold_v + 0.1
+            )
+            == 0.0
+        )
+
+
+class TestGilbertElliott:
+    def test_always_bad_always_lossy(self):
+        inj = GilbertElliottInjector(
+            OkTransport(),
+            p_good_to_bad=1.0,
+            p_bad_to_good=0.0,
+            bad_loss=1.0,
+            seed=0,
+        )
+        assert all(not inj(QUERY).success for _ in range(10))
+
+    def test_good_channel_lossless(self):
+        inj = GilbertElliottInjector(
+            OkTransport(), p_good_to_bad=0.0, good_loss=0.0, seed=0
+        )
+        assert all(inj(QUERY).success for _ in range(10))
+
+    def test_seeded_reproducibility(self):
+        def run(seed):
+            inj = GilbertElliottInjector(OkTransport(), seed=seed)
+            return [inj(QUERY).success for _ in range(100)]
+
+        assert run(3) == run(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottInjector(OkTransport(), bad_loss=-0.1)
+
+
+class TestGarbled:
+    def test_garbles_scheduled_transactions(self):
+        inner = OkTransport()
+        inj = GarbledReplyInjector(inner, at=(1,), seed=0)
+        assert inj(QUERY).success
+        garbled = inj(QUERY)
+        assert not garbled.success
+        assert not garbled.demod.success  # the CRC rejected it
+        assert len(garbled.demod.packet) == 6
+        # The exchange still happened (airtime was burned).
+        assert inner.calls == 2
+
+    def test_seeded_garbage_reproducible(self):
+        def garbage(seed):
+            inj = GarbledReplyInjector(OkTransport(), at=(0,), seed=seed)
+            return inj(QUERY).demod.packet
+
+        assert garbage(11) == garbage(11)
+
+
+class TestTransportException:
+    def test_raises_at_scheduled_index(self):
+        inj = TransportExceptionInjector(OkTransport(), at=(1,))
+        assert inj(QUERY).success
+        with pytest.raises(TransportError):
+            inj(QUERY)
+        assert inj(QUERY).success
+
+    def test_fault_logged(self):
+        log = EventLog()
+        inj = TransportExceptionInjector(OkTransport(), at=(0,), node=9, log=log)
+        with pytest.raises(TransportError):
+            inj(QUERY)
+        faults = log.filter(node=9, kind="fault")
+        assert len(faults) == 1
+        assert ("injector", "transport_exception") in faults[0].detail
+
+
+class TestComposition:
+    def test_injectors_stack(self):
+        """Brownout over noise burst over a clean link.
+
+        Each injector counts its *own* transactions: the outer brownout
+        swallows indices 0-1, so the inner noise injector (start=2)
+        bursts on the outer stack's transactions 4-5.
+        """
+        inner = OkTransport()
+        stack = BrownoutInjector(
+            NoiseBurstInjector(inner, start=2, duration=2), at=0, dark_for=2
+        )
+        outcomes = [stack(QUERY) for _ in range(7)]
+        faults = [getattr(r, "fault", None) for r in outcomes]
+        assert faults[:2] == ["brownout", "brownout"]
+        assert faults[4:6] == ["noise_burst", "noise_burst"]
+        assert outcomes[2].success and outcomes[3].success and outcomes[6].success
+
+    def test_fault_counters(self):
+        inj = NoiseBurstInjector(OkTransport(), start=0, duration=3)
+        for _ in range(5):
+            inj(QUERY)
+        assert inj.transactions == 5
+        assert inj.faults_fired == 3

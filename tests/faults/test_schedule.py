@@ -1,0 +1,94 @@
+"""Tests for scripted fault scenarios."""
+
+import pytest
+
+from repro.faults import EventLog, FaultSchedule, ScheduledFaultInjector, TransportError
+
+
+class OkResult:
+    success = True
+
+
+class OkTransport:
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, query):
+        self.calls += 1
+        return OkResult()
+
+
+QUERY = object()
+
+
+class TestFaultSchedule:
+    def test_builder_chains(self):
+        schedule = (
+            FaultSchedule()
+            .noise_burst(at=3, duration=4)
+            .brownout(at=5, dark_for=10)
+            .exception(at=7)
+            .drop(at=0)
+            .garble(at=1)
+        )
+        assert len(schedule) == 5
+        assert schedule.horizon == 8
+
+    def test_actions_at(self):
+        schedule = FaultSchedule().drop(at=2).garble(at=2)
+        actions = [a for a, _ in schedule.actions_at(2)]
+        assert actions == ["drop", "garble"]
+        assert schedule.actions_at(3) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().drop(at=-1)
+        with pytest.raises(ValueError):
+            FaultSchedule().brownout(at=0, dark_for=0)
+        with pytest.raises(ValueError):
+            FaultSchedule().noise_burst(at=0, duration=0)
+
+
+class TestScheduledInjector:
+    def test_point_faults(self):
+        schedule = FaultSchedule().drop(at=1).garble(at=3).exception(at=5)
+        inj = ScheduledFaultInjector(OkTransport(), schedule)
+        assert inj(QUERY).success
+        assert inj(QUERY).fault == "drop"
+        assert inj(QUERY).success
+        garbled = inj(QUERY)
+        assert garbled.fault == "garbled" and not garbled.demod.success
+        assert inj(QUERY).success
+        with pytest.raises(TransportError):
+            inj(QUERY)
+
+    def test_windows_persist(self):
+        schedule = FaultSchedule().brownout(at=1, dark_for=3)
+        inj = ScheduledFaultInjector(OkTransport(), schedule)
+        outcomes = [inj(QUERY) for _ in range(6)]
+        assert [r.success for r in outcomes] == [True, False, False, False, True, True]
+
+    def test_severity_ordering(self):
+        """Exception beats brownout beats noise on the same transaction."""
+        schedule = (
+            FaultSchedule()
+            .noise_burst(at=0, duration=2)
+            .brownout(at=0, dark_for=1)
+            .exception(at=0)
+        )
+        inj = ScheduledFaultInjector(OkTransport(), schedule)
+        with pytest.raises(TransportError):
+            inj(QUERY)
+        # Transaction 1: the noise window still applies (brownout ended).
+        assert inj(QUERY).fault == "noise_burst"
+
+    def test_deterministic_without_seed(self):
+        def run():
+            schedule = FaultSchedule().brownout(at=1, dark_for=2).garble(at=4)
+            log = EventLog()
+            inj = ScheduledFaultInjector(OkTransport(), schedule, node=3, log=log)
+            for _ in range(6):
+                inj(QUERY)
+            return log.dump()
+
+        assert run() == run()

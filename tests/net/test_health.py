@@ -1,0 +1,133 @@
+"""Tests for the per-node health state machine."""
+
+import pytest
+
+from repro.faults import EventLog
+from repro.net import HealthPolicy, HealthState, NodeHealth
+
+
+def make(policy=None, log=None):
+    return NodeHealth(node=1, policy=policy or HealthPolicy(), log=log)
+
+
+class TestPolicyValidation:
+    def test_thresholds(self):
+        with pytest.raises(ValueError):
+            HealthPolicy(degrade_after=0)
+        with pytest.raises(ValueError):
+            HealthPolicy(degrade_after=3, quarantine_after=3)
+        with pytest.raises(ValueError):
+            HealthPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            HealthPolicy(probe_backoff_rounds=4, max_probe_backoff_rounds=2)
+
+
+class TestTransitions:
+    def test_starts_healthy(self):
+        assert make().state is HealthState.HEALTHY
+
+    def test_single_failure_stays_healthy(self):
+        h = make()
+        assert h.on_result(False, 0.0) is None
+        assert h.state is HealthState.HEALTHY
+
+    def test_degrades_after_consecutive_failures(self):
+        h = make(HealthPolicy(degrade_after=2))
+        h.on_result(False, 0.0)
+        assert h.on_result(False, 1.0) == "degrade"
+        assert h.state is HealthState.DEGRADED
+
+    def test_success_resets_failure_streak(self):
+        h = make(HealthPolicy(degrade_after=2))
+        h.on_result(False, 0.0)
+        h.on_result(True, 1.0)
+        h.on_result(False, 2.0)
+        assert h.state is HealthState.HEALTHY
+
+    def test_degraded_recovers_after_success_streak(self):
+        h = make(HealthPolicy(degrade_after=2, recover_after=2))
+        h.on_result(False, 0.0)
+        h.on_result(False, 1.0)
+        h.on_result(True, 2.0)
+        assert h.state is HealthState.DEGRADED
+        assert h.on_result(True, 3.0) == "recovered"
+        assert h.state is HealthState.HEALTHY
+
+    def test_quarantine_after_more_failures(self):
+        h = make(HealthPolicy(degrade_after=2, quarantine_after=4))
+        for t in range(3):
+            h.on_result(False, float(t))
+        assert h.state is HealthState.DEGRADED
+        assert h.on_result(False, 3.0) == "quarantine"
+        assert h.state is HealthState.QUARANTINED
+        assert h.next_probe_t == 3.0 + h.policy.probe_backoff_rounds
+
+
+class TestProbing:
+    def quarantined(self, **kwargs):
+        policy = HealthPolicy(degrade_after=1, quarantine_after=2, **kwargs)
+        h = make(policy)
+        h.on_result(False, 0.0)
+        h.on_result(False, 1.0)
+        assert h.state is HealthState.QUARANTINED
+        return h
+
+    def test_not_due_before_backoff(self):
+        h = self.quarantined(probe_backoff_rounds=3)
+        assert not h.due_for_probe(2.0)
+        assert h.due_for_probe(4.0)
+
+    def test_probe_success_recovers(self):
+        h = self.quarantined()
+        h.start_probe(3.0)
+        assert h.state is HealthState.PROBING
+        assert h.on_result(True, 3.0) == "recovered"
+        assert h.state is HealthState.HEALTHY
+
+    def test_probe_failure_doubles_backoff(self):
+        h = self.quarantined(probe_backoff_rounds=2, backoff_multiplier=2.0)
+        h.start_probe(3.0)
+        h.on_result(False, 3.0)
+        assert h.state is HealthState.QUARANTINED
+        assert h.next_probe_t == 3.0 + 4.0
+        h.start_probe(7.0)
+        h.on_result(False, 7.0)
+        assert h.next_probe_t == 7.0 + 8.0
+
+    def test_backoff_capped(self):
+        h = self.quarantined(
+            probe_backoff_rounds=2, backoff_multiplier=10.0, max_probe_backoff_rounds=5
+        )
+        h.start_probe(3.0)
+        h.on_result(False, 3.0)
+        assert h.next_probe_t == 3.0 + 5.0
+
+    def test_recovery_resets_backoff(self):
+        h = self.quarantined(probe_backoff_rounds=2)
+        h.start_probe(3.0)
+        h.on_result(False, 3.0)  # backoff now 4
+        h.start_probe(7.0)
+        h.on_result(True, 7.0)  # recovered
+        # Re-quarantine: the backoff starts over at 2.
+        h.on_result(False, 8.0)
+        h.on_result(False, 9.0)
+        assert h.state is HealthState.QUARANTINED
+        assert h.next_probe_t == 9.0 + 2.0
+
+    def test_cannot_probe_healthy_node(self):
+        with pytest.raises(ValueError):
+            make().start_probe(0.0)
+
+
+class TestEventLogging:
+    def test_transitions_logged(self):
+        log = EventLog()
+        h = NodeHealth(
+            node=5, policy=HealthPolicy(degrade_after=1, quarantine_after=2), log=log
+        )
+        h.on_result(False, 0.0)
+        h.on_result(False, 1.0)
+        h.start_probe(3.0)
+        h.on_result(True, 3.0)
+        states = [dict(e.detail)["to"] for e in log.filter(node=5, kind="state")]
+        assert states == ["DEGRADED", "QUARANTINED", "PROBING", "HEALTHY"]
