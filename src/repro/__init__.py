@@ -27,6 +27,11 @@ net
 core
     End-to-end system: projector, hydrophone, links, networks,
     experiments, deployment planning, monitoring sessions.
+faults
+    Fault injection: seeded injectors, schedules, structured event log.
+obs
+    Observability: span tracing, metrics registry, JSONL/Prometheus/CSV
+    exporters (see docs/OBSERVABILITY.md).
 """
 
 __version__ = "1.0.0"

@@ -3,46 +3,159 @@
 Lets a user drive the reproduction without writing code:
 
 * ``demo``     — run the quickstart link exchange and print the outcome.
+* ``trace``    — run one traced exchange and emit the JSONL span trace.
 * ``fig3``     — print the recto-piezo tuning curves.
 * ``fig7``     — print the BER-SNR table.
 * ``fig8``     — print the SNR-vs-bitrate table (waveform level; slower).
 * ``fig9``     — print the power-up-range tables for both pools.
 * ``fig11``    — print the node power budget.
 * ``envs``     — list deployment-environment presets with derived numbers.
+* ``coverage`` — ASCII power-up coverage map of a tank.
+
+Output discipline: diagnostic/status lines go through a
+``logging``-backed writer (:func:`_emit`) controlled by the global
+``-v``/``--log-level`` flags; tables and machine-readable artifacts
+(CSV via ``--out``, the JSONL trace) always go to stdout or their file
+regardless of log level.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import math
+import pathlib
 import sys
 
 import numpy as np
 
+#: Logger behind every human-facing status line the CLI prints.
+_LOG = logging.getLogger("repro.cli")
 
-def _cmd_demo(args) -> int:
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def _emit(message: str = "") -> None:
+    """A user-facing status line, routed through logging (INFO)."""
+    _LOG.info("%s", message)
+
+
+def _debug(message: str) -> None:
+    _LOG.debug("%s", message)
+
+
+def _table(text: str) -> None:
+    """A table / primary artifact: always to stdout, whatever the level."""
+    sys.stdout.write(text if text.endswith("\n") else text + "\n")
+
+
+def _configure_logging(args) -> None:
+    """Wire the ``repro`` logger to stdout at the requested level.
+
+    ``-v`` lowers the threshold to DEBUG; ``--log-level`` sets it
+    explicitly (``-v`` wins when both are given).  Handlers are
+    replaced, not appended, so repeated ``main()`` calls (tests) don't
+    multiply output.
+    """
+    level = _LEVELS[args.log_level]
+    if args.verbose:
+        level = logging.DEBUG
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+
+
+def _write_table(args, table, *, suffix: str | None = None) -> None:
+    """Print a table; mirror it as CSV when ``--out`` was given.
+
+    ``suffix`` disambiguates commands that emit several tables (fig9's
+    two pools): it is inserted before the extension.
+    """
+    _table(table.to_text())
+    out = getattr(args, "out", None)
+    if not out:
+        return
+    from repro.obs.export import write_csv
+
+    path = pathlib.Path(out)
+    if suffix:
+        path = path.with_name(f"{path.stem}_{suffix}{path.suffix or '.csv'}")
+    write_csv(path, table.columns, table.rows)
+    _emit(f"wrote {path}")
+
+
+def _demo_link(distance: float, drive: float, bitrate: float,
+               tracer=None, metrics=None):
+    """The canonical single-node Pool-A link the demo/trace commands run."""
     from repro.acoustics import POOL_A, Position
     from repro.core import BackscatterLink, Projector
-    from repro.net.messages import Command, Query
     from repro.node.node import PABNode
     from repro.piezo import Transducer
 
     transducer = Transducer.from_cylinder_design()
     f = transducer.resonance_hz
     projector = Projector(
-        transducer=transducer, drive_voltage_v=args.drive, carrier_hz=f
+        transducer=transducer, drive_voltage_v=drive, carrier_hz=f
     )
-    node = PABNode(address=7, channel_frequencies_hz=(f,), bitrate=args.bitrate)
-    link = BackscatterLink(
+    node = PABNode(address=7, channel_frequencies_hz=(f,), bitrate=bitrate)
+    return BackscatterLink(
         POOL_A, projector, Position(0.5, 1.5, 0.6),
-        node, Position(0.5 + args.distance, 1.5, 0.6), Position(1.0, 0.8, 0.6),
+        node, Position(0.5 + distance, 1.5, 0.6), Position(1.0, 0.8, 0.6),
+        tracer=tracer, metrics=metrics,
     )
+
+
+def _cmd_demo(args) -> int:
+    from repro.net.messages import Command, Query
+
+    link = _demo_link(args.distance, args.drive, args.bitrate)
     result = link.run_query(Query(destination=7, command=Command.PING))
-    print(f"powered up:    {result.powered_up}")
-    print(f"query decoded: {result.query_decoded}")
-    print(f"reply decoded: {result.success}")
+    _emit(f"powered up:    {result.powered_up}")
+    _emit(f"query decoded: {result.query_decoded}")
+    _emit(f"reply decoded: {result.success}")
     if result.success:
-        print(f"SNR: {result.snr_db:.1f} dB   BER: {result.ber:.4f}")
+        _emit(f"SNR: {result.snr_db:.1f} dB   BER: {result.ber:.4f}")
+    return 0 if result.success else 1
+
+
+def _cmd_trace(args) -> int:
+    """One traced link exchange; JSONL spans to stdout or ``--out``."""
+    from repro.net.messages import Command, Query
+    from repro.obs import (
+        MetricsRegistry, Tracer, metrics_to_prometheus, spans_to_jsonl,
+        stage_table, use_tracer, write_spans_jsonl,
+    )
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    link = _demo_link(
+        args.distance, args.drive, args.bitrate, tracer=tracer, metrics=metrics
+    )
+    # Install globally too so node-firmware and MAC spans nest under
+    # the link's stages.
+    with use_tracer(tracer):
+        result = link.transact(Query(destination=7, command=Command.PING))
+    if args.out:
+        path = write_spans_jsonl(args.out, tracer.spans)
+        _emit(f"wrote {len(tracer.spans)} spans to {path}")
+    else:
+        _table(spans_to_jsonl(tracer.spans))
+    _emit("")
+    _emit(f"reply decoded: {result.success}")
+    _table(stage_table(tracer).to_text())
+    if args.metrics_out:
+        pathlib.Path(args.metrics_out).write_text(metrics_to_prometheus(metrics))
+        _emit(f"wrote metrics exposition to {args.metrics_out}")
     return 0 if result.success else 1
 
 
@@ -66,7 +179,7 @@ def _cmd_fig3(args) -> int:
         h18.rectified_voltage_curve(freqs, pressure),
     ):
         table.add_row(float(f), float(a), float(b))
-    print(table.to_text())
+    _write_table(args, table)
     return 0
 
 
@@ -76,7 +189,7 @@ def _cmd_fig7(args) -> int:
     table = ber_snr_sweep(
         np.arange(-2.0, 15.0, 1.0), bits_per_point=args.bits
     )
-    print(table.to_text())
+    _write_table(args, table)
     return 0
 
 
@@ -95,6 +208,7 @@ def _cmd_fig8(args) -> int:
         columns=("bitrate_bps", "snr_db"),
     )
     for bitrate in (100.0, 400.0, 1_000.0, 2_000.0, 3_000.0, 5_000.0):
+        _debug(f"fig8: measuring bitrate {bitrate:g} bps")
         projector = Projector(
             transducer=transducer, drive_voltage_v=50.0, carrier_hz=f
         )
@@ -105,7 +219,7 @@ def _cmd_fig8(args) -> int:
         )
         snr = link.measure_uplink_snr(Query(destination=7, command=Command.PING))
         table.add_row(bitrate, float(snr))
-    print(table.to_text())
+    _write_table(args, table)
     return 0
 
 
@@ -162,7 +276,7 @@ def _cmd_fig9(args) -> int:
             projector_factory=projector_factory,
             axis_positions=axis,
         )
-        print(table.to_text())
+        _write_table(args, table, suffix=tank.name.lower().replace(" ", "_"))
     return 0
 
 
@@ -179,7 +293,7 @@ def _cmd_fig11(args) -> int:
     for mode, value in sweep.items():
         label = mode if isinstance(mode, str) else f"{mode:.0f} bps"
         table.add_row(label, value * 1e6)
-    print(table.to_text())
+    _write_table(args, table)
     return 0
 
 
@@ -197,17 +311,19 @@ def _cmd_coverage(args) -> int:
         carrier_hz=transducer.resonance_hz,
     )
     coverage = powerup_coverage(tank, projector, resolution_m=args.resolution)
-    print(
+    _emit(
         f"Power-up coverage of {tank.name} at {args.drive:.0f} V "
         f"({coverage.coverage_fraction:.0%}):"
     )
-    for i in range(len(coverage.y_coords) - 1, -1, -1):
-        print(
+    _table(
+        "\n".join(
             "".join(
                 "#" if coverage.values[i, j] > 0 else "."
                 for j in range(len(coverage.x_coords))
             )
+            for i in range(len(coverage.y_coords) - 1, -1, -1)
         )
+    )
     return 0
 
 
@@ -228,7 +344,7 @@ def _cmd_envs(args) -> int:
             env.absorption_db_per_km(15_000.0),
             env.noise.psd_db(15_000.0),
         )
-    print(table.to_text())
+    _write_table(args, table)
     return 0
 
 
@@ -238,6 +354,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Piezo-Acoustic Backscatter reproduction toolkit",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug-level status output (overrides --log-level)",
+    )
+    parser.add_argument(
+        "--log-level", choices=sorted(_LEVELS), default="info",
+        help="status-line verbosity (tables/artifacts always print)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser("demo", help="run one link exchange")
@@ -245,6 +369,21 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--drive", type=float, default=50.0)
     demo.add_argument("--bitrate", type=float, default=1_000.0)
     demo.set_defaults(func=_cmd_demo)
+
+    trace = sub.add_parser(
+        "trace", help="run one traced exchange, emit the JSONL span trace"
+    )
+    trace.add_argument("--distance", type=float, default=1.0)
+    trace.add_argument("--drive", type=float, default=50.0)
+    trace.add_argument("--bitrate", type=float, default=1_000.0)
+    trace.add_argument(
+        "--out", default=None, help="write the JSONL trace here (default: stdout)"
+    )
+    trace.add_argument(
+        "--metrics-out", default=None,
+        help="also write a Prometheus text exposition of the run's metrics",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     fig3 = sub.add_parser("fig3", help="recto-piezo tuning curves")
     fig3.set_defaults(func=_cmd_fig3)
@@ -271,12 +410,20 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--resolution", type=float, default=0.5)
     coverage.set_defaults(func=_cmd_coverage)
 
+    # Every table-emitting command mirrors to CSV with --out.
+    for table_cmd in (fig3, fig7, fig8, fig9, fig11, envs):
+        table_cmd.add_argument(
+            "--out", default=None,
+            help="also write the table as CSV to this path",
+        )
+
     return parser
 
 
 def main(argv=None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     return args.func(args)
 
 

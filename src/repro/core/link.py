@@ -35,6 +35,7 @@ from repro.core.hydrophone import Hydrophone
 from repro.core.projector import Projector
 from repro.net.messages import Query, Response
 from repro.node.node import PABNode
+from repro.obs.trace import get_tracer
 from repro.piezo.transducer import Transducer
 
 
@@ -186,7 +187,26 @@ class BackscatterLink:
         Simulation rate [Hz].
     max_order:
         Image-source reflection order.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when omitted the
+        process-global tracer is consulted per transaction (disabled by
+        default, so the hot path pays only no-op span checks).  Spans
+        cover the five stages of an exchange: ``link.pwm_synthesis``,
+        ``link.downlink_propagation``, ``link.node``,
+        ``link.uplink_propagation``, ``link.hydrophone_dsp``.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; records
+        transaction/CRC counters and SNR/BER histograms.
     """
+
+    #: The five per-exchange stage span names, in pipeline order.
+    STAGES = (
+        "link.pwm_synthesis",
+        "link.downlink_propagation",
+        "link.node",
+        "link.uplink_propagation",
+        "link.hydrophone_dsp",
+    )
 
     #: Guard time appended after the expected reply [s].
     UPLINK_MARGIN_S = 0.05
@@ -210,12 +230,16 @@ class BackscatterLink:
         sample_rate: float = 96_000.0,
         max_order: int = 2,
         node_velocity_mps: float = 0.0,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.tank = tank
         self.projector = projector
         self.node = node
         self.sample_rate = sample_rate
         self.node_velocity_mps = node_velocity_mps
+        self.tracer = tracer
+        self.metrics = metrics
         self.noise = (
             noise
             if noise is not None
@@ -389,14 +413,57 @@ class BackscatterLink:
         """
         return self.run_query(query)
 
+    def _tracer(self):
+        """The link's tracer, falling back to the process-global one."""
+        return self.tracer if self.tracer is not None else get_tracer()
+
+    def _observe(self, result: LinkResult) -> None:
+        """Record the exchange outcome into the metrics registry."""
+        mr = self.metrics
+        if mr is None:
+            return
+        from repro.obs.metrics import BER_BUCKETS, SNR_DB_BUCKETS
+
+        mr.counter("pab_link_transactions_total").inc()
+        if result.powered_up:
+            mr.counter("pab_link_powerups_total").inc()
+        if result.query_decoded:
+            mr.counter("pab_link_query_decodes_total").inc()
+        if result.success:
+            mr.counter("pab_link_successes_total").inc()
+        elif result.demod is not None:
+            mr.counter("pab_link_crc_failures_total").inc()
+        if result.demod is not None:
+            mr.histogram("pab_link_snr_db", buckets=SNR_DB_BUCKETS).observe(
+                result.snr_db
+            )
+            mr.histogram("pab_link_ber", buckets=BER_BUCKETS).observe(result.ber)
+
     def run_query(self, query: Query) -> LinkResult:
-        """Simulate one full query/response exchange."""
+        """Simulate one full query/response exchange.
+
+        The exchange is traced as a ``link.transact`` root span with the
+        five pipeline stages (:attr:`STAGES`) as children; a stage the
+        exchange revisits (PWM synthesis runs once for the node-decode
+        leg and once for the full transmission) simply emits another
+        span with the same name, and per-stage reports aggregate by
+        name.
+        """
+        tracer = self._tracer()
+        with tracer.span("link.transact", destination=int(query.destination)):
+            result = self._run_stages(query, tracer)
+        self._observe(result)
+        return result
+
+    def _run_stages(self, query: Query, tracer) -> LinkResult:
         fs = self.sample_rate
         f = self.projector.carrier_hz
         budget = self.budget()
 
         # 1. Power-up check from the downlink illumination.
-        powered = self.node.try_power_up(budget.incident_pressure_pa, f)
+        with tracer.span("link.node", phase="power_up") as sp:
+            powered = self.node.try_power_up(budget.incident_pressure_pa, f)
+            sp.set(powered_up=powered)
         if not powered:
             return LinkResult(
                 powered_up=False, query_decoded=False, response=None,
@@ -404,12 +471,19 @@ class BackscatterLink:
             )
 
         # 2. Node-side query decode (waveform level).
-        query_wave = self.projector.query_waveform(query, fs)
-        incident_query = self._node_incident(query_wave)
-        env = envelope_detect(
-            self._node_selective(incident_query), f, fs
-        )
-        decoded_query = self.node.receive_query(env, fs)
+        with tracer.span("link.pwm_synthesis", segment="query") as sp:
+            query_wave = self.projector.query_waveform(query, fs)
+            sp.set(samples=len(query_wave))
+        with tracer.span(
+            "link.downlink_propagation", segment="query", samples=len(query_wave)
+        ):
+            incident_query = self._node_incident(query_wave)
+        with tracer.span("link.node", phase="decode_query") as sp:
+            env = envelope_detect(
+                self._node_selective(incident_query), f, fs
+            )
+            decoded_query = self.node.receive_query(env, fs)
+            sp.set(decoded=decoded_query is not None)
         if decoded_query is None:
             return LinkResult(
                 powered_up=True, query_decoded=False, response=None,
@@ -417,65 +491,83 @@ class BackscatterLink:
             )
 
         # 3. Execute the command; build the reply.
-        response = self.node.respond(decoded_query)
-        if response is None:
-            return LinkResult(
-                powered_up=True, query_decoded=True, response=None,
-                demod=None, ber=float("nan"), snr_db=float("nan"), budget=budget,
-            )
-        chips = self.node.uplink_chips(response)
+        with tracer.span("link.node", phase="respond") as sp:
+            response = self.node.respond(decoded_query)
+            if response is None:
+                return LinkResult(
+                    powered_up=True, query_decoded=True, response=None,
+                    demod=None, ber=float("nan"), snr_db=float("nan"),
+                    budget=budget,
+                )
+            chips = self.node.uplink_chips(response)
+            sp.set(chips=len(chips))
         chip_rate = 2.0 * self.node.bitrate
         uplink_s = len(chips) / chip_rate + self.UPLINK_MARGIN_S
 
         # 4. Full transmission and physical propagation.
-        tx, uplink_start = self.projector.query_then_carrier(query, uplink_s, fs)
-        incident = self._node_incident(tx)
-        delay_pn = int(round(self.ch_projector_node.direct_path.delay_s * fs))
-        # The node waits half the margin after the query before replying.
-        reply_start = uplink_start + delay_pn + int(self.UPLINK_MARGIN_S / 2 * fs)
-        reflected = self._backscatter_waveform(incident, chips, reply_start)
-        self.node.firmware.response_sent()
+        with tracer.span("link.pwm_synthesis", segment="query_then_carrier") as sp:
+            tx, uplink_start = self.projector.query_then_carrier(
+                query, uplink_s, fs
+            )
+            sp.set(samples=len(tx))
+        with tracer.span(
+            "link.downlink_propagation", segment="carrier", samples=len(tx)
+        ):
+            incident = self._node_incident(tx)
+        with tracer.span("link.node", phase="backscatter", chips=len(chips)):
+            delay_pn = int(round(self.ch_projector_node.direct_path.delay_s * fs))
+            # The node waits half the margin after the query before replying.
+            reply_start = (
+                uplink_start + delay_pn + int(self.UPLINK_MARGIN_S / 2 * fs)
+            )
+            reflected = self._backscatter_waveform(incident, chips, reply_start)
+            self.node.firmware.response_sent()
 
         # 5. Hydrophone mixture: direct + backscatter + noise.
-        direct = self.beam_gain_hydrophone * self.ch_projector_hydrophone.apply(
-            tx, include_noise=False
-        ).waveform
-        uplink = self.ch_node_hydrophone.apply(
-            reflected, include_noise=False
-        ).waveform
-        n = max(len(direct), len(uplink))
-        mixture = np.zeros(n)
-        mixture[: len(direct)] += direct
-        mixture[: len(uplink)] += uplink
-        mixture += self.noise.generate(n, fs)
+        with tracer.span("link.uplink_propagation", samples=len(tx)):
+            direct = self.beam_gain_hydrophone * self.ch_projector_hydrophone.apply(
+                tx, include_noise=False
+            ).waveform
+            uplink = self.ch_node_hydrophone.apply(
+                reflected, include_noise=False
+            ).waveform
+            n = max(len(direct), len(uplink))
+            mixture = np.zeros(n)
+            mixture[: len(direct)] += direct
+            mixture[: len(uplink)] += uplink
+            mixture += self.noise.generate(n, fs)
 
         # 6. Receiver decode: skip the query portion of the recording (the
         # PWM edges would confuse the modulation extractor), as the
         # paper's offline decoder does by segmenting on the FFT energy.
-        recording = self.hydrophone.record(mixture)
-        # Analyse from after the carrier's turn-on edge has settled at the
-        # hydrophone (the edge is a huge amplitude step that would
-        # dominate the modulation-axis estimate) but before the node's
-        # reply begins at margin/2.
-        delay_ph = int(round(self.ch_projector_hydrophone.direct_path.delay_s * fs))
-        analysis_start = (
-            uplink_start + delay_ph + int(0.3 * self.UPLINK_MARGIN_S * fs)
-        )
-        uplink_format = self.node.firmware.config.uplink_format
-        demod = self.hydrophone.demodulate(
-            recording[analysis_start:],
-            f,
-            self.node.bitrate,
-            packet_format=uplink_format,
-            detection_threshold=self.DETECTION_THRESHOLD,
-        )
+        with tracer.span("link.hydrophone_dsp", samples=len(mixture)) as sp:
+            recording = self.hydrophone.record(mixture)
+            # Analyse from after the carrier's turn-on edge has settled at
+            # the hydrophone (the edge is a huge amplitude step that would
+            # dominate the modulation-axis estimate) but before the node's
+            # reply begins at margin/2.
+            delay_ph = int(
+                round(self.ch_projector_hydrophone.direct_path.delay_s * fs)
+            )
+            analysis_start = (
+                uplink_start + delay_ph + int(0.3 * self.UPLINK_MARGIN_S * fs)
+            )
+            uplink_format = self.node.firmware.config.uplink_format
+            demod = self.hydrophone.demodulate(
+                recording[analysis_start:],
+                f,
+                self.node.bitrate,
+                packet_format=uplink_format,
+                detection_threshold=self.DETECTION_THRESHOLD,
+            )
 
-        true_bits = response.to_packet().to_bits(uplink_format)
-        ber = (
-            bit_error_rate(demod.bits, true_bits)
-            if len(demod.bits)
-            else float("nan")
-        )
+            true_bits = response.to_packet().to_bits(uplink_format)
+            ber = (
+                bit_error_rate(demod.bits, true_bits)
+                if len(demod.bits)
+                else float("nan")
+            )
+            sp.set(crc_ok=demod.success, snr_db=demod.snr_db)
         return LinkResult(
             powered_up=True,
             query_decoded=True,

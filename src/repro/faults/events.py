@@ -15,6 +15,7 @@ consults a wall clock, so it is reproducible by construction.
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
 
 
@@ -67,12 +68,45 @@ class Event:
         parts.extend(f"{k}={v}" for k, v in self.detail)
         return " ".join(parts)
 
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (the JSONL trace-file row shape)."""
+        return {
+            "seq": self.seq,
+            "t": self.t,
+            "node": self.node,
+            "kind": str(self.kind),
+            "detail": {k: v for k, v in self.detail},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Event":
+        """Inverse of :meth:`to_dict` (round-trips exactly)."""
+        return cls(
+            seq=int(data["seq"]),
+            t=float(data["t"]),
+            node=int(data["node"]),
+            kind=EventKind(data["kind"]),
+            detail=tuple(sorted(
+                (str(k), str(v)) for k, v in data.get("detail", {}).items()
+            )),
+        )
+
 
 @dataclass
 class EventLog:
-    """Append-only recorder with per-node reliability metrics."""
+    """Append-only recorder with per-node reliability metrics.
+
+    ``metrics`` optionally binds a
+    :class:`~repro.obs.metrics.MetricsRegistry` (duck-typed: anything
+    with ``counter(name, **labels)``): every recorded event also
+    increments ``pab_events_total{kind=...}``, making the log an
+    emitter into the observability substrate rather than a parallel
+    telemetry universe.  Batch replay of an unbound log is
+    :func:`repro.obs.export.events_to_metrics`.
+    """
 
     events: list = field(default_factory=list)
+    metrics: object = None
 
     def record(self, t: float, node: int, kind: EventKind | str, **detail) -> Event:
         """Append one event; detail keys are sorted for determinism."""
@@ -84,6 +118,8 @@ class EventLog:
             detail=tuple(sorted((str(k), str(v)) for k, v in detail.items())),
         )
         self.events.append(event)
+        if self.metrics is not None:
+            self.metrics.counter("pab_events_total", kind=str(event.kind)).inc()
         return event
 
     def __len__(self) -> int:
@@ -109,6 +145,26 @@ class EventLog:
     def dump(self) -> str:
         """The whole log as one newline-joined string."""
         return "\n".join(self.to_lines())
+
+    def to_jsonl(self) -> str:
+        """One JSON object per event — the same file format as the obs
+        trace dumps (:func:`repro.obs.export.spans_to_jsonl`), so fault
+        events and spans can interleave in one tooling pipeline.
+        Deterministic: sorted keys, compact separators."""
+        return "\n".join(
+            json.dumps(e.to_dict(), sort_keys=True, separators=(",", ":"))
+            for e in self.events
+        ) + ("\n" if self.events else "")
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "EventLog":
+        """Rebuild a log from :meth:`to_jsonl` output (exact round-trip)."""
+        log = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                log.events.append(Event.from_dict(json.loads(line)))
+        return log
 
     # -- reliability metrics --------------------------------------------------------------
 

@@ -80,16 +80,20 @@ class FaultInjector:
         Optional :class:`~repro.faults.events.EventLog`.
     seed, rng:
         Reproducibility controls; ``rng`` wins when both are given.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; each
+        fired fault increments ``pab_faults_injected_total{injector=}``.
     """
 
     name = "fault"
 
-    def __init__(self, inner, *, node: int = -1, log=None, seed: int | None = None, rng=None) -> None:
+    def __init__(self, inner, *, node: int = -1, log=None, seed: int | None = None, rng=None, metrics=None) -> None:
         if not callable(inner):
             raise TypeError("inner transact must be callable")
         self.inner = inner
         self.node = int(node)
         self.log = log
+        self.metrics = metrics
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.transactions = 0
         self.faults_fired = 0
@@ -110,6 +114,10 @@ class FaultInjector:
     def _fire(self, index: int, **detail) -> None:
         if self.log is not None:
             self.log.record(index, self.node, "fault", injector=self.name, **detail)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "pab_faults_injected_total", injector=self.name
+            ).inc()
 
 
 class NoiseBurstInjector(FaultInjector):

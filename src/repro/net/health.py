@@ -38,6 +38,24 @@ class HealthState(str, enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
 
+    @property
+    def code(self) -> int:
+        """Stable numeric code for metrics gauges (0 = HEALTHY ...).
+
+        Exported so dashboards reading the Prometheus exposition can
+        alert on ``pab_node_health_code > 0`` without string matching.
+        """
+        return HEALTH_STATE_CODES[self]
+
+
+#: Numeric gauge encoding of each health state (severity-ordered).
+HEALTH_STATE_CODES = {
+    HealthState.HEALTHY: 0,
+    HealthState.DEGRADED: 1,
+    HealthState.PROBING: 2,
+    HealthState.QUARANTINED: 3,
+}
+
 
 @dataclass(frozen=True)
 class HealthPolicy:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.net.messages import Query
+from repro.obs.trace import get_tracer
 
 
 @dataclass
@@ -195,6 +196,12 @@ class PollingMac:
         the MAC's attempt counter as the virtual clock.
     node:
         Address used in event-log entries.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; attempt /
+        retry / success / exception counters and a backoff-seconds
+        histogram are recorded alongside :attr:`stats` (the registry
+        view is mergeable across readers the same way
+        :meth:`MacStats.merge` is).
     """
 
     transact: object
@@ -205,6 +212,7 @@ class PollingMac:
     sleep: object = None
     log: object = None
     node: int = -1
+    metrics: object = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -216,6 +224,10 @@ class PollingMac:
     def _record(self, kind: str, **detail) -> None:
         if self.log is not None:
             self.log.record(self.stats.attempts, self.node, kind, **detail)
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
 
     def poll(self, query: Query):
         """One query with retransmission; returns the last result.
@@ -231,44 +243,60 @@ class PollingMac:
         spent_s = 0.0
         result = None
         self.last_exception = None
-        for attempt in range(max_retries + 1):
-            if attempt > 0:
-                wait = policy.backoff_s(attempt - 1) if policy is not None else 0.0
-                if spent_s + wait >= budget:
-                    self._record("give_up", reason="timeout_budget", spent_s=round(spent_s + wait, 6))
-                    break
-                self.stats.retries += 1
-                self._record("retry", attempt=attempt)
-                if wait > 0:
-                    spent_s += wait
-                    self.stats.backoff_s += wait
-                    self._record("backoff", wait_s=round(wait, 6))
-                    if self.sleep is not None:
-                        self.sleep(wait)
-            try:
-                result = self.transact(query)
-            except Exception as exc:
-                result = None
-                self.last_exception = exc
+        self._count("pab_mac_polls_total")
+        with get_tracer().span("mac.poll", node=self.node) as span:
+            for attempt in range(max_retries + 1):
+                if attempt > 0:
+                    wait = policy.backoff_s(attempt - 1) if policy is not None else 0.0
+                    if spent_s + wait >= budget:
+                        self._record("give_up", reason="timeout_budget", spent_s=round(spent_s + wait, 6))
+                        self._count("pab_mac_give_ups_total")
+                        break
+                    self.stats.retries += 1
+                    self._record("retry", attempt=attempt)
+                    self._count("pab_mac_retries_total")
+                    if wait > 0:
+                        spent_s += wait
+                        self.stats.backoff_s += wait
+                        self._record("backoff", wait_s=round(wait, 6))
+                        if self.metrics is not None:
+                            self.metrics.histogram(
+                                "pab_mac_backoff_seconds"
+                            ).observe(wait)
+                        if self.sleep is not None:
+                            self.sleep(wait)
+                try:
+                    result = self.transact(query)
+                except Exception as exc:
+                    result = None
+                    self.last_exception = exc
+                    self.stats.attempts += 1
+                    self.stats.exceptions += 1
+                    airtime = float(self.airtime_estimator(query, None))
+                    self.stats.airtime_s += airtime
+                    spent_s += airtime
+                    self._record("exception", error=type(exc).__name__)
+                    self._count("pab_mac_attempts_total")
+                    self._count("pab_mac_exceptions_total")
+                    continue
                 self.stats.attempts += 1
-                self.stats.exceptions += 1
-                airtime = float(self.airtime_estimator(query, None))
+                airtime = float(self.airtime_estimator(query, result))
                 self.stats.airtime_s += airtime
                 spent_s += airtime
-                self._record("exception", error=type(exc).__name__)
-                continue
-            self.stats.attempts += 1
-            airtime = float(self.airtime_estimator(query, result))
-            self.stats.airtime_s += airtime
-            spent_s += airtime
-            if getattr(result, "success", False):
-                self.stats.successes += 1
-                payload = getattr(
-                    getattr(result, "demod", None), "packet", None
-                )
-                if payload is not None and hasattr(payload, "payload"):
-                    self.stats.payload_bits_delivered += 8 * len(payload.payload)
-                break
+                self._count("pab_mac_attempts_total")
+                if getattr(result, "success", False):
+                    self.stats.successes += 1
+                    self._count("pab_mac_successes_total")
+                    payload = getattr(
+                        getattr(result, "demod", None), "packet", None
+                    )
+                    if payload is not None and hasattr(payload, "payload"):
+                        self.stats.payload_bits_delivered += 8 * len(payload.payload)
+                    break
+            span.set(
+                attempts=attempt + 1,
+                success=bool(getattr(result, "success", False)),
+            )
         return result
 
     def run_schedule(self, queries) -> list:

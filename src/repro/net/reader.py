@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from repro.faults.events import EventLog
 from repro.net.health import HealthPolicy, HealthState, NodeHealth
 from repro.net.mac import MacStats, PollingMac, RetryPolicy
+from repro.obs.trace import get_tracer
 from repro.net.messages import (
     BITRATE_TABLE,
     Command,
@@ -94,6 +95,11 @@ class ReaderController:
         Structured :class:`~repro.faults.events.EventLog`; a fresh one
         is created when omitted.  The reader's polling-round counter is
         the log's virtual clock.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` shared by
+        every node's MAC and bound to the event log (each recorded
+        event also counts into ``pab_events_total``); the reader adds
+        per-node health gauges and reading counters.
     """
 
     def __init__(
@@ -104,10 +110,16 @@ class ReaderController:
         retry_policy: RetryPolicy | None = None,
         health_policy: HealthPolicy | None = None,
         log: EventLog | None = None,
+        metrics=None,
     ) -> None:
         if not transports:
             raise ValueError("need at least one node transport")
         self.log = log if log is not None else EventLog()
+        self.metrics = metrics
+        if metrics is not None and getattr(self.log, "metrics", None) is None:
+            # Bind the fault/recovery event stream into the same
+            # registry: one telemetry substrate, not two.
+            self.log.metrics = metrics
         self.health_policy = (
             health_policy if health_policy is not None else HealthPolicy()
         )
@@ -119,6 +131,7 @@ class ReaderController:
                 retry_policy=retry_policy,
                 log=self.log,
                 node=int(addr),
+                metrics=metrics,
             )
             for addr, fn in transports.items()
         }
@@ -197,6 +210,14 @@ class ReaderController:
         elif action == "recovered":
             record.pending_downgrade = False
             self.log.record(self._round, address, "recovery")
+        if self.metrics is not None:
+            if reading is not None and success:
+                self.metrics.counter(
+                    "pab_reader_readings_total", node=address
+                ).inc()
+            self.metrics.gauge("pab_node_health_code", node=address).set(
+                record.health.state.code
+            )
         return reading if success else None
 
     def poll_round(self, command: Command) -> dict:
@@ -208,17 +229,28 @@ class ReaderController:
         """
         t = float(self._round)
         out = {}
-        for addr in sorted(self._macs):
-            health = self.nodes[addr].health
-            if health.state is HealthState.QUARANTINED:
-                if health.due_for_probe(t):
-                    health.start_probe(t)
-                    self.log.record(t, addr, "probe")
-                    out[addr] = self.poll(addr, Command.PING)
-                else:
-                    out[addr] = None
-                continue
-            out[addr] = self.poll(addr, command)
+        with get_tracer().span(
+            "reader.poll_round", round=self._round, nodes=len(self._macs)
+        ) as span:
+            skipped = 0
+            for addr in sorted(self._macs):
+                health = self.nodes[addr].health
+                if health.state is HealthState.QUARANTINED:
+                    if health.due_for_probe(t):
+                        health.start_probe(t)
+                        self.log.record(t, addr, "probe")
+                        out[addr] = self.poll(addr, Command.PING)
+                    else:
+                        out[addr] = None
+                        skipped += 1
+                    continue
+                out[addr] = self.poll(addr, command)
+            span.set(
+                delivered=sum(1 for r in out.values() if r is not None),
+                skipped_quarantined=skipped,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("pab_reader_rounds_total").inc()
         self._round += 1
         return out
 

@@ -21,6 +21,7 @@ from repro.rectopiezo import RectoPiezoBank
 from repro.net.addresses import NodeAddress
 from repro.net.messages import Query, Response
 from repro.node.energy import PowerUpSimulator
+from repro.obs.trace import get_tracer
 from repro.node.firmware import FirmwareConfig, FirmwareState, NodeFirmware
 from repro.node.power import NodePowerModel
 from repro.piezo.transducer import Transducer
@@ -137,20 +138,33 @@ class PABNode:
     # -- communication ----------------------------------------------------------------
 
     def receive_query(self, envelope, sample_rate: float) -> Query | None:
-        """Node-side downlink decode (envelope detector + PWM)."""
+        """Node-side downlink decode (envelope detector + PWM).
+
+        Traced as ``node.decode_query`` under the process-global tracer
+        (a child of the link's ``link.node`` stage when both run).
+        """
         if not self._powered:
             return None
-        return self.firmware.decode_downlink_envelope(envelope, sample_rate)
+        with get_tracer().span(
+            "node.decode_query", node=int(self.address), samples=len(envelope)
+        ):
+            return self.firmware.decode_downlink_envelope(envelope, sample_rate)
 
     def respond(self, query: Query) -> Response | None:
         """Execute a query and return the response (or None)."""
         if not self._powered:
             return None
-        return self.firmware.handle_query(query)
+        with get_tracer().span(
+            "node.respond",
+            node=int(self.address),
+            command=getattr(query.command, "name", str(query.command)),
+        ):
+            return self.firmware.handle_query(query)
 
     def uplink_chips(self, response: Response) -> np.ndarray:
         """FM0 switch-state chips for a response frame."""
-        return self.firmware.build_uplink_chips(response)
+        with get_tracer().span("node.encode_uplink", node=int(self.address)):
+            return self.firmware.build_uplink_chips(response)
 
     def reflection_trajectory(
         self, chips, carrier_hz: float

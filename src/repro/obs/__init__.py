@@ -1,0 +1,69 @@
+"""Observability for the PAB stack: tracing, metrics, exporters.
+
+The measurement substrate under every performance claim in this repo:
+
+* :mod:`repro.obs.trace` — nestable wall-clock spans with a disabled
+  no-op mode (free on the waveform hot path) and a deterministic
+  virtual clock for byte-identical test traces.
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms in a mergeable registry.
+* :mod:`repro.obs.export` — JSONL trace dumps, Prometheus text
+  exposition, and ``benchmarks/results/``-compatible CSV.
+
+See ``docs/OBSERVABILITY.md`` for the instrumentation guide and the
+overhead policy.
+"""
+
+from repro.obs.export import (
+    events_to_metrics,
+    metrics_to_csv,
+    metrics_to_prometheus,
+    rows_to_csv,
+    spans_to_jsonl,
+    stage_table,
+    write_csv,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    BER_BUCKETS,
+    LATENCY_BUCKETS_S,
+    SNR_DB_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    VirtualClock,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "BER_BUCKETS",
+    "LATENCY_BUCKETS_S",
+    "NULL_SPAN",
+    "SNR_DB_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "VirtualClock",
+    "events_to_metrics",
+    "get_tracer",
+    "metrics_to_csv",
+    "metrics_to_prometheus",
+    "rows_to_csv",
+    "set_tracer",
+    "spans_to_jsonl",
+    "stage_table",
+    "use_tracer",
+    "write_csv",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,218 @@
+"""Exporters for traces and metrics: JSONL, Prometheus text, CSV.
+
+One instrumentation substrate, three serialisations:
+
+* :func:`spans_to_jsonl` — one JSON object per span, sorted keys, for
+  offline trace analysis; byte-deterministic under a
+  :class:`~repro.obs.trace.VirtualClock`.
+* :func:`metrics_to_prometheus` — the text exposition format, so a
+  deployment can be scraped without any client library.
+* :func:`metrics_to_csv` / :func:`write_csv` — rows compatible with the
+  ``benchmarks/results/`` CSVs (same formatting rules as
+  :class:`~repro.core.experiment.ExperimentTable`).
+
+The structured fault :class:`~repro.faults.events.EventLog` is *an
+emitter into* this substrate, not a parallel universe: bind a registry
+to a live log (``log.metrics = registry``) to count events as they
+happen, or replay an existing log with :func:`events_to_metrics`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+
+# ---------------------------------------------------------------------------
+# Traces
+# ---------------------------------------------------------------------------
+
+def span_to_dict(span) -> dict:
+    """A JSON-ready rendering of one finished span."""
+    return {
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+        "duration_s": span.duration_s,
+        "attrs": {str(k): _json_safe(v) for k, v in sorted(span.attrs.items())},
+    }
+
+
+def _json_safe(value):
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def spans_to_jsonl(spans) -> str:
+    """One JSON object per line, completion order, deterministic keys."""
+    return "\n".join(
+        json.dumps(span_to_dict(s), sort_keys=True, separators=(",", ":"))
+        for s in spans
+    ) + ("\n" if spans else "")
+
+
+def write_spans_jsonl(path, spans) -> pathlib.Path:
+    """Write a JSONL trace dump; returns the path written."""
+    path = pathlib.Path(path)
+    path.write_text(spans_to_jsonl(spans))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Metrics — Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def _labels_text(labels, extra=()) -> str:
+    items = list(labels) + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _num(value: float) -> str:
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def metrics_to_prometheus(registry) -> str:
+    """Prometheus text-format exposition of a registry.
+
+    Emits one ``# TYPE`` line per metric family (first occurrence) and
+    the standard ``_bucket``/``_sum``/``_count`` series for histograms.
+    """
+    from repro.obs.metrics import Counter, Gauge, Histogram
+
+    lines = []
+    typed = set()
+    for metric in registry:
+        if isinstance(metric, Counter):
+            if metric.name not in typed:
+                lines.append(f"# TYPE {metric.name} counter")
+                typed.add(metric.name)
+            lines.append(
+                f"{metric.name}{_labels_text(metric.labels)} {_num(metric.value)}"
+            )
+        elif isinstance(metric, Gauge):
+            if metric.name not in typed:
+                lines.append(f"# TYPE {metric.name} gauge")
+                typed.add(metric.name)
+            lines.append(
+                f"{metric.name}{_labels_text(metric.labels)} {_num(metric.value)}"
+            )
+        elif isinstance(metric, Histogram):
+            if metric.name not in typed:
+                lines.append(f"# TYPE {metric.name} histogram")
+                typed.add(metric.name)
+            for bound, cumulative in metric.cumulative():
+                le = "+Inf" if bound == float("inf") else _num(bound)
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_labels_text(metric.labels, [('le', le)])} {cumulative}"
+                )
+            lines.append(
+                f"{metric.name}_sum{_labels_text(metric.labels)} {_num(metric.sum)}"
+            )
+            lines.append(
+                f"{metric.name}_count{_labels_text(metric.labels)} {metric.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# CSV (benchmarks/results/-compatible)
+# ---------------------------------------------------------------------------
+
+def _fmt_cell(value) -> str:
+    # Mirrors ExperimentTable's cell formatting so obs CSVs and the
+    # figure-reproduction CSVs interleave in one results directory.
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def rows_to_csv(columns, rows) -> str:
+    """CSV text from a header plus row tuples."""
+    lines = [",".join(str(c) for c in columns)]
+    lines += [",".join(_fmt_cell(v) for v in row) for row in rows]
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(path, columns, rows) -> pathlib.Path:
+    """Write ``columns``/``rows`` as CSV; returns the path written."""
+    path = pathlib.Path(path)
+    path.write_text(rows_to_csv(columns, rows))
+    return path
+
+
+def metrics_to_csv(registry) -> str:
+    """Flat CSV view of a registry (histograms as mean + count)."""
+    from repro.obs.metrics import Counter, Gauge, Histogram
+
+    rows = []
+    for metric in registry:
+        labels = ";".join(f"{k}={v}" for k, v in metric.labels)
+        if isinstance(metric, (Counter, Gauge)):
+            kind = "counter" if isinstance(metric, Counter) else "gauge"
+            rows.append((metric.name, labels, kind, metric.value, ""))
+        elif isinstance(metric, Histogram):
+            rows.append(
+                (metric.name, labels, "histogram", metric.mean, metric.count)
+            )
+    return rows_to_csv(("name", "labels", "type", "value", "count"), rows)
+
+
+def stage_table(tracer):
+    """Per-stage timing rows from a tracer (an ExperimentTable).
+
+    Convenience for the CLI and the perf-baseline benchmark: aggregates
+    spans by name into ``(stage, count, total_s, mean_s)`` rows.
+    """
+    from repro.core.experiment import ExperimentTable
+
+    table = ExperimentTable(
+        title="Per-stage span timings",
+        columns=("stage", "count", "total_s", "mean_s"),
+    )
+    for name, entry in tracer.stage_totals().items():
+        table.add_row(name, entry["count"], entry["total_s"], entry["mean_s"])
+    return table
+
+
+# ---------------------------------------------------------------------------
+# EventLog adapter
+# ---------------------------------------------------------------------------
+
+def events_to_metrics(log, registry=None):
+    """Replay an :class:`~repro.faults.events.EventLog` into a registry.
+
+    Counts ``pab_events_total{kind=...}`` per event kind — the batch
+    counterpart of binding a registry to a live log via its ``metrics``
+    attribute.  Returns the registry (a fresh one when omitted).
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    if registry is None:
+        registry = MetricsRegistry()
+    for event in log:
+        registry.counter("pab_events_total", kind=str(event.kind)).inc()
+    return registry

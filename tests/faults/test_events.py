@@ -43,6 +43,30 @@ class TestRecording:
         assert build() == build()
 
 
+class TestJsonl:
+    def make_log(self):
+        log = EventLog()
+        log.record(0, 3, "fault", injector="brownout", dark_for=5)
+        log.record(1.5, 3, "state", to="DEGRADED", **{"from": "HEALTHY"})
+        log.record(2, 3, "retry")
+        return log
+
+    def test_round_trip_preserves_everything(self):
+        log = self.make_log()
+        restored = EventLog.from_jsonl(log.to_jsonl())
+        assert [e.to_dict() for e in restored] == [e.to_dict() for e in log]
+        # Derived views survive the round trip.
+        assert restored.dump() == log.dump()
+        assert len(restored.filter(kind="fault")) == 1
+
+    def test_jsonl_is_deterministic(self):
+        assert self.make_log().to_jsonl() == self.make_log().to_jsonl()
+
+    def test_empty_log_round_trip(self):
+        restored = EventLog.from_jsonl(EventLog().to_jsonl())
+        assert len(restored) == 0
+
+
 class TestMetrics:
     def make_cycle_log(self):
         """HEALTHY until t=2, down (quarantined) until t=6, healthy to t=10."""

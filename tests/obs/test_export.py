@@ -1,0 +1,149 @@
+"""Tests for the exporters: JSONL traces, Prometheus text, CSV, adapters."""
+
+import json
+
+from repro.faults.events import EventLog
+from repro.obs.export import (
+    events_to_metrics,
+    metrics_to_csv,
+    metrics_to_prometheus,
+    rows_to_csv,
+    spans_to_jsonl,
+    write_csv,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, VirtualClock
+
+
+def synthetic_workload(tracer):
+    """A deterministic nested-span workload (a fake transaction)."""
+    with tracer.span("link.transact", destination=7):
+        with tracer.span("link.pwm_synthesis", samples=1000):
+            pass
+        with tracer.span("link.node", phase="decode"):
+            with tracer.span("node.decode_query", node=7):
+                pass
+        with tracer.span("link.hydrophone_dsp", snr_db=float("nan")):
+            pass
+
+
+class TestSpansJsonl:
+    def test_one_json_object_per_span_with_duration(self):
+        tracer = Tracer(clock=VirtualClock(tick=1.0))
+        synthetic_workload(tracer)
+        lines = spans_to_jsonl(tracer.spans).strip().splitlines()
+        assert len(lines) == len(tracer.spans) == 5
+        for line in lines:
+            record = json.loads(line)
+            assert {"name", "span_id", "parent_id", "start_s", "end_s",
+                    "duration_s", "attrs"} <= set(record)
+            assert record["duration_s"] > 0
+
+    def test_non_finite_attrs_serialised_as_strings(self):
+        tracer = Tracer(clock=VirtualClock(tick=1.0))
+        synthetic_workload(tracer)
+        dsp = [json.loads(l) for l in spans_to_jsonl(tracer.spans).splitlines()
+               if '"link.hydrophone_dsp"' in l]
+        assert dsp[0]["attrs"]["snr_db"] == "nan"
+
+    def test_byte_deterministic_under_virtual_clock(self):
+        def run():
+            tracer = Tracer(clock=VirtualClock(tick=1.0))
+            synthetic_workload(tracer)
+            return spans_to_jsonl(tracer.spans).encode()
+
+        assert run() == run()
+
+    def test_empty_trace_is_empty_string(self):
+        assert spans_to_jsonl([]) == ""
+
+    def test_write_to_file(self, tmp_path):
+        tracer = Tracer(clock=VirtualClock(tick=1.0))
+        synthetic_workload(tracer)
+        path = write_spans_jsonl(tmp_path / "trace.jsonl", tracer.spans)
+        assert path.read_text() == spans_to_jsonl(tracer.spans)
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("pab_polls_total", node=1).inc(3)
+        reg.gauge("pab_node_health_code", node=1).set(2)
+        reg.histogram("pab_lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        text = metrics_to_prometheus(reg)
+        assert "# TYPE pab_polls_total counter" in text
+        assert 'pab_polls_total{node="1"} 3' in text
+        assert "# TYPE pab_node_health_code gauge" in text
+        assert 'pab_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'pab_lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "pab_lat_seconds_sum 0.05" in text
+        assert "pab_lat_seconds_count 1" in text
+
+    def test_type_line_once_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("polls", node=1).inc()
+        reg.counter("polls", node=2).inc()
+        text = metrics_to_prometheus(reg)
+        assert text.count("# TYPE polls counter") == 1
+
+    def test_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("b").inc()
+            reg.counter("a", x=2).inc()
+            reg.counter("a", x=1).inc()
+            return metrics_to_prometheus(reg)
+
+        assert build() == build()
+
+    def test_empty_registry(self):
+        assert metrics_to_prometheus(MetricsRegistry()) == ""
+
+
+class TestCsv:
+    def test_rows_to_csv_formats_like_experiment_table(self):
+        text = rows_to_csv(("a", "b"), [(1.0, float("nan")), (1e-6, "x")])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1.000,nan"
+        assert lines[2] == "1.000e-06,x"
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ("col",), [(1,), (2,)])
+        assert path.read_text() == "col\n1\n2\n"
+
+    def test_metrics_to_csv(self):
+        reg = MetricsRegistry()
+        reg.counter("polls", node=1).inc(2)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        text = metrics_to_csv(reg)
+        assert "name,labels,type,value,count" in text
+        assert "polls,node=1,counter,2.000," in text
+        assert "lat,,histogram,0.500,1" in text
+
+
+class TestEventLogAdapter:
+    def test_batch_replay(self):
+        log = EventLog()
+        log.record(0, 1, "fault", injector="noise_burst")
+        log.record(1, 1, "retry")
+        log.record(2, 1, "fault", injector="brownout")
+        reg = events_to_metrics(log)
+        assert reg.value("pab_events_total", kind="fault") == 2.0
+        assert reg.value("pab_events_total", kind="retry") == 1.0
+
+    def test_live_binding_counts_as_recorded(self):
+        reg = MetricsRegistry()
+        log = EventLog(metrics=reg)
+        log.record(0, 1, "fault")
+        log.record(1, 1, "fault")
+        assert reg.value("pab_events_total", kind="fault") == 2.0
+
+    def test_replay_into_existing_registry(self):
+        log = EventLog()
+        log.record(0, 1, "probe")
+        reg = MetricsRegistry()
+        out = events_to_metrics(log, reg)
+        assert out is reg
+        assert reg.value("pab_events_total", kind="probe") == 1.0

@@ -1,0 +1,182 @@
+"""Integration: the obs layer threaded through link, MAC, reader, faults."""
+
+import pytest
+
+from repro.faults.events import EventLog
+from repro.faults.injectors import GarbledReplyInjector
+from repro.net.mac import PollingMac
+from repro.net.messages import Command, Query, Response
+from repro.net.reader import ReaderController
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, VirtualClock, use_tracer
+
+
+class _Result:
+    """Minimal LinkResult-shaped stub."""
+
+    def __init__(self, success):
+        self.success = success
+        self.demod = None
+        if success:
+            class _Demod:
+                pass
+
+            self.demod = _Demod()
+            self.demod.packet = Response(
+                source=1, command=Command.PING
+            ).to_packet()
+            self.demod.success = True
+
+
+def _stub_transact(outcomes):
+    outcomes = list(outcomes)
+
+    def transact(query):
+        return _Result(outcomes.pop(0)) if outcomes else _Result(True)
+
+    return transact
+
+
+class TestLinkStages:
+    @pytest.fixture(scope="class")
+    def traced_link_run(self):
+        from repro.acoustics import POOL_A, Position
+        from repro.core import BackscatterLink, Projector
+        from repro.node.node import PABNode
+        from repro.piezo import Transducer
+
+        transducer = Transducer.from_cylinder_design()
+        f = transducer.resonance_hz
+        projector = Projector(
+            transducer=transducer, drive_voltage_v=50.0, carrier_hz=f
+        )
+        node = PABNode(address=7, channel_frequencies_hz=(f,), bitrate=1_000.0)
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        link = BackscatterLink(
+            POOL_A, projector, Position(0.5, 1.5, 0.6),
+            node, Position(1.5, 1.5, 0.6), Position(1.0, 0.8, 0.6),
+            tracer=tracer, metrics=metrics,
+        )
+        with use_tracer(tracer):
+            result = link.transact(Query(destination=7, command=Command.PING))
+        return link, tracer, metrics, result
+
+    def test_all_five_stages_traced(self, traced_link_run):
+        from repro.core.link import BackscatterLink
+
+        link, tracer, _, result = traced_link_run
+        assert result.success
+        names = {s.name for s in tracer.spans}
+        for stage in BackscatterLink.STAGES:
+            assert stage in names
+        totals = tracer.stage_totals()
+        for stage in BackscatterLink.STAGES:
+            assert totals[stage]["total_s"] > 0
+
+    def test_node_firmware_spans_nest_under_link_node(self, traced_link_run):
+        _, tracer, _, _ = traced_link_run
+        by_id = {s.span_id: s for s in tracer.spans}
+        decode = next(s for s in tracer.spans if s.name == "node.decode_query")
+        assert by_id[decode.parent_id].name == "link.node"
+
+    def test_outcome_metrics(self, traced_link_run):
+        _, _, metrics, _ = traced_link_run
+        assert metrics.value("pab_link_transactions_total") == 1.0
+        assert metrics.value("pab_link_successes_total") == 1.0
+        hist = metrics.histogram("pab_link_snr_db")
+        assert hist.count == 1
+
+    def test_untraced_link_records_nothing(self):
+        # The global tracer defaults to disabled: a plain link emits no
+        # spans and touches no registry (the pre-obs hot path).
+        from repro.obs.trace import get_tracer
+
+        assert get_tracer().enabled is False
+
+
+class TestMacMetrics:
+    def test_counters_follow_stats(self):
+        metrics = MetricsRegistry()
+        mac = PollingMac(
+            transact=_stub_transact([False, False, True]),
+            max_retries=2,
+            metrics=metrics,
+        )
+        result = mac.poll(Query(destination=1, command=Command.PING))
+        assert result.success
+        assert metrics.value("pab_mac_polls_total") == 1.0
+        assert metrics.value("pab_mac_attempts_total") == 3.0
+        assert metrics.value("pab_mac_retries_total") == 2.0
+        assert metrics.value("pab_mac_successes_total") == 1.0
+
+    def test_exceptions_counted(self):
+        def boom(query):
+            raise RuntimeError("modem")
+
+        metrics = MetricsRegistry()
+        mac = PollingMac(transact=boom, max_retries=1, metrics=metrics)
+        assert mac.poll(Query(destination=1, command=Command.PING)) is None
+        assert metrics.value("pab_mac_exceptions_total") == 2.0
+
+    def test_poll_traced(self):
+        tracer = Tracer(clock=VirtualClock(tick=1.0))
+        mac = PollingMac(transact=_stub_transact([True]), node=5)
+        with use_tracer(tracer):
+            mac.poll(Query(destination=5, command=Command.PING))
+        span = next(s for s in tracer.spans if s.name == "mac.poll")
+        assert span.attrs["success"] is True
+        assert span.attrs["attempts"] == 1
+
+
+class TestReaderMetrics:
+    def test_campaign_single_substrate(self):
+        metrics = MetricsRegistry()
+        log = EventLog()
+        reader = ReaderController(
+            {
+                1: _stub_transact([True] * 20),
+                2: _stub_transact([False] * 20),
+            },
+            max_retries=0,
+            log=log,
+            metrics=metrics,
+        )
+        reader.run_schedule(Command.PING, 5)
+        # Per-node health gauges, numeric-coded.
+        assert metrics.value("pab_node_health_code", node=1) == 0.0
+        assert metrics.value("pab_node_health_code", node=2) > 0.0
+        # Readings counted per node.
+        assert metrics.value("pab_reader_readings_total", node=1) == 5.0
+        assert metrics.value("pab_reader_rounds_total") == 5.0
+        # The event log is bound into the same registry: every state
+        # transition it recorded also counted into pab_events_total.
+        assert log.metrics is metrics
+        state_events = len(log.filter(kind="state"))
+        assert state_events > 0
+        assert metrics.value("pab_events_total", kind="state") == state_events
+
+    def test_poll_round_span(self):
+        tracer = Tracer(clock=VirtualClock(tick=1.0))
+        reader = ReaderController({1: _stub_transact([True])}, max_retries=0)
+        with use_tracer(tracer):
+            reader.poll_round(Command.PING)
+        span = next(s for s in tracer.spans if s.name == "reader.poll_round")
+        assert span.attrs["nodes"] == 1
+        assert span.attrs["delivered"] == 1
+
+
+class TestInjectorMetrics:
+    def test_fired_faults_counted(self):
+        metrics = MetricsRegistry()
+        injector = GarbledReplyInjector(
+            _stub_transact([True] * 10),
+            prob=1.0,
+            seed=0,
+            metrics=metrics,
+        )
+        injector(Query(destination=1, command=Command.PING))
+        assert (
+            metrics.value("pab_faults_injected_total", injector="garbled")
+            == 1.0
+        )

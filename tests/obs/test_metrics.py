@@ -1,0 +1,146 @@
+"""Tests for the metrics registry: instruments, labels, merge."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricsRegistry()
+        reg.counter("polls").inc()
+        reg.counter("polls").inc(2.0)
+        assert reg.value("polls") == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("polls").inc(-1.0)
+
+    def test_labels_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("polls", node=1).inc()
+        reg.counter("polls", node=2).inc(5)
+        assert reg.value("polls", node=1) == 1.0
+        assert reg.value("polls", node=2) == 5.0
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1) is reg.counter("x", a=1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("snr")
+        gauge.set(10.0)
+        gauge.inc(2.0)
+        gauge.dec(4.0)
+        assert gauge.value == 8.0
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        hist = Histogram(name="lat", buckets=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(v)
+        assert hist.bucket_counts == [2, 1, 1]  # <=1, <=10, +Inf
+        assert hist.count == 4
+        assert hist.sum == 106.5
+
+    def test_cumulative_counts(self):
+        hist = Histogram(name="lat", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 100.0):
+            hist.observe(v)
+        assert hist.cumulative() == [(1.0, 1), (10.0, 2), (math.inf, 3)]
+
+    def test_nan_counted_but_not_summed(self):
+        hist = Histogram(name="ber", buckets=(0.5,))
+        hist.observe(float("nan"))
+        hist.observe(0.25)
+        assert hist.count == 2
+        assert hist.nan_count == 1
+        assert hist.sum == 0.25
+        assert hist.mean == 0.25
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(name="x", buckets=())
+        with pytest.raises(ValueError):
+            Histogram(name="x", buckets=(2.0, 1.0))
+
+    def test_mean_empty_is_nan(self):
+        assert math.isnan(Histogram(name="x", buckets=(1.0,)).mean)
+
+
+class TestRegistry:
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_iteration_sorted_and_deterministic(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta")
+        reg.counter("alpha", node=2)
+        reg.counter("alpha", node=1)
+        names = [(m.name, m.labels) for m in reg]
+        assert names == sorted(names)
+
+    def test_value_missing_raises(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().value("absent")
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("polls", node=1).inc(2)
+        b.counter("polls", node=1).inc(3)
+        b.counter("polls", node=2).inc(1)
+        merged = a.merge(b)
+        assert merged.value("polls", node=1) == 5.0
+        assert merged.value("polls", node=2) == 1.0
+        # Operands untouched (MacStats.merge contract).
+        assert a.value("polls", node=1) == 2.0
+
+    def test_histograms_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+        b.histogram("lat", buckets=(1.0, 10.0)).observe(5.0)
+        merged = a.merge(b)
+        hist = merged.histogram("lat", buckets=(1.0, 10.0))
+        assert hist.count == 2
+        assert hist.bucket_counts == [1, 1, 0]
+        assert hist.sum == 5.5
+
+    def test_histogram_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(1.0,)).observe(0.5)
+        b.histogram("lat", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_gauges_first_operand_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("health").set(1.0)
+        b.gauge("health").set(3.0)
+        assert a.merge(b).value("health") == 1.0
+        # A gauge only the second operand has still carries over.
+        b.gauge("only_b").set(7.0)
+        assert a.merge(b).value("only_b") == 7.0
+
+    def test_merge_many_readers(self):
+        readers = []
+        for i in range(4):
+            reg = MetricsRegistry()
+            reg.counter("pab_mac_attempts_total").inc(i + 1)
+            readers.append(reg)
+        merged = readers[0].merge(*readers[1:])
+        assert merged.value("pab_mac_attempts_total") == 10.0

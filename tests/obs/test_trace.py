@@ -1,0 +1,168 @@
+"""Tests for the span tracer: nesting, exception safety, no-op mode."""
+
+import math
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    Tracer,
+    VirtualClock,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestSpans:
+    def test_records_duration_and_attrs(self):
+        tracer = Tracer(clock=VirtualClock(tick=1.0))
+        with tracer.span("work", samples=42) as span:
+            span.set(extra="yes")
+        assert len(tracer.spans) == 1
+        done = tracer.spans[0]
+        assert done.name == "work"
+        assert done.duration_s == 1.0
+        assert done.attrs == {"samples": 42, "extra": "yes"}
+        assert done.finished
+
+    def test_open_span_duration_is_nan(self):
+        tracer = Tracer()
+        span = tracer.span("open")
+        assert math.isnan(span.duration_s)
+
+    def test_nesting_parent_ids(self):
+        tracer = Tracer(clock=VirtualClock(tick=1.0))
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id
+        # Completion order: children before the parent.
+        assert [s.name for s in tracer.spans] == ["inner", "sibling", "outer"]
+
+    def test_deep_nesting(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                with tracer.span("c") as c:
+                    pass
+        assert c.parent_id == b.span_id
+        assert b.parent_id == a.span_id
+
+    def test_exception_closes_span_and_tags_error(self):
+        tracer = Tracer(clock=VirtualClock(tick=1.0))
+        with pytest.raises(ValueError):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        assert len(tracer.spans) == 1
+        span = tracer.spans[0]
+        assert span.finished
+        assert span.attrs["error"] == "ValueError"
+        # The nesting stack is clean: a following span is a root again.
+        with tracer.span("next") as nxt:
+            pass
+        assert nxt.parent_id is None
+
+    def test_exception_in_nested_span_keeps_outer_consistent(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        names = [s.name for s in tracer.spans]
+        assert names == ["inner", "outer"]
+        assert tracer.spans[0].attrs["error"] == "RuntimeError"
+        assert tracer.spans[1].attrs["error"] == "RuntimeError"
+        assert tracer._stack == []
+
+    def test_stage_totals_aggregates_by_name(self):
+        tracer = Tracer(clock=VirtualClock(tick=1.0))
+        for _ in range(3):
+            with tracer.span("stage.a"):
+                pass
+        with tracer.span("stage.b"):
+            pass
+        totals = tracer.stage_totals()
+        assert totals["stage.a"]["count"] == 3
+        assert totals["stage.a"]["total_s"] == 3.0
+        assert totals["stage.a"]["mean_s"] == 1.0
+        assert totals["stage.b"]["count"] == 1
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.spans == []
+        with tracer.span("y") as span:
+            pass
+        assert span.span_id == 1
+
+
+class TestDisabledMode:
+    def test_disabled_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", big=1)
+        assert span is NULL_SPAN
+        with span as inner:
+            inner.set(more=2)
+        assert tracer.spans == []
+
+    def test_null_span_swallows_nothing(self):
+        tracer = Tracer(enabled=False)
+        with pytest.raises(KeyError):
+            with tracer.span("x"):
+                raise KeyError("propagates")
+
+    def test_metrics_side_channel(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        tracer = Tracer(clock=VirtualClock(tick=1.0), metrics=registry)
+        with tracer.span("stage"):
+            pass
+        hist = registry.histogram("pab_span_seconds", name="stage")
+        assert hist.count == 1
+        assert hist.sum == 1.0
+
+
+class TestVirtualClock:
+    def test_manual_advance(self):
+        clock = VirtualClock()
+        assert clock() == 0.0
+        clock.advance(2.5)
+        assert clock() == 2.5
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_auto_tick(self):
+        clock = VirtualClock(start=10.0, tick=0.5)
+        assert clock() == 10.0
+        assert clock() == 10.5
+
+
+class TestGlobalTracer:
+    def test_default_global_is_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_set_and_restore(self):
+        mine = Tracer()
+        previous = set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_use_tracer_restores_on_exception(self):
+        before = get_tracer()
+        mine = Tracer()
+        with pytest.raises(ValueError):
+            with use_tracer(mine):
+                assert get_tracer() is mine
+                raise ValueError("boom")
+        assert get_tracer() is before

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -53,6 +55,63 @@ class TestCommands:
     def test_demo_failure_exit_code(self, capsys):
         # Too weak to power up: non-zero exit status.
         assert main(["demo", "--drive", "1.0"]) == 1
+
+
+class TestTraceCommand:
+    def test_trace_to_file_covers_all_stages(self, tmp_path, capsys):
+        from repro.core.link import BackscatterLink
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "--out", str(out)]) == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        names = {r["name"] for r in records}
+        for stage in BackscatterLink.STAGES:
+            assert stage in names
+        for r in records:
+            assert r["duration_s"] > 0
+
+    def test_trace_to_stdout_is_jsonl(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        spans = [json.loads(l) for l in out.splitlines() if l.startswith("{")]
+        assert any(s["name"] == "link.transact" for s in spans)
+        # The aggregate stage table follows the raw spans.
+        assert "link.hydrophone_dsp" in out
+
+    def test_trace_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        assert main(["trace", "--metrics-out", str(metrics)]) == 0
+        text = metrics.read_text()
+        assert "# TYPE pab_link_transactions_total counter" in text
+        assert "pab_link_transactions_total 1" in text
+
+
+class TestOutputControl:
+    def test_out_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "fig11.csv"
+        assert main(["fig11", "--out", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines[0] == "mode,power_uw"
+        assert len(lines) > 3
+
+    def test_fig9_out_gets_per_pool_suffix(self, tmp_path, capsys):
+        out = tmp_path / "fig9.csv"
+        assert main(["fig9", "--out", str(out)]) == 0
+        written = sorted(p.name for p in tmp_path.iterdir())
+        assert len(written) == 2
+        assert all(name.startswith("fig9_pool") for name in written)
+
+    def test_log_level_warning_silences_status_lines(self, capsys):
+        # demo prints only status lines -> nothing at warning level...
+        assert main(["--log-level", "warning", "demo"]) == 0
+        assert capsys.readouterr().out == ""
+        # ...but tables are artifacts and always print.
+        assert main(["--log-level", "warning", "fig11"]) == 0
+        assert "idle" in capsys.readouterr().out
+
+    def test_verbose_flag_accepted(self, capsys):
+        assert main(["-v", "fig11"]) == 0
+        assert "idle" in capsys.readouterr().out
 
 
 class TestCoverageCommand:
