@@ -9,11 +9,30 @@ crossovers) are the reproduction claims.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Persist probe taps / post-mortems on failure (CI artifacts).
+
+    Mirrors the hook in ``tests/conftest.py``: with ``PAB_ARTIFACT_DIR``
+    set, a failing benchmark's captured signal state is written there
+    for upload instead of vanishing with the job.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    directory = os.environ.get("PAB_ARTIFACT_DIR")
+    if not directory or report.when != "call" or not report.failed:
+        return
+    from repro.obs.probe import dump_failure_artifacts
+
+    dump_failure_artifacts(directory, item.nodeid)
 
 
 @pytest.fixture()

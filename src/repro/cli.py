@@ -4,6 +4,9 @@ Lets a user drive the reproduction without writing code:
 
 * ``demo``     — run the quickstart link exchange and print the outcome.
 * ``trace``    — run one traced exchange and emit the JSONL span trace.
+* ``probe``    — run one probed exchange; dump taps (``.npz``) and any
+  decode post-mortem (JSONL).
+* ``postmortem`` — render decode post-mortems from a JSONL dump.
 * ``fig3``     — print the recto-piezo tuning curves.
 * ``fig7``     — print the BER-SNR table.
 * ``fig8``     — print the SNR-vs-bitrate table (waveform level; slower).
@@ -75,6 +78,17 @@ def _configure_logging(args) -> None:
     root.propagate = False
 
 
+def _ensure_parent(path) -> pathlib.Path:
+    """Create an output path's missing parent directories.
+
+    ``repro fig7 --out results/new_dir/fig7.csv`` should make the
+    directory, not die on ``FileNotFoundError``.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
 def _write_table(args, table, *, suffix: str | None = None) -> None:
     """Print a table; mirror it as CSV when ``--out`` was given.
 
@@ -90,14 +104,20 @@ def _write_table(args, table, *, suffix: str | None = None) -> None:
     path = pathlib.Path(out)
     if suffix:
         path = path.with_name(f"{path.stem}_{suffix}{path.suffix or '.csv'}")
-    write_csv(path, table.columns, table.rows)
+    write_csv(_ensure_parent(path), table.columns, table.rows)
     _emit(f"wrote {path}")
 
 
 def _demo_link(distance: float, drive: float, bitrate: float,
-               tracer=None, metrics=None):
-    """The canonical single-node Pool-A link the demo/trace commands run."""
+               tracer=None, metrics=None, noise_db: float | None = None):
+    """The canonical single-node Pool-A link the demo/trace commands run.
+
+    ``noise_db`` overrides the ambient-noise floor (flat spectrum,
+    seeded) — the ``probe`` command uses it to demonstrate decode
+    failures on demand.
+    """
     from repro.acoustics import POOL_A, Position
+    from repro.acoustics.noise import AmbientNoiseModel
     from repro.core import BackscatterLink, Projector
     from repro.node.node import PABNode
     from repro.piezo import Transducer
@@ -108,10 +128,13 @@ def _demo_link(distance: float, drive: float, bitrate: float,
         transducer=transducer, drive_voltage_v=drive, carrier_hz=f
     )
     node = PABNode(address=7, channel_frequencies_hz=(f,), bitrate=bitrate)
+    noise = None
+    if noise_db is not None:
+        noise = AmbientNoiseModel(spectrum="flat", flat_level_db=noise_db, seed=0)
     return BackscatterLink(
         POOL_A, projector, Position(0.5, 1.5, 0.6),
         node, Position(0.5 + distance, 1.5, 0.6), Position(1.0, 0.8, 0.6),
-        tracer=tracer, metrics=metrics,
+        tracer=tracer, metrics=metrics, noise=noise,
     )
 
 
@@ -146,7 +169,7 @@ def _cmd_trace(args) -> int:
     with use_tracer(tracer):
         result = link.transact(Query(destination=7, command=Command.PING))
     if args.out:
-        path = write_spans_jsonl(args.out, tracer.spans)
+        path = write_spans_jsonl(_ensure_parent(args.out), tracer.spans)
         _emit(f"wrote {len(tracer.spans)} spans to {path}")
     else:
         _table(spans_to_jsonl(tracer.spans))
@@ -154,9 +177,53 @@ def _cmd_trace(args) -> int:
     _emit(f"reply decoded: {result.success}")
     _table(stage_table(tracer).to_text())
     if args.metrics_out:
-        pathlib.Path(args.metrics_out).write_text(metrics_to_prometheus(metrics))
+        _ensure_parent(args.metrics_out).write_text(metrics_to_prometheus(metrics))
         _emit(f"wrote metrics exposition to {args.metrics_out}")
     return 0 if result.success else 1
+
+
+def _cmd_probe(args) -> int:
+    """One probed exchange: signal taps to ``.npz``, autopsy to JSONL."""
+    from repro.net.messages import Command, Query
+    from repro.obs import ProbeRegistry, use_probes, write_postmortems_jsonl
+
+    probes = ProbeRegistry(max_samples=args.max_samples)
+    link = _demo_link(
+        args.distance, args.drive, args.bitrate, noise_db=args.noise_db
+    )
+    with use_probes(probes):
+        result = link.transact(Query(destination=7, command=Command.PING))
+    _emit(f"reply decoded: {result.success}")
+    _emit(f"captured {len(probes.taps)} taps:")
+    for tap in probes.taps:
+        _emit(
+            f"  {tap.stage}/{tap.name}: {tap.samples} samples "
+            f"(decimation {tap.decimation})"
+        )
+    if args.out:
+        path = probes.to_npz(args.out)
+        _emit(f"wrote taps to {path}")
+    if result.postmortem is not None:
+        _table(result.postmortem.render())
+    if args.postmortem_out:
+        path = write_postmortems_jsonl(args.postmortem_out, probes.postmortems)
+        _emit(f"wrote {len(probes.postmortems)} post-mortem(s) to {path}")
+    return 0 if result.success else 1
+
+
+def _cmd_postmortem(args) -> int:
+    """Render decode post-mortems from a JSONL dump."""
+    from repro.obs import load_postmortems_jsonl
+
+    postmortems = load_postmortems_jsonl(args.path)
+    if not postmortems:
+        _emit(f"no post-mortems in {args.path}")
+        return 1
+    for i, pm in enumerate(postmortems):
+        if i:
+            _table("")
+        _table(pm.render())
+    return 0
 
 
 def _cmd_fig3(args) -> int:
@@ -384,6 +451,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a Prometheus text exposition of the run's metrics",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    probe = sub.add_parser(
+        "probe", help="run one probed exchange, dump signal taps"
+    )
+    probe.add_argument("--distance", type=float, default=1.0)
+    probe.add_argument("--drive", type=float, default=50.0)
+    probe.add_argument("--bitrate", type=float, default=1_000.0)
+    probe.add_argument(
+        "--noise-db", type=float, default=None,
+        help="override the ambient noise floor [dB re 1 uPa^2/Hz] "
+        "(high values force a decode failure)",
+    )
+    probe.add_argument(
+        "--max-samples", type=int, default=4096,
+        help="per-tap waveform length cap before decimation",
+    )
+    probe.add_argument(
+        "--out", default=None, help="write the raw taps here as .npz"
+    )
+    probe.add_argument(
+        "--postmortem-out", default=None,
+        help="write decode post-mortems here as JSONL",
+    )
+    probe.set_defaults(func=_cmd_probe)
+
+    postmortem = sub.add_parser(
+        "postmortem", help="render decode post-mortems from a JSONL dump"
+    )
+    postmortem.add_argument("path", help="post-mortem JSONL file to render")
+    postmortem.set_defaults(func=_cmd_postmortem)
 
     fig3 = sub.add_parser("fig3", help="recto-piezo tuning curves")
     fig3.set_defaults(func=_cmd_fig3)

@@ -16,6 +16,7 @@ import numpy as np
 from repro.constants import HYDROPHONE_SENSITIVITY_DB
 from repro.dsp.demod import BackscatterDemodulator, DemodResult
 from repro.dsp.packets import DEFAULT_FORMAT, PacketFormat
+from repro.obs.probe import get_probes
 
 
 class Hydrophone:
@@ -106,11 +107,35 @@ class Hydrophone:
         packet_format: PacketFormat = DEFAULT_FORMAT,
         detection_threshold: float = 0.5,
     ) -> DemodResult:
-        """One-call decode of a recording on one channel."""
+        """One-call decode of a recording on one channel.
+
+        When signal probes are enabled the decode publishes a
+        ``hydrophone.demodulate`` tap: the (decimated) recording plus
+        the decode outcome — CRC status, SNR, CFO, preamble-detection
+        metric, and the demodulator's failure reason if any.
+        """
         dem = self.demodulator(
             carrier_hz,
             bitrate,
             packet_format=packet_format,
             detection_threshold=detection_threshold,
         )
-        return dem.demodulate(recording)
+        result = dem.demodulate(recording)
+        probes = get_probes()
+        if probes.wants("hydrophone.demodulate"):
+            detection = result.detection
+            probes.capture(
+                "hydrophone.demodulate", "decode",
+                waveform=np.asarray(recording, dtype=float),
+                sample_rate=self.sample_rate,
+                carrier_hz=float(carrier_hz), bitrate=float(bitrate),
+                crc_ok=result.success, snr_db=result.snr_db,
+                cfo_hz=result.cfo_hz,
+                detection_metric=(
+                    detection.metric if detection is not None else float("nan")
+                ),
+                detection_threshold=float(detection_threshold),
+                chips=len(result.chip_amplitudes),
+                error=result.error or "",
+            )
+        return result

@@ -31,10 +31,12 @@ from repro.acoustics.noise import AmbientNoiseModel
 from repro.dsp.demod import DemodResult
 from repro.dsp.filters import butter_bandpass, envelope_detect
 from repro.dsp.metrics import bit_error_rate
+from repro.dsp.spectral import band_snr_db
 from repro.core.hydrophone import Hydrophone
 from repro.core.projector import Projector
 from repro.net.messages import Query, Response
 from repro.node.node import PABNode
+from repro.obs.probe import get_probes
 from repro.obs.trace import get_tracer
 from repro.piezo.transducer import Transducer
 
@@ -140,6 +142,9 @@ class LinkResult:
     snr_db: float
     budget: LinkBudget
     fault: str | None = None
+    #: Autopsy of a failed exchange (assembled only when signal probes
+    #: are enabled; see :mod:`repro.obs.postmortem`).
+    postmortem: object | None = None
 
     @property
     def success(self) -> bool:
@@ -197,6 +202,14 @@ class BackscatterLink:
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`; records
         transaction/CRC counters and SNR/BER histograms.
+    probes:
+        Optional :class:`~repro.obs.probe.ProbeRegistry`; when omitted
+        the process-global registry is consulted (disabled by default,
+        so the hot path pays one enabled check per stage).  Enabled
+        probes capture intermediate waveforms and stage diagnostics,
+        and a failed exchange is autopsied into a
+        :class:`~repro.obs.postmortem.DecodePostmortem` (filed in the
+        registry, attached to the result and the active span).
     """
 
     #: The five per-exchange stage span names, in pipeline order.
@@ -232,6 +245,7 @@ class BackscatterLink:
         node_velocity_mps: float = 0.0,
         tracer=None,
         metrics=None,
+        probes=None,
     ) -> None:
         self.tank = tank
         self.projector = projector
@@ -240,6 +254,7 @@ class BackscatterLink:
         self.node_velocity_mps = node_velocity_mps
         self.tracer = tracer
         self.metrics = metrics
+        self.probes = probes
         self.noise = (
             noise
             if noise is not None
@@ -417,6 +432,10 @@ class BackscatterLink:
         """The link's tracer, falling back to the process-global one."""
         return self.tracer if self.tracer is not None else get_tracer()
 
+    def _probes(self):
+        """The link's probe registry, falling back to the global one."""
+        return self.probes if self.probes is not None else get_probes()
+
     def _observe(self, result: LinkResult) -> None:
         """Record the exchange outcome into the metrics registry."""
         mr = self.metrics
@@ -448,14 +467,32 @@ class BackscatterLink:
         leg and once for the full transmission) simply emits another
         span with the same name, and per-stage reports aggregate by
         name.
+
+        When signal probes are enabled the stages additionally publish
+        waveform taps, and a failed exchange is autopsied into a
+        :class:`~repro.obs.postmortem.DecodePostmortem` attached to the
+        returned result, the probe registry, and the root span.
         """
         tracer = self._tracer()
-        with tracer.span("link.transact", destination=int(query.destination)):
-            result = self._run_stages(query, tracer)
+        probes = self._probes()
+        if probes.enabled:
+            txn = probes.begin_transaction()
+        with tracer.span("link.transact", destination=int(query.destination)) as root:
+            result = self._run_stages(query, tracer, probes)
+            if probes.enabled and not result.success:
+                from repro.obs.postmortem import DecodePostmortem
+
+                pm = DecodePostmortem.from_link(result, probes, txn=txn)
+                result.postmortem = pm
+                probes.record_postmortem(pm)
+                root.set(
+                    postmortem_verdict=pm.verdict,
+                    failing_stage=pm.failing_stage,
+                )
         self._observe(result)
         return result
 
-    def _run_stages(self, query: Query, tracer) -> LinkResult:
+    def _run_stages(self, query: Query, tracer, probes) -> LinkResult:
         fs = self.sample_rate
         f = self.projector.carrier_hz
         budget = self.budget()
@@ -464,6 +501,13 @@ class BackscatterLink:
         with tracer.span("link.node", phase="power_up") as sp:
             powered = self.node.try_power_up(budget.incident_pressure_pa, f)
             sp.set(powered_up=powered)
+        if probes.wants("link.node"):
+            probes.capture(
+                "link.node", "power_up",
+                incident_pressure_pa=budget.incident_pressure_pa,
+                powered=powered,
+                predicted_snr_db=budget.predicted_snr_db,
+            )
         if not powered:
             return LinkResult(
                 powered_up=False, query_decoded=False, response=None,
@@ -474,16 +518,34 @@ class BackscatterLink:
         with tracer.span("link.pwm_synthesis", segment="query") as sp:
             query_wave = self.projector.query_waveform(query, fs)
             sp.set(samples=len(query_wave))
+        if probes.wants("link.pwm_synthesis"):
+            probes.capture(
+                "link.pwm_synthesis", "query_waveform",
+                waveform=query_wave, sample_rate=fs, segment="query",
+            )
         with tracer.span(
             "link.downlink_propagation", segment="query", samples=len(query_wave)
         ):
             incident_query = self._node_incident(query_wave)
+        if probes.wants("link.downlink_propagation"):
+            lo, hi = self._node_band()
+            probes.capture(
+                "link.downlink_propagation", "incident_query",
+                waveform=incident_query, sample_rate=fs, segment="query",
+                band_snr_db=band_snr_db(incident_query, fs, lo, hi),
+            )
         with tracer.span("link.node", phase="decode_query") as sp:
             env = envelope_detect(
                 self._node_selective(incident_query), f, fs
             )
             decoded_query = self.node.receive_query(env, fs)
             sp.set(decoded=decoded_query is not None)
+        if probes.wants("link.node"):
+            probes.capture(
+                "link.node", "query_envelope",
+                waveform=env, sample_rate=fs,
+                decoded=decoded_query is not None,
+            )
         if decoded_query is None:
             return LinkResult(
                 powered_up=True, query_decoded=False, response=None,
@@ -501,6 +563,12 @@ class BackscatterLink:
                 )
             chips = self.node.uplink_chips(response)
             sp.set(chips=len(chips))
+        if probes.wants("link.node"):
+            probes.capture(
+                "link.node", "uplink_chips",
+                waveform=np.asarray(chips, dtype=float),
+                chips=len(chips),
+            )
         chip_rate = 2.0 * self.node.bitrate
         uplink_s = len(chips) / chip_rate + self.UPLINK_MARGIN_S
 
@@ -510,10 +578,23 @@ class BackscatterLink:
                 query, uplink_s, fs
             )
             sp.set(samples=len(tx))
+        if probes.wants("link.pwm_synthesis"):
+            probes.capture(
+                "link.pwm_synthesis", "tx_waveform",
+                waveform=tx, sample_rate=fs, segment="query_then_carrier",
+                uplink_start=int(uplink_start),
+            )
         with tracer.span(
             "link.downlink_propagation", segment="carrier", samples=len(tx)
         ):
             incident = self._node_incident(tx)
+        if probes.wants("link.downlink_propagation"):
+            lo, hi = self._node_band()
+            probes.capture(
+                "link.downlink_propagation", "incident_carrier",
+                waveform=incident, sample_rate=fs, segment="carrier",
+                band_snr_db=band_snr_db(incident, fs, lo, hi),
+            )
         with tracer.span("link.node", phase="backscatter", chips=len(chips)):
             delay_pn = int(round(self.ch_projector_node.direct_path.delay_s * fs))
             # The node waits half the margin after the query before replying.
@@ -522,6 +603,12 @@ class BackscatterLink:
             )
             reflected = self._backscatter_waveform(incident, chips, reply_start)
             self.node.firmware.response_sent()
+        if probes.wants("link.node"):
+            probes.capture(
+                "link.node", "backscatter_reflected",
+                waveform=reflected, sample_rate=fs,
+                reply_start=int(reply_start), chips=len(chips),
+            )
 
         # 5. Hydrophone mixture: direct + backscatter + noise.
         with tracer.span("link.uplink_propagation", samples=len(tx)):
@@ -536,6 +623,20 @@ class BackscatterLink:
             mixture[: len(direct)] += direct
             mixture[: len(uplink)] += uplink
             mixture += self.noise.generate(n, fs)
+        if probes.wants("link.uplink_propagation"):
+            chip_band = (
+                max(f - chip_rate, 10.0),
+                min(f + chip_rate, fs / 2.0 - 1.0),
+            )
+            probes.capture(
+                "link.uplink_propagation", "hydrophone_mixture",
+                waveform=mixture, sample_rate=fs,
+                band_snr_db=band_snr_db(mixture, fs, *chip_band),
+                uplink_rms_pa=float(np.sqrt(np.mean(uplink**2)))
+                if len(uplink) else 0.0,
+                direct_rms_pa=float(np.sqrt(np.mean(direct**2)))
+                if len(direct) else 0.0,
+            )
 
         # 6. Receiver decode: skip the query portion of the recording (the
         # PWM edges would confuse the modulation extractor), as the
@@ -568,6 +669,15 @@ class BackscatterLink:
                 else float("nan")
             )
             sp.set(crc_ok=demod.success, snr_db=demod.snr_db)
+        if probes.wants("link.hydrophone_dsp"):
+            probes.capture(
+                "link.hydrophone_dsp", "analysis_segment",
+                analysis_start=int(analysis_start),
+                samples=len(recording) - int(analysis_start),
+                crc_ok=demod.success, snr_db=demod.snr_db, ber=ber,
+                predicted_snr_db=budget.predicted_snr_db,
+                error=demod.error or "",
+            )
         return LinkResult(
             powered_up=True,
             query_decoded=True,

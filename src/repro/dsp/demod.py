@@ -31,6 +31,7 @@ from repro.dsp.filters import butter_lowpass
 from repro.dsp.packets import DEFAULT_FORMAT, FramingError, Packet, PacketFormat
 from repro.dsp.sync import PacketDetection, correct_cfo, estimate_cfo
 from repro.dsp.waveforms import downconvert
+from repro.obs.probe import get_probes
 
 
 @dataclass
@@ -280,6 +281,15 @@ class BackscatterDemodulator:
             self.sample_rate,
         )
         mags = np.abs(corr)
+        probes = get_probes()
+        if probes.wants("sync.detect_packet"):
+            from repro.dsp.sync import publish_sync_tap
+
+            publish_sync_tap(
+                probes, corr, modulation, self.chip_rate, self.sample_rate,
+                peak=float(mags.max()) if len(mags) else 0.0,
+                threshold=float(self.detection_threshold),
+            )
         if not len(mags) or mags.max() < self.detection_threshold:
             return []
         spc = int(round(self.sample_rate / self.chip_rate))

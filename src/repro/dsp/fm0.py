@@ -140,4 +140,16 @@ def fm0_ml_decode(chip_amplitudes, *, initial_level: int = 1) -> np.ndarray:
         s_in, bit = back[i][state]
         bits[i] = bit
         state = s_in
+    from repro.obs.probe import get_probes
+
+    probes = get_probes()
+    if probes.wants("fm0.decode"):
+        # Path cost per chip of the winning sequence: 0 for a clean
+        # frame, ~1 at the decode threshold, ~2+ for noise-only input.
+        path_cost = float(np.min(cost))
+        probes.capture(
+            "fm0.decode", "chips", waveform=x,
+            n_bits=n_bits, path_cost=path_cost,
+            cost_per_chip=path_cost / len(x),
+        )
     return bits

@@ -95,6 +95,19 @@ def zero_forcing_decode(
     if h.shape != (y.shape[0], y.shape[0]):
         raise ValueError("channel matrix shape must match stream count")
     cond = float(np.linalg.cond(h))
+    from repro.obs.probe import get_probes
+
+    probes = get_probes()
+    if probes.wants("mimo.zero_forcing"):
+        # Captured before the ill-conditioning check so an aborted
+        # separation still leaves its condition number in the autopsy.
+        probes.capture(
+            "mimo.zero_forcing", "channel",
+            waveform=h.ravel(),
+            cond=cond, streams=int(y.shape[0]),
+            max_condition=float(max_condition),
+            ill_conditioned=cond > max_condition,
+        )
     if cond > max_condition:
         raise ValueError(f"channel matrix is ill-conditioned (cond={cond:.2e})")
     separated = np.linalg.solve(h, y)

@@ -22,6 +22,43 @@ import numpy as np
 from repro.constants import TWO_PI
 from repro.dsp.fm0 import fm0_expected_chips
 from repro.dsp.waveforms import upconvert_chips
+from repro.obs.probe import get_probes
+
+
+def publish_sync_tap(
+    probes,
+    corr,
+    modulation,
+    chip_rate: float,
+    sample_rate: float,
+    *,
+    peak: float,
+    threshold: float,
+    **extra,
+):
+    """Publish a ``sync.detect_packet`` probe tap for one correlation.
+
+    Shared by :func:`detect_packet` and the demodulator's candidate
+    search so both report the same diagnostics: the correlation peak,
+    its threshold margin, the peak's significance in sigma of the
+    correlation magnitudes, and the chip-timing estimate of the
+    underlying modulation (computed at full rate before decimation).
+    """
+    mags = np.abs(corr)
+    sigma = float(np.std(mags)) if len(mags) else 0.0
+    from repro.dsp.spectral import symbol_timing_estimate
+
+    timing = symbol_timing_estimate(modulation, chip_rate, sample_rate)
+    return probes.capture(
+        "sync.detect_packet", "correlation",
+        waveform=corr, sample_rate=sample_rate,
+        peak=peak, threshold=threshold, margin=peak - threshold,
+        peak_sigma=peak / sigma if sigma > 0 else float("inf"),
+        found=peak >= threshold,
+        timing_offset_chips=timing["timing_offset_chips"],
+        timing_line_strength=timing["line_strength"],
+        **extra,
+    )
 
 
 def estimate_cfo(
@@ -155,6 +192,12 @@ def detect_packet(
     corr = preamble_correlation(modulation, preamble_bits, chip_rate, sample_rate)
     mags = np.abs(corr)
     global_peak = float(mags.max()) if len(mags) else 0.0
+    probes = get_probes()
+    if probes.wants("sync.detect_packet"):
+        publish_sync_tap(
+            probes, corr, modulation, chip_rate, sample_rate,
+            peak=global_peak, threshold=float(threshold),
+        )
     if global_peak < threshold:
         return None
     candidates = np.nonzero(mags >= 0.9 * global_peak)[0]

@@ -61,6 +61,8 @@ class InjectedResult:
     demod: object = None
     ber: float = float("nan")
     snr_db: float = float("nan")
+    #: Filled in by the injector when signal probes are enabled.
+    postmortem: object = None
 
     @property
     def success(self) -> bool:
@@ -87,6 +89,10 @@ class FaultInjector:
 
     name = "fault"
 
+    #: Pipeline stage this fault class knocks out (mirrored on the
+    #: post-mortems via :data:`FAULT_FAILING_STAGES`).
+    failing_stage = "unknown"
+
     def __init__(self, inner, *, node: int = -1, log=None, seed: int | None = None, rng=None, metrics=None) -> None:
         if not callable(inner):
             raise TypeError("inner transact must be callable")
@@ -104,12 +110,34 @@ class FaultInjector:
         injected = self._intercept(query, index)
         if injected is not None:
             self.faults_fired += 1
+            self._record_postmortem(injected)
             return injected
         return self.inner(query)
 
     def _intercept(self, query, index: int):
         """Return a fabricated result to inject a fault, or None to pass."""
         return None
+
+    def _record_postmortem(self, result) -> None:
+        """Autopsy a fabricated failure when signal probes are enabled.
+
+        Injected results never ran the waveform pipeline, so the
+        post-mortem classifies by fault class (the injector *knows* why
+        the exchange failed) rather than by reading taps.
+        """
+        from repro.obs.probe import get_probes
+
+        probes = get_probes()
+        if not probes.enabled:
+            return
+        from repro.obs.postmortem import DecodePostmortem
+
+        pm = DecodePostmortem.from_fault(
+            getattr(result, "fault", self.name), node=self.node
+        )
+        if hasattr(result, "postmortem"):
+            result.postmortem = pm
+        probes.record_postmortem(pm)
 
     def _fire(self, index: int, **detail) -> None:
         if self.log is not None:
@@ -133,6 +161,7 @@ class NoiseBurstInjector(FaultInjector):
     """
 
     name = "noise_burst"
+    failing_stage = "link.hydrophone_dsp"
 
     def __init__(
         self,
@@ -184,6 +213,7 @@ class BrownoutInjector(FaultInjector):
     """
 
     name = "brownout"
+    failing_stage = "link.node"
 
     def __init__(
         self,
@@ -262,6 +292,7 @@ class GilbertElliottInjector(FaultInjector):
     """
 
     name = "gilbert_elliott"
+    failing_stage = "link.uplink_propagation"
 
     def __init__(
         self,
@@ -314,6 +345,7 @@ class GarbledReplyInjector(FaultInjector):
     """
 
     name = "garbled"
+    failing_stage = "link.hydrophone_dsp"
 
     def __init__(self, inner, *, prob: float = 0.0, at=(), length: int = 6, **kwargs) -> None:
         super().__init__(inner, **kwargs)
@@ -347,6 +379,7 @@ class TransportExceptionInjector(FaultInjector):
     """
 
     name = "transport_exception"
+    failing_stage = "transport"
 
     def __init__(self, inner, *, prob: float = 0.0, at=(), **kwargs) -> None:
         super().__init__(inner, **kwargs)
@@ -358,5 +391,24 @@ class TransportExceptionInjector(FaultInjector):
     def _intercept(self, query, index: int):
         if index in self.at or (self.prob > 0.0 and self.rng.random() < self.prob):
             self._fire(index)
+            # Raising means __call__ never sees a result to autopsy, so
+            # the post-mortem is filed here (registry only — there is no
+            # result object to attach it to).
+            self._record_postmortem(InjectedResult(fault=self.name))
             raise TransportError(f"injected transport failure at transaction {index}")
         return None
+
+
+#: Failing stage per fault class, consumed by
+#: :meth:`repro.obs.postmortem.DecodePostmortem.from_fault` so chaos
+#: drills and post-mortems agree on where each fault bites.
+FAULT_FAILING_STAGES = {
+    cls.name: cls.failing_stage
+    for cls in (
+        NoiseBurstInjector,
+        BrownoutInjector,
+        GilbertElliottInjector,
+        GarbledReplyInjector,
+        TransportExceptionInjector,
+    )
+}

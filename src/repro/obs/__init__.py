@@ -9,6 +9,10 @@ The measurement substrate under every performance claim in this repo:
   histograms in a mergeable registry.
 * :mod:`repro.obs.export` — JSONL trace dumps, Prometheus text
   exposition, and ``benchmarks/results/``-compatible CSV.
+* :mod:`repro.obs.probe` — named waveform taps through the decode
+  pipeline (disabled-by-default, like the tracer).
+* :mod:`repro.obs.postmortem` — structured verdicts assembled from a
+  failed exchange's taps, serialized as JSONL.
 
 See ``docs/OBSERVABILITY.md`` for the instrumentation guide and the
 overhead policy.
@@ -33,6 +37,21 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.postmortem import (
+    DecodePostmortem,
+    StageFinding,
+    load_postmortems_jsonl,
+    postmortems_to_jsonl,
+    write_postmortems_jsonl,
+)
+from repro.obs.probe import (
+    ProbeRegistry,
+    ProbeTap,
+    dump_failure_artifacts,
+    get_probes,
+    set_probes,
+    use_probes,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     Span,
@@ -49,21 +68,32 @@ __all__ = [
     "NULL_SPAN",
     "SNR_DB_BUCKETS",
     "Counter",
+    "DecodePostmortem",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProbeRegistry",
+    "ProbeTap",
     "Span",
+    "StageFinding",
     "Tracer",
     "VirtualClock",
+    "dump_failure_artifacts",
     "events_to_metrics",
+    "get_probes",
     "get_tracer",
+    "load_postmortems_jsonl",
     "metrics_to_csv",
     "metrics_to_prometheus",
+    "postmortems_to_jsonl",
     "rows_to_csv",
+    "set_probes",
     "set_tracer",
     "spans_to_jsonl",
     "stage_table",
+    "use_probes",
     "use_tracer",
     "write_csv",
+    "write_postmortems_jsonl",
     "write_spans_jsonl",
 ]

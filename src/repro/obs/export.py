@@ -68,11 +68,22 @@ def write_spans_jsonl(path, spans) -> pathlib.Path:
 # Metrics — Prometheus text exposition
 # ---------------------------------------------------------------------------
 
+def _escape_label_value(value) -> str:
+    # Prometheus exposition format: backslash, double-quote, and line
+    # feed must be escaped inside label values.
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _labels_text(labels, extra=()) -> str:
     items = list(labels) + list(extra)
     if not items:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in items)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
     return "{" + body + "}"
 
 

@@ -1,0 +1,26 @@
+"""Suite-wide pytest hooks.
+
+When ``PAB_ARTIFACT_DIR`` is set (the CI obs/chaos jobs point it at a
+directory uploaded as a workflow artifact), any test that fails with
+signal taps or decode post-mortems in the global probe registry gets
+them persisted — the probe ``.npz`` and post-mortem JSONL a developer
+would otherwise have to rerun the job to capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    directory = os.environ.get("PAB_ARTIFACT_DIR")
+    if not directory or report.when != "call" or not report.failed:
+        return
+    from repro.obs.probe import dump_failure_artifacts
+
+    dump_failure_artifacts(directory, item.nodeid)

@@ -12,7 +12,7 @@ from repro.dsp import (
     snr_db,
     zero_forcing_decode,
 )
-from repro.dsp.metrics import theoretical_fm0_ber
+from repro.dsp.metrics import eye_opening_stats, theoretical_fm0_ber
 from repro.dsp.mimo import sinr_gain_db
 
 
@@ -128,3 +128,39 @@ class TestMetrics:
 
     def test_theoretical_ber_half_at_minus_inf(self):
         assert theoretical_fm0_ber(-60.0) == pytest.approx(0.5, abs=0.01)
+
+
+class TestEyeOpening:
+    def _chips(self, noise_sigma, n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        rails = rng.integers(0, 2, n).astype(float) * 2.0 - 1.0
+        return rails + rng.normal(0.0, noise_sigma, n)
+
+    def test_clean_chips_open_eye(self):
+        stats = eye_opening_stats(self._chips(noise_sigma=0.01))
+        assert stats["opening"] > 0.9
+        assert stats["rail_separation"] == pytest.approx(2.0, abs=0.1)
+        assert stats["first_closed_chip"] == -1
+        assert stats["closed_fraction"] == 0.0
+        assert stats["n_chips"] == 400
+
+    def test_noise_closes_the_eye(self):
+        clean = eye_opening_stats(self._chips(noise_sigma=0.05))
+        noisy = eye_opening_stats(self._chips(noise_sigma=0.6))
+        assert noisy["opening"] < clean["opening"]
+        assert noisy["noise_rms"] > clean["noise_rms"]
+        assert noisy["closed_fraction"] > 0.0
+        assert noisy["first_closed_chip"] >= 0
+
+    def test_one_rail_is_fully_closed(self):
+        # All-positive amplitudes: the signal never crosses zero, so
+        # there are no rails to separate.
+        stats = eye_opening_stats(np.full(32, 0.7))
+        assert stats["rail_separation"] == 0.0
+        assert stats["opening"] == 0.0
+        assert stats["closed_fraction"] == 1.0
+        assert stats["first_closed_chip"] == 0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            eye_opening_stats([])

@@ -6,9 +6,11 @@ import pytest
 from repro.dsp import fm0_encode, tone
 from repro.dsp.spectral import (
     band_power_db,
+    band_snr_db,
     occupied_bandwidth,
     peak_frequency,
     spectrogram,
+    symbol_timing_estimate,
     welch_psd,
 )
 from repro.dsp.waveforms import upconvert_chips
@@ -89,3 +91,103 @@ class TestBandPower:
     def test_validation(self):
         with pytest.raises(ValueError):
             band_power_db(np.ones(100), FS, 5_000.0, 1_000.0)
+
+
+class TestBandSnr:
+    def test_tone_in_band_is_positive(self):
+        x = tone(15_000.0, 0.5, FS) + 0.01 * np.random.default_rng(0).normal(
+            0, 1, int(FS * 0.5)
+        )
+        assert band_snr_db(x, FS, 14_000.0, 16_000.0) > 20.0
+
+    def test_tone_out_of_band_is_negative(self):
+        x = tone(15_000.0, 0.5, FS) + 0.01 * np.random.default_rng(0).normal(
+            0, 1, int(FS * 0.5)
+        )
+        assert band_snr_db(x, FS, 30_000.0, 40_000.0) < 0.0
+
+    def test_white_noise_near_zero(self):
+        x = np.random.default_rng(2).normal(0, 1.0, 100_000)
+        assert abs(band_snr_db(x, FS, 10_000.0, 20_000.0)) < 3.0
+
+    def test_degenerate_band_is_nan(self):
+        x = tone(15_000.0, 0.2, FS)
+        # Band covers the whole spectrum: no out-of-band reference.
+        assert np.isnan(band_snr_db(x, FS, 0.0, FS))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            band_snr_db(np.ones(1000), FS, 5_000.0, 1_000.0)
+
+
+class TestSymbolTiming:
+    CHIP_RATE = 2_000.0
+
+    def _chip_wave(self, offset_samples=0, n_chips=200, seed=0):
+        """A band-limited bipolar chip waveform (as the receive chain sees).
+
+        The squaring estimator needs rounded chip transitions — see the
+        rectangular caveat test below — so smooth with a half-chip Hann
+        window, mimicking the pipeline's band-limited modulation.
+        """
+        rng = np.random.default_rng(seed)
+        chips = rng.integers(0, 2, n_chips).astype(float) * 2.0 - 1.0
+        wave = upconvert_chips(chips, self.CHIP_RATE, FS)
+        spc = int(FS / self.CHIP_RATE)
+        kernel = np.hanning(spc // 2)
+        wave = np.convolve(wave, kernel / kernel.sum(), mode="same")
+        if offset_samples:
+            wave = np.concatenate([np.zeros(offset_samples), wave])
+        return wave
+
+    def test_aligned_grid_near_zero_offset(self):
+        est = symbol_timing_estimate(self._chip_wave(), self.CHIP_RATE, FS)
+        assert abs(est["timing_offset_chips"]) < 0.1
+        assert est["line_strength"] > 0.05
+
+    def test_offset_is_detected(self):
+        spc = FS / self.CHIP_RATE  # 48 samples per chip
+        est = symbol_timing_estimate(
+            self._chip_wave(offset_samples=int(spc // 2)), self.CHIP_RATE, FS
+        )
+        assert abs(abs(est["timing_offset_chips"]) - 0.5) < 0.1
+
+    def test_offset_sign_tracks_delay(self):
+        spc = FS / self.CHIP_RATE
+        est = symbol_timing_estimate(
+            self._chip_wave(offset_samples=int(spc // 4)), self.CHIP_RATE, FS
+        )
+        assert est["timing_offset_chips"] == pytest.approx(0.25, abs=0.05)
+
+    def test_rectangular_chips_have_no_line(self):
+        # Squaring an ideal +/-1 rectangular waveform gives a constant:
+        # there is no chip-rate line to lock to. This is the documented
+        # caveat of the squaring method, not a bug.
+        rng = np.random.default_rng(0)
+        chips = rng.integers(0, 2, 200).astype(float) * 2.0 - 1.0
+        rect = upconvert_chips(chips, self.CHIP_RATE, FS)
+        est = symbol_timing_estimate(rect, self.CHIP_RATE, FS)
+        assert est["line_strength"] < 1e-9
+
+    def test_noise_has_weak_line(self):
+        noise = np.random.default_rng(3).normal(0, 1.0, 50_000)
+        est = symbol_timing_estimate(noise, self.CHIP_RATE, FS)
+        strong = symbol_timing_estimate(
+            self._chip_wave(), self.CHIP_RATE, FS
+        )
+        assert strong["line_strength"] > 10.0 * est["line_strength"]
+
+    def test_short_or_dead_signal_is_nan(self):
+        est = symbol_timing_estimate(np.ones(4), self.CHIP_RATE, FS)
+        assert np.isnan(est["timing_offset_chips"])
+        dead = symbol_timing_estimate(np.zeros(10_000), self.CHIP_RATE, FS)
+        assert np.isnan(dead["timing_offset_chips"])
+        assert dead["line_strength"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            symbol_timing_estimate(np.ones((2, 2)), self.CHIP_RATE, FS)
+        with pytest.raises(ValueError):
+            symbol_timing_estimate(np.ones(100), 0.0, FS)
+        with pytest.raises(ValueError):
+            symbol_timing_estimate(np.ones(100), FS, FS)  # above Nyquist

@@ -100,6 +100,21 @@ class TestPrometheus:
     def test_empty_registry(self):
         assert metrics_to_prometheus(MetricsRegistry()) == ""
 
+    def test_label_values_escaped(self):
+        # Prometheus exposition: backslash, double-quote, and newline
+        # in label values must be escaped or the scrape breaks.
+        reg = MetricsRegistry()
+        reg.counter("polls", reason='say "hi"').inc()
+        reg.counter("polls", reason="line1\nline2").inc(2)
+        reg.counter("polls", reason="back\\slash").inc(3)
+        text = metrics_to_prometheus(reg)
+        assert 'reason="say \\"hi\\""' in text
+        assert 'reason="line1\\nline2"' in text
+        assert 'reason="back\\\\slash"' in text
+        # No raw newline may survive inside any exposition line.
+        for line in text.splitlines():
+            assert line.count('"') % 2 == 0
+
 
 class TestCsv:
     def test_rows_to_csv_formats_like_experiment_table(self):

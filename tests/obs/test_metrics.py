@@ -136,6 +136,18 @@ class TestMerge:
         b.gauge("only_b").set(7.0)
         assert a.merge(b).value("only_b") == 7.0
 
+    def test_label_ordering_is_immaterial(self):
+        # Kwarg order must not split one series in two — labels key by
+        # sorted (name, value) pairs.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("polls", node=1, channel=2).inc(2)
+        b.counter("polls", channel=2, node=1).inc(3)
+        merged = a.merge(b)
+        assert merged.value("polls", node=1, channel=2) == 5.0
+        assert merged.value("polls", channel=2, node=1) == 5.0
+        # One merged series, not two.
+        assert len([m for m in merged if m.name == "polls"]) == 1
+
     def test_merge_many_readers(self):
         readers = []
         for i in range(4):

@@ -1,0 +1,258 @@
+"""Tests for the signal-probe registry and its link integration."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.probe import (
+    ProbeRegistry,
+    dump_failure_artifacts,
+    get_probes,
+    set_probes,
+    use_probes,
+)
+
+
+class TestRegistrySemantics:
+    def test_capture_records_tap(self):
+        probes = ProbeRegistry()
+        tap = probes.capture(
+            "sync.detect_packet", "correlation",
+            waveform=np.arange(8.0), sample_rate=96_000.0, peak=0.4,
+        )
+        assert tap is probes.taps[0]
+        assert tap.stage == "sync.detect_packet"
+        assert tap.name == "correlation"
+        assert tap.samples == 8
+        assert tap.decimation == 1
+        assert tap.diagnostics == {"peak": 0.4}
+
+    def test_disabled_registry_captures_nothing(self):
+        probes = ProbeRegistry(enabled=False)
+        assert not probes.wants("link.node")
+        assert probes.capture("link.node", "power_up", powered=True) is None
+        assert probes.taps == []
+
+    def test_stage_filter(self):
+        probes = ProbeRegistry(stages=["fm0.decode"])
+        assert probes.wants("fm0.decode")
+        assert not probes.wants("link.node")
+        probes.capture("link.node", "power_up")
+        probes.capture("fm0.decode", "chips", n_bits=4)
+        assert [t.stage for t in probes.taps] == ["fm0.decode"]
+
+    def test_diagnostics_only_tap(self):
+        probes = ProbeRegistry()
+        tap = probes.capture("link.node", "power_up", powered=False)
+        assert tap.waveform is None
+        assert tap.samples == 0
+
+    def test_seq_is_monotonic(self):
+        probes = ProbeRegistry()
+        taps = [probes.capture("s", "n") for _ in range(3)]
+        assert [t.seq for t in taps] == [1, 2, 3]
+
+    def test_reset(self):
+        probes = ProbeRegistry()
+        probes.begin_transaction()
+        probes.capture("s", "n")
+        probes.record_postmortem(object())
+        probes.reset()
+        assert probes.taps == []
+        assert probes.postmortems == []
+        assert probes.capture("s", "n").txn == 0
+
+    def test_bad_max_samples_rejected(self):
+        with pytest.raises(ValueError):
+            ProbeRegistry(max_samples=0)
+
+
+class TestDecimation:
+    def test_short_waveform_stored_verbatim(self):
+        probes = ProbeRegistry(max_samples=100)
+        tap = probes.capture("s", "n", waveform=np.arange(100.0))
+        assert tap.decimation == 1
+        assert np.array_equal(tap.waveform, np.arange(100.0))
+
+    def test_long_waveform_strided_under_cap(self):
+        probes = ProbeRegistry(max_samples=100)
+        tap = probes.capture("s", "n", waveform=np.arange(1000.0))
+        assert tap.decimation == 10
+        assert tap.samples == 100
+        assert np.array_equal(tap.waveform, np.arange(1000.0)[::10])
+
+    def test_uneven_length_stays_under_cap(self):
+        probes = ProbeRegistry(max_samples=100)
+        tap = probes.capture("s", "n", waveform=np.arange(101.0))
+        assert tap.samples <= 100
+        assert tap.decimation == 2
+
+    def test_stored_copy_is_independent(self):
+        probes = ProbeRegistry()
+        source = np.ones(16)
+        tap = probes.capture("s", "n", waveform=source)
+        source[:] = 0.0
+        assert np.all(tap.waveform == 1.0)
+
+
+class TestTransactions:
+    def test_taps_stamped_with_transaction(self):
+        probes = ProbeRegistry()
+        first = probes.begin_transaction()
+        probes.capture("s", "a")
+        second = probes.begin_transaction()
+        probes.capture("s", "b")
+        probes.capture("s", "c")
+        assert first != second
+        assert [t.name for t in probes.transaction_taps(first)] == ["a"]
+        assert [t.name for t in probes.transaction_taps(second)] == ["b", "c"]
+        # Default: the current (latest) transaction.
+        assert [t.name for t in probes.transaction_taps()] == ["b", "c"]
+
+    def test_latest_and_taps_for(self):
+        probes = ProbeRegistry()
+        probes.capture("s", "a")
+        probes.capture("s", "b")
+        probes.capture("other", "c")
+        assert probes.latest("s").name == "b"
+        assert [t.name for t in probes.taps_for("s")] == ["a", "b"]
+        assert probes.latest("missing") is None
+
+
+class TestNpzRoundTrip:
+    def test_waveforms_and_meta_round_trip(self, tmp_path):
+        probes = ProbeRegistry()
+        probes.capture(
+            "sync.detect_packet", "correlation",
+            waveform=np.linspace(0, 1, 32), sample_rate=96_000.0, peak=0.5,
+        )
+        probes.capture("link.node", "power_up", powered=True)
+        path = probes.to_npz(tmp_path / "deep" / "taps.npz")
+        assert path.exists()
+        with np.load(path) as data:
+            key = "tap0001__sync.detect_packet__correlation"
+            assert np.allclose(data[key], np.linspace(0, 1, 32))
+            meta = json.loads(str(data["meta_json"]))
+        assert len(meta) == 2
+        assert meta[0]["diagnostics"]["peak"] == 0.5
+        assert meta[1]["stage"] == "link.node"
+        assert meta[1]["samples"] == 0
+
+
+class TestGlobals:
+    def test_global_default_disabled(self):
+        assert not get_probes().enabled
+
+    def test_use_probes_installs_and_restores(self):
+        probes = ProbeRegistry()
+        before = get_probes()
+        with use_probes(probes) as installed:
+            assert installed is probes
+            assert get_probes() is probes
+        assert get_probes() is before
+
+    def test_set_probes_returns_previous(self):
+        probes = ProbeRegistry()
+        previous = set_probes(probes)
+        try:
+            assert get_probes() is probes
+        finally:
+            set_probes(previous)
+
+
+class TestLinkIntegration:
+    @pytest.fixture(scope="class")
+    def probed_run(self):
+        from repro.acoustics import POOL_A, Position
+        from repro.core import BackscatterLink, Projector
+        from repro.net.messages import Command, Query
+        from repro.node.node import PABNode
+        from repro.piezo import Transducer
+
+        transducer = Transducer.from_cylinder_design()
+        f = transducer.resonance_hz
+        projector = Projector(
+            transducer=transducer, drive_voltage_v=50.0, carrier_hz=f
+        )
+        node = PABNode(address=7, channel_frequencies_hz=(f,), bitrate=1_000.0)
+        link = BackscatterLink(
+            POOL_A, projector, Position(0.5, 1.5, 0.6),
+            node, Position(1.5, 1.5, 0.6), Position(1.0, 0.8, 0.6),
+        )
+        probes = ProbeRegistry()
+        with use_probes(probes):
+            result = link.transact(Query(destination=7, command=Command.PING))
+        return link, probes, result
+
+    def test_all_five_stages_tapped(self, probed_run):
+        from repro.core.link import BackscatterLink
+
+        _, probes, result = probed_run
+        assert result.success
+        tapped = {t.stage for t in probes.taps}
+        for stage in BackscatterLink.STAGES:
+            assert stage in tapped, f"no tap from {stage}"
+
+    def test_dsp_publishers_tapped(self, probed_run):
+        _, probes, _ = probed_run
+        tapped = {t.stage for t in probes.taps}
+        assert "hydrophone.demodulate" in tapped
+        assert "sync.detect_packet" in tapped
+        assert "fm0.decode" in tapped
+
+    def test_sync_tap_diagnostics(self, probed_run):
+        _, probes, _ = probed_run
+        tap = probes.latest("sync.detect_packet")
+        diag = tap.diagnostics
+        assert diag["peak"] >= diag["threshold"]
+        assert diag["margin"] == pytest.approx(
+            diag["peak"] - diag["threshold"]
+        )
+        assert np.isfinite(diag["peak_sigma"])
+
+    def test_waveform_taps_respect_cap(self, probed_run):
+        _, probes, _ = probed_run
+        for tap in probes.taps:
+            assert tap.samples <= probes.max_samples
+            if tap.samples > 0:
+                assert tap.decimation >= 1
+
+    def test_successful_transact_has_no_postmortem(self, probed_run):
+        _, probes, result = probed_run
+        assert result.postmortem is None
+        assert probes.postmortems == []
+
+    def test_unprobed_transact_captures_nothing(self, probed_run):
+        from repro.net.messages import Command, Query
+
+        link, probes, _ = probed_run
+        before = len(probes.taps)
+        result = link.transact(Query(destination=7, command=Command.PING))
+        assert result.success
+        assert len(probes.taps) == before  # registry was not installed
+
+
+class TestFailureArtifacts:
+    def test_empty_registry_writes_nothing(self, tmp_path):
+        with use_probes(ProbeRegistry()):
+            assert dump_failure_artifacts(tmp_path, "t::empty") == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_taps_and_postmortems_dumped(self, tmp_path):
+        from repro.obs.postmortem import DecodePostmortem
+
+        probes = ProbeRegistry()
+        probes.capture("s", "n", waveform=np.ones(8))
+        probes.record_postmortem(DecodePostmortem.from_fault("brownout"))
+        with use_probes(probes):
+            written = dump_failure_artifacts(
+                tmp_path, "tests/x.py::TestY::test_z[case/0]"
+            )
+        names = sorted(p.name for p in written)
+        assert names == [
+            "tests_x.py_TestY_test_z_case_0_.postmortems.jsonl",
+            "tests_x.py_TestY_test_z_case_0_.probes.npz",
+        ]
+        for path in written:
+            assert path.exists()

@@ -113,6 +113,57 @@ class TestOutputControl:
         assert main(["-v", "fig11"]) == 0
         assert "idle" in capsys.readouterr().out
 
+    def test_out_creates_missing_parent_dirs(self, tmp_path, capsys):
+        out = tmp_path / "results" / "nested" / "fig11.csv"
+        assert main(["fig11", "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_trace_outputs_create_missing_parent_dirs(self, tmp_path, capsys):
+        trace = tmp_path / "a" / "trace.jsonl"
+        metrics = tmp_path / "b" / "metrics.prom"
+        assert main(["trace", "--out", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        assert trace.exists()
+        assert metrics.exists()
+
+
+class TestProbeCommand:
+    def test_probe_success_lists_taps_and_writes_npz(self, tmp_path, capsys):
+        out = tmp_path / "deep" / "taps.npz"
+        assert main(["probe", "--out", str(out)]) == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "reply decoded: True" in text
+        assert "link.hydrophone_dsp/analysis_segment" in text
+        assert "sync.detect_packet" in text
+
+    def test_probe_failure_renders_postmortem(self, tmp_path, capsys):
+        pm_out = tmp_path / "deep" / "pm.jsonl"
+        assert main(["probe", "--noise-db", "120",
+                     "--postmortem-out", str(pm_out)]) == 1
+        text = capsys.readouterr().out
+        assert "reply decoded: False" in text
+        assert "crc_fail at link.hydrophone_dsp" in text
+        assert pm_out.exists()
+        record = json.loads(pm_out.read_text().splitlines()[0])
+        assert record["failure"] == "crc_fail"
+
+    def test_postmortem_renders_jsonl(self, tmp_path, capsys):
+        pm_out = tmp_path / "pm.jsonl"
+        assert main(["probe", "--noise-db", "120",
+                     "--postmortem-out", str(pm_out)]) == 1
+        capsys.readouterr()
+        assert main(["postmortem", str(pm_out)]) == 0
+        text = capsys.readouterr().out
+        assert "crc_fail at link.hydrophone_dsp" in text
+        assert "verdict:" in text
+
+    def test_postmortem_empty_file_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["postmortem", str(empty)]) == 1
+        assert "no post-mortems" in capsys.readouterr().out
+
 
 class TestCoverageCommand:
     def test_coverage_map_rendered(self, capsys):
