@@ -8,10 +8,11 @@ the repo's performance trajectory.  It records:
    hot path) and with tracing enabled, plus the per-stage breakdown
    from the enabled trace.
 2. **No-op overhead** — the measured cost of a disabled-tracer span
-   check *plus* a disabled-probe ``wants()`` check, scaled by the
-   per-transaction instrumentation-site counts, asserted to be <5% of
-   a transaction (the overhead policy in ``docs/OBSERVABILITY.md``; in
-   practice it is orders of magnitude below the bound).
+   check *plus* a disabled-probe ``wants()`` check *plus* a
+   disabled-ledger firmware hook, scaled by the per-transaction
+   instrumentation-site counts, asserted to be <5% of a transaction
+   (the overhead policy in ``docs/OBSERVABILITY.md``; in practice it
+   is orders of magnitude below the bound).
 3. **A 10-node polling round** through the full
    :class:`~repro.net.reader.ReaderController` stack with metrics and
    event-log binding live.
@@ -144,6 +145,24 @@ def _noop_probe_cost_s() -> float:
     return (perf_counter() - t0) / n
 
 
+#: Disabled-ledger check sites a transaction hits: firmware boot,
+#: downlink-decode exit, query->RESPONDING, response_sent.
+LEDGER_SITES_PER_TRANSACTION = 4
+
+
+def _noop_ledger_cost_s() -> float:
+    """Per-call cost of the no-ledger firmware hook (an ``is None``)."""
+    from repro.net.addresses import NodeAddress
+    from repro.node.firmware import FirmwareConfig, NodeFirmware
+
+    firmware = NodeFirmware(FirmwareConfig(address=NodeAddress(1)))
+    n = 20_000 if SMOKE else 200_000
+    t0 = perf_counter()
+    for _ in range(n):
+        firmware._sync_ledger()
+    return (perf_counter() - t0) / n
+
+
 def _load_history() -> list:
     if not BENCH_PATH.exists():
         return []
@@ -260,9 +279,11 @@ def test_perf_baseline(benchmark, report):
     spans_per_transaction = len(tracer.spans) / reps
     noop_cost = _noop_span_cost_s()
     noop_probe_cost = _noop_probe_cost_s()
+    noop_ledger_cost = _noop_ledger_cost_s()
     disabled_overhead = (
         spans_per_transaction * noop_cost
         + taps_per_transaction * noop_probe_cost
+        + LEDGER_SITES_PER_TRANSACTION * noop_ledger_cost
     ) / mean_off
     assert disabled_overhead < 0.05, (
         f"disabled observability costs {disabled_overhead:.2%} of a transaction"
@@ -295,6 +316,8 @@ def test_perf_baseline(benchmark, report):
         "tracing_overhead_fraction": (mean_on - mean_off) / mean_off,
         "noop_span_cost_s": noop_cost,
         "noop_probe_cost_s": noop_probe_cost,
+        "noop_ledger_cost_s": noop_ledger_cost,
+        "ledger_sites_per_transaction": LEDGER_SITES_PER_TRANSACTION,
         "spans_per_transaction": spans_per_transaction,
         "taps_per_transaction": taps_per_transaction,
         "disabled_overhead_fraction": disabled_overhead,

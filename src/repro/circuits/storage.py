@@ -6,6 +6,16 @@ and MCU.  The model is the standard first-order ODE
     C * dV/dt = I_in - I_load - V / R_leak
 
 integrated explicitly at the energy engine's time step.
+
+Every step also keeps joule-level books: input, load, leakage, and the
+energy discarded when charging clamps at ``max_voltage_v`` (previously a
+silent loss).  Flows are evaluated at the step's midpoint voltage, which
+makes the discrete accounting exact — ``harvested == stored + consumed
++ leaked + clamped`` holds to float precision, the invariant the
+:class:`~repro.obs.ledger.EnergyLedger` conservation check relies on.
+An optional ``observer`` callable receives each step's flows, which is
+how a ledger taps the capacitor without the capacitor knowing about the
+observability layer.
 """
 
 from __future__ import annotations
@@ -36,6 +46,18 @@ class Supercapacitor:
     max_voltage_v: float = 5.5
     initial_voltage_v: float = 0.0
     voltage_v: float = field(init=False)
+    #: Cumulative joule books (see :meth:`energy_balance`).
+    harvested_j: float = field(init=False, default=0.0)
+    consumed_j: float = field(init=False, default=0.0)
+    leaked_j: float = field(init=False, default=0.0)
+    clamped_j: float = field(init=False, default=0.0)
+    #: Energy added/removed by fiat via :meth:`reset` (can be negative).
+    adjusted_j: float = field(init=False, default=0.0)
+    #: Optional per-step flow hook: called as
+    #: ``observer(dt_s, voltage_v, e_in_j, e_load_j, e_leak_j, e_clamp_j)``
+    #: after every step.  ``None`` (the default) costs one ``is None``
+    #: check — the disabled-ledger hot path.
+    observer: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacitance_f <= 0:
@@ -54,26 +76,81 @@ class Supercapacitor:
         return 0.5 * self.capacitance_f * self.voltage_v**2
 
     def reset(self, voltage_v: float = 0.0) -> None:
-        """Return to a known state."""
+        """Return to a known voltage.
+
+        The instantaneous energy jump is booked under ``adjusted_j`` so
+        the conservation check still balances across resets (a cold
+        start zeroes the cap; a brownout drill restarts it at the LDO
+        dropout voltage — neither is a physical flow).
+        """
         if not 0.0 <= voltage_v <= self.max_voltage_v:
             raise ValueError("voltage out of range")
+        before = self.energy_j
         self.voltage_v = voltage_v
+        self.adjusted_j += self.energy_j - before
+
+    def energy_balance(self) -> dict:
+        """The joule books plus their conservation error.
+
+        ``error_j`` is ``harvested + adjusted - (stored - initial) -
+        consumed - leaked - clamped``; with midpoint-voltage flow
+        accounting it stays at float-precision zero.
+        """
+        stored_delta = self.energy_j - 0.5 * self.capacitance_f * self.initial_voltage_v**2
+        error = (
+            self.harvested_j + self.adjusted_j
+            - stored_delta - self.consumed_j - self.leaked_j - self.clamped_j
+        )
+        return {
+            "harvested_j": self.harvested_j,
+            "consumed_j": self.consumed_j,
+            "leaked_j": self.leaked_j,
+            "clamped_j": self.clamped_j,
+            "adjusted_j": self.adjusted_j,
+            "stored_delta_j": stored_delta,
+            "error_j": error,
+        }
 
     def step(self, dt_s: float, i_in_a: float = 0.0, i_load_a: float = 0.0) -> float:
         """Advance the ODE by ``dt_s`` and return the new voltage [V].
 
         ``i_in_a`` is the charging current from the rectifier; ``i_load_a``
         the draw of the regulator/MCU chain.  The voltage never goes
-        negative and never exceeds the rating.
+        negative and never exceeds the rating; the clamp's discarded
+        energy is booked in ``clamped_j`` instead of vanishing.
         """
         if dt_s <= 0:
             raise ValueError("time step must be positive")
         if i_in_a < 0 or i_load_a < 0:
             raise ValueError("currents must be non-negative")
-        i_leak = self.voltage_v / self.leakage_resistance_ohm
+        v0 = self.voltage_v
+        i_leak = v0 / self.leakage_resistance_ohm
         dv = (i_in_a - i_load_a - i_leak) * dt_s / self.capacitance_f
-        self.voltage_v = min(max(self.voltage_v + dv, 0.0), self.max_voltage_v)
-        return self.voltage_v
+        v1 = min(max(v0 + dv, 0.0), self.max_voltage_v)
+        self.voltage_v = v1
+        # Midpoint-voltage flows: exact for the unclamped explicit-Euler
+        # step, so any residual is the clamp's doing.
+        v_mid = 0.5 * (v0 + v1)
+        e_in = i_in_a * v_mid * dt_s
+        e_load = i_load_a * v_mid * dt_s
+        e_leak = i_leak * v_mid * dt_s
+        e_stored = 0.5 * self.capacitance_f * (v1 * v1 - v0 * v0)
+        residual = e_in - e_load - e_leak - e_stored
+        e_clamp = 0.0
+        if residual > 0.0:
+            # Overcharge clamp at max_voltage_v discarded this much.
+            e_clamp = residual
+        elif residual < 0.0:
+            # Floor clamp at 0 V: the load demanded more than the cap
+            # held — only the available energy was actually consumed.
+            e_load += residual
+        self.harvested_j += e_in
+        self.consumed_j += e_load
+        self.leaked_j += e_leak
+        self.clamped_j += e_clamp
+        if self.observer is not None:
+            self.observer(dt_s, v1, e_in, e_load, e_leak, e_clamp)
+        return v1
 
     def charge_from_source(
         self,
@@ -101,10 +178,13 @@ class Supercapacitor:
         *,
         dt_s: float = 1e-3,
         timeout_s: float = 600.0,
+        record: list | None = None,
     ) -> float | None:
         """Simulated time to charge to ``target_v``, or ``None`` if unreachable.
 
-        Leaves the capacitor at its final state.
+        Leaves the capacitor at its final state.  When ``record`` is a
+        list, the per-step voltage trajectory is appended to it (the
+        energy engine publishes this as a supercap-SoC probe tap).
         """
         if target_v <= self.voltage_v:
             return 0.0
@@ -113,6 +193,8 @@ class Supercapacitor:
             prev = self.voltage_v
             self.charge_from_source(dt_s, source_voltage_v, source_resistance_ohm)
             t += dt_s
+            if record is not None:
+                record.append(self.voltage_v)
             if self.voltage_v >= target_v:
                 return t
             if self.voltage_v <= prev + 1e-15:

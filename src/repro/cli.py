@@ -7,6 +7,11 @@ Lets a user drive the reproduction without writing code:
 * ``probe``    — run one probed exchange; dump taps (``.npz``) and any
   decode post-mortem (JSONL).
 * ``postmortem`` — render decode post-mortems from a JSONL dump.
+* ``energy``   — run one node's ledgered energy simulation; print the
+  joule books and duty cycle, dump the SoC time series with ``--out``.
+* ``fleet-report`` — run a seeded multi-node chaos campaign with energy
+  ledgers + SLO tracking; print energy balances, duty cycles, and the
+  SLO burn-rate table; dump the campaign timeline as CSV/JSONL.
 * ``fig3``     — print the recto-piezo tuning curves.
 * ``fig7``     — print the BER-SNR table.
 * ``fig8``     — print the SNR-vs-bitrate table (waveform level; slower).
@@ -224,6 +229,242 @@ def _cmd_postmortem(args) -> int:
             _table("")
         _table(pm.render())
     return 0
+
+
+def _cmd_energy(args) -> int:
+    """One node's energy life under polling, with the ledger attached."""
+    from repro.circuits import EnergyHarvester
+    from repro.core.experiment import ExperimentTable
+    from repro.obs import NodeEnergyHarness
+    from repro.obs.export import write_csv
+    from repro.obs.timeline import soc_rows
+    from repro.piezo import Transducer
+
+    transducer = Transducer.from_cylinder_design()
+    f = transducer.resonance_hz
+    harvester = EnergyHarvester(transducer, design_frequency_hz=f)
+    v_oc, r_out = harvester.charging_source(args.pressure, f)
+    _emit(
+        f"charging source at {args.pressure:g} Pa: "
+        f"{v_oc:.2f} V open-circuit, {r_out:.0f} ohm"
+    )
+    harness = NodeEnergyHarness(
+        args.node,
+        v_oc_v=v_oc,
+        r_out_ohm=r_out,
+        poll_period_s=args.poll_period,
+        bitrate=args.bitrate,
+        initial_voltage_v=args.start_voltage,
+    )
+    for r in range(args.rounds):
+        harness.on_poll_round(float(r), polled=True, success=True)
+    summary = harness.summary()
+    error_pct = 100.0 * abs(summary["error_fraction"])
+    table = ExperimentTable(
+        title=f"Energy ledger: node {args.node}, {args.rounds} rounds",
+        columns=("quantity", "value"),
+    )
+    table.add_row("harvested_j", summary["harvested_j"])
+    table.add_row("consumed_j", summary["consumed_j"])
+    table.add_row("leaked_j", summary["leaked_j"])
+    table.add_row("clamped_j", summary["clamped_j"])
+    table.add_row("stored_delta_j", summary["stored_delta_j"])
+    table.add_row("conservation_error_pct", error_pct)
+    table.add_row("soc_v", summary["soc_v"])
+    table.add_row("min_voltage_v", summary["min_voltage_v"])
+    table.add_row("brownout_margin_v", summary["brownout_margin_v"])
+    table.add_row("brownouts", summary["brownouts"])
+    _table(table.to_text())
+    duty = ExperimentTable(
+        title="Duty cycle by power state",
+        columns=("state", "fraction"),
+    )
+    for state, fraction in summary["duty_cycle"].items():
+        duty.add_row(state, fraction)
+    _table(duty.to_text())
+    if args.out:
+        path = write_csv(
+            _ensure_parent(args.out),
+            ("node", "t_s", "soc_v"),
+            soc_rows({args.node: harness}),
+        )
+        _emit(f"wrote SoC time series to {path}")
+    return 0 if error_pct < 1.0 else 1
+
+
+def _build_chaos_fleet(n_nodes: int, seed: int, log):
+    """Seeded stub transports + injectors + energy harnesses for
+    ``fleet-report``: a deterministic miniature of a deployed fleet
+    (clean nodes, a noisy patch, brownouts, a flaky transport, and one
+    energy-starved node)."""
+    from repro.faults import (
+        BrownoutInjector,
+        NoiseBurstInjector,
+        TransportExceptionInjector,
+    )
+    from repro.net import Command, Response
+    from repro.obs import NodeEnergyHarness
+
+    class _StubResult:
+        def __init__(self, packet):
+            self.success = True
+            self.demod = type("Demod", (), {})()
+            self.demod.packet = packet
+            self.demod.success = True
+
+    def stub(address):
+        def transact(query):
+            if query.command is Command.READ_TEMPERATURE:
+                raw = int((18.0 + address) * 100.0 + 10_000)
+                data = bytes([(raw >> 8) & 0xFF, raw & 0xFF])
+                response = Response(
+                    source=address, command=query.command, data=data
+                )
+            else:
+                response = Response(source=address, command=query.command)
+            return _StubResult(response.to_packet())
+
+        return transact
+
+    transports = {}
+    harnesses = {}
+    for addr in range(1, n_nodes + 1):
+        inner = stub(addr)
+        role = addr % 4
+        if role == 1:
+            inner = NoiseBurstInjector(
+                inner, start=3 + addr, duration=5, node=addr, log=log,
+                seed=seed + addr,
+            )
+        elif role == 2:
+            inner = BrownoutInjector(
+                inner, at=2 + addr % 3, dark_for=16, node=addr, log=log,
+                seed=seed + addr,
+            )
+        elif role == 3:
+            inner = TransportExceptionInjector(
+                inner, at=(4, 9 + addr), node=addr, log=log, seed=seed + addr
+            )
+        transports[addr] = inner
+        # Harvest diversity: most nodes comfortable, the last one
+        # energy-starved (equilibrium below the LDO dropout) so the
+        # energy objective actually burns budget.
+        v_oc = 1.9 if addr == n_nodes else 3.4 + 0.15 * (addr % 5)
+        harnesses[addr] = NodeEnergyHarness(
+            addr, v_oc_v=v_oc, r_out_ohm=4.0e3, initial_voltage_v=3.0
+        )
+    return transports, harnesses
+
+
+def _cmd_fleet_report(args) -> int:
+    """Chaos campaign with ledgers + SLO tracking; fleet health report."""
+    from repro.core.experiment import ExperimentTable
+    from repro.faults import EventLog
+    from repro.net import Command, HealthPolicy, ReaderController, RetryPolicy
+    from repro.obs import MetricsRegistry, SLOTracker, metrics_to_prometheus
+    from repro.obs.timeline import (
+        build_timeline, render_timeline, write_timeline_csv,
+        write_timeline_jsonl,
+    )
+
+    log = EventLog()
+    transports, harnesses = _build_chaos_fleet(args.nodes, args.seed, log)
+    slo = SLOTracker(window=args.window)
+    metrics = MetricsRegistry()
+    reader = ReaderController(
+        transports,
+        retry_policy=RetryPolicy(
+            max_retries=1, base_backoff_s=0.1, jitter=0.25, seed=args.seed
+        ),
+        health_policy=HealthPolicy(
+            degrade_after=2, quarantine_after=4, recover_after=2,
+            probe_backoff_rounds=2,
+        ),
+        log=log,
+        metrics=metrics,
+        ledgers=harnesses,
+        slo=slo,
+    )
+    for addr in sorted(transports):
+        reader.set_bitrate(addr, 2_000.0)
+    _emit(
+        f"{args.nodes} nodes configured; running {args.rounds} chaos rounds "
+        f"(seed {args.seed})"
+    )
+    report = reader.run_campaign(Command.READ_TEMPERATURE, rounds=args.rounds)
+
+    balance = ExperimentTable(
+        title="Per-node energy balance",
+        columns=("node", "harvested_j", "consumed_j", "leaked_j",
+                 "clamped_j", "error_pct", "soc_v", "margin_v", "brownouts"),
+    )
+    worst_error = 0.0
+    for addr, summary in report["energy"].items():
+        error_pct = 100.0 * abs(summary["error_fraction"])
+        worst_error = max(worst_error, error_pct)
+        balance.add_row(
+            addr, summary["harvested_j"], summary["consumed_j"],
+            summary["leaked_j"], summary["clamped_j"], error_pct,
+            summary["soc_v"], summary["brownout_margin_v"],
+            summary["brownouts"],
+        )
+    _table(balance.to_text())
+
+    duty = ExperimentTable(
+        title="Duty cycle by power state",
+        columns=("node", "cold", "idle", "decoding", "backscatter", "sensing"),
+    )
+    for addr, summary in report["energy"].items():
+        cycle = summary["duty_cycle"]
+        duty.add_row(
+            addr, cycle.get("cold", 0.0), cycle.get("idle", 0.0),
+            cycle.get("decoding", 0.0), cycle.get("backscatter", 0.0),
+            cycle.get("sensing", 0.0),
+        )
+    _table(duty.to_text())
+
+    slo_table = ExperimentTable(
+        title="SLO error budgets and burn rates",
+        columns=("scope", "objective", "target", "compliance",
+                 "budget_remaining", "burn_rate"),
+    )
+    slo_report = report["slo"]
+    for objective, entry in slo_report["fleet"].items():
+        slo_table.add_row(
+            "fleet", objective, entry["target"], entry["compliance"],
+            entry["budget_remaining"], entry["burn_rate"],
+        )
+    for node_entry in slo_report["nodes"]:
+        for objective in sorted(k for k in node_entry if k != "node"):
+            entry = node_entry[objective]
+            slo_table.add_row(
+                str(node_entry["node"]), objective, entry["target"],
+                entry["compliance"], entry["budget_remaining"],
+                entry["burn_rate"],
+            )
+    _table(slo_table.to_text())
+
+    rows = build_timeline(reader.round_log, log=log, ledgers=harnesses)
+    if args.show_timeline:
+        _table(render_timeline(rows, max_rows=args.show_timeline))
+    if args.timeline_out:
+        path = write_timeline_csv(_ensure_parent(args.timeline_out), rows)
+        _emit(f"wrote timeline CSV to {path}")
+    if args.timeline_jsonl:
+        path = write_timeline_jsonl(_ensure_parent(args.timeline_jsonl), rows)
+        _emit(f"wrote timeline JSONL to {path}")
+    if args.metrics_out:
+        _ensure_parent(args.metrics_out).write_text(
+            metrics_to_prometheus(metrics)
+        )
+        _emit(f"wrote metrics exposition to {args.metrics_out}")
+    _emit(
+        f"campaign: {report['rounds']} rounds, "
+        f"delivery {report['network']['delivery_ratio']:.2f}, "
+        f"{report['events']} events, "
+        f"worst conservation error {worst_error:.3g}%"
+    )
+    return 0 if worst_error < 1.0 else 1
 
 
 def _cmd_fig3(args) -> int:
@@ -481,6 +722,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     postmortem.add_argument("path", help="post-mortem JSONL file to render")
     postmortem.set_defaults(func=_cmd_postmortem)
+
+    energy = sub.add_parser(
+        "energy", help="one node's ledgered energy simulation"
+    )
+    energy.add_argument("--node", type=int, default=7)
+    energy.add_argument(
+        "--pressure", type=float, default=600.0,
+        help="incident acoustic pressure at the node [Pa]",
+    )
+    energy.add_argument("--rounds", type=int, default=30)
+    energy.add_argument("--poll-period", type=float, default=1.0)
+    energy.add_argument("--bitrate", type=float, default=1_000.0)
+    energy.add_argument(
+        "--start-voltage", type=float, default=0.0,
+        help="initial supercap voltage [V] (0 = true cold start)",
+    )
+    energy.add_argument(
+        "--out", default=None,
+        help="write the SoC time series here as CSV",
+    )
+    energy.set_defaults(func=_cmd_energy)
+
+    fleet = sub.add_parser(
+        "fleet-report",
+        help="chaos campaign with energy ledgers + SLO tracking",
+    )
+    fleet.add_argument("--nodes", type=int, default=10)
+    fleet.add_argument("--rounds", type=int, default=40)
+    fleet.add_argument("--seed", type=int, default=2019)
+    fleet.add_argument(
+        "--window", type=int, default=20,
+        help="rolling window (rounds) for SLO burn rates",
+    )
+    fleet.add_argument(
+        "--show-timeline", type=int, default=0, metavar="N",
+        help="also print the first N timeline rows",
+    )
+    fleet.add_argument(
+        "--timeline-out", default=None,
+        help="write the campaign timeline here as CSV",
+    )
+    fleet.add_argument(
+        "--timeline-jsonl", default=None,
+        help="write the campaign timeline here as JSONL",
+    )
+    fleet.add_argument(
+        "--metrics-out", default=None,
+        help="write a Prometheus text exposition of the campaign metrics",
+    )
+    fleet.set_defaults(func=_cmd_fleet_report)
 
     fig3 = sub.add_parser("fig3", help="recto-piezo tuning curves")
     fig3.set_defaults(func=_cmd_fig3)

@@ -186,25 +186,60 @@ class EventLog:
             intervals.append((state, e.t, max(stop, e.t)))
         return intervals
 
+    #: Health states that count as serving traffic.
+    UP_STATES = ("HEALTHY", "DEGRADED")
+
     def availability(self, node: int, *, end_t: float | None = None) -> float:
         """Fraction of observed time the node was serving traffic.
 
         Serving means HEALTHY or DEGRADED; QUARANTINED and PROBING time
         counts as downtime.  Returns 1.0 when the node never left
         HEALTHY (no transitions were logged).
+
+        A campaign that ends mid-outage must not look perfect: when the
+        observation window has zero total duration (e.g. the default
+        ``end_t`` coincides with the final transition), availability is
+        decided by the node's final state — 0.0 if it ended down.
+        Still-open outage windows are charged as downtime up to
+        ``end_t``, because :meth:`state_intervals` closes the last
+        interval there.
         """
         intervals = self.state_intervals(node, end_t=end_t)
         if not intervals:
             return 1.0
         total = sum(stop - start for _, start, stop in intervals)
         if total <= 0:
-            return 1.0
+            # Zero-duration window: report the instantaneous state.
+            return 1.0 if intervals[-1][0] in self.UP_STATES else 0.0
         up = sum(
             stop - start
             for state, start, stop in intervals
-            if state in ("HEALTHY", "DEGRADED")
+            if state in self.UP_STATES
         )
         return up / total
+
+    def open_outage(self, node: int, *, end_t: float | None = None) -> float | None:
+        """Duration of an outage still open at ``end_t``, else ``None``.
+
+        :meth:`mttr` only averages *completed* failure/repair cycles; a
+        campaign that ends mid-outage would silently drop that outage.
+        This exposes it so reports can flag the un-repaired tail.
+        """
+        transitions = self.filter(node=node, kind=EventKind.STATE)
+        if not transitions:
+            return None
+        left_at = None
+        for e in transitions:
+            detail = dict(e.detail)
+            if detail.get("to") in self.UP_STATES:
+                left_at = None
+            elif left_at is None:
+                left_at = e.t
+        if left_at is None:
+            return None
+        if end_t is None:
+            end_t = self.events[-1].t if self.events else transitions[-1].t
+        return max(end_t - left_at, 0.0)
 
     def mttr(self, node: int) -> float:
         """Mean time from leaving HEALTHY to next returning HEALTHY.
@@ -229,6 +264,7 @@ class EventLog:
             "node": node,
             "availability": self.availability(node, end_t=end_t),
             "mttr": self.mttr(node),
+            "open_outage": self.open_outage(node, end_t=end_t),
             "faults": len(self.filter(node=node, kind=EventKind.FAULT)),
             "retries": len(self.filter(node=node, kind=EventKind.RETRY)),
             "exceptions": len(self.filter(node=node, kind=EventKind.EXCEPTION)),

@@ -100,6 +100,22 @@ class ReaderController:
         every node's MAC and bound to the event log (each recorded
         event also counts into ``pab_events_total``); the reader adds
         per-node health gauges and reading counters.
+    ledgers:
+        Optional ``{address: NodeEnergyHarness | EnergyLedger}``
+        (:mod:`repro.obs.ledger`).  Harnesses are stepped once per
+        polling round — the round's delivery outcome drives the node's
+        DECODING/BACKSCATTER/IDLE segments — and their energy balances
+        join :meth:`report` under ``"energy"``.
+    slo:
+        Optional :class:`~repro.obs.slo.SLOTracker` fed one observation
+        per node per round (delivery, availability, and — when that
+        node has an energy harness — sustainability); its report joins
+        :meth:`report` under ``"slo"``.
+
+    When either ``ledgers`` or ``slo`` is given the reader also keeps
+    ``round_log`` — the per-round outcome records the campaign
+    timeline (:mod:`repro.obs.timeline`) is built from.  Neither costs
+    anything when omitted.
     """
 
     def __init__(
@@ -111,11 +127,20 @@ class ReaderController:
         health_policy: HealthPolicy | None = None,
         log: EventLog | None = None,
         metrics=None,
+        ledgers: dict | None = None,
+        slo=None,
     ) -> None:
         if not transports:
             raise ValueError("need at least one node transport")
         self.log = log if log is not None else EventLog()
         self.metrics = metrics
+        self.ledgers = (
+            {int(addr): ledger for addr, ledger in ledgers.items()}
+            if ledgers else {}
+        )
+        self.slo = slo
+        self.round_log: list = []
+        self._track_rounds = slo is not None or bool(self.ledgers)
         if metrics is not None and getattr(self.log, "metrics", None) is None:
             # Bind the fault/recovery event stream into the same
             # registry: one telemetry substrate, not two.
@@ -229,6 +254,7 @@ class ReaderController:
         """
         t = float(self._round)
         out = {}
+        skipped_addrs = set()
         with get_tracer().span(
             "reader.poll_round", round=self._round, nodes=len(self._macs)
         ) as span:
@@ -243,16 +269,50 @@ class ReaderController:
                     else:
                         out[addr] = None
                         skipped += 1
+                        skipped_addrs.add(addr)
                     continue
                 out[addr] = self.poll(addr, command)
             span.set(
                 delivered=sum(1 for r in out.values() if r is not None),
                 skipped_quarantined=skipped,
             )
+        if self._track_rounds:
+            self._observe_round(t, out, skipped_addrs)
         if self.metrics is not None:
             self.metrics.counter("pab_reader_rounds_total").inc()
         self._round += 1
         return out
+
+    def _observe_round(self, t: float, out: dict, skipped: set) -> None:
+        """Feed energy harnesses + SLO tracker and log the round."""
+        outcomes = {}
+        for addr in sorted(self._macs):
+            health = self.nodes[addr].health.state
+            info = {
+                "polled": addr not in skipped,
+                "delivered": out.get(addr) is not None,
+                "up": health in (HealthState.HEALTHY, HealthState.DEGRADED),
+                "health": health.value,
+            }
+            harness = self.ledgers.get(addr)
+            if harness is not None and hasattr(harness, "on_poll_round"):
+                energy = harness.on_poll_round(
+                    t,
+                    polled=info["polled"],
+                    success=info["delivered"],
+                    bitrate=self.nodes[addr].bitrate,
+                )
+                info["sustainable"] = energy["sustainable"]
+                info["soc_v"] = energy["soc_v"]
+            outcomes[addr] = info
+        record = {"t": t, "outcomes": outcomes}
+        if self.slo is not None:
+            self.slo.observe_round(t, outcomes)
+            record["burn"] = {
+                objective: self.slo.burn_rate(objective)
+                for objective in sorted(self.slo.targets)
+            }
+        self.round_log.append(record)
 
     def run_schedule(self, command: Command, rounds: int) -> dict:
         """Run several polling rounds; returns delivery counts per node."""
@@ -365,7 +425,7 @@ class ReaderController:
                 "mttr_rounds": self.log.mttr(addr),
             }
         merged = MacStats().merge(*(self._macs[a].stats for a in sorted(self._macs)))
-        return {
+        report = {
             "rounds": self._round,
             "network": {
                 "attempts": merged.attempts,
@@ -380,6 +440,19 @@ class ReaderController:
             "nodes": per_node,
             "events": len(self.log),
         }
+        if self.ledgers:
+            report["energy"] = {
+                addr: harness.summary()
+                for addr, harness in sorted(self.ledgers.items())
+            }
+            if self.metrics is not None:
+                for harness in self.ledgers.values():
+                    harness.to_metrics(self.metrics)
+        if self.slo is not None:
+            report["slo"] = self.slo.report()
+            if self.metrics is not None:
+                self.slo.to_metrics(self.metrics)
+        return report
 
     def _record(self, address: int) -> NodeRecord:
         if address not in self.nodes:

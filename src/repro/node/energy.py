@@ -59,6 +59,11 @@ class PowerUpSimulator:
         Load-side models.
     threshold_v:
         Power-up threshold (paper: 2.5 V).
+    ledger:
+        Optional :class:`~repro.obs.ledger.EnergyLedger`; attached to
+        the capacitor so every charging step streams its joule flows
+        into the books, and power-up/brownout drills move its
+        :class:`PowerState` bucket.
     """
 
     def __init__(
@@ -69,6 +74,7 @@ class PowerUpSimulator:
         regulator: LowDropoutRegulator | None = None,
         power_model: NodePowerModel | None = None,
         threshold_v: float = POWER_UP_THRESHOLD_V,
+        ledger=None,
     ) -> None:
         if threshold_v <= 0:
             raise ValueError("threshold must be positive")
@@ -77,6 +83,13 @@ class PowerUpSimulator:
         self.regulator = regulator if regulator is not None else LowDropoutRegulator()
         self.power_model = power_model if power_model is not None else NodePowerModel()
         self.threshold_v = threshold_v
+        self.ledger = ledger
+        if ledger is not None:
+            ledger.attach(self.capacitor)
+
+    def _ledger_state(self, state: PowerState) -> None:
+        if self.ledger is not None:
+            self.ledger.set_state(state)
 
     def can_power_up(self, incident_pressure_pa: float, frequency_hz: float) -> bool:
         """Whether cold-start charging can ever cross the threshold.
@@ -99,18 +112,46 @@ class PowerUpSimulator:
         *,
         dt_s: float = 2e-3,
         timeout_s: float = 120.0,
+        start_voltage_v: float = 0.0,
     ) -> PowerUpResult:
-        """Simulate charging from empty; report the power-up outcome."""
+        """Simulate charging from ``start_voltage_v``; report the outcome.
+
+        The default is the true cold start (empty cap); a non-zero
+        ``start_voltage_v`` models a warm restart — e.g. a node that
+        browned out with residual charge.  When the process-global
+        :class:`~repro.obs.probe.ProbeRegistry` wants the
+        ``node.energy`` stage, the charging trajectory is captured as a
+        supercap-SoC waveform tap.
+        """
+        from repro.obs.probe import get_probes
+
         v_oc, r_out = self.harvester.charging_source(
             incident_pressure_pa, frequency_hz
         )
         leak = self.capacitor.leakage_resistance_ohm
         v_eq = v_oc * leak / (leak + r_out)
-        self.capacitor.reset()
+        self.capacitor.reset(voltage_v=start_voltage_v)
+        self._ledger_state(PowerState.COLD)
+        probes = get_probes()
+        record = [start_voltage_v] if probes.wants("node.energy") else None
         t = self.capacitor.time_to_reach(
-            self.threshold_v, v_oc, r_out, dt_s=dt_s, timeout_s=timeout_s
+            self.threshold_v, v_oc, r_out, dt_s=dt_s, timeout_s=timeout_s,
+            record=record,
         )
         powered = t is not None
+        if powered:
+            self._ledger_state(PowerState.IDLE)
+        if record is not None:
+            probes.capture(
+                "node.energy",
+                "cold_start",
+                waveform=record,
+                sample_rate=1.0 / dt_s,
+                threshold_v=self.threshold_v,
+                start_voltage_v=start_voltage_v,
+                powered_up=powered,
+                pressure_pa=incident_pressure_pa,
+            )
         return PowerUpResult(
             powered_up=powered,
             time_to_power_up_s=t if powered else float("inf"),
@@ -165,9 +206,13 @@ class PowerUpSimulator:
             incident_pressure_pa, frequency_hz
         )
         self.capacitor.reset(voltage_v=start_v)
-        return self.capacitor.time_to_reach(
+        self._ledger_state(PowerState.COLD)
+        t = self.capacitor.time_to_reach(
             self.threshold_v, v_oc, r_out, dt_s=dt_s, timeout_s=timeout_s
         )
+        if t is not None:
+            self._ledger_state(PowerState.IDLE)
+        return t
 
     def run_duty_cycle(
         self,
@@ -193,9 +238,12 @@ class PowerUpSimulator:
         i_load = self.power_model.current_a(
             PowerState.BACKSCATTER, bitrate=bitrate
         )
+        self._ledger_state(PowerState.BACKSCATTER)
         steps = max(int(backscatter_s / dt_s), 1)
         for _ in range(steps):
             self.capacitor.charge_from_source(dt_s, v_oc, r_out, i_load_a=i_load)
             if self.capacitor.voltage_v < self.regulator.minimum_input_v:
+                self._ledger_state(PowerState.COLD)
                 return False
+        self._ledger_state(PowerState.IDLE)
         return True

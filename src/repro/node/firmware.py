@@ -88,6 +88,11 @@ class NodeFirmware:
         sensor is attached.
     n_resonance_modes:
         Size of the recto-piezo bank.
+    ledger:
+        Optional :class:`~repro.obs.ledger.EnergyLedger`; lifecycle
+        transitions move its :class:`PowerState` bucket so consumed
+        joules land under the state that spent them.  ``None`` (the
+        default) keeps the firmware observability-free.
     """
 
     def __init__(
@@ -99,6 +104,7 @@ class NodeFirmware:
         thermistor=None,
         environment=None,
         n_resonance_modes: int = 1,
+        ledger=None,
     ) -> None:
         if n_resonance_modes < 1:
             raise ValueError("need at least one resonance mode")
@@ -113,16 +119,23 @@ class NodeFirmware:
         self.state = FirmwareState.OFF
         self.queries_handled = 0
         self.queries_ignored = 0
+        self.ledger = ledger
+
+    def _sync_ledger(self) -> None:
+        if self.ledger is not None:
+            self.ledger.set_state(self.power_state)
 
     # -- lifecycle ---------------------------------------------------------------
 
     def boot(self) -> None:
         """Called when the supercap crosses the power-up threshold."""
         self.state = FirmwareState.IDLE
+        self._sync_ledger()
 
     def brown_out(self) -> None:
         """Called when the supply collapses."""
         self.state = FirmwareState.OFF
+        self._sync_ledger()
 
     @property
     def power_state(self) -> PowerState:
@@ -148,6 +161,17 @@ class NodeFirmware:
         """
         if self.state is FirmwareState.OFF:
             return None
+        if self.ledger is not None:
+            # The MCU spends this stretch timing PWM edges.
+            self.ledger.set_state(PowerState.DECODING)
+        try:
+            return self._decode_downlink_envelope(envelope, sample_rate, schmitt)
+        finally:
+            self._sync_ledger()
+
+    def _decode_downlink_envelope(
+        self, envelope, sample_rate: float, schmitt: SchmittTrigger | None
+    ) -> Query | None:
         env = np.asarray(envelope, dtype=float)
         # Shorter than one PWM symbol cannot contain a frame (and would
         # underflow the smoothing filter's padding).
@@ -211,12 +235,14 @@ class NodeFirmware:
         if response is not None:
             self.queries_handled += 1
             self.state = FirmwareState.RESPONDING
+            self._sync_ledger()
         return response
 
     def response_sent(self) -> None:
         """Called after the backscatter burst completes."""
         if self.state is FirmwareState.RESPONDING:
             self.state = FirmwareState.IDLE
+            self._sync_ledger()
 
     def _cmd_ping(self, query: Query) -> Response:
         return Response(source=int(self.config.address), command=Command.PING)

@@ -62,6 +62,11 @@ class PABNode:
         World state for the sensors.
     bitrate:
         Initial uplink bitrate [bit/s].
+    ledger:
+        Optional :class:`~repro.obs.ledger.EnergyLedger` shared by the
+        firmware (power-state bucketing) and any
+        :meth:`power_up_simulator` this node hands out (capacitor joule
+        flows).
     """
 
     def __init__(
@@ -72,6 +77,7 @@ class PABNode:
         transducer: Transducer | None = None,
         environment: Environment | None = None,
         bitrate: float = 1_000.0,
+        ledger=None,
     ) -> None:
         self.address = (
             address if isinstance(address, NodeAddress) else NodeAddress(int(address))
@@ -86,6 +92,7 @@ class PABNode:
         self.i2c = I2CBus()
         self.i2c.attach(MS5837(self.environment.water))
         pressure_driver = MS5837Driver(self.i2c)
+        self.ledger = ledger
         self.firmware = NodeFirmware(
             FirmwareConfig(address=self.address, bitrate=bitrate),
             ph_sensor=PhSensor(),
@@ -93,6 +100,7 @@ class PABNode:
             thermistor=ThermistorChannel(),
             environment=self.environment,
             n_resonance_modes=len(self.bank),
+            ledger=ledger,
         )
         self.power_model = NodePowerModel()
         self._powered = False
@@ -113,7 +121,9 @@ class PABNode:
         mode = self.bank.mode(
             self.firmware.config.resonance_mode if mode_index is None else mode_index
         )
-        return PowerUpSimulator(mode.harvester, power_model=self.power_model)
+        return PowerUpSimulator(
+            mode.harvester, power_model=self.power_model, ledger=self.ledger
+        )
 
     def try_power_up(self, incident_pressure_pa: float, frequency_hz: float) -> bool:
         """Attempt cold start from an incident tone; boots firmware on success."""

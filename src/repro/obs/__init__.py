@@ -13,6 +13,13 @@ The measurement substrate under every performance claim in this repo:
   pipeline (disabled-by-default, like the tracer).
 * :mod:`repro.obs.postmortem` — structured verdicts assembled from a
   failed exchange's taps, serialized as JSONL.
+* :mod:`repro.obs.ledger` — per-node energy ledgers: harvested vs
+  consumed joules by power state, supercap SoC, brownout margin, and
+  conservation checks.
+* :mod:`repro.obs.slo` — fleet SLO tracking (delivery, availability,
+  energy sustainability) with error budgets and burn rates.
+* :mod:`repro.obs.timeline` — the merged per-round campaign view
+  (health + faults + SoC + SLO burn) as text / CSV / JSONL.
 
 See ``docs/OBSERVABILITY.md`` for the instrumentation guide and the
 overhead policy.
@@ -52,6 +59,16 @@ from repro.obs.probe import (
     set_probes,
     use_probes,
 )
+from repro.obs.slo import DEFAULT_TARGETS, OBJECTIVES, SLOTracker
+from repro.obs.timeline import (
+    build_timeline,
+    render_timeline,
+    soc_rows,
+    timeline_to_csv,
+    timeline_to_jsonl,
+    write_timeline_csv,
+    write_timeline_jsonl,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     Span,
@@ -62,22 +79,45 @@ from repro.obs.trace import (
     use_tracer,
 )
 
+#: Names served lazily from :mod:`repro.obs.ledger` (PEP 562).  The
+#: ledger module imports :mod:`repro.node`, whose firmware imports
+#: :mod:`repro.net.messages`, which reaches back into this package via
+#: the DSP probe hooks — importing it eagerly here would close that
+#: cycle.  Everything else in this package stays dependency-light.
+_LEDGER_EXPORTS = ("DIRECTIONS", "EnergyLedger", "NodeEnergyHarness")
+
+
+def __getattr__(name: str):
+    if name in _LEDGER_EXPORTS:
+        from repro.obs import ledger
+
+        return getattr(ledger, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BER_BUCKETS",
+    "DEFAULT_TARGETS",
+    "DIRECTIONS",
     "LATENCY_BUCKETS_S",
     "NULL_SPAN",
+    "OBJECTIVES",
     "SNR_DB_BUCKETS",
     "Counter",
     "DecodePostmortem",
+    "EnergyLedger",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NodeEnergyHarness",
     "ProbeRegistry",
     "ProbeTap",
+    "SLOTracker",
     "Span",
     "StageFinding",
     "Tracer",
     "VirtualClock",
+    "build_timeline",
     "dump_failure_artifacts",
     "events_to_metrics",
     "get_probes",
@@ -86,14 +126,20 @@ __all__ = [
     "metrics_to_csv",
     "metrics_to_prometheus",
     "postmortems_to_jsonl",
+    "render_timeline",
     "rows_to_csv",
     "set_probes",
     "set_tracer",
+    "soc_rows",
     "spans_to_jsonl",
     "stage_table",
+    "timeline_to_csv",
+    "timeline_to_jsonl",
     "use_probes",
     "use_tracer",
     "write_csv",
     "write_postmortems_jsonl",
     "write_spans_jsonl",
+    "write_timeline_csv",
+    "write_timeline_jsonl",
 ]

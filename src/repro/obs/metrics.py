@@ -32,6 +32,10 @@ SNR_DB_BUCKETS = (-10.0, -5.0, 0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 20.0, 30.0)
 #: Buckets for bit-error-rate observations.
 BER_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2, 0.5)
 
+#: Buckets for supercap state-of-charge observations [V] — knees at the
+#: LDO dropout (2.1 V), the power-up threshold (2.5 V), and the rating.
+SOC_VOLTS_BUCKETS = (0.5, 1.0, 1.5, 2.0, 2.1, 2.5, 3.0, 3.5, 4.0, 5.0, 5.5)
+
 
 def _label_key(labels: dict) -> tuple:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))

@@ -1,0 +1,210 @@
+"""Campaign timeline: one merged per-round view of a fleet's health.
+
+A chaos campaign produces four parallel narratives — health-state
+transitions and injected faults in the
+:class:`~repro.faults.events.EventLog`, delivery outcomes in the
+reader's round log, supercap state-of-charge in each node's
+:class:`~repro.obs.ledger.EnergyLedger`, and SLO burn in the
+:class:`~repro.obs.slo.SLOTracker`.  Debugging means cross-referencing
+them by hand ("round 14: node 3 quarantined... was that the noise burst?
+where was its cap?").  The timeline merges them into one table, one row
+per (round, node), rendered as text / CSV / JSONL.
+
+Row columns (missing sources leave their columns blank):
+
+==================  ========================================================
+``round``           polling round (the campaign's virtual clock)
+``node``            node address
+``polled``          1 if the reader attempted the node this round
+``delivered``       1 if a reading came back
+``health``          health-state code after the round (H/D/Q/P)
+``transition``      ``FROM>TO`` when the state changed this round
+``faults``          injected-fault events filed for this node this round
+``soc_v``           supercap voltage at end of round (energy harness)
+``harvested_j``     joules harvested this round
+``consumed_j``      joules consumed (incl. leakage/clamp) this round
+``sustainable``     1 if the round's energy balance closed
+``burn_delivery``   fleet delivery burn rate after the round
+``burn_energy``     fleet energy burn rate after the round
+==================  ========================================================
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+from repro.faults.events import EventKind
+
+#: Column order for the tabular exports.
+COLUMNS = (
+    "round", "node", "polled", "delivered", "health", "transition",
+    "faults", "soc_v", "harvested_j", "consumed_j", "sustainable",
+    "burn_delivery", "burn_energy",
+)
+
+#: Health-state name -> single-letter code for the compact text view.
+HEALTH_CODES = {
+    "HEALTHY": "H", "DEGRADED": "D", "QUARANTINED": "Q", "PROBING": "P",
+}
+
+
+def _round_events(log, kind) -> dict:
+    """``{(round, node): [events]}`` for one kind, rounds floored."""
+    out: dict = {}
+    if log is None:
+        return out
+    for e in log.filter(kind=kind):
+        key = (int(math.floor(e.t)), e.node)
+        out.setdefault(key, []).append(e)
+    return out
+
+
+def build_timeline(round_log, *, log=None, ledgers=None) -> list:
+    """Merge a campaign's narratives into per-(round, node) rows.
+
+    Parameters
+    ----------
+    round_log:
+        The reader's per-round records: dicts with ``t``, ``outcomes``
+        (``{node: {"polled", "delivered", "up", ...}}``), and optional
+        ``burn`` (``{objective: rate}``) — what
+        :class:`~repro.net.reader.ReaderController` accumulates when an
+        SLO tracker or energy harnesses are attached.
+    log:
+        Optional :class:`~repro.faults.events.EventLog` for health
+        transitions and fault annotations.
+    ledgers:
+        Optional ``{node: EnergyLedger | NodeEnergyHarness}``; their
+        per-round records supply the SoC / joule columns.
+
+    Returns a list of dicts keyed by :data:`COLUMNS`.
+    """
+    transitions = _round_events(log, EventKind.STATE)
+    faults = _round_events(log, EventKind.FAULT)
+    energy_rounds: dict = {}
+    if ledgers:
+        for node, ledger in ledgers.items():
+            ledger = getattr(ledger, "ledger", ledger)  # accept harnesses
+            for info in ledger.round_history:
+                energy_rounds[(int(math.floor(info["t"])), int(node))] = info
+    rows = []
+    health_by_node: dict = {}
+    for record in round_log:
+        rnd = int(math.floor(record["t"]))
+        burn = record.get("burn", {})
+        for node in sorted(record.get("outcomes", {})):
+            info = record["outcomes"][node]
+            key = (rnd, node)
+            moved = transitions.get(key, [])
+            transition = ""
+            if moved:
+                first = dict(moved[0].detail)
+                last = dict(moved[-1].detail)
+                transition = f"{first.get('from', '?')}>{last.get('to', '?')}"
+                health_by_node[node] = last.get("to", "?")
+            health = info.get(
+                "health", health_by_node.get(node, "HEALTHY")
+            )
+            energy = energy_rounds.get(key, {})
+            rows.append({
+                "round": rnd,
+                "node": node,
+                "polled": int(bool(info.get("polled", False))),
+                "delivered": int(bool(info.get("delivered", False))),
+                "health": HEALTH_CODES.get(health, health),
+                "transition": transition,
+                "faults": len(faults.get(key, [])),
+                "soc_v": energy.get("soc_v", float("nan")),
+                "harvested_j": energy.get("harvested_j", float("nan")),
+                "consumed_j": energy.get("consumed_j", float("nan")),
+                "sustainable": (
+                    int(bool(energy["sustainable"]))
+                    if "sustainable" in energy else ""
+                ),
+                "burn_delivery": burn.get("delivery", float("nan")),
+                "burn_energy": burn.get("energy", float("nan")),
+            })
+    return rows
+
+
+def render_timeline(rows, *, max_rows: int | None = None) -> str:
+    """Human-readable fixed-width table of timeline rows."""
+    if not rows:
+        return "(empty timeline)\n"
+    shown = rows if max_rows is None else rows[:max_rows]
+    cells = [tuple(_fmt(row[c]) for c in COLUMNS) for row in shown]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells))
+        for i, col in enumerate(COLUMNS)
+    ]
+    lines = [
+        "  ".join(col.rjust(w) for col, w in zip(COLUMNS, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in cells]
+    if max_rows is not None and len(rows) > max_rows:
+        lines.append(f"... ({len(rows) - max_rows} more rows)")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:
+            return ""
+        return f"{value:.4g}"
+    return str(value)
+
+
+def timeline_to_csv(rows) -> str:
+    """CSV text of timeline rows (results-directory formatting)."""
+    from repro.obs.export import rows_to_csv
+
+    return rows_to_csv(COLUMNS, [tuple(r[c] for c in COLUMNS) for r in rows])
+
+
+def write_timeline_csv(path, rows) -> pathlib.Path:
+    """Write :func:`timeline_to_csv` output; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(timeline_to_csv(rows))
+    return path
+
+
+def timeline_to_jsonl(rows) -> str:
+    """One JSON object per row — joins the spans/events JSONL pipeline.
+
+    Deterministic: sorted keys, compact separators; NaN cells are
+    rendered as ``null`` (JSON has no NaN).
+    """
+    out = []
+    for row in rows:
+        safe = {
+            k: (None if isinstance(v, float) and v != v else v)
+            for k, v in row.items()
+        }
+        out.append(json.dumps(safe, sort_keys=True, separators=(",", ":")))
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def write_timeline_jsonl(path, rows) -> pathlib.Path:
+    """Write :func:`timeline_to_jsonl` output; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(timeline_to_jsonl(rows))
+    return path
+
+
+def soc_rows(ledgers) -> list:
+    """``(node, t_s, soc_v)`` rows from ledgers' SoC series.
+
+    For ``repro energy --out``: dumps every attached ledger's
+    (decimated) supercap trajectory in one flat CSV-ready table.
+    """
+    rows = []
+    for node in sorted(ledgers):
+        ledger = getattr(ledgers[node], "ledger", ledgers[node])
+        times, volts = ledger.soc_series()
+        rows.extend((int(node), t, v) for t, v in zip(times, volts))
+    return rows

@@ -150,6 +150,81 @@ class TestSupercapacitor:
         assert 0.0 <= cap.voltage_v <= 5.5
 
 
+class TestSupercapacitorBooks:
+    """Joule bookkeeping: conservation holds to float precision."""
+
+    def test_unclamped_books_are_exact(self):
+        cap = Supercapacitor(initial_voltage_v=1.0)
+        for _ in range(500):
+            cap.charge_from_source(0.05, 4.0, 4_000.0, i_load_a=50e-6)
+        balance = cap.energy_balance()
+        assert balance["clamped_j"] == pytest.approx(0.0, abs=1e-12)
+        assert abs(balance["error_j"]) < 1e-12 * max(balance["harvested_j"], 1.0)
+
+    def test_clamp_loss_attributed_not_vanished(self):
+        cap = Supercapacitor(initial_voltage_v=5.4, max_voltage_v=5.5)
+        for _ in range(20):
+            cap.step(1.0, i_in_a=0.1)
+        assert cap.voltage_v == 5.5
+        balance = cap.energy_balance()
+        assert balance["clamped_j"] > 0
+        assert abs(balance["error_j"]) < 1e-12
+
+    def test_floor_clamp_caps_consumed_at_stored_energy(self):
+        cap = Supercapacitor(initial_voltage_v=0.1)
+        initial_energy = cap.energy_j
+        cap.step(100.0, i_load_a=1.0)  # load far beyond stored charge
+        assert cap.voltage_v == 0.0
+        assert cap.consumed_j + cap.leaked_j <= initial_energy + 1e-12
+        assert abs(cap.energy_balance()["error_j"]) < 1e-12
+
+    def test_reset_books_the_jump_in_adjusted(self):
+        cap = Supercapacitor(initial_voltage_v=1.0)
+        cap.reset(voltage_v=3.0)
+        expected = 0.5 * cap.capacitance_f * (3.0**2 - 1.0**2)
+        assert cap.adjusted_j == pytest.approx(expected)
+        assert abs(cap.energy_balance()["error_j"]) < 1e-15
+
+    @given(
+        v0=st.floats(0.0, 5.5),
+        i_in=st.floats(0.0, 0.5),
+        i_load=st.floats(0.0, 0.5),
+        dt=st.floats(1e-3, 1.0),
+    )
+    def test_conservation_property(self, v0, i_in, i_load, dt):
+        cap = Supercapacitor(initial_voltage_v=v0, max_voltage_v=5.5)
+        for _ in range(20):
+            cap.step(dt, i_in, i_load)
+        balance = cap.energy_balance()
+        scale = max(balance["harvested_j"], abs(balance["stored_delta_j"]), 1.0)
+        assert abs(balance["error_j"]) < 1e-9 * scale
+
+    def test_observer_receives_every_step_flow(self):
+        seen = []
+        cap = Supercapacitor(initial_voltage_v=1.0)
+        cap.observer = lambda *flows: seen.append(flows)
+        cap.step(0.1, i_in_a=1e-3, i_load_a=1e-4)
+        cap.step(0.1)
+        assert len(seen) == 2
+        dt, v, e_in, e_load, e_leak, e_clamp = seen[0]
+        assert dt == 0.1
+        assert v == cap.voltage_v or v > 0  # the post-step voltage
+        assert e_in > 0 and e_load > 0 and e_leak > 0 and e_clamp == 0.0
+        assert seen[1][2] == 0.0  # no input on the second step
+
+    def test_observer_default_is_none(self):
+        assert Supercapacitor().observer is None
+
+    def test_time_to_reach_records_trajectory(self):
+        cap = Supercapacitor(capacitance_f=1000e-6, leakage_resistance_ohm=1e12)
+        record = []
+        t = cap.time_to_reach(2.5, 4.0, 5_000.0, dt_s=1e-3, record=record)
+        assert t is not None
+        assert len(record) == pytest.approx(t / 1e-3, abs=1.5)
+        assert record[-1] >= 2.5
+        assert record == sorted(record)  # monotone charging
+
+
 class TestLDO:
     def test_regulates_above_minimum(self):
         ldo = LowDropoutRegulator()

@@ -115,3 +115,78 @@ class TestMetrics:
         assert report["retries"] == 1
         assert report["exceptions"] == 1
         assert report["transitions"] == 2
+
+
+class TestOutageEdges:
+    """Zero-duration windows and campaigns that end mid-outage."""
+
+    def test_zero_duration_window_ending_down_is_zero(self):
+        # Only event: the node goes down at t=2; the default end_t
+        # coincides with that transition, so the window has zero
+        # duration — it must not round up to 100% available.
+        log = EventLog()
+        log.record(2, 7, "state", **{"from": "HEALTHY"}, to="QUARANTINED")
+        assert log.availability(7) == 0.0
+
+    def test_zero_duration_window_ending_up_is_one(self):
+        log = EventLog()
+        log.record(2, 7, "state", **{"from": "PROBING"}, to="HEALTHY")
+        assert log.availability(7) == 1.0
+
+    def test_campaign_ending_mid_outage_charges_the_tail(self):
+        # Down at t=2, never repaired, observed through t=10: the open
+        # outage is charged as downtime, not dropped.
+        log = EventLog()
+        log.record(2, 7, "state", **{"from": "HEALTHY"}, to="QUARANTINED")
+        log.record(10, 7, "attempt")
+        assert log.availability(7) == 0.0
+        assert log.availability(7, end_t=12.0) == 0.0
+
+    def test_open_outage_duration(self):
+        log = EventLog()
+        log.record(2, 7, "state", **{"from": "HEALTHY"}, to="QUARANTINED")
+        log.record(10, 7, "attempt")
+        assert log.open_outage(7) == pytest.approx(8.0)
+        assert log.open_outage(7, end_t=15.0) == pytest.approx(13.0)
+
+    def test_open_outage_none_after_repair(self):
+        log = EventLog()
+        log.record(2, 7, "state", **{"from": "HEALTHY"}, to="QUARANTINED")
+        log.record(6, 7, "state", **{"from": "QUARANTINED"}, to="HEALTHY")
+        log.record(10, 7, "attempt")
+        assert log.open_outage(7) is None
+
+    def test_open_outage_tracks_the_first_down_transition(self):
+        # QUARANTINED -> PROBING is still down; the outage started at
+        # the original departure, not the latest transition.
+        log = EventLog()
+        log.record(2, 7, "state", **{"from": "HEALTHY"}, to="QUARANTINED")
+        log.record(6, 7, "state", **{"from": "QUARANTINED"}, to="PROBING")
+        log.record(10, 7, "attempt")
+        assert log.open_outage(7) == pytest.approx(8.0)
+
+    def test_open_outage_none_without_transitions(self):
+        log = EventLog()
+        log.record(0, 7, "attempt")
+        assert log.open_outage(7) is None
+
+    def test_mttr_ignores_the_open_tail(self):
+        # One completed 4-round cycle plus an open outage: MTTR only
+        # averages the completed repair.
+        log = EventLog()
+        log.record(2, 7, "state", **{"from": "HEALTHY"}, to="QUARANTINED")
+        log.record(6, 7, "state", **{"from": "QUARANTINED"}, to="HEALTHY")
+        log.record(8, 7, "state", **{"from": "HEALTHY"}, to="QUARANTINED")
+        log.record(20, 7, "attempt")
+        assert log.mttr(7) == pytest.approx(4.0)
+        assert log.open_outage(7) == pytest.approx(12.0)
+
+    def test_node_report_surfaces_the_open_outage(self):
+        log = EventLog()
+        log.record(2, 7, "state", **{"from": "HEALTHY"}, to="QUARANTINED")
+        log.record(10, 7, "attempt")
+        report = log.node_report(7)
+        assert report["open_outage"] == pytest.approx(8.0)
+        log2 = EventLog()
+        log2.record(0, 7, "attempt")
+        assert log2.node_report(7)["open_outage"] is None

@@ -126,6 +126,72 @@ class TestPolling:
         assert summary[0]["readings"] == 1
 
 
+class TestEnergyAndSloIntegration:
+    def make(self, *, fail_first=0):
+        from repro.obs import MetricsRegistry, NodeEnergyHarness, SLOTracker
+
+        harnesses = {
+            1: NodeEnergyHarness(1, v_oc_v=4.0),
+            # Starved: source below the cap voltage, pure discharge.
+            2: NodeEnergyHarness(2, v_oc_v=1.5, initial_voltage_v=2.6),
+        }
+        metrics = MetricsRegistry()
+        reader = ReaderController(
+            {1: StubNodeTransport(1), 2: StubNodeTransport(2, fail_first=fail_first)},
+            metrics=metrics,
+            ledgers=harnesses,
+            slo=SLOTracker(),
+        )
+        return reader, harnesses, metrics
+
+    def test_round_log_tracks_outcomes_and_burn(self):
+        reader, _, _ = self.make()
+        reader.poll_round(Command.READ_PH)
+        reader.poll_round(Command.READ_PH)
+        assert len(reader.round_log) == 2
+        record = reader.round_log[0]
+        assert set(record["outcomes"]) == {1, 2}
+        assert set(record["burn"]) == {"availability", "delivery", "energy"}
+        info = record["outcomes"][1]
+        assert info["polled"] and info["delivered"] and info["up"]
+        assert "sustainable" in info and "soc_v" in info
+
+    def test_harnesses_advance_with_the_campaign_clock(self):
+        reader, harnesses, _ = self.make()
+        reader.run_schedule(Command.READ_PH, 5)
+        assert harnesses[1].ledger.t == pytest.approx(5.0)
+        assert len(harnesses[1].ledger.round_history) == 5
+        assert abs(harnesses[1].ledger.balance()["error_fraction"]) < 1e-9
+
+    def test_report_carries_energy_and_slo_sections(self):
+        reader, _, metrics = self.make()
+        report = reader.run_campaign(Command.READ_PH, 4)
+        assert set(report["energy"]) == {1, 2}
+        assert report["energy"][1]["node"] == 1
+        assert "duty_cycle" in report["energy"][1]
+        assert report["slo"]["rounds"] == 4
+        assert "delivery" in report["slo"]["fleet"]
+        # Ledger + SLO gauges landed in the shared registry.
+        assert metrics.value("pab_node_soc_volts", node=1) > 0
+        assert metrics.value(
+            "pab_slo_compliance", objective="delivery", node="fleet"
+        ) == pytest.approx(1.0)
+
+    def test_untracked_reader_keeps_no_round_log(self):
+        reader = ReaderController({1: StubNodeTransport(1)})
+        reader.poll_round(Command.READ_PH)
+        assert reader.round_log == []
+        assert "energy" not in reader.report()
+        assert "slo" not in reader.report()
+
+    def test_failed_delivery_burns_the_budget(self):
+        reader, _, _ = self.make(fail_first=100)
+        reader.run_schedule(Command.READ_PH, 4)
+        good, bad = reader.slo.counts("delivery", 2)
+        assert bad > 0
+        assert reader.slo.error_budget_remaining("delivery", 2) < 1.0
+
+
 class TestEndToEndWithWaveformLink:
     def test_full_stack_configuration_and_sensing(self):
         """ReaderController over the real waveform link."""

@@ -1,0 +1,343 @@
+"""Tests for the per-node energy ledger and round-mode harness."""
+
+import math
+
+import pytest
+
+from repro.circuits.storage import Supercapacitor
+from repro.constants import POWER_UP_THRESHOLD_V
+from repro.node.power import NodePowerModel, PowerState
+from repro.obs import (
+    DIRECTIONS,
+    EnergyLedger,
+    MetricsRegistry,
+    NodeEnergyHarness,
+    ProbeRegistry,
+    metrics_to_prometheus,
+    use_probes,
+)
+
+
+def charge_steps(cap, *, n=200, dt=0.05, v_oc=4.0, r_out=4e3, i_load=0.0):
+    for _ in range(n):
+        cap.charge_from_source(dt, v_oc, r_out, i_load_a=i_load)
+
+
+class TestImportOrder:
+    def test_net_first_import_does_not_cycle(self):
+        """Regression: the ledger's repro.node dependency closes a cycle
+        through net.messages -> dsp -> obs, so the obs package must load
+        it lazily.  A fresh interpreter importing repro.net first used
+        to raise ImportError."""
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "import repro.net; import repro.obs; "
+            "assert repro.obs.EnergyLedger.__name__ == 'EnergyLedger'"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
+
+
+class TestConservation:
+    def test_balance_closes_to_float_precision(self):
+        cap = Supercapacitor(initial_voltage_v=1.0)
+        ledger = EnergyLedger(node=3).attach(cap)
+        ledger.set_state(PowerState.IDLE)
+        charge_steps(cap, i_load=50e-6)
+        balance = ledger.balance()
+        assert balance["harvested_j"] > 0
+        assert balance["consumed_j"] > 0
+        assert abs(balance["error_fraction"]) < 1e-9
+
+    def test_clamp_loss_is_booked_not_silent(self):
+        cap = Supercapacitor(initial_voltage_v=5.4, max_voltage_v=5.5)
+        ledger = EnergyLedger().attach(cap)
+        # Ferocious source: the cap hits the rating and the clamp bites.
+        charge_steps(cap, n=50, dt=0.5, v_oc=20.0, r_out=100.0)
+        assert cap.voltage_v == pytest.approx(5.5)
+        assert ledger.clamped_j > 0
+        assert abs(ledger.balance()["error_fraction"]) < 1e-9
+
+    def test_floor_clamp_reduces_effective_load(self):
+        cap = Supercapacitor(initial_voltage_v=0.05)
+        ledger = EnergyLedger().attach(cap)
+        # Load far beyond the stored charge: voltage floors at 0 V and
+        # only the energy that existed is booked as consumed.
+        cap.step(10.0, i_in_a=0.0, i_load_a=1.0)
+        assert cap.voltage_v == 0.0
+        assert ledger.consumed_j <= 0.5 * cap.capacitance_f * 0.05**2 + 1e-12
+        assert abs(ledger.balance()["error_j"]) < 1e-12
+
+    def test_reset_jump_lands_in_adjusted(self):
+        cap = Supercapacitor(initial_voltage_v=1.0)
+        ledger = EnergyLedger().attach(cap)
+        charge_steps(cap, n=20)
+        cap.reset(voltage_v=3.0)  # by-fiat jump, not a physical flow
+        charge_steps(cap, n=20)
+        balance = ledger.balance()
+        assert balance["adjusted_j"] != 0.0
+        assert abs(balance["error_fraction"]) < 1e-9
+
+    def test_balance_keys(self):
+        keys = set(EnergyLedger().balance())
+        assert {
+            "harvested_j", "consumed_j", "leaked_j", "clamped_j",
+            "adjusted_j", "stored_delta_j", "error_j", "error_fraction",
+        } <= keys
+
+
+class TestBuckets:
+    def test_flows_bucketed_by_state(self):
+        cap = Supercapacitor(initial_voltage_v=2.0)
+        ledger = EnergyLedger().attach(cap)
+        ledger.set_state(PowerState.IDLE)
+        charge_steps(cap, n=10, i_load=50e-6)
+        ledger.set_state(PowerState.BACKSCATTER)
+        charge_steps(cap, n=10, i_load=200e-6)
+        assert ledger.total("consumed", PowerState.IDLE) > 0
+        assert ledger.total("consumed", PowerState.BACKSCATTER) > 0
+        assert ledger.consumed_j == pytest.approx(
+            ledger.total("consumed", PowerState.IDLE)
+            + ledger.total("consumed", PowerState.BACKSCATTER)
+        )
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().total("wasted")
+
+    def test_duty_cycle_fractions(self):
+        cap = Supercapacitor(initial_voltage_v=3.0)
+        ledger = EnergyLedger().attach(cap)
+        ledger.set_state(PowerState.IDLE)
+        charge_steps(cap, n=30, dt=0.1)
+        ledger.set_state(PowerState.DECODING)
+        charge_steps(cap, n=10, dt=0.1)
+        duty = ledger.duty_cycle()
+        assert duty["idle"] == pytest.approx(0.75)
+        assert duty["decoding"] == pytest.approx(0.25)
+        assert sum(duty.values()) == pytest.approx(1.0)
+
+    def test_duty_cycle_empty_before_any_time(self):
+        assert EnergyLedger().duty_cycle() == {}
+
+    def test_advance_without_capacitor_uses_power_model(self):
+        model = NodePowerModel()
+        ledger = EnergyLedger(node=1, power_model=model)
+        ledger.advance(PowerState.IDLE, 10.0)
+        expected = model.power_w(PowerState.IDLE) * 10.0
+        assert ledger.consumed_j == pytest.approx(expected)
+        ledger.advance(PowerState.IDLE, 5.0, harvested_w=2e-4)
+        assert ledger.harvested_j == pytest.approx(1e-3)
+
+    def test_advance_rejects_negative_dt(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().advance(PowerState.IDLE, -1.0)
+
+
+class TestBrownouts:
+    def test_powered_to_cold_counts(self):
+        ledger = EnergyLedger()
+        ledger.set_state(PowerState.IDLE)
+        ledger.set_state(PowerState.COLD)
+        ledger.set_state(PowerState.IDLE)
+        ledger.set_state(PowerState.COLD)
+        assert ledger.brownouts == 2
+
+    def test_cold_to_cold_does_not_count(self):
+        ledger = EnergyLedger()
+        ledger.set_state(PowerState.COLD)
+        assert ledger.brownouts == 0
+
+    def test_margin_nan_until_powered(self):
+        cap = Supercapacitor(initial_voltage_v=1.0)
+        ledger = EnergyLedger().attach(cap)
+        charge_steps(cap, n=5)  # still COLD
+        assert math.isnan(ledger.brownout_margin_v)
+
+    def test_margin_measures_powered_headroom(self):
+        cap = Supercapacitor(initial_voltage_v=3.0)
+        ledger = EnergyLedger().attach(cap)
+        ledger.set_state(PowerState.IDLE)
+        charge_steps(cap, n=5, v_oc=0.0, i_load=1e-3)  # discharging
+        assert ledger.brownout_margin_v == pytest.approx(
+            cap.voltage_v - POWER_UP_THRESHOLD_V
+        )
+
+
+class TestSocSeries:
+    def test_decimation_bounds_memory_and_doubles_stride(self):
+        cap = Supercapacitor(initial_voltage_v=1.0)
+        ledger = EnergyLedger(max_soc_samples=16).attach(cap)
+        charge_steps(cap, n=500, dt=0.01)
+        times, volts = ledger.soc_series()
+        assert len(volts) <= 16
+        assert ledger._soc_stride > 1
+        assert times == sorted(times)
+
+    def test_series_tracks_voltage(self):
+        cap = Supercapacitor(initial_voltage_v=1.0)
+        ledger = EnergyLedger().attach(cap)
+        charge_steps(cap, n=50)
+        _, volts = ledger.soc_series()
+        assert volts[-1] == pytest.approx(cap.voltage_v)
+        assert volts[-1] > volts[0]
+
+    def test_tiny_cap_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyLedger(max_soc_samples=1)
+
+    def test_publish_probe_no_op_when_disabled(self):
+        cap = Supercapacitor(initial_voltage_v=1.0)
+        ledger = EnergyLedger().attach(cap)
+        charge_steps(cap, n=5)
+        assert ledger.publish_probe() is None
+
+    def test_publish_probe_captures_waveform(self):
+        cap = Supercapacitor(initial_voltage_v=1.0)
+        ledger = EnergyLedger(node=5).attach(cap)
+        charge_steps(cap, n=50)
+        with use_probes(ProbeRegistry()) as probes:
+            tap = ledger.publish_probe()
+            assert tap is not None
+            assert probes.latest("node.energy") is tap
+        assert tap.diagnostics["node"] == 5
+        assert list(tap.waveform) == ledger.soc_series()[1]
+
+
+class TestMetricsExport:
+    def make_ledger(self):
+        cap = Supercapacitor(initial_voltage_v=2.0)
+        ledger = EnergyLedger(node=4).attach(cap)
+        ledger.set_state(PowerState.IDLE)
+        charge_steps(cap, n=20, i_load=50e-6)
+        return ledger
+
+    def test_gauges_and_counters_published(self):
+        ledger = self.make_ledger()
+        registry = MetricsRegistry()
+        ledger.to_metrics(registry)
+        assert registry.value("pab_node_soc_volts", node=4) == pytest.approx(
+            ledger.last_voltage_v
+        )
+        assert registry.value(
+            "pab_node_energy_joules_total", node=4,
+            direction="harvested", state="idle",
+        ) == pytest.approx(ledger.harvested_j)
+
+    def test_repeated_export_does_not_double_count(self):
+        ledger = self.make_ledger()
+        registry = MetricsRegistry()
+        ledger.to_metrics(registry)
+        first = registry.value(
+            "pab_node_energy_joules_total", node=4,
+            direction="consumed", state="idle",
+        )
+        ledger.to_metrics(registry)
+        assert registry.value(
+            "pab_node_energy_joules_total", node=4,
+            direction="consumed", state="idle",
+        ) == pytest.approx(first)
+
+    def test_export_pushes_only_the_delta(self):
+        cap = Supercapacitor(initial_voltage_v=2.0)
+        ledger = EnergyLedger(node=4).attach(cap)
+        ledger.set_state(PowerState.IDLE)
+        registry = MetricsRegistry()
+        charge_steps(cap, n=10)
+        ledger.to_metrics(registry)
+        charge_steps(cap, n=10)
+        ledger.to_metrics(registry)
+        assert registry.value(
+            "pab_node_energy_joules_total", node=4,
+            direction="harvested", state="idle",
+        ) == pytest.approx(ledger.harvested_j)
+
+    def test_prometheus_exposition_escapes_labels(self):
+        ledger = self.make_ledger()
+        registry = MetricsRegistry()
+        ledger.to_metrics(registry)
+        text = metrics_to_prometheus(registry)
+        assert 'pab_node_energy_joules_total{' in text
+        assert 'direction="harvested"' in text
+        assert 'state="idle"' in text
+        assert 'node="4"' in text
+        # Directions are plain identifiers; nothing should need escaping.
+        for direction in DIRECTIONS:
+            assert "\\" not in direction
+
+
+class TestNodeEnergyHarness:
+    def test_powered_round_segments_and_books(self):
+        harness = NodeEnergyHarness(2, v_oc_v=4.0)
+        info = harness.on_poll_round(0.0, polled=True, success=True)
+        assert info["node"] == 2
+        assert info["powered"]
+        ledger = harness.ledger
+        assert ledger.state_seconds[PowerState.DECODING] == pytest.approx(0.1)
+        assert ledger.state_seconds[PowerState.BACKSCATTER] == pytest.approx(0.2)
+        assert ledger.state_seconds[PowerState.IDLE] == pytest.approx(0.7)
+        assert abs(ledger.balance()["error_fraction"]) < 1e-9
+
+    def test_unpolled_round_idles(self):
+        harness = NodeEnergyHarness(2)
+        harness.on_poll_round(0.0, polled=False, success=False)
+        assert harness.ledger.state_seconds[PowerState.DECODING] == 0.0
+        assert harness.ledger.state_seconds[PowerState.IDLE] == pytest.approx(1.0)
+
+    def test_starved_node_browns_out_and_is_unsustainable(self):
+        # Source below the cap voltage: diodes block, pure discharge.
+        harness = NodeEnergyHarness(
+            9, v_oc_v=1.5, initial_voltage_v=2.6, bitrate=2_000.0,
+        )
+        infos = [
+            harness.on_poll_round(float(t), polled=True, success=True)
+            for t in range(400)
+        ]
+        assert not infos[-1]["powered"]
+        assert harness.ledger.brownouts >= 1
+        assert harness.ledger.brownout_margin_v < 0.0
+        # Every round after the brownout is energy-unsustainable.
+        assert not infos[-1]["sustainable"]
+        # Near-zero harvest makes the relative error meaningless; the
+        # absolute books still close.
+        assert abs(harness.ledger.balance()["error_j"]) < 1e-9
+
+    def test_well_fed_node_is_sustainable(self):
+        harness = NodeEnergyHarness(1, v_oc_v=4.5, r_out_ohm=2e3)
+        # Let the cap settle toward equilibrium first.
+        for t in range(30):
+            info = harness.on_poll_round(float(t), polled=True, success=True)
+        assert info["powered"]
+        assert info["sustainable"]
+
+    def test_round_history_feeds_timeline(self):
+        harness = NodeEnergyHarness(3)
+        harness.on_poll_round(0.0, polled=True, success=False)
+        harness.on_poll_round(1.0, polled=True, success=True)
+        assert len(harness.ledger.round_history) == 2
+        assert harness.ledger.round_history[1]["t"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeEnergyHarness(1, decode_s=0.6, backscatter_s=0.6)
+        with pytest.raises(ValueError):
+            NodeEnergyHarness(1, brownout_v=3.0, threshold_v=2.5)
+        with pytest.raises(ValueError):
+            NodeEnergyHarness(1, poll_period_s=0.0)
+
+    def test_summary_and_metrics_delegate(self):
+        harness = NodeEnergyHarness(6)
+        harness.on_poll_round(0.0, polled=True, success=True)
+        assert harness.summary()["node"] == 6
+        registry = MetricsRegistry()
+        harness.to_metrics(registry)
+        assert registry.value("pab_node_soc_volts", node=6) > 0

@@ -1,0 +1,202 @@
+"""Tests for fleet SLO tracking: budgets, burn rates, ingestion."""
+
+import math
+
+import pytest
+
+from repro.faults import EventLog
+from repro.obs import (
+    DEFAULT_TARGETS,
+    EnergyLedger,
+    MetricsRegistry,
+    OBJECTIVES,
+    SLOTracker,
+)
+
+
+class TestBudgetMath:
+    def test_perfect_record_leaves_budget_untouched(self):
+        slo = SLOTracker()
+        for _ in range(10):
+            slo.record("delivery", 1, good=1.0)
+        assert slo.compliance("delivery", 1) == 1.0
+        assert slo.error_budget_remaining("delivery", 1) == pytest.approx(1.0)
+
+    def test_budget_exhausts_exactly_at_the_target(self):
+        # Target 0.90 over 10 units allows exactly 1 bad unit.
+        slo = SLOTracker({"delivery": 0.90})
+        for _ in range(9):
+            slo.record("delivery", 1, good=1.0)
+        slo.record("delivery", 1, bad=1.0)
+        assert slo.error_budget_remaining("delivery", 1) == pytest.approx(0.0)
+
+    def test_budget_goes_negative_when_violated(self):
+        slo = SLOTracker({"delivery": 0.90})
+        for _ in range(8):
+            slo.record("delivery", 1, good=1.0)
+        for _ in range(2):
+            slo.record("delivery", 1, bad=1.0)
+        assert slo.error_budget_remaining("delivery", 1) == pytest.approx(-1.0)
+
+    def test_burn_rate_of_one_means_spending_at_budget(self):
+        slo = SLOTracker({"delivery": 0.90}, window=10)
+        for _ in range(9):
+            slo.record("delivery", 1, good=1.0)
+        slo.record("delivery", 1, bad=1.0)
+        assert slo.burn_rate("delivery", 1) == pytest.approx(1.0)
+
+    def test_burn_rate_uses_rolling_window(self):
+        slo = SLOTracker({"delivery": 0.90}, window=5)
+        # Old failures age out of the burn window (but not the budget).
+        for _ in range(5):
+            slo.record("delivery", 1, bad=1.0)
+        for _ in range(5):
+            slo.record("delivery", 1, good=1.0)
+        assert slo.burn_rate("delivery", 1) == pytest.approx(0.0)
+        assert slo.error_budget_remaining("delivery", 1) < 0
+
+    def test_no_data_is_nan(self):
+        slo = SLOTracker()
+        assert math.isnan(slo.compliance("delivery"))
+        assert math.isnan(slo.error_budget_remaining("delivery"))
+        assert math.isnan(slo.burn_rate("delivery"))
+
+    def test_fleet_aggregates_across_nodes(self):
+        slo = SLOTracker({"delivery": 0.5})
+        slo.record("delivery", 1, good=1.0)
+        slo.record("delivery", 2, bad=1.0)
+        assert slo.compliance("delivery") == pytest.approx(0.5)
+        assert slo.counts("delivery") == (1.0, 1.0)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(KeyError):
+            SLOTracker().record("latency", 1, good=1.0)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            SLOTracker({"delivery": 1.0})
+        with pytest.raises(ValueError):
+            SLOTracker({"delivery": 0.0})
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            SLOTracker().record("delivery", 1, good=-1.0)
+
+    def test_defaults_cover_the_standard_objectives(self):
+        assert set(OBJECTIVES) == set(DEFAULT_TARGETS)
+
+
+class TestObserveRound:
+    def test_delivery_charged_only_when_polled(self):
+        slo = SLOTracker()
+        slo.observe_round(0.0, {
+            1: {"polled": True, "delivered": True, "up": True},
+            2: {"polled": False, "delivered": False, "up": False},
+        })
+        # Node 2 was skipped (quarantined): no delivery unit consumed,
+        # but its downtime is charged to availability.
+        assert slo.counts("delivery", 2) == (0.0, 0.0)
+        assert slo.counts("availability", 2) == (0.0, 1.0)
+        assert slo.counts("delivery", 1) == (1.0, 0.0)
+
+    def test_energy_only_recorded_when_present(self):
+        slo = SLOTracker()
+        slo.observe_round(0.0, {
+            1: {"polled": True, "delivered": True, "up": True,
+                "sustainable": False},
+            2: {"polled": True, "delivered": True, "up": True},
+        })
+        assert slo.counts("energy", 1) == (0.0, 1.0)
+        assert slo.counts("energy", 2) == (0.0, 0.0)
+
+    def test_rounds_observed_advances(self):
+        slo = SLOTracker()
+        slo.observe_round(0.0, {1: {"polled": True, "delivered": True}})
+        slo.observe_round(1.0, {1: {"polled": True, "delivered": True}})
+        assert slo.rounds_observed == 2
+        assert slo.last_t == 1.0
+
+
+class TestIngestion:
+    def test_ingest_mac_stats_shape(self):
+        class Stats:
+            attempts = 10
+            successes = 7
+
+        slo = SLOTracker()
+        slo.ingest_mac_stats(3, Stats())
+        assert slo.counts("delivery", 3) == (7.0, 3.0)
+
+    def test_ingest_event_log_availability(self):
+        log = EventLog()
+        log.record(0, 7, "state", **{"from": "HEALTHY"}, to="QUARANTINED")
+        log.record(5, 7, "state", **{"from": "QUARANTINED"}, to="HEALTHY")
+        log.record(10, 7, "attempt")
+        slo = SLOTracker()
+        slo.ingest_event_log(log, [7])
+        good, bad = slo.counts("availability", 7)
+        assert good == pytest.approx(5.0)
+        assert bad == pytest.approx(5.0)
+        assert slo.compliance("availability", 7) == pytest.approx(0.5)
+
+    def test_ingest_event_log_skips_silent_nodes(self):
+        slo = SLOTracker()
+        slo.ingest_event_log(EventLog(), [1, 2])
+        assert slo.counts("availability") == (0.0, 0.0)
+
+    def test_ingest_ledger_round_history(self):
+        ledger = EnergyLedger(node=4)
+        ledger.record_round(t=0.0, sustainable=True)
+        ledger.record_round(t=1.0, sustainable=False)
+        slo = SLOTracker()
+        slo.ingest_ledger(ledger)
+        assert slo.counts("energy", 4) == (1.0, 1.0)
+
+
+class TestReporting:
+    def make_tracker(self):
+        slo = SLOTracker(window=4)
+        for t in range(8):
+            slo.observe_round(float(t), {
+                1: {"polled": True, "delivered": t != 0, "up": True,
+                    "sustainable": True},
+                2: {"polled": True, "delivered": True, "up": t >= 4,
+                    "sustainable": t >= 2},
+            })
+        return slo
+
+    def test_report_structure(self):
+        report = self.make_tracker().report()
+        assert report["rounds"] == 8
+        assert set(report["fleet"]) == {"availability", "delivery", "energy"}
+        assert [n["node"] for n in report["nodes"]] == [1, 2]
+        fleet = report["fleet"]["delivery"]
+        assert fleet["compliance"] == pytest.approx(15 / 16)
+
+    def test_node_report_omits_empty_objectives(self):
+        slo = SLOTracker()
+        slo.record("delivery", 1, good=1.0)
+        report = slo.node_report(1)
+        assert "delivery" in report
+        assert "availability" not in report
+
+    def test_to_metrics_fleet_and_node_labels(self):
+        slo = self.make_tracker()
+        registry = MetricsRegistry()
+        slo.to_metrics(registry)
+        assert registry.value(
+            "pab_slo_error_budget_remaining", objective="delivery", node="fleet"
+        ) == pytest.approx(slo.error_budget_remaining("delivery"))
+        assert registry.value(
+            "pab_slo_compliance", objective="availability", node="2"
+        ) == pytest.approx(0.5)
+        assert registry.value(
+            "pab_slo_burn_rate", objective="energy", node="2"
+        ) == pytest.approx(0.0)
+
+    def test_report_is_deterministic(self):
+        assert self.make_tracker().report() == self.make_tracker().report()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SLOTracker(window=0)

@@ -1,0 +1,173 @@
+"""Tests for the merged campaign timeline renderer/exporters."""
+
+import json
+import math
+
+from repro.faults import EventLog
+from repro.obs import (
+    EnergyLedger,
+    build_timeline,
+    render_timeline,
+    soc_rows,
+    timeline_to_csv,
+    timeline_to_jsonl,
+    write_timeline_csv,
+    write_timeline_jsonl,
+)
+from repro.obs.timeline import COLUMNS
+
+
+def make_campaign():
+    """Two rounds, two nodes: node 2 quarantines with a fault at t=1."""
+    log = EventLog()
+    log.record(1.0, 2, "fault", injector="noise_burst")
+    log.record(1.2, 2, "state", **{"from": "HEALTHY"}, to="DEGRADED")
+    log.record(1.7, 2, "state", **{"from": "DEGRADED"}, to="QUARANTINED")
+    ledger = EnergyLedger(node=1)
+    ledger.record_round(
+        t=0.0, soc_v=3.0, harvested_j=2e-4, consumed_j=1e-4, sustainable=True,
+    )
+    ledger.record_round(
+        t=1.0, soc_v=2.9, harvested_j=1e-4, consumed_j=2e-4, sustainable=False,
+    )
+    round_log = [
+        {
+            "t": 0.0,
+            "outcomes": {
+                1: {"polled": True, "delivered": True, "up": True,
+                    "health": "HEALTHY"},
+                2: {"polled": True, "delivered": True, "up": True,
+                    "health": "HEALTHY"},
+            },
+            "burn": {"delivery": 0.0, "energy": 0.0},
+        },
+        {
+            "t": 1.0,
+            "outcomes": {
+                1: {"polled": True, "delivered": True, "up": True,
+                    "health": "HEALTHY"},
+                2: {"polled": True, "delivered": False, "up": False,
+                    "health": "QUARANTINED"},
+            },
+            "burn": {"delivery": 2.5, "energy": 0.0},
+        },
+    ]
+    return round_log, log, {1: ledger}
+
+
+class TestBuild:
+    def test_one_row_per_round_and_node(self):
+        round_log, log, ledgers = make_campaign()
+        rows = build_timeline(round_log, log=log, ledgers=ledgers)
+        assert [(r["round"], r["node"]) for r in rows] == [
+            (0, 1), (0, 2), (1, 1), (1, 2),
+        ]
+
+    def test_transition_and_fault_annotations(self):
+        round_log, log, ledgers = make_campaign()
+        rows = build_timeline(round_log, log=log, ledgers=ledgers)
+        node2_round1 = rows[3]
+        # Both transitions happened during round 1: FROM of the first,
+        # TO of the last, plus the injected fault count.
+        assert node2_round1["transition"] == "HEALTHY>QUARANTINED"
+        assert node2_round1["health"] == "Q"
+        assert node2_round1["faults"] == 1
+
+    def test_energy_columns_from_ledger_history(self):
+        round_log, log, ledgers = make_campaign()
+        rows = build_timeline(round_log, log=log, ledgers=ledgers)
+        assert rows[0]["soc_v"] == 3.0
+        assert rows[2]["sustainable"] == 0
+        # Node 2 has no ledger: energy cells are NaN/blank.
+        assert math.isnan(rows[1]["soc_v"])
+        assert rows[1]["sustainable"] == ""
+
+    def test_burn_columns(self):
+        round_log, log, ledgers = make_campaign()
+        rows = build_timeline(round_log, log=log, ledgers=ledgers)
+        assert rows[2]["burn_delivery"] == 2.5
+
+    def test_sources_are_optional(self):
+        round_log, _, _ = make_campaign()
+        rows = build_timeline(round_log)
+        assert len(rows) == 4
+        assert rows[0]["transition"] == ""
+        assert rows[0]["faults"] == 0
+
+    def test_accepts_harness_wrappers(self):
+        class FakeHarness:
+            def __init__(self, ledger):
+                self.ledger = ledger
+
+        def denan(rows):
+            return [
+                {k: None if isinstance(v, float) and v != v else v
+                 for k, v in row.items()}
+                for row in rows
+            ]
+
+        round_log, log, ledgers = make_campaign()
+        wrapped = {n: FakeHarness(l) for n, l in ledgers.items()}
+        assert denan(build_timeline(round_log, ledgers=wrapped)) == denan(
+            build_timeline(round_log, ledgers=ledgers)
+        )
+
+
+class TestRender:
+    def test_text_table_has_header_and_rows(self):
+        round_log, log, ledgers = make_campaign()
+        text = render_timeline(build_timeline(round_log, log=log, ledgers=ledgers))
+        lines = text.splitlines()
+        for col in COLUMNS:
+            assert col in lines[0]
+        assert len(lines) == 2 + 4  # header + rule + rows
+
+    def test_max_rows_truncates_with_a_note(self):
+        round_log, log, ledgers = make_campaign()
+        text = render_timeline(
+            build_timeline(round_log, log=log, ledgers=ledgers), max_rows=2
+        )
+        assert "(2 more rows)" in text
+
+    def test_empty_timeline(self):
+        assert render_timeline([]) == "(empty timeline)\n"
+
+
+class TestExports:
+    def test_csv_round_trips_columns(self, tmp_path):
+        round_log, log, ledgers = make_campaign()
+        rows = build_timeline(round_log, log=log, ledgers=ledgers)
+        path = write_timeline_csv(tmp_path / "sub" / "tl.csv", rows)
+        lines = path.read_text().splitlines()
+        assert lines[0] == ",".join(COLUMNS)
+        assert len(lines) == 1 + len(rows)
+
+    def test_jsonl_is_valid_and_nan_free(self, tmp_path):
+        round_log, log, ledgers = make_campaign()
+        rows = build_timeline(round_log, log=log, ledgers=ledgers)
+        path = write_timeline_jsonl(tmp_path / "tl.jsonl", rows)
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(records) == len(rows)
+        # Node 2 had no ledger: its NaN SoC serialises as null.
+        assert records[1]["soc_v"] is None
+        assert records[0]["soc_v"] == 3.0
+
+    def test_exports_are_deterministic(self):
+        def build():
+            round_log, log, ledgers = make_campaign()
+            rows = build_timeline(round_log, log=log, ledgers=ledgers)
+            return timeline_to_csv(rows), timeline_to_jsonl(rows)
+
+        assert build() == build()
+
+    def test_empty_jsonl(self):
+        assert timeline_to_jsonl([]) == ""
+
+
+class TestSocRows:
+    def test_flattens_ledgers_in_node_order(self):
+        a, b = EnergyLedger(node=2), EnergyLedger(node=1)
+        a.soc_t, a.soc_v = [0.0, 1.0], [2.5, 2.6]
+        b.soc_t, b.soc_v = [0.0], [3.0]
+        rows = soc_rows({2: a, 1: b})
+        assert rows == [(1, 0.0, 3.0), (2, 0.0, 2.5), (2, 1.0, 2.6)]

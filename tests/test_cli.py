@@ -174,3 +174,71 @@ class TestCoverageCommand:
         out = capsys.readouterr().out
         assert "Power-up coverage" in out
         assert "#" in out
+
+
+class TestEnergyCommand:
+    def test_energy_books_close_and_exit_zero(self, capsys):
+        assert main(["energy", "--rounds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Energy ledger" in out
+        assert "conservation_error_pct" in out
+        assert "Duty cycle" in out
+
+    def test_energy_out_writes_soc_series(self, tmp_path, capsys):
+        path = tmp_path / "sub" / "soc.csv"
+        assert main(["energy", "--rounds", "5", "--out", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        assert lines[0] == "node,t_s,soc_v"
+        assert len(lines) > 1
+
+    def test_energy_weak_field_still_balances(self, capsys):
+        # Below the power-up threshold the node never wakes; the books
+        # must still close (exit 0) with a cold duty cycle of 1.
+        assert main(["energy", "--rounds", "5", "--pressure", "100"]) == 0
+
+
+class TestFleetReportCommand:
+    def test_fleet_report_tables_and_exit_zero(self, capsys):
+        assert main([
+            "fleet-report", "--nodes", "4", "--rounds", "8", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Per-node energy balance" in out
+        assert "SLO error budgets" in out
+        assert "Duty cycle" in out
+
+    def test_fleet_report_artifacts(self, tmp_path, capsys):
+        csv = tmp_path / "tl.csv"
+        jsonl = tmp_path / "tl.jsonl"
+        prom = tmp_path / "m.prom"
+        assert main([
+            "fleet-report", "--nodes", "4", "--rounds", "8", "--seed", "7",
+            "--timeline-out", str(csv), "--timeline-jsonl", str(jsonl),
+            "--metrics-out", str(prom),
+        ]) == 0
+        header = csv.read_text().splitlines()[0]
+        assert header.startswith("round,node,polled,delivered")
+        records = [json.loads(l) for l in jsonl.read_text().splitlines()]
+        assert len(records) == 8 * 4
+        prom_text = prom.read_text()
+        assert "pab_node_energy_joules_total" in prom_text
+        assert "pab_slo_error_budget_remaining" in prom_text
+
+    def test_fleet_report_show_timeline(self, capsys):
+        assert main([
+            "fleet-report", "--nodes", "4", "--rounds", "6", "--seed", "7",
+            "--show-timeline", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "burn_delivery" in out
+
+    def test_fleet_report_is_deterministic(self, tmp_path, capsys):
+        def run(name):
+            path = tmp_path / name
+            main([
+                "fleet-report", "--nodes", "4", "--rounds", "8",
+                "--seed", "7", "--timeline-jsonl", str(path),
+            ])
+            return path.read_text()
+
+        assert run("a.jsonl") == run("b.jsonl")
