@@ -22,6 +22,7 @@ from repro.acoustics.geometry import Position, Tank
 from repro.acoustics.multipath import ImageSourceModel, Path
 from repro.acoustics.noise import AmbientNoiseModel
 from repro.constants import NOMINAL_SOUND_SPEED
+from repro.perf.cache import get_cache
 
 
 @dataclass
@@ -92,9 +93,20 @@ class AcousticChannel:
             sound_speed=sound_speed,
             frequency_hz=frequency_hz,
         )
-        self._paths = self._model.paths(source, receiver)
-        self._impulse = self._model.impulse_response(
-            source, receiver, sample_rate
+        # Path enumeration and impulse-response synthesis depend only on
+        # geometry + model parameters; links rebuilt for the same layout
+        # (every transaction in a polling campaign) share the results.
+        geo_key = (
+            tank, source, receiver, max_order, sound_speed, frequency_hz
+        )
+        self._paths = get_cache("channel_paths", maxsize=128).get_or_compute(
+            geo_key, lambda: tuple(self._model.paths(source, receiver))
+        )
+        self._impulse = get_cache("channel_irs", maxsize=128).get_or_compute(
+            geo_key + (sample_rate,),
+            lambda: self._model.impulse_response(
+                source, receiver, sample_rate
+            ),
         )
 
     @property

@@ -60,19 +60,20 @@ class SchmittTrigger:
         force = np.zeros(len(x), dtype=np.int8)
         force[x >= self.high_threshold_v] = 1
         force[x <= self.low_threshold_v] = -1
-        # Propagate the last non-zero "force" forward.
+        # Propagate the last non-zero "force" forward: each sample looks
+        # up the most recent forcing sample's value (a running-maximum
+        # over forcing indices), so the hold behaviour needs no Python
+        # loop over pulses.
         idx = np.nonzero(force)[0]
-        state = np.empty(len(x), dtype=bool)
         if len(idx) == 0:
-            state[:] = initial_state
+            state = np.full(len(x), bool(initial_state))
         else:
+            last = np.zeros(len(x), dtype=np.intp)
+            last[idx] = idx
+            np.maximum.accumulate(last, out=last)
+            state = force[last] > 0
             # Before the first forcing sample: hold the initial state.
             state[: idx[0]] = initial_state
-            # From each forcing sample to the next: hold its value.
-            values = force[idx] > 0
-            boundaries = np.append(idx, len(x))
-            for i, start in enumerate(idx):
-                state[start : boundaries[i + 1]] = values[i]
         return np.where(state, self.output_high_v, self.output_low_v)
 
     def edges(self, waveform, sample_rate: float, initial_state: bool = False):

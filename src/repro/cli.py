@@ -467,6 +467,341 @@ def _cmd_fleet_report(args) -> int:
     return 0 if worst_error < 1.0 else 1
 
 
+#: Stage name -> (module, class, method) patched by ``bench --inject``.
+_INJECT_TARGETS = {
+    "link.pwm_synthesis": ("repro.core.projector", "Projector", "query_waveform"),
+    "link.downlink_propagation": ("repro.acoustics.channel", "AcousticChannel", "apply"),
+    "link.node": ("repro.circuits.schmitt", "SchmittTrigger", "process"),
+    "link.uplink_propagation": ("repro.acoustics.channel", "AcousticChannel", "apply"),
+    "link.hydrophone_dsp": ("repro.dsp.demod", "BackscatterDemodulator", "demodulate"),
+}
+
+
+def _apply_injection(spec: str):
+    """Patch a stage entry point with an artificial delay.
+
+    ``spec`` is ``stage:seconds`` with ``stage`` one of
+    :data:`_INJECT_TARGETS`.  Returns ``(cls, attr, original)`` so the
+    caller can restore the method (tests invoke ``main()`` in-process).
+    """
+    import importlib
+    import time as _time
+
+    stage, _, rest = spec.partition(":")
+    if stage not in _INJECT_TARGETS or not rest:
+        raise ValueError(
+            f"bad --inject spec {spec!r}; expected STAGE:SECONDS with "
+            f"STAGE in {sorted(_INJECT_TARGETS)}"
+        )
+    seconds = float(rest)
+    mod_name, cls_name, attr = _INJECT_TARGETS[stage]
+    cls = getattr(importlib.import_module(mod_name), cls_name)
+    original = getattr(cls, attr)
+
+    def slowed(self, *a, **kw):
+        _time.sleep(seconds)
+        return original(self, *a, **kw)
+
+    setattr(cls, attr, slowed)
+    return cls, attr, original
+
+
+def _build_bench_fleet(nodes: int, seed: int, bitrate: float):
+    """``{addr: link.run_query}`` over real waveform links.
+
+    Every node gets its own geometry (distinct channel impulse
+    responses, so the geometry cache is exercised honestly) and its own
+    seeded noise model, so a rebuilt fleet with the same seed replays
+    the exact same noise regardless of execution mode.
+    """
+    from repro.acoustics import POOL_A, Position
+    from repro.acoustics.noise import AmbientNoiseModel
+    from repro.core import BackscatterLink, Projector
+    from repro.node.node import PABNode
+    from repro.piezo import Transducer
+
+    transducer = Transducer.from_cylinder_design()
+    f = transducer.resonance_hz
+    transports = {}
+    for i in range(nodes):
+        addr = 0x10 + i
+        projector = Projector(
+            transducer=transducer, drive_voltage_v=60.0, carrier_hz=f
+        )
+        node = PABNode(address=addr, channel_frequencies_hz=(f,), bitrate=bitrate)
+        link = BackscatterLink(
+            POOL_A, projector, Position(0.5, 1.5, 0.6),
+            node, Position(0.8 + 0.04 * i, 1.5, 0.6), Position(1.0, 0.8, 0.6),
+            noise=AmbientNoiseModel(
+                spectrum="flat", flat_level_db=35.0, seed=1000 * seed + addr
+            ),
+        )
+        transports[addr] = link.run_query
+    return transports
+
+
+def _bench_campaign(nodes: int, rounds: int, seed: int, bitrate: float,
+                    parallel: int):
+    """One timed campaign on a fresh fleet; returns ``(seconds, digest)``.
+
+    The digest covers the campaign report, the event log, and the
+    metrics exposition, so two modes agree only if they are
+    byte-identical in every observable output.
+    """
+    import hashlib
+    import json
+    import time
+
+    from repro.faults import EventLog
+    from repro.net import Command, ReaderController, RetryPolicy
+    from repro.obs import MetricsRegistry, metrics_to_prometheus
+
+    log = EventLog()
+    metrics = MetricsRegistry()
+    reader = ReaderController(
+        _build_bench_fleet(nodes, seed, bitrate),
+        retry_policy=RetryPolicy(
+            max_retries=1, base_backoff_s=0.0, jitter=0.0, seed=seed
+        ),
+        log=log,
+        metrics=metrics,
+        parallel=parallel,
+    )
+    start = time.perf_counter()
+    report = reader.run_campaign(Command.READ_PH, rounds=rounds)
+    elapsed = time.perf_counter() - start
+    blob = (
+        json.dumps(report, sort_keys=True, default=str)
+        + "\n" + log.dump()
+        + "\n" + metrics_to_prometheus(metrics)
+    )
+    digest = hashlib.sha256(blob.encode()).hexdigest()
+    return elapsed, digest, report
+
+
+def _bench_stage_breakdown(seed: int, bitrate: float, repeats: int = 5) -> dict:
+    """Per-stage wall-clock fractions from traced, uncached exchanges.
+
+    One untraced warmup exchange first (FFT plans, import tails), then
+    ``repeats`` traced ones aggregated — single-exchange fractions
+    wobble by tens of percent on loaded runners.
+    """
+    from repro.core.link import BackscatterLink
+    from repro.net.messages import Command, Query
+    from repro.obs import Tracer, use_tracer
+    from repro.perf import caching_disabled
+
+    tracer = Tracer()
+    transports = _build_bench_fleet(1, seed, bitrate)
+    (addr, transact), = transports.items()
+    query = Query(destination=addr, command=Command.READ_PH)
+    with caching_disabled():
+        transact(query)
+        with use_tracer(tracer):
+            for _ in range(repeats):
+                transact(query)
+    totals = tracer.stage_totals()
+    stage_s = {
+        name: totals.get(name, {}).get("total_s", 0.0)
+        for name in BackscatterLink.STAGES
+    }
+    whole = sum(stage_s.values()) or 1.0
+    return {
+        name: {"total_s": t, "fraction": t / whole}
+        for name, t in stage_s.items()
+    }
+
+
+def _bench_gate(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Regression verdicts for ``current`` vs ``baseline`` (empty = pass).
+
+    A stage regresses when its wall-clock *fraction* grows by more than
+    ``threshold`` relative plus a 5-point absolute floor (small stages
+    jitter); the end-to-end speedup regresses when it drops more than
+    ``threshold`` below the baseline's.
+    """
+    failures = []
+    for name, base in baseline.get("stages", {}).items():
+        cur = current["stages"].get(name)
+        if cur is None:
+            continue
+        limit = base["fraction"] * (1.0 + threshold) + 0.05
+        if cur["fraction"] > limit:
+            failures.append(
+                f"stage {name}: fraction {cur['fraction']:.3f} > "
+                f"allowed {limit:.3f} (baseline {base['fraction']:.3f})"
+            )
+    # Smoke campaigns are six mostly-cold transactions; their end-to-end
+    # speedup hovers near 1x and swings with runner load, so only the
+    # stage fractions gate smoke runs.
+    base_speedup = None if baseline.get("smoke") else baseline.get("speedup_total")
+    if base_speedup:
+        floor = base_speedup * (1.0 - threshold)
+        if current["speedup_total"] < floor:
+            failures.append(
+                f"speedup {current['speedup_total']:.2f}x < "
+                f"allowed {floor:.2f}x (baseline {base_speedup:.2f}x)"
+            )
+    return failures
+
+
+def _cmd_bench(args) -> int:
+    """Sequential vs cached vs parallel campaign benchmark + perf gate."""
+    import json
+
+    from repro.core.experiment import ExperimentTable
+    from repro.perf import cache_stats, caching_disabled, clear_all_caches
+
+    import os
+
+    nodes = args.nodes if args.nodes is not None else (2 if args.smoke else 10)
+    rounds = args.rounds if args.rounds is not None else (3 if args.smoke else 20)
+    if args.parallel is None:
+        # Thread width beyond the core count only buys GIL thrash on
+        # this CPU-bound workload.
+        args.parallel = max(1, min(4, os.cpu_count() or 1))
+    restore = None
+    if args.inject:
+        try:
+            restore = _apply_injection(args.inject)
+        except ValueError as exc:
+            _emit(str(exc))
+            return 2
+        _emit(f"injected slowdown: {args.inject}")
+    try:
+        _emit(
+            f"bench: {nodes} nodes x {rounds} rounds, seed {args.seed}, "
+            f"parallel width {args.parallel}"
+        )
+        clear_all_caches()
+        with caching_disabled():
+            seq_s, seq_digest, _ = _bench_campaign(
+                nodes, rounds, args.seed, args.bitrate, parallel=0
+            )
+        _emit(f"sequential (no caches): {seq_s:.2f} s")
+        clear_all_caches()
+        cached_s, cached_digest, _ = _bench_campaign(
+            nodes, rounds, args.seed, args.bitrate, parallel=0
+        )
+        _emit(f"cached:                 {cached_s:.2f} s")
+        clear_all_caches()
+        par_s, par_digest, report = _bench_campaign(
+            nodes, rounds, args.seed, args.bitrate, parallel=args.parallel
+        )
+        _emit(f"cached + parallel:      {par_s:.2f} s")
+        identical = seq_digest == cached_digest == par_digest
+        stats = cache_stats()
+        stages = _bench_stage_breakdown(args.seed, args.bitrate)
+    finally:
+        if restore is not None:
+            cls, attr, original = restore
+            setattr(cls, attr, original)
+
+    record = {
+        "schema": 1,
+        "smoke": bool(args.smoke),
+        "nodes": nodes,
+        "rounds": rounds,
+        "seed": args.seed,
+        "bitrate": args.bitrate,
+        "parallel": args.parallel,
+        "sequential_s": round(seq_s, 4),
+        "cached_s": round(cached_s, 4),
+        "parallel_s": round(par_s, 4),
+        "speedup_cached": round(seq_s / cached_s, 3),
+        "speedup_total": round(seq_s / par_s, 3),
+        "identical": identical,
+        "digest": seq_digest,
+        "delivery_ratio": round(report["network"]["delivery_ratio"], 4),
+        "stages": {
+            name: {
+                "total_s": round(entry["total_s"], 5),
+                "fraction": round(entry["fraction"], 4),
+            }
+            for name, entry in stages.items()
+        },
+        "caches": {
+            name: {"hits": s.hits, "misses": s.misses}
+            for name, s in sorted(stats.items())
+        },
+    }
+
+    table = ExperimentTable(
+        title="Benchmark summary",
+        columns=("mode", "wall_s", "speedup"),
+    )
+    table.add_row("sequential", record["sequential_s"], 1.0)
+    table.add_row("cached", record["cached_s"], record["speedup_cached"])
+    table.add_row("cached+parallel", record["parallel_s"], record["speedup_total"])
+    _table(table.to_text())
+    breakdown = ExperimentTable(
+        title="Per-stage breakdown (one uncached traced exchange)",
+        columns=("stage", "total_s", "fraction"),
+    )
+    for name, entry in record["stages"].items():
+        breakdown.add_row(name, entry["total_s"], entry["fraction"])
+    _table(breakdown.to_text())
+
+    if not identical:
+        _emit("FAIL: execution modes disagree — reports are not byte-identical")
+        return 1
+
+    status = 0
+    if args.compare:
+        path = pathlib.Path(args.compare)
+        if not path.exists():
+            _emit(f"FAIL: baseline {path} not found")
+            return 1
+        history = json.loads(path.read_text()).get("records", [])
+        matching = [r for r in history if r.get("smoke") == record["smoke"]]
+        if not matching:
+            _emit(f"FAIL: no baseline record with smoke={record['smoke']}")
+            return 1
+        failures = _bench_gate(record, matching[-1], args.fail_threshold)
+        for failure in failures:
+            _emit(f"REGRESSION: {failure}")
+        if failures:
+            status = 1
+        else:
+            _emit(
+                f"perf gate passed vs baseline "
+                f"(speedup {record['speedup_total']:.2f}x, "
+                f"threshold {args.fail_threshold:.0%})"
+            )
+
+    if args.out:
+        path = _ensure_parent(args.out)
+        history = {"records": []}
+        if path.exists():
+            history = json.loads(path.read_text())
+        history.setdefault("records", []).append(record)
+        path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+        _emit(f"appended record to {path}")
+    if args.trend_out:
+        path = _ensure_parent(args.trend_out)
+        header = (
+            "smoke,nodes,rounds,seed,parallel,sequential_s,cached_s,"
+            "parallel_s,speedup_cached,speedup_total,"
+            + ",".join(f"frac_{n.split('.')[-1]}" for n in record["stages"])
+        )
+        row = ",".join(
+            str(v) for v in (
+                int(record["smoke"]), nodes, rounds, args.seed, args.parallel,
+                record["sequential_s"], record["cached_s"],
+                record["parallel_s"], record["speedup_cached"],
+                record["speedup_total"],
+            )
+        ) + "," + ",".join(
+            str(e["fraction"]) for e in record["stages"].values()
+        )
+        if path.exists():
+            path.write_text(path.read_text().rstrip("\n") + "\n" + row + "\n")
+        else:
+            path.write_text(header + "\n" + row + "\n")
+        _emit(f"appended trend row to {path}")
+    return status
+
+
 def _cmd_fig3(args) -> int:
     from repro.circuits import EnergyHarvester
     from repro.core.experiment import ExperimentTable
@@ -772,6 +1107,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Prometheus text exposition of the campaign metrics",
     )
     fleet.set_defaults(func=_cmd_fleet_report)
+
+    bench = sub.add_parser(
+        "bench",
+        help="sequential vs cached vs parallel campaign benchmark",
+    )
+    bench.add_argument("--nodes", type=int, default=None,
+                       help="fleet size (default 10, or 2 with --smoke)")
+    bench.add_argument("--rounds", type=int, default=None,
+                       help="polling rounds (default 20, or 3 with --smoke)")
+    bench.add_argument("--seed", type=int, default=2019)
+    bench.add_argument("--bitrate", type=float, default=2_000.0)
+    bench.add_argument("--parallel", type=int, default=None,
+                       help="parallel reader width for the third mode "
+                            "(default: min(4, cpu count))")
+    bench.add_argument("--smoke", action="store_true",
+                       help="small fleet/campaign for CI smoke runs")
+    bench.add_argument("--out", default=None,
+                       help="append the run record to this BENCH_perf.json")
+    bench.add_argument("--trend-out", default=None,
+                       help="append a CSV row to this perf-trend file")
+    bench.add_argument("--compare", default=None,
+                       help="gate against the latest matching record in "
+                            "this BENCH_perf.json")
+    bench.add_argument("--fail-threshold", type=float, default=0.25,
+                       help="relative regression tolerance for the gate")
+    bench.add_argument("--inject", default=None, metavar="STAGE:SECONDS",
+                       help="artificially slow one stage (gate self-test)")
+    bench.set_defaults(func=_cmd_bench)
 
     fig3 = sub.add_parser("fig3", help="recto-piezo tuning curves")
     fig3.set_defaults(func=_cmd_fig3)

@@ -17,6 +17,7 @@ from repro.constants import HYDROPHONE_SENSITIVITY_DB
 from repro.dsp.demod import BackscatterDemodulator, DemodResult
 from repro.dsp.packets import DEFAULT_FORMAT, PacketFormat
 from repro.obs.probe import get_probes
+from repro.perf.cache import get_cache
 
 
 class Hydrophone:
@@ -89,13 +90,28 @@ class Hydrophone:
         packet_format: PacketFormat = DEFAULT_FORMAT,
         detection_threshold: float = 0.5,
     ) -> BackscatterDemodulator:
-        """A demodulator bound to this hydrophone's sample rate."""
-        return BackscatterDemodulator(
-            carrier_hz,
-            bitrate,
-            self.sample_rate,
-            packet_format=packet_format,
-            detection_threshold=detection_threshold,
+        """A demodulator bound to this hydrophone's sample rate.
+
+        Demodulators are stateless (pure configuration), so identical
+        requests share one memoized instance instead of re-validating
+        and re-deriving per decode.
+        """
+        key = (
+            float(carrier_hz),
+            float(bitrate),
+            float(self.sample_rate),
+            packet_format,
+            float(detection_threshold),
+        )
+        return get_cache("demodulators", maxsize=16).get_or_compute(
+            key,
+            lambda: BackscatterDemodulator(
+                carrier_hz,
+                bitrate,
+                self.sample_rate,
+                packet_format=packet_format,
+                detection_threshold=detection_threshold,
+            ),
         )
 
     def demodulate(

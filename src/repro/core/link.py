@@ -38,6 +38,7 @@ from repro.net.messages import Query, Response
 from repro.node.node import PABNode
 from repro.obs.probe import get_probes
 from repro.obs.trace import get_tracer
+from repro.perf.cache import LRUCache, cache_enabled
 from repro.piezo.transducer import Transducer
 
 
@@ -290,6 +291,11 @@ class BackscatterLink:
             sample_rate=sample_rate, frequency_hz=f, max_order=max_order,
         )
         self.hydrophone = Hydrophone(sample_rate)
+        # Per-link memo for the deterministic waveform legs of an
+        # exchange (see _run_stages_cached).  A polling campaign repeats
+        # the same few query/response shapes, so the expensive synthesis
+        # and propagation convolutions hit after the first round.
+        self._leg_memo = LRUCache("link_legs", maxsize=8)
 
     # -- diagnostics ----------------------------------------------------------------------
 
@@ -492,7 +498,155 @@ class BackscatterLink:
         self._observe(result)
         return result
 
+    def _memo_active(self, tracer, probes) -> bool:
+        """Whether the leg memo may shortcut waveform synthesis.
+
+        Only when nothing observes the intermediate signals: tracing
+        wants true per-stage timings, probes want the actual waveforms, and
+        an energy ledger wants real firmware dwell times.  The memo
+        never changes outputs — the gates protect observability, not
+        correctness.
+        """
+        return (
+            cache_enabled()
+            and not tracer.enabled
+            and not probes.enabled
+            and self.node.firmware.ledger is None
+        )
+
+    def _run_stages_cached(self, query: Query) -> LinkResult:
+        """The exchange with memoized deterministic legs.
+
+        Every waveform between the projector and the hydrophone is a
+        pure function of (query, reply chips, node config) except the
+        ambient noise, which is added after the memoized pre-noise
+        mixture is retrieved.  Node firmware still executes for real
+        where it mutates state — power-up, command handling, and reply
+        framing — and the noise stream advances exactly once per
+        exchange, as in the uncached path, so a cached campaign is
+        byte-identical to an uncached one.
+        """
+        fs = self.sample_rate
+        f = self.projector.carrier_hz
+        mode = self.node.firmware.config.resonance_mode
+        bitrate = self.node.bitrate
+        budget = self._leg_memo.get_or_compute(
+            ("budget", mode, bitrate), self.budget
+        )
+
+        powered = self.node.try_power_up(budget.incident_pressure_pa, f)
+        if not powered:
+            return LinkResult(
+                powered_up=False, query_decoded=False, response=None,
+                demod=None, ber=float("nan"), snr_db=float("nan"), budget=budget,
+            )
+
+        def compute_query_env() -> np.ndarray:
+            query_wave = self.projector.query_waveform(query, fs)
+            incident_query = self._node_incident(query_wave)
+            return envelope_detect(self._node_selective(incident_query), f, fs)
+
+        env = self._leg_memo.get_or_compute(
+            ("downlink", query, mode), compute_query_env
+        )
+        # The PWM decode is pure DSP on the memoized envelope (the node
+        # is powered and unledgered here, and the PWM code is fixed at
+        # construction), so its result is memoized under the same key.
+        decoded_query = self._leg_memo.get_or_compute(
+            ("downlink_decode", query, mode),
+            lambda: self.node.receive_query(env, fs),
+        )
+        if decoded_query is None:
+            return LinkResult(
+                powered_up=True, query_decoded=False, response=None,
+                demod=None, ber=float("nan"), snr_db=float("nan"), budget=budget,
+            )
+
+        response = self.node.respond(decoded_query)
+        if response is None:
+            return LinkResult(
+                powered_up=True, query_decoded=True, response=None,
+                demod=None, ber=float("nan"), snr_db=float("nan"),
+                budget=budget,
+            )
+        chips = self.node.uplink_chips(response)
+        # Re-read after respond(): SET_BITRATE / SET_RESONANCE_MODE take
+        # effect mid-exchange, and the reply already ships under the new
+        # setting (the uncached path reads both inside the uplink stage),
+        # so the uplink leg must be keyed by the post-command values.
+        bitrate = self.node.bitrate
+        mode = self.node.firmware.config.resonance_mode
+
+        def compute_uplink_leg() -> tuple[np.ndarray, int]:
+            chip_rate = 2.0 * bitrate
+            uplink_s = len(chips) / chip_rate + self.UPLINK_MARGIN_S
+            tx, uplink_start = self.projector.query_then_carrier(
+                query, uplink_s, fs
+            )
+            incident = self._node_incident(tx)
+            delay_pn = int(
+                round(self.ch_projector_node.direct_path.delay_s * fs)
+            )
+            reply_start = (
+                uplink_start + delay_pn + int(self.UPLINK_MARGIN_S / 2 * fs)
+            )
+            reflected = self._backscatter_waveform(incident, chips, reply_start)
+            direct = (
+                self.beam_gain_hydrophone
+                * self.ch_projector_hydrophone.apply(
+                    tx, include_noise=False
+                ).waveform
+            )
+            uplink = self.ch_node_hydrophone.apply(
+                reflected, include_noise=False
+            ).waveform
+            n = max(len(direct), len(uplink))
+            mixture = np.zeros(n)
+            mixture[: len(direct)] += direct
+            mixture[: len(uplink)] += uplink
+            delay_ph = int(
+                round(self.ch_projector_hydrophone.direct_path.delay_s * fs)
+            )
+            analysis_start = (
+                uplink_start + delay_ph + int(0.3 * self.UPLINK_MARGIN_S * fs)
+            )
+            return mixture, analysis_start
+
+        quiet_mixture, analysis_start = self._leg_memo.get_or_compute(
+            ("uplink", query, chips.tobytes(), bitrate, mode),
+            compute_uplink_leg,
+        )
+        self.node.firmware.response_sent()
+
+        mixture = quiet_mixture + self.noise.generate(len(quiet_mixture), fs)
+        recording = self.hydrophone.record(mixture)
+        uplink_format = self.node.firmware.config.uplink_format
+        demod = self.hydrophone.demodulate(
+            recording[analysis_start:],
+            f,
+            bitrate,
+            packet_format=uplink_format,
+            detection_threshold=self.DETECTION_THRESHOLD,
+        )
+        true_bits = response.to_packet().to_bits(uplink_format)
+        ber = (
+            bit_error_rate(demod.bits, true_bits)
+            if len(demod.bits)
+            else float("nan")
+        )
+        return LinkResult(
+            powered_up=True,
+            query_decoded=True,
+            response=response,
+            demod=demod,
+            ber=ber,
+            snr_db=demod.snr_db,
+            budget=budget,
+        )
+
     def _run_stages(self, query: Query, tracer, probes) -> LinkResult:
+        if self._memo_active(tracer, probes):
+            return self._run_stages_cached(query)
         fs = self.sample_rate
         f = self.projector.carrier_hz
         budget = self.budget()

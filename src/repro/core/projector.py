@@ -22,6 +22,7 @@ from repro.dsp.pwm import PWMCode, pwm_encode
 from repro.dsp.waveforms import amplitude_modulated_carrier, tone
 from repro.net.messages import Query
 from repro.node.firmware import DOWNLINK_FORMAT
+from repro.perf.cache import get_cache
 from repro.piezo.directivity import DirectivityPattern
 from repro.piezo.transducer import Transducer
 
@@ -84,12 +85,33 @@ class Projector:
         return float(self.directivity.gain(abs(off_axis)))
 
     def query_waveform(self, query: Query, sample_rate: float) -> np.ndarray:
-        """Source pressure waveform of a PWM downlink query [Pa @ 1 m]."""
+        """Source pressure waveform of a PWM downlink query [Pa @ 1 m].
+
+        The unit-pressure modulated carrier is memoized per
+        ``(query bits, PWM code, carrier, rate)`` — a polling campaign
+        repeats the same few queries, and PWM expansion + carrier
+        synthesis dominates the projector's cost.  The drive level is
+        applied outside the cache so projectors at different voltages
+        share templates.
+        """
         bits = query.to_packet().to_bits(DOWNLINK_FORMAT)
-        envelope = pwm_encode(bits, self.pwm_code, sample_rate)
-        return self.source_pressure_pa * amplitude_modulated_carrier(
-            envelope, self.carrier_hz, sample_rate
+        key = (
+            bits.tobytes(),
+            self.pwm_code,
+            float(self.carrier_hz),
+            float(sample_rate),
         )
+
+        def compute() -> np.ndarray:
+            envelope = pwm_encode(bits, self.pwm_code, sample_rate)
+            return amplitude_modulated_carrier(
+                envelope, self.carrier_hz, sample_rate
+            )
+
+        template = get_cache("pwm_templates", maxsize=32).get_or_compute(
+            key, compute
+        )
+        return self.source_pressure_pa * template
 
     def carrier_waveform(self, duration_s: float, sample_rate: float) -> np.ndarray:
         """Continuous-wave source pressure (the uplink illumination) [Pa @ 1 m]."""

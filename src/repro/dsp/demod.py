@@ -32,6 +32,7 @@ from repro.dsp.packets import DEFAULT_FORMAT, FramingError, Packet, PacketFormat
 from repro.dsp.sync import PacketDetection, correct_cfo, estimate_cfo
 from repro.dsp.waveforms import downconvert
 from repro.obs.probe import get_probes
+from repro.perf.kernels import smart_convolve
 
 
 @dataclass
@@ -154,8 +155,12 @@ class BackscatterDemodulator:
         # axis varies smoothly, then interpolate per sample.  Smoothing
         # over neighbouring blocks keeps the estimate stable when a block
         # happens to carry little modulation energy.
-        moments = np.array(
-            [np.mean(x[k * block : (k + 1) * block] ** 2) for k in range(n_blocks)]
+        # All blocks are full-length, so the blockwise means reduce to a
+        # reshape-mean (identical pairwise summation per row).
+        moments = (
+            np.ascontiguousarray(x[: n_blocks * block] ** 2)
+            .reshape(n_blocks, block)
+            .mean(axis=1)
         )
         if np.all(np.abs(moments) < 1e-30):
             return np.real(x)
@@ -172,7 +177,7 @@ class BackscatterDemodulator:
         # phase advances linearly, so fit a weighted line rather than
         # following each noisy block estimate.
         kernel = np.ones(3) / 3.0
-        smoothed = np.convolve(moments, kernel, mode="same")
+        smoothed = smart_convolve(moments, kernel, mode="same")
         angles = np.unwrap(np.angle(smoothed))
         centres = (np.arange(n_blocks) + 0.5) * block
         weights = np.abs(smoothed) + 1e-30
@@ -187,6 +192,15 @@ class BackscatterDemodulator:
         n_chips = int((len(x) - start_index) / spc)
         if n_chips <= 0:
             return np.zeros(0)
+        spc_int = int(round(spc))
+        if spc == spc_int:
+            # Integral samples-per-chip (the common case): every chip
+            # spans exactly spc samples, so a reshape-mean yields the
+            # same per-chip means as slicing, without the Python loop.
+            block = np.ascontiguousarray(
+                x[start_index : start_index + n_chips * spc_int]
+            )
+            return block.reshape(n_chips, spc_int).mean(axis=1)
         amplitudes = np.empty(n_chips)
         for k in range(n_chips):
             a = start_index + int(round(k * spc))
@@ -222,16 +236,16 @@ class BackscatterDemodulator:
         half = taps // 2
         padded = np.concatenate([np.zeros(half), r, np.zeros(half)])
         n_train = min(len(t), len(r))
-        rows = np.stack(
-            [padded[k : k + taps] for k in range(n_train)]
+        # Row k is padded[k:k+taps]; a sliding-window view builds every
+        # row at once (materialised contiguously for the BLAS products).
+        all_rows = np.ascontiguousarray(
+            np.lib.stride_tricks.sliding_window_view(padded, taps)
         )
+        rows = all_rows[:n_train]
         gram = rows.T @ rows + ridge * np.eye(taps) * float(
             np.mean(rows**2) + 1e-30
         ) * n_train
         weights = np.linalg.solve(gram, rows.T @ t[:n_train])
-        all_rows = np.stack(
-            [padded[k : k + taps] for k in range(len(r))]
-        )
         return all_rows @ weights
 
     # -- the full chain -------------------------------------------------------------

@@ -11,6 +11,31 @@ from __future__ import annotations
 import numpy as np
 from scipy import signal
 
+from repro.perf.cache import get_cache
+from repro.perf.kernels import smart_convolve
+
+
+def _butter_sos(
+    order: int, cutoff, sample_rate: float, btype: str
+) -> np.ndarray:
+    """Cached Butterworth SOS design.
+
+    ``signal.butter`` re-solves the analog prototype and bilinear
+    transform on every call (~7 ms for order 4); the receiver designs
+    the same handful of filters for every transaction, so the SOS
+    matrices are memoized by their full design key.  The cached matrix
+    is frozen read-only, and scipy's ``sosfilt`` kernel requires a
+    writable buffer, so callers get a fresh copy (a few dozen floats).
+    """
+    key = (order, cutoff, sample_rate, btype)
+    return get_cache("fir_kernels").get_or_compute(
+        key,
+        lambda: signal.butter(
+            order, list(cutoff) if btype == "band" else cutoff,
+            btype=btype, fs=sample_rate, output="sos",
+        ),
+    ).copy()
+
 
 def butter_lowpass(
     waveform,
@@ -27,7 +52,7 @@ def butter_lowpass(
         raise ValueError("cutoff must be in (0, Nyquist)")
     if order < 1:
         raise ValueError("order must be >= 1")
-    sos = signal.butter(order, cutoff_hz, btype="low", fs=sample_rate, output="sos")
+    sos = _butter_sos(order, float(cutoff_hz), float(sample_rate), "low")
     if np.iscomplexobj(x):
         return signal.sosfiltfilt(sos, x.real) + 1j * signal.sosfiltfilt(sos, x.imag)
     return signal.sosfiltfilt(sos, x)
@@ -49,8 +74,8 @@ def butter_bandpass(
         raise ValueError("need 0 < low < high < Nyquist")
     if order < 1:
         raise ValueError("order must be >= 1")
-    sos = signal.butter(
-        order, [low_hz, high_hz], btype="band", fs=sample_rate, output="sos"
+    sos = _butter_sos(
+        order, (float(low_hz), float(high_hz)), float(sample_rate), "band"
     )
     if np.iscomplexobj(x):
         return signal.sosfiltfilt(sos, x.real) + 1j * signal.sosfiltfilt(sos, x.imag)
@@ -123,4 +148,4 @@ def matched_filter_chip(
     if samples_per_chip < 1:
         raise ValueError("samples_per_chip must be >= 1")
     kernel = np.ones(samples_per_chip) / samples_per_chip
-    return np.convolve(x, kernel, mode="same")
+    return smart_convolve(x, kernel, mode="same")

@@ -106,39 +106,55 @@ def fm0_ml_decode(chip_amplitudes, *, initial_level: int = 1) -> np.ndarray:
     if scale > 0:
         x = x / scale
 
-    def chip_pair(level_in: int, bit: int) -> tuple[float, float]:
-        first = 1 - level_in  # boundary inversion
-        second = first ^ 1 if bit == 0 else first
-        return (2.0 * first - 1.0, 2.0 * second - 1.0)
+    # Branch chip templates, row k = 2*s_in + bit.  Entering level s_in
+    # inverts at the boundary (first chip = 1 - s_in) and a '0' bit
+    # inverts again mid-bit:
+    #   k=0 (s_in=0, bit=0) -> chips (+1, -1), exit level 0
+    #   k=1 (s_in=0, bit=1) -> chips (+1, +1), exit level 1
+    #   k=2 (s_in=1, bit=0) -> chips (-1, +1), exit level 1
+    #   k=3 (s_in=1, bit=1) -> chips (-1, -1), exit level 0
+    branch = np.array(
+        [[1.0, -1.0], [1.0, 1.0], [-1.0, 1.0], [-1.0, -1.0]]
+    )
+    pairs = x.reshape(n_bits, CHIPS_PER_BIT)
+    # All branch metrics for every bit in one shot: err[i, k] =
+    # (x[2i] - c0)^2 + (x[2i+1] - c1)^2, identical to the scalar form.
+    delta = pairs[:, None, :] - branch[None, :, :]
+    errs = np.einsum("nkc,nkc->nk", delta, delta)
 
-    n_states = 2
-    inf = float("inf")
-    cost = [0.0 if s == initial_level else 1e-3 for s in range(n_states)]
-    back: list[list[tuple[int, int]]] = []
+    # Two-state trellis over the precomputed metrics.  Transitions into
+    # state 0 are branches k=0 (from state 0) and k=3 (from state 1);
+    # into state 1, k=1 (from state 0) and k=2 (from state 1).  Strict
+    # comparison keeps the earlier branch on ties, matching the original
+    # scan order k=0..3.
+    cost0, cost1 = (
+        (0.0, 1e-3) if initial_level == 0 else (1e-3, 0.0)
+    )
+    back = np.zeros((n_bits, 2), dtype=np.int8)  # winning s_in per state
     for i in range(n_bits):
-        new_cost = [inf, inf]
-        choices: list[tuple[int, int]] = [(-1, -1), (-1, -1)]
-        for s_in in range(n_states):
-            if cost[s_in] == inf:
-                continue
-            for bit in (0, 1):
-                c0, c1 = chip_pair(s_in, bit)
-                # Level after the bit: first chip level XOR mid-bit flip.
-                first_level = 1 - s_in
-                s_out = first_level ^ 1 if bit == 0 else first_level
-                err = (x[2 * i] - c0) ** 2 + (x[2 * i + 1] - c1) ** 2
-                total = cost[s_in] + err
-                if total < new_cost[s_out]:
-                    new_cost[s_out] = total
-                    choices[s_out] = (s_in, bit)
-        cost = new_cost
-        back.append(choices)
-    # Trace back from the better final state.
+        e = errs[i]
+        into0_a = cost0 + e[0]
+        into0_b = cost1 + e[3]
+        into1_a = cost0 + e[1]
+        into1_b = cost1 + e[2]
+        if into0_b < into0_a:
+            new0, back[i, 0] = into0_b, 1
+        else:
+            new0 = into0_a
+        if into1_b < into1_a:
+            new1, back[i, 1] = into1_b, 1
+        else:
+            new1 = into1_a
+        cost0, cost1 = new0, new1
+    cost = [cost0, cost1]
+    # Trace back from the better final state.  The data bit of each
+    # winning transition follows from its (s_in, s_out) pair: exiting to
+    # state 0 means bit = s_in == 0 ? 0 : 1; to state 1 the reverse.
     state = int(np.argmin(cost))
     bits = np.zeros(n_bits, dtype=np.int8)
     for i in range(n_bits - 1, -1, -1):
-        s_in, bit = back[i][state]
-        bits[i] = bit
+        s_in = int(back[i, state])
+        bits[i] = s_in if state == 0 else 1 - s_in
         state = s_in
     from repro.obs.probe import get_probes
 

@@ -128,6 +128,30 @@ class EventLog:
     def __iter__(self):
         return iter(self.events)
 
+    def merge(self, *others: "EventLog") -> "EventLog":
+        """A new log combining this one with ``others``, deterministically.
+
+        Events are ordered by ``(t, node, seq)`` and renumbered, so the
+        result is independent of which operand recorded an event first —
+        two logs with equal timestamps merge identically regardless of
+        operand order (the regression that motivated this: parallel-mode
+        merges previously depended on insertion order).  Operands are
+        left untouched and no metrics fire (the events were already
+        counted when first recorded).
+        """
+        combined = sorted(
+            (e for log in (self, *others) for e in log.events),
+            key=lambda e: (e.t, e.node, e.seq),
+        )
+        merged = EventLog()
+        merged.events = [
+            Event(
+                seq=i, t=e.t, node=e.node, kind=e.kind, detail=e.detail
+            )
+            for i, e in enumerate(combined)
+        ]
+        return merged
+
     def filter(self, *, node: int | None = None, kind: EventKind | str | None = None) -> list:
         """Events matching a node and/or kind."""
         want_kind = EventKind(kind) if kind is not None else None

@@ -18,6 +18,7 @@ out or drowned in a noise burst.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 
@@ -83,26 +84,24 @@ class MacStats:
 
         Used by :meth:`repro.net.reader.ReaderController.report` to
         aggregate per-node counters into a network-wide view; the
-        operands are left untouched.
+        operands are left untouched.  Float fields sum with
+        :func:`math.fsum` (exactly rounded), so the result is
+        independent of operand order — merging per-node counters in
+        whatever order a parallel round finished them is byte-identical
+        to the sequential order.
         """
-        total = MacStats(
-            attempts=self.attempts,
-            successes=self.successes,
-            retries=self.retries,
-            payload_bits_delivered=self.payload_bits_delivered,
-            airtime_s=self.airtime_s,
-            backoff_s=self.backoff_s,
-            exceptions=self.exceptions,
+        operands = (self, *others)
+        return MacStats(
+            attempts=sum(s.attempts for s in operands),
+            successes=sum(s.successes for s in operands),
+            retries=sum(s.retries for s in operands),
+            payload_bits_delivered=sum(
+                s.payload_bits_delivered for s in operands
+            ),
+            airtime_s=math.fsum(s.airtime_s for s in operands),
+            backoff_s=math.fsum(s.backoff_s for s in operands),
+            exceptions=sum(s.exceptions for s in operands),
         )
-        for other in others:
-            total.attempts += other.attempts
-            total.successes += other.successes
-            total.retries += other.retries
-            total.payload_bits_delivered += other.payload_bits_delivered
-            total.airtime_s += other.airtime_s
-            total.backoff_s += other.backoff_s
-            total.exceptions += other.exceptions
-        return total
 
 
 @dataclass
@@ -164,6 +163,25 @@ class RetryPolicy:
         if self.jitter > 0:
             nominal *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
         return float(nominal)
+
+    def for_node(self, node: int) -> "RetryPolicy":
+        """A copy with an independent RNG stream derived for one node.
+
+        A policy shared across nodes draws jitter from one RNG, so the
+        values each node sees depend on global draw *order* — fine
+        sequentially, but order is scheduling-dependent under the
+        parallel reader.  Seeding a per-node stream from
+        ``(seed, node)`` makes every node's jitter sequence a function
+        of the node alone.  Without a seed there is nothing to derive
+        from, so the shared policy is returned unchanged (parallel mode
+        then can't promise identical backoff sequences, only identical
+        decode results).
+        """
+        if self.seed is None:
+            return self
+        return dataclasses.replace(
+            self, rng=np.random.default_rng((self.seed, int(node)))
+        )
 
 
 @dataclass

@@ -31,7 +31,10 @@ from dataclasses import dataclass, field
 from repro.faults.events import EventLog
 from repro.net.health import HealthPolicy, HealthState, NodeHealth
 from repro.net.mac import MacStats, PollingMac, RetryPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import get_probes
 from repro.obs.trace import get_tracer
+from repro.perf.fleet import FleetEngine
 from repro.net.messages import (
     BITRATE_TABLE,
     Command,
@@ -111,6 +114,20 @@ class ReaderController:
         per node per round (delivery, availability, and — when that
         node has an energy harness — sustainability); its report joins
         :meth:`report` under ``"slo"``.
+    parallel:
+        ``0`` (default) polls nodes sequentially.  ``N >= 1`` runs each
+        round's node transactions on an ``N``-wide thread pool
+        (:class:`~repro.perf.fleet.FleetEngine`): every node's events
+        and metrics go to private staging sinks that are replayed into
+        the shared log/registry in sorted-address order afterwards, so
+        campaign reports, event logs, and metrics are byte-identical
+        to sequential execution.  A seeded ``retry_policy`` is split
+        into per-node jitter streams
+        (:meth:`~repro.net.mac.RetryPolicy.for_node`) in *both* modes,
+        so backoff draws are a function of the node alone — never of
+        scheduling or polling order.  Rounds observed by an
+        enabled tracer or probe registry fall back to sequential
+        execution (same results; real per-stage timings).
 
     When either ``ledgers`` or ``slo`` is given the reader also keeps
     ``round_log`` — the per-round outcome records the campaign
@@ -129,6 +146,7 @@ class ReaderController:
         metrics=None,
         ledgers: dict | None = None,
         slo=None,
+        parallel: int = 0,
     ) -> None:
         if not transports:
             raise ValueError("need at least one node transport")
@@ -149,11 +167,21 @@ class ReaderController:
             health_policy if health_policy is not None else HealthPolicy()
         )
         self._round = 0
+        self.parallel = int(parallel)
+        self._engine = (
+            FleetEngine(max_workers=self.parallel)
+            if self.parallel >= 1
+            else None
+        )
         self._macs = {
             int(addr): PollingMac(
                 transact=fn,
                 max_retries=max_retries,
-                retry_policy=retry_policy,
+                retry_policy=(
+                    retry_policy.for_node(int(addr))
+                    if retry_policy is not None
+                    else None
+                ),
                 log=self.log,
                 node=int(addr),
                 metrics=metrics,
@@ -204,7 +232,7 @@ class ReaderController:
 
     # -- polling ----------------------------------------------------------------------
 
-    def poll(self, address: int, command: Command):
+    def poll(self, address: int, command: Command, *, _log=None, _metrics=None):
         """One sensing query to one node; stores the decoded reading.
 
         The outcome feeds the node's health state machine: entering
@@ -212,10 +240,15 @@ class ReaderController:
         quarantined node brings it back to HEALTHY.  Malformed replies
         that somehow pass the CRC are contained as failures rather than
         propagating parse errors.
+
+        ``_log``/``_metrics`` are the parallel round's staging sinks;
+        callers never pass them directly.
         """
+        log = _log if _log is not None else self.log
+        metrics = _metrics if _metrics is not None else self.metrics
         record = self._record(address)
         if record.pending_downgrade and record.health.state is HealthState.DEGRADED:
-            self._downgrade_bitrate(address)
+            self._downgrade_bitrate(address, _log=log)
         mac = self._macs[address]
         result = mac.poll(Query(destination=address, command=command))
         record.stats = mac.stats
@@ -231,16 +264,16 @@ class ReaderController:
                 record.readings.append(reading)
         action = record.health.on_result(success, float(self._round))
         if action == "degrade":
-            self._downgrade_bitrate(address)
+            self._downgrade_bitrate(address, _log=log)
         elif action == "recovered":
             record.pending_downgrade = False
-            self.log.record(self._round, address, "recovery")
-        if self.metrics is not None:
+            log.record(self._round, address, "recovery")
+        if metrics is not None:
             if reading is not None and success:
-                self.metrics.counter(
+                metrics.counter(
                     "pab_reader_readings_total", node=address
                 ).inc()
-            self.metrics.gauge("pab_node_health_code", node=address).set(
+            metrics.gauge("pab_node_health_code", node=address).set(
                 record.health.state.code
             )
         return reading if success else None
@@ -251,7 +284,18 @@ class ReaderController:
         Quarantined nodes are skipped (their silence must not burn
         airtime) until their probe backoff elapses, at which point they
         get one PING; an acknowledged probe restores them to HEALTHY.
+
+        With ``parallel=N`` the node transactions run concurrently on
+        the fleet engine and the round's telemetry is merged back in
+        sorted-address order (see :meth:`_poll_round_parallel`), unless
+        an enabled tracer or probe registry needs the serialised view.
         """
+        if (
+            self._engine is not None
+            and not get_tracer().enabled
+            and not get_probes().enabled
+        ):
+            return self._poll_round_parallel(command)
         t = float(self._round)
         out = {}
         skipped_addrs = set()
@@ -275,6 +319,90 @@ class ReaderController:
             span.set(
                 delivered=sum(1 for r in out.values() if r is not None),
                 skipped_quarantined=skipped,
+            )
+        if self._track_rounds:
+            self._observe_round(t, out, skipped_addrs)
+        if self.metrics is not None:
+            self.metrics.counter("pab_reader_rounds_total").inc()
+        self._round += 1
+        return out
+
+    def _poll_round_parallel(self, command: Command) -> dict:
+        """One polling round across the fleet engine's thread pool.
+
+        Each node's transaction runs in a worker with *staging* sinks:
+        a private :class:`EventLog` (so event ordering can't interleave
+        across nodes) and a private :class:`MetricsRegistry` (so the
+        non-atomic counter increments can't race).  A node's MAC and
+        health machine are touched only by that node's worker, so
+        repointing their sinks for the duration of the unit is safe.
+
+        The merge replays each staging log into the shared log and
+        absorbs each staging registry in sorted-address order — the
+        exact order the sequential loop visits nodes — which renumbers
+        event sequence numbers and applies gauge writes exactly as
+        sequential execution would have.  The result dict, event log,
+        metrics, and downstream reports are byte-identical to
+        ``parallel=0`` for the same seed.
+        """
+        t = float(self._round)
+
+        def make_unit(addr: int):
+            def unit():
+                stage_log = EventLog()
+                stage_metrics = (
+                    MetricsRegistry() if self.metrics is not None else None
+                )
+                mac = self._macs[addr]
+                health = self.nodes[addr].health
+                saved = (mac.log, mac.metrics, health.log)
+                mac.log, mac.metrics, health.log = (
+                    stage_log, stage_metrics, stage_log,
+                )
+                try:
+                    if health.state is HealthState.QUARANTINED:
+                        if health.due_for_probe(t):
+                            health.start_probe(t)
+                            stage_log.record(t, addr, "probe")
+                            reading = self.poll(
+                                addr, Command.PING,
+                                _log=stage_log, _metrics=stage_metrics,
+                            )
+                        else:
+                            return None, stage_log, stage_metrics, True
+                    else:
+                        reading = self.poll(
+                            addr, command,
+                            _log=stage_log, _metrics=stage_metrics,
+                        )
+                    return reading, stage_log, stage_metrics, False
+                finally:
+                    mac.log, mac.metrics, health.log = saved
+
+            return unit
+
+        units = {addr: make_unit(addr) for addr in self._macs}
+        out = {}
+        skipped_addrs = set()
+        with get_tracer().span(
+            "reader.poll_round", round=self._round, nodes=len(self._macs)
+        ) as span:
+            for addr, (reading, stage_log, stage_metrics, was_skipped) in (
+                self._engine.run_round(units)
+            ):
+                out[addr] = reading
+                if was_skipped:
+                    skipped_addrs.add(addr)
+                # Replay: record() renumbers seq and fires the bound
+                # pab_events_total counters (the staging log was
+                # unbound, so each event is counted exactly once).
+                for e in stage_log.events:
+                    self.log.record(e.t, e.node, e.kind, **dict(e.detail))
+                if stage_metrics is not None:
+                    self.metrics.absorb(stage_metrics)
+            span.set(
+                delivered=sum(1 for r in out.values() if r is not None),
+                skipped_quarantined=len(skipped_addrs),
             )
         if self._track_rounds:
             self._observe_round(t, out, skipped_addrs)
@@ -338,20 +466,21 @@ class ReaderController:
 
     # -- health actions ----------------------------------------------------------------
 
-    def _downgrade_bitrate(self, address: int) -> bool:
+    def _downgrade_bitrate(self, address: int, *, _log=None) -> bool:
         """Step the node one rung down the rate ladder via SET_BITRATE.
 
         The command goes through the MAC but bypasses health accounting
         (a failed downgrade must not recursively degrade the node);
         unacknowledged downgrades are retried before the node's next
-        sensing poll.
+        sensing poll.  ``_log`` is the parallel round's staging log.
         """
+        log = _log if _log is not None else self.log
         record = self.nodes[address]
         current = record.bitrate
         target = lower_bitrate(current) if current is not None else BITRATE_TABLE[0]
         if target is None:
             record.pending_downgrade = False
-            self.log.record(
+            log.record(
                 self._round, address, "bitrate", action="at_floor", bitrate=current
             )
             return False
@@ -365,7 +494,7 @@ class ReaderController:
         )
         record.stats = mac.stats
         acked = getattr(result, "success", False)
-        self.log.record(
+        log.record(
             self._round,
             address,
             "bitrate",

@@ -29,6 +29,7 @@ from repro.dsp.pwm import PWMCode, pwm_decode_edges
 from repro.net.addresses import NodeAddress
 from repro.net.messages import BITRATE_TABLE, Command, Query, Response
 from repro.node.power import PowerState
+from repro.perf.cache import get_cache
 
 #: Downlink frames use the paper's 9-bit preamble.
 DOWNLINK_FORMAT = PacketFormat(preamble=DOWNLINK_PREAMBLE)
@@ -308,6 +309,13 @@ class NodeFirmware:
     # -- uplink --------------------------------------------------------------------
 
     def build_uplink_chips(self, response: Response) -> np.ndarray:
-        """FM0 chip sequence (0/1 switch states) for a response frame."""
+        """FM0 chip sequence (0/1 switch states) for a response frame.
+
+        A sensor that keeps reporting the same reading re-encodes the
+        same frame; the chip expansion is memoized by the serialised
+        bits (format included, since framing determines the bits).
+        """
         bits = response.to_packet().to_bits(self.config.uplink_format)
-        return fm0_encode(bits)
+        return get_cache("fm0_chips", maxsize=128).get_or_compute(
+            bits.tobytes(), lambda: fm0_encode(bits)
+        )

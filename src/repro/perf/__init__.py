@@ -1,0 +1,46 @@
+"""Performance layer: memoization caches and the parallel fleet engine.
+
+The hot path of the reproduction is the waveform pipeline
+(:mod:`repro.dsp`, :mod:`repro.core`); this package makes it fast
+without changing a single decoded bit:
+
+* :mod:`repro.perf.cache` — keyed, size-bounded LRU caches for the
+  deterministic intermediates (PWM query templates, sync correlation
+  kernels, FIR designs, channel impulse responses) with hit/miss
+  counters exported through :mod:`repro.obs.metrics`;
+* :mod:`repro.perf.kernels` — convolution helpers that auto-select
+  direct vs FFT (overlap-add) evaluation by operand length;
+* :mod:`repro.perf.fleet` — :class:`~repro.perf.fleet.FleetEngine`,
+  which runs reader polling rounds across a thread pool with per-node
+  staging sinks merged deterministically (byte-identical to sequential
+  execution for the same seed).
+
+See ``docs/PERFORMANCE.md`` for the design and the CI perf gate.
+"""
+
+from repro.perf.cache import (
+    LRUCache,
+    cache_enabled,
+    cache_stats,
+    caches_to_metrics,
+    caching_disabled,
+    clear_all_caches,
+    get_cache,
+    set_cache_enabled,
+)
+from repro.perf.fleet import FleetEngine
+from repro.perf.kernels import smart_convolve, smart_correlate
+
+__all__ = [
+    "FleetEngine",
+    "LRUCache",
+    "cache_enabled",
+    "cache_stats",
+    "caches_to_metrics",
+    "caching_disabled",
+    "clear_all_caches",
+    "get_cache",
+    "set_cache_enabled",
+    "smart_convolve",
+    "smart_correlate",
+]

@@ -1,0 +1,96 @@
+"""Parallel execution engine for reader polling rounds.
+
+``ReaderController.poll_round`` visits nodes in sorted-address order;
+each visit is an independent acoustic transaction (its own link, its
+own noise stream), so the visits can run concurrently — *if* the
+shared sinks (event log, metrics registry, retry RNG) are kept out of
+the workers and merged afterwards in the same sorted order the
+sequential loop would have produced.
+
+:class:`FleetEngine` owns the pool half of that contract: it executes
+per-node units of work across a ``concurrent.futures`` pool and hands
+the results back **in sorted key order**, regardless of completion
+order.  The merge half (staging event logs / metrics registries,
+per-node RNG streams) lives in :mod:`repro.net.reader`, which is what
+makes parallel campaign reports byte-identical to sequential ones —
+asserted by ``tests/perf/test_fleet.py``.
+
+Threads (not processes) are the right pool here: the hot path spends
+its time inside numpy/scipy FFTs and linear algebra, which release the
+GIL, and thread workers can share the in-process caches from
+:mod:`repro.perf.cache` — a process pool would re-derive every
+template per worker and pay pickling for 100k-sample waveforms.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Mapping, Sequence, Tuple
+
+
+class FleetEngine:
+    """Run keyed units of work on a thread pool, results in key order.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool width.  ``1`` still exercises the staging/merge path (and
+        is what CI uses on single-core runners); the sequential
+        fast path in the reader is selected by ``parallel=0``, not
+        here.
+    """
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = int(max_workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        # Lazy and persistent: a campaign calls run_round once per
+        # polling round, and respawning worker threads each time costs
+        # more than the round's merge bookkeeping.
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="fleet"
+            )
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Release the worker threads (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def run_round(
+        self,
+        units: "Mapping[object, Callable[[], object]] | Iterable[Tuple[object, Callable[[], object]]]",
+    ) -> "Sequence[Tuple[object, object]]":
+        """Execute every unit concurrently; return ``[(key, result)]``
+        sorted by key.
+
+        A unit that raises propagates its exception after all units
+        have finished — matching the sequential loop, the *first* (in
+        key order) failure is the one re-raised, so error behaviour
+        does not depend on scheduling.
+        """
+        if isinstance(units, Mapping):
+            items = sorted(units.items())
+        else:
+            items = sorted(units)
+        if not items:
+            return []
+        pool = self._ensure_pool()
+        futures = [(key, pool.submit(fn)) for key, fn in items]
+        results = []
+        first_error = None
+        for key, future in futures:
+            exc = future.exception()
+            if exc is not None:
+                if first_error is None:
+                    first_error = exc
+                continue
+            results.append((key, future.result()))
+        if first_error is not None:
+            raise first_error
+        return results

@@ -1,0 +1,172 @@
+"""Tests for the parallel fleet engine and the parallel reader mode."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import EventLog
+from repro.net import Command, HealthPolicy, ReaderController, RetryPolicy
+from repro.net.mac import MacStats
+from repro.node.node import Environment, PABNode
+from repro.obs import MetricsRegistry, metrics_to_prometheus
+from repro.perf import FleetEngine
+from repro.sensing.pressure import WaterColumn
+
+
+class TestFleetEngine:
+    def test_results_in_key_order(self):
+        engine = FleetEngine(max_workers=4)
+        out = engine.run_round({3: lambda: "c", 1: lambda: "a", 2: lambda: "b"})
+        assert out == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_accepts_item_iterable(self):
+        engine = FleetEngine(max_workers=2)
+        out = engine.run_round([(2, lambda: 20), (1, lambda: 10)])
+        assert out == [(1, 10), (2, 20)]
+
+    def test_empty_round(self):
+        assert FleetEngine().run_round({}) == []
+
+    def test_first_error_in_key_order_wins(self):
+        def boom(msg):
+            def fn():
+                raise RuntimeError(msg)
+            return fn
+
+        engine = FleetEngine(max_workers=4)
+        with pytest.raises(RuntimeError, match="first"):
+            engine.run_round({2: boom("second"), 1: boom("first")})
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            FleetEngine(max_workers=0)
+
+    def test_shutdown_idempotent(self):
+        engine = FleetEngine(max_workers=1)
+        engine.run_round({1: lambda: 1})
+        engine.shutdown()
+        engine.shutdown()
+        # The pool is recreated on demand after shutdown.
+        assert engine.run_round({1: lambda: 2}) == [(1, 2)]
+
+
+class TestRetryPolicyForNode:
+    def test_seeded_streams_are_per_node_deterministic(self):
+        policy = RetryPolicy(base_backoff_s=0.1, jitter=0.5, seed=42)
+        a1 = [policy.for_node(3).backoff_s(i) for i in range(4)]
+        a2 = [policy.for_node(3).backoff_s(i) for i in range(4)]
+        b = [policy.for_node(4).backoff_s(i) for i in range(4)]
+        assert a1 == a2
+        assert a1 != b
+
+    def test_unseeded_policy_returned_unchanged(self):
+        policy = RetryPolicy(base_backoff_s=0.1, jitter=0.5)
+        assert policy.for_node(3) is policy
+
+
+class StubResult:
+    def __init__(self, success, packet=None):
+        self.success = success
+
+        class D:
+            pass
+
+        self.demod = D()
+        self.demod.packet = packet
+
+
+class SeededFlakyTransport:
+    """Real firmware, no waveform physics, seeded per-call failures."""
+
+    def __init__(self, address, fail_rate=0.3, seed=0):
+        self.node = PABNode(
+            address=address,
+            environment=Environment(
+                water=WaterColumn(depth_m=0.4, temperature_c=19.0),
+                true_ph=7.2,
+            ),
+        )
+        self.node.force_power(True)
+        self.fail_rate = fail_rate
+        self._rng = np.random.default_rng((seed, address))
+
+    def __call__(self, query):
+        if self._rng.random() < self.fail_rate:
+            return StubResult(False)
+        response = self.node.respond(query)
+        if response is None:
+            return StubResult(False)
+        self.node.firmware.response_sent()
+        return StubResult(True, response.to_packet())
+
+
+def _campaign_blob(parallel, *, rounds=12, n=6, seed=11):
+    log = EventLog()
+    metrics = MetricsRegistry()
+    reader = ReaderController(
+        {a: SeededFlakyTransport(a, seed=seed) for a in range(1, n + 1)},
+        retry_policy=RetryPolicy(
+            max_retries=2, base_backoff_s=0.05, jitter=0.25, seed=seed
+        ),
+        health_policy=HealthPolicy(
+            degrade_after=2, quarantine_after=4, recover_after=2,
+            probe_backoff_rounds=2,
+        ),
+        log=log,
+        metrics=metrics,
+        parallel=parallel,
+    )
+    report = reader.run_campaign(Command.READ_PH, rounds=rounds)
+    return (
+        json.dumps(report, sort_keys=True, default=str)
+        + "\n" + log.dump()
+        + "\n" + metrics_to_prometheus(metrics)
+    )
+
+
+class TestParallelReaderIdentity:
+    """parallel=N must be byte-identical to the sequential loop."""
+
+    def test_parallel_widths_match_sequential(self):
+        sequential = _campaign_blob(0)
+        for width in (1, 2, 4):
+            assert _campaign_blob(width) == sequential, f"width {width}"
+
+    def test_parallel_campaign_repeatable(self):
+        assert _campaign_blob(2) == _campaign_blob(2)
+
+
+class TestMergePrimitives:
+    def test_macstats_merge_is_order_independent(self):
+        a = MacStats(attempts=5, successes=4, retries=1,
+                     payload_bits_delivered=64, airtime_s=1.5,
+                     backoff_s=0.2, exceptions=0)
+        b = MacStats(attempts=3, successes=1, retries=2,
+                     payload_bits_delivered=16, airtime_s=0.9,
+                     backoff_s=0.4, exceptions=1)
+        c = MacStats(attempts=1, successes=1, retries=0,
+                     payload_bits_delivered=8, airtime_s=0.3,
+                     backoff_s=0.0, exceptions=0)
+        assert a.merge(b, c) == c.merge(b, a)
+        # Operands untouched.
+        assert a.attempts == 5 and b.attempts == 3
+
+    def test_registry_absorb_counters_accumulate(self):
+        target = MetricsRegistry()
+        target.counter("pab_x_total").inc(2)
+        other = MetricsRegistry()
+        other.counter("pab_x_total").inc(3)
+        other.gauge("pab_g").set(7.0)
+        target.absorb(other)
+        assert target.value("pab_x_total") == 5
+        assert target.value("pab_g") == 7.0
+
+    def test_registry_absorb_gauges_last_write_wins(self):
+        target = MetricsRegistry()
+        first = MetricsRegistry()
+        first.gauge("pab_g").set(1.0)
+        second = MetricsRegistry()
+        second.gauge("pab_g").set(2.0)
+        target.absorb(first, second)
+        assert target.value("pab_g") == 2.0
