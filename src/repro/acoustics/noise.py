@@ -117,6 +117,14 @@ class AmbientNoiseModel:
             raise ValueError(f"unknown spectrum {self.spectrum!r}")
         self._rng = np.random.default_rng(self.seed)
 
+    def snapshot_state(self) -> dict:
+        """JSON-ready RNG stream position (for campaign checkpoints)."""
+        return {"rng": self._rng.bit_generator.state}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self._rng.bit_generator.state = state["rng"]
+
     def psd_db(self, frequency_hz: float) -> float:
         """Noise PSD [dB re 1 uPa^2/Hz] at ``frequency_hz``."""
         if self.spectrum == "flat":

@@ -12,6 +12,12 @@ Lets a user drive the reproduction without writing code:
 * ``fleet-report`` — run a seeded multi-node chaos campaign with energy
   ledgers + SLO tracking; print energy balances, duty cycles, and the
   SLO burn-rate table; dump the campaign timeline as CSV/JSONL.
+  ``--checkpoint-every``/``--checkpoint-dir`` write periodic campaign
+  checkpoints; ``--kill-at ROUND:NODE`` arms a fatal worker kill
+  (exit code 3, the crash-drill half of the kill-resume proof).
+* ``resume`` — restore a ``fleet-report`` checkpoint and run the
+  campaign to completion; the report/digest is byte-identical to an
+  uninterrupted run.
 * ``fig3``     — print the recto-piezo tuning curves.
 * ``fig7``     — print the BER-SNR table.
 * ``fig8``     — print the SNR-vs-bitrate table (waveform level; slower).
@@ -356,25 +362,40 @@ def _build_chaos_fleet(n_nodes: int, seed: int, log):
     return transports, harnesses
 
 
-def _cmd_fleet_report(args) -> int:
-    """Chaos campaign with ledgers + SLO tracking; fleet health report."""
-    from repro.core.experiment import ExperimentTable
+def _parse_kill_at(spec: str) -> tuple[int, int]:
+    """``ROUND:NODE`` -> ``(round, node)``; the node accepts ``0x`` hex."""
+    round_s, sep, node_s = spec.partition(":")
+    try:
+        if not sep:
+            raise ValueError
+        return int(round_s), int(node_s, 0)
+    except ValueError:
+        raise ValueError(
+            f"bad --kill-at spec {spec!r}; expected ROUND:NODE"
+        ) from None
+
+
+def _make_chaos_reader(nodes: int, seed: int, window: int):
+    """The seeded campaign stack ``fleet-report`` runs.
+
+    Factored out so ``repro resume`` can rebuild the exact same fleet
+    from a checkpoint's campaign metadata before restoring state.
+    Returns ``(reader, log, metrics, harnesses)``; the fleet is *not*
+    configured here (the configure polls' effects live inside a
+    checkpoint, so resume must not replay them).
+    """
     from repro.faults import EventLog
-    from repro.net import Command, HealthPolicy, ReaderController, RetryPolicy
-    from repro.obs import MetricsRegistry, SLOTracker, metrics_to_prometheus
-    from repro.obs.timeline import (
-        build_timeline, render_timeline, write_timeline_csv,
-        write_timeline_jsonl,
-    )
+    from repro.net import HealthPolicy, ReaderController, RetryPolicy
+    from repro.obs import MetricsRegistry, SLOTracker
 
     log = EventLog()
-    transports, harnesses = _build_chaos_fleet(args.nodes, args.seed, log)
-    slo = SLOTracker(window=args.window)
+    transports, harnesses = _build_chaos_fleet(nodes, seed, log)
+    slo = SLOTracker(window=window)
     metrics = MetricsRegistry()
     reader = ReaderController(
         transports,
         retry_policy=RetryPolicy(
-            max_retries=1, base_backoff_s=0.1, jitter=0.25, seed=args.seed
+            max_retries=1, base_backoff_s=0.1, jitter=0.25, seed=seed
         ),
         health_policy=HealthPolicy(
             degrade_after=2, quarantine_after=4, recover_after=2,
@@ -385,13 +406,70 @@ def _cmd_fleet_report(args) -> int:
         ledgers=harnesses,
         slo=slo,
     )
-    for addr in sorted(transports):
+    return reader, log, metrics, harnesses
+
+
+def _cmd_fleet_report(args) -> int:
+    """Chaos campaign with ledgers + SLO tracking; fleet health report."""
+    from repro.core.experiment import ExperimentTable
+    from repro.net import Command
+    from repro.obs import metrics_to_prometheus
+    from repro.obs.timeline import (
+        build_timeline, render_timeline, write_timeline_csv,
+        write_timeline_jsonl,
+    )
+    from repro.resilience import (
+        CampaignAbort, campaign_digest, install_worker_crash,
+        latest_checkpoint,
+    )
+
+    if args.checkpoint_every and not args.checkpoint_dir:
+        _emit("--checkpoint-every requires --checkpoint-dir")
+        return 2
+    reader, log, metrics, harnesses = _make_chaos_reader(
+        args.nodes, args.seed, args.window
+    )
+    for addr in sorted(reader.nodes):
         reader.set_bitrate(addr, 2_000.0)
+    if args.kill_at:
+        try:
+            kill_round, kill_node = _parse_kill_at(args.kill_at)
+        except ValueError as exc:
+            _emit(str(exc))
+            return 2
+        install_worker_crash(
+            reader, kill_node, rounds=(kill_round,), fatal=True
+        )
+        _emit(f"armed fatal worker kill at round {kill_round}, node {kill_node}")
     _emit(
         f"{args.nodes} nodes configured; running {args.rounds} chaos rounds "
         f"(seed {args.seed})"
     )
-    report = reader.run_campaign(Command.READ_TEMPERATURE, rounds=args.rounds)
+    campaign_meta = {
+        "builder": "chaos-fleet",
+        "params": {
+            "nodes": args.nodes, "seed": args.seed, "window": args.window,
+        },
+        "command": "READ_TEMPERATURE",
+        "rounds": args.rounds,
+    }
+    try:
+        report = reader.run_campaign(
+            Command.READ_TEMPERATURE,
+            rounds=args.rounds,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            campaign=campaign_meta,
+        )
+    except CampaignAbort as exc:
+        _emit(f"campaign aborted: {exc}")
+        if args.checkpoint_dir:
+            latest = latest_checkpoint(args.checkpoint_dir)
+            if latest is not None:
+                _emit(f"latest checkpoint: {latest}")
+            else:
+                _emit("no checkpoint was written before the crash")
+        return 3
 
     balance = ExperimentTable(
         title="Per-node energy balance",
@@ -458,6 +536,10 @@ def _cmd_fleet_report(args) -> int:
             metrics_to_prometheus(metrics)
         )
         _emit(f"wrote metrics exposition to {args.metrics_out}")
+    if args.digest_out:
+        digest = campaign_digest(report, log, metrics)
+        _ensure_parent(args.digest_out).write_text(digest + "\n")
+        _emit(f"wrote campaign digest to {args.digest_out}")
     _emit(
         f"campaign: {report['rounds']} rounds, "
         f"delivery {report['network']['delivery_ratio']:.2f}, "
@@ -465,6 +547,60 @@ def _cmd_fleet_report(args) -> int:
         f"worst conservation error {worst_error:.3g}%"
     )
     return 0 if worst_error < 1.0 else 1
+
+
+def _cmd_resume(args) -> int:
+    """Resume an interrupted ``fleet-report`` campaign from a checkpoint.
+
+    Rebuilds the fleet from the checkpoint's campaign metadata (same
+    builder, same seed), restores the snapshot — the configure polls
+    are *not* replayed; their effects are part of the state — and runs
+    the remaining rounds.  The resulting report and digest are
+    byte-identical to an uninterrupted run.
+    """
+    from repro.net import Command
+    from repro.resilience import (
+        CheckpointError, campaign_digest, read_checkpoint,
+    )
+
+    try:
+        doc = read_checkpoint(args.checkpoint)
+    except CheckpointError as exc:
+        _emit(f"FAIL: {exc}")
+        return 1
+    campaign = doc.get("campaign") or {}
+    if campaign.get("builder") != "chaos-fleet":
+        _emit(
+            "FAIL: checkpoint carries no chaos-fleet campaign metadata; "
+            "only fleet-report checkpoints can be resumed"
+        )
+        return 1
+    params = campaign["params"]
+    rounds = args.rounds if args.rounds is not None else int(campaign["rounds"])
+    reader, log, metrics, _harnesses = _make_chaos_reader(
+        int(params["nodes"]), int(params["seed"]), int(params["window"])
+    )
+    try:
+        command = Command[campaign.get("command", "READ_TEMPERATURE")]
+    except KeyError:
+        _emit(f"FAIL: checkpoint names unknown command {campaign.get('command')!r}")
+        return 1
+    _emit(
+        f"resuming {params['nodes']}-node campaign (seed {params['seed']}) "
+        f"from round {doc['round']} to round {rounds}"
+    )
+    report = reader.run_campaign(command, rounds=rounds, resume_from=doc)
+    digest = campaign_digest(report, log, metrics)
+    _emit(f"campaign digest: {digest}")
+    if args.digest_out:
+        _ensure_parent(args.digest_out).write_text(digest + "\n")
+        _emit(f"wrote campaign digest to {args.digest_out}")
+    _emit(
+        f"campaign: {report['rounds']} rounds, "
+        f"delivery {report['network']['delivery_ratio']:.2f}, "
+        f"{report['events']} events"
+    )
+    return 0
 
 
 #: Stage name -> (module, class, method) patched by ``bench --inject``.
@@ -541,20 +677,23 @@ def _build_bench_fleet(nodes: int, seed: int, bitrate: float):
 
 
 def _bench_campaign(nodes: int, rounds: int, seed: int, bitrate: float,
-                    parallel: int):
+                    parallel: int, kill_at: tuple[int, int] | None = None):
     """One timed campaign on a fresh fleet; returns ``(seconds, digest)``.
 
-    The digest covers the campaign report, the event log, and the
-    metrics exposition, so two modes agree only if they are
-    byte-identical in every observable output.
+    The digest (:func:`repro.resilience.campaign_digest`) covers the
+    campaign report, the event log, and the metrics exposition, so two
+    modes agree only if they are byte-identical in every observable
+    output.  ``kill_at=(round, node)`` arms a contained (non-fatal)
+    worker crash: the supervisor restarts the worker, and the digest
+    check then proves the containment telemetry is identical across
+    execution modes.
     """
-    import hashlib
-    import json
     import time
 
     from repro.faults import EventLog
     from repro.net import Command, ReaderController, RetryPolicy
-    from repro.obs import MetricsRegistry, metrics_to_prometheus
+    from repro.obs import MetricsRegistry
+    from repro.resilience import campaign_digest, install_worker_crash
 
     log = EventLog()
     metrics = MetricsRegistry()
@@ -567,16 +706,13 @@ def _bench_campaign(nodes: int, rounds: int, seed: int, bitrate: float,
         metrics=metrics,
         parallel=parallel,
     )
+    if kill_at is not None:
+        kill_round, kill_node = kill_at
+        install_worker_crash(reader, kill_node, rounds=(kill_round,), crashes=1)
     start = time.perf_counter()
     report = reader.run_campaign(Command.READ_PH, rounds=rounds)
     elapsed = time.perf_counter() - start
-    blob = (
-        json.dumps(report, sort_keys=True, default=str)
-        + "\n" + log.dump()
-        + "\n" + metrics_to_prometheus(metrics)
-    )
-    digest = hashlib.sha256(blob.encode()).hexdigest()
-    return elapsed, digest, report
+    return elapsed, campaign_digest(report, log, metrics), report
 
 
 def _bench_stage_breakdown(seed: int, bitrate: float, repeats: int = 5) -> dict:
@@ -645,6 +781,39 @@ def _bench_gate(current: dict, baseline: dict, threshold: float) -> list[str]:
     return failures
 
 
+def _load_bench_baseline(path, smoke: bool):
+    """The latest gate-matching record in a ``BENCH_perf.json`` baseline.
+
+    Returns ``(record, None)`` on success or ``(None, reason)`` — one
+    clear line instead of a traceback for every way the baseline file
+    can be missing or wrong.
+    """
+    import json
+
+    path = pathlib.Path(path)
+    if not path.exists():
+        return None, f"baseline {path} not found"
+    try:
+        data = json.loads(path.read_text())
+    except ValueError:
+        return None, f"baseline {path} is not valid JSON"
+    if not isinstance(data, dict) or not isinstance(data.get("records"), list):
+        return None, f"baseline {path} has no 'records' list"
+    matching = [
+        r for r in data["records"]
+        if isinstance(r, dict) and r.get("smoke") == smoke
+    ]
+    if not matching:
+        return None, f"no baseline record with smoke={smoke} in {path}"
+    record = matching[-1]
+    if record.get("schema") != 1:
+        return None, (
+            f"baseline record schema {record.get('schema')!r} in {path} "
+            "is not supported (expected 1)"
+        )
+    return record, None
+
+
 def _cmd_bench(args) -> int:
     """Sequential vs cached vs parallel campaign benchmark + perf gate."""
     import json
@@ -660,6 +829,17 @@ def _cmd_bench(args) -> int:
         # Thread width beyond the core count only buys GIL thrash on
         # this CPU-bound workload.
         args.parallel = max(1, min(4, os.cpu_count() or 1))
+    kill_at = None
+    if args.kill_at:
+        try:
+            kill_at = _parse_kill_at(args.kill_at)
+        except ValueError as exc:
+            _emit(str(exc))
+            return 2
+        _emit(
+            f"armed contained worker crash at round {kill_at[0]}, "
+            f"node {kill_at[1]} (all modes)"
+        )
     restore = None
     if args.inject:
         try:
@@ -676,17 +856,20 @@ def _cmd_bench(args) -> int:
         clear_all_caches()
         with caching_disabled():
             seq_s, seq_digest, _ = _bench_campaign(
-                nodes, rounds, args.seed, args.bitrate, parallel=0
+                nodes, rounds, args.seed, args.bitrate, parallel=0,
+                kill_at=kill_at,
             )
         _emit(f"sequential (no caches): {seq_s:.2f} s")
         clear_all_caches()
         cached_s, cached_digest, _ = _bench_campaign(
-            nodes, rounds, args.seed, args.bitrate, parallel=0
+            nodes, rounds, args.seed, args.bitrate, parallel=0,
+            kill_at=kill_at,
         )
         _emit(f"cached:                 {cached_s:.2f} s")
         clear_all_caches()
         par_s, par_digest, report = _bench_campaign(
-            nodes, rounds, args.seed, args.bitrate, parallel=args.parallel
+            nodes, rounds, args.seed, args.bitrate, parallel=args.parallel,
+            kill_at=kill_at,
         )
         _emit(f"cached + parallel:      {par_s:.2f} s")
         identical = seq_digest == cached_digest == par_digest
@@ -748,16 +931,11 @@ def _cmd_bench(args) -> int:
 
     status = 0
     if args.compare:
-        path = pathlib.Path(args.compare)
-        if not path.exists():
-            _emit(f"FAIL: baseline {path} not found")
+        baseline, problem = _load_bench_baseline(args.compare, record["smoke"])
+        if problem is not None:
+            _emit(f"FAIL: {problem}")
             return 1
-        history = json.loads(path.read_text()).get("records", [])
-        matching = [r for r in history if r.get("smoke") == record["smoke"]]
-        if not matching:
-            _emit(f"FAIL: no baseline record with smoke={record['smoke']}")
-            return 1
-        failures = _bench_gate(record, matching[-1], args.fail_threshold)
+        failures = _bench_gate(record, baseline, args.fail_threshold)
         for failure in failures:
             _emit(f"REGRESSION: {failure}")
         if failures:
@@ -773,7 +951,14 @@ def _cmd_bench(args) -> int:
         path = _ensure_parent(args.out)
         history = {"records": []}
         if path.exists():
-            history = json.loads(path.read_text())
+            try:
+                history = json.loads(path.read_text())
+            except ValueError:
+                _emit(f"FAIL: existing {path} is not valid JSON; not appending")
+                return 1
+            if not isinstance(history, dict):
+                _emit(f"FAIL: existing {path} is not a records object; not appending")
+                return 1
         history.setdefault("records", []).append(record)
         path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
         _emit(f"appended record to {path}")
@@ -795,7 +980,15 @@ def _cmd_bench(args) -> int:
             str(e["fraction"]) for e in record["stages"].values()
         )
         if path.exists():
-            path.write_text(path.read_text().rstrip("\n") + "\n" + row + "\n")
+            existing = path.read_text()
+            first = existing.splitlines()[0] if existing.strip() else ""
+            if first != header:
+                _emit(
+                    f"FAIL: trend file {path} has a mismatched header "
+                    "(stale column layout?); not appending"
+                )
+                return 1
+            path.write_text(existing.rstrip("\n") + "\n" + row + "\n")
         else:
             path.write_text(header + "\n" + row + "\n")
         _emit(f"appended trend row to {path}")
@@ -1106,7 +1299,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None,
         help="write a Prometheus text exposition of the campaign metrics",
     )
+    fleet.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="K",
+        help="write a campaign checkpoint after every K-th round",
+    )
+    fleet.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for checkpoint-NNNNNN.json files",
+    )
+    fleet.add_argument(
+        "--kill-at", default=None, metavar="ROUND:NODE",
+        help="crash the campaign (fatally) when NODE's worker runs in "
+             "ROUND; exits 3, leaving checkpoints for 'repro resume'",
+    )
+    fleet.add_argument(
+        "--digest-out", default=None,
+        help="write the campaign digest (report+events+metrics sha256) here",
+    )
     fleet.set_defaults(func=_cmd_fleet_report)
+
+    resume = sub.add_parser(
+        "resume",
+        help="resume an interrupted fleet-report campaign from a checkpoint",
+    )
+    resume.add_argument("checkpoint", help="checkpoint-NNNNNN.json to restore")
+    resume.add_argument(
+        "--rounds", type=int, default=None,
+        help="total campaign rounds (default: the checkpoint's campaign plan)",
+    )
+    resume.add_argument(
+        "--digest-out", default=None,
+        help="write the campaign digest here (for kill-resume drills)",
+    )
+    resume.set_defaults(func=_cmd_resume)
 
     bench = sub.add_parser(
         "bench",
@@ -1134,6 +1359,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="relative regression tolerance for the gate")
     bench.add_argument("--inject", default=None, metavar="STAGE:SECONDS",
                        help="artificially slow one stage (gate self-test)")
+    bench.add_argument("--kill-at", default=None, metavar="ROUND:NODE",
+                       help="crash NODE's worker (contained, supervisor-"
+                            "restarted) in ROUND in every mode; the digest "
+                            "check then proves containment is deterministic")
     bench.set_defaults(func=_cmd_bench)
 
     fig3 = sub.add_parser("fig3", help="recto-piezo tuning curves")

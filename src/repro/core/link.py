@@ -297,6 +297,25 @@ class BackscatterLink:
         # and propagation convolutions hit after the first round.
         self._leg_memo = LRUCache("link_legs", maxsize=8)
 
+    # -- checkpointing ---------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready mutable state: the noise RNG stream and the node.
+
+        Geometry, channels, and the leg memo are deterministic functions
+        of construction parameters (the memo is a pure cache), so only
+        the stochastic noise stream and the node's books need saving.
+        """
+        return {
+            "noise": self.noise.snapshot_state(),
+            "node": self.node.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self.noise.restore_state(state["noise"])
+        self.node.restore_state(state["node"])
+
     # -- diagnostics ----------------------------------------------------------------------
 
     def channel_report(self) -> dict:

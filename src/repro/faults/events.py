@@ -32,6 +32,8 @@ class EventKind(str, enum.Enum):
     PROBE = "probe"            # quarantined node probed
     RECOVERY = "recovery"      # node returned to HEALTHY
     GIVE_UP = "give_up"        # retry/timeout budget exhausted
+    WORKER_RESTART = "worker_restart"      # supervisor restarted a crashed worker
+    SHARD_QUARANTINE = "shard_quarantine"  # engine quarantined a crashing shard
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value

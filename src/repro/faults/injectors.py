@@ -37,6 +37,37 @@ class TransportError(RuntimeError):
     """Raised by a failing transport (and by the exception injector)."""
 
 
+def _rng_state(rng):
+    """JSON-ready numpy Generator state (``None`` for non-numpy RNGs)."""
+    bit_generator = getattr(rng, "bit_generator", None)
+    return None if bit_generator is None else bit_generator.state
+
+
+def _set_rng_state(rng, state) -> None:
+    if state is not None:
+        rng.bit_generator.state = state
+
+
+def _snapshot_inner(inner):
+    """Duck-typed snapshot of the wrapped transport (chains recurse)."""
+    target = getattr(inner, "__self__", inner)
+    fn = getattr(target, "snapshot_state", None)
+    return fn() if callable(fn) else None
+
+
+def _restore_inner(inner, state) -> None:
+    if state is None:
+        return
+    target = getattr(inner, "__self__", inner)
+    fn = getattr(target, "restore_state", None)
+    if not callable(fn):
+        raise ValueError(
+            f"snapshot carries state for wrapped transport {target!r}, "
+            "which cannot restore it"
+        )
+    fn(state)
+
+
 class _GarbledDemod:
     """Demod-shaped object carrying a garbled packet with a failed CRC."""
 
@@ -147,6 +178,39 @@ class FaultInjector:
                 "pab_faults_injected_total", injector=self.name
             ).inc()
 
+    # -- checkpointing --------------------------------------------------------------------
+
+    def _extra_state(self) -> dict:
+        """Subclass hook: mutable state beyond the base counters/RNG."""
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Inverse of :meth:`_extra_state`."""
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready mutable state, recursing through the wrapped chain."""
+        return {
+            "injector": self.name,
+            "transactions": self.transactions,
+            "faults_fired": self.faults_fired,
+            "rng": _rng_state(self.rng),
+            "extra": self._extra_state(),
+            "inner": _snapshot_inner(self.inner),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state` (validates the chain shape)."""
+        if state.get("injector") != self.name:
+            raise ValueError(
+                f"snapshot was taken from injector {state.get('injector')!r}, "
+                f"this transport is {self.name!r}"
+            )
+        self.transactions = int(state["transactions"])
+        self.faults_fired = int(state["faults_fired"])
+        _set_rng_state(self.rng, state["rng"])
+        self._restore_extra(state.get("extra", {}))
+        _restore_inner(self.inner, state.get("inner"))
+
 
 class NoiseBurstInjector(FaultInjector):
     """SNR collapse for a window of transactions.
@@ -200,6 +264,12 @@ class NoiseBurstInjector(FaultInjector):
             query_decoded=True,
             snr_db=self.collapsed_snr_db,
         )
+
+    def _extra_state(self) -> dict:
+        return {"burst_until": self._burst_until}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._burst_until = int(extra["burst_until"])
 
 
 class BrownoutInjector(FaultInjector):
@@ -280,6 +350,12 @@ class BrownoutInjector(FaultInjector):
             return None
         return InjectedResult(fault=self.name, powered_up=False)
 
+    def _extra_state(self) -> dict:
+        return {"dark_until": self._dark_until}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._dark_until = int(extra["dark_until"])
+
 
 class GilbertElliottInjector(FaultInjector):
     """Two-state Markov (good/bad) burst-loss channel.
@@ -333,6 +409,12 @@ class GilbertElliottInjector(FaultInjector):
             return None
         self._fire(index, state="bad" if self.bad else "good")
         return InjectedResult(fault=self.name, powered_up=True, query_decoded=False)
+
+    def _extra_state(self) -> dict:
+        return {"bad": self.bad}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.bad = bool(extra["bad"])
 
 
 class GarbledReplyInjector(FaultInjector):
@@ -412,3 +494,10 @@ FAULT_FAILING_STAGES = {
         TransportExceptionInjector,
     )
 }
+
+# Engine-level faults booked by the resilience layer
+# (:mod:`repro.resilience`): a worker crash or a watchdog-abandoned
+# straggler never reaches the waveform pipeline, so both fail at the
+# engine itself.
+FAULT_FAILING_STAGES["worker_crash"] = "engine"
+FAULT_FAILING_STAGES["watchdog_timeout"] = "engine"

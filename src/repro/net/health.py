@@ -198,3 +198,23 @@ class NodeHealth:
         self._probe_backoff = float(self.policy.probe_backoff_rounds)
         self.consecutive_failures = 0
         self._transition(HealthState.HEALTHY, t)
+
+    # -- checkpointing --------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready mutable state (policy and log are rebuilt, not saved)."""
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "consecutive_successes": self.consecutive_successes,
+            "next_probe_t": self.next_probe_t,
+            "probe_backoff": self._probe_backoff,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`; no events fire."""
+        self.state = HealthState(state["state"])
+        self.consecutive_failures = int(state["consecutive_failures"])
+        self.consecutive_successes = int(state["consecutive_successes"])
+        self.next_probe_t = float(state["next_probe_t"])
+        self._probe_backoff = float(state["probe_backoff"])

@@ -320,3 +320,25 @@ class PollingMac:
     def run_schedule(self, queries) -> list:
         """Poll a sequence of queries round-robin; returns all results."""
         return [self.poll(q) for q in queries]
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready mutable state: counters plus the jitter RNG stream.
+
+        A non-numpy ``retry_policy.rng`` (tests sometimes inject one) has
+        no serialisable stream position; its slot is saved as ``None``
+        and restore leaves it alone.
+        """
+        rng = getattr(self.retry_policy, "rng", None)
+        bitgen = getattr(rng, "bit_generator", None)
+        return {
+            "stats": dataclasses.asdict(self.stats),
+            "rng": None if bitgen is None else bitgen.state,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self.stats = MacStats(**state["stats"])
+        if state["rng"] is not None:
+            self.retry_policy.rng.bit_generator.state = state["rng"]

@@ -22,24 +22,45 @@ waveform-level :class:`~repro.core.link.BackscatterLink` in simulations,
 a fault injector stack from :mod:`repro.faults`, or a stub in tests.
 Transport exceptions are contained by the MAC; a full polling campaign
 never crashes because one exchange went wrong.
+
+Campaigns are additionally crash-safe (:mod:`repro.resilience`):
+
+* every poll runs under a **supervisor** that restarts a crashed worker
+  with backoff and, past the restart budget, contains the crash as a
+  fault event + health failure instead of aborting the round;
+* shards whose workers keep crashing are **quarantined** (skipped, and
+  reported) so one wedged transport cannot stall the fleet;
+* with a :class:`~repro.resilience.watchdog.WatchdogPolicy`, parallel
+  rounds abandon stragglers at their wall-clock deadline and book a
+  ``watchdog_timeout`` fault instead of hanging;
+* :meth:`ReaderController.snapshot` / :meth:`ReaderController.restore`
+  serialise the complete campaign state, and
+  :meth:`ReaderController.run_campaign` can write periodic checkpoints
+  and resume from one with byte-identical reports and digests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.faults.events import EventLog
+from repro.faults.events import Event, EventLog
 from repro.net.health import HealthPolicy, HealthState, NodeHealth
 from repro.net.mac import MacStats, PollingMac, RetryPolicy
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.postmortem import DecodePostmortem
 from repro.obs.probe import get_probes
 from repro.obs.trace import get_tracer
-from repro.perf.fleet import FleetEngine
+from repro.perf.fleet import FleetEngine, auto_parallel_width
+from repro.resilience.checkpoint import checkpoint_path, read_checkpoint, write_checkpoint
+from repro.resilience.snapshot import restore_transport, transport_state
+from repro.resilience.supervisor import SupervisorPolicy, supervise
+from repro.resilience.watchdog import WatchdogPolicy, WatchdogTimeout
 from repro.net.messages import (
     BITRATE_TABLE,
     Command,
     Query,
     Response,
+    SensorReading,
     bitrate_code,
     lower_bitrate,
 )
@@ -114,6 +135,26 @@ class ReaderController:
         per node per round (delivery, availability, and — when that
         node has an energy harness — sustainability); its report joins
         :meth:`report` under ``"slo"``.
+    supervisor:
+        :class:`~repro.resilience.supervisor.SupervisorPolicy` for the
+        per-poll worker supervisor (defaults to the stock policy).  A
+        :class:`~repro.resilience.supervisor.WorkerCrash` escaping a
+        poll is retried up to ``max_restarts`` times with backoff; a
+        worker that exhausts its restarts books a ``worker_crash``
+        fault + post-mortem and fails the node's health machine, and
+        ``quarantine_after`` consecutive crashed rounds quarantine the
+        node's shard entirely (skipped, surfaced in
+        :meth:`report` under ``"shards"``).  Campaigns never abort on a
+        worker crash; only
+        :class:`~repro.resilience.supervisor.CampaignAbort` (the
+        SIGKILL-equivalent) propagates.
+    watchdog:
+        Optional :class:`~repro.resilience.watchdog.WatchdogPolicy`.
+        Enforced by the fleet engine in parallel mode: a transaction
+        (or round) that outlives its wall-clock budget is abandoned and
+        booked as a ``watchdog_timeout`` fault + health failure instead
+        of hanging the campaign.  Watchdog-tripped runs trade byte-
+        reproducibility for liveness (wall-clock is not virtual time).
     parallel:
         ``0`` (default) polls nodes sequentially.  ``N >= 1`` runs each
         round's node transactions on an ``N``-wide thread pool
@@ -128,6 +169,11 @@ class ReaderController:
         scheduling or polling order.  Rounds observed by an
         enabled tracer or probe registry fall back to sequential
         execution (same results; real per-stage timings).
+        ``"auto"`` picks between the two from benchmark evidence
+        (:func:`~repro.perf.fleet.auto_parallel_width`): fleets below
+        the observed thread crossover in ``BENCH_perf.json`` stay
+        cached-sequential, larger ones get a pool; the choice is
+        logged on ``repro.perf``.
 
     When either ``ledgers`` or ``slo`` is given the reader also keeps
     ``round_log`` — the per-round outcome records the campaign
@@ -146,10 +192,14 @@ class ReaderController:
         metrics=None,
         ledgers: dict | None = None,
         slo=None,
-        parallel: int = 0,
+        parallel: int | str = 0,
+        supervisor: SupervisorPolicy | None = None,
+        watchdog: WatchdogPolicy | None = None,
     ) -> None:
         if not transports:
             raise ValueError("need at least one node transport")
+        if parallel == "auto":
+            parallel = auto_parallel_width(len(transports))
         self.log = log if log is not None else EventLog()
         self.metrics = metrics
         self.ledgers = (
@@ -173,6 +223,17 @@ class ReaderController:
             if self.parallel >= 1
             else None
         )
+        self.supervisor = (
+            supervisor if supervisor is not None else SupervisorPolicy()
+        )
+        self.watchdog = watchdog
+        #: Post-mortems of engine-level faults (worker crashes, watchdog
+        #: timeouts) — kept here because those faults happen outside the
+        #: probe-observed waveform pipeline.  Not part of :meth:`report`.
+        self.postmortems: list = []
+        self._shard_crashes: dict = {}      # addr -> crashed rounds (lifetime)
+        self._crash_streak: dict = {}       # addr -> consecutive crashed rounds
+        self._quarantined_shards: set = set()
         self._macs = {
             int(addr): PollingMac(
                 transact=fn,
@@ -304,18 +365,30 @@ class ReaderController:
         ) as span:
             skipped = 0
             for addr in sorted(self._macs):
+                if addr in self._quarantined_shards:
+                    out[addr] = None
+                    skipped += 1
+                    skipped_addrs.add(addr)
+                    continue
                 health = self.nodes[addr].health
                 if health.state is HealthState.QUARANTINED:
                     if health.due_for_probe(t):
                         health.start_probe(t)
                         self.log.record(t, addr, "probe")
-                        out[addr] = self.poll(addr, Command.PING)
+                        poll_command = Command.PING
                     else:
                         out[addr] = None
                         skipped += 1
                         skipped_addrs.add(addr)
-                    continue
-                out[addr] = self.poll(addr, command)
+                        continue
+                else:
+                    poll_command = command
+                reading, outcome = supervise(
+                    lambda a=addr, c=poll_command: self.poll(a, c),
+                    self.supervisor,
+                )
+                out[addr] = reading
+                self._note_supervision(addr, t, outcome)
             span.set(
                 delivered=sum(1 for r in out.values() if r is not None),
                 skipped_quarantined=skipped,
@@ -364,32 +437,49 @@ class ReaderController:
                         if health.due_for_probe(t):
                             health.start_probe(t)
                             stage_log.record(t, addr, "probe")
-                            reading = self.poll(
-                                addr, Command.PING,
-                                _log=stage_log, _metrics=stage_metrics,
-                            )
+                            poll_command = Command.PING
                         else:
-                            return None, stage_log, stage_metrics, True
+                            return None, stage_log, stage_metrics, True, None
                     else:
-                        reading = self.poll(
-                            addr, command,
+                        poll_command = command
+                    # Supervised restarts re-poll into the SAME staging
+                    # sinks, so the merged telemetry is identical to what
+                    # the sequential supervisor produces.
+                    reading, outcome = supervise(
+                        lambda: self.poll(
+                            addr, poll_command,
                             _log=stage_log, _metrics=stage_metrics,
-                        )
-                    return reading, stage_log, stage_metrics, False
+                        ),
+                        self.supervisor,
+                    )
+                    return reading, stage_log, stage_metrics, False, outcome
                 finally:
                     mac.log, mac.metrics, health.log = saved
 
             return unit
 
-        units = {addr: make_unit(addr) for addr in self._macs}
+        units = {
+            addr: make_unit(addr)
+            for addr in self._macs
+            if addr not in self._quarantined_shards
+        }
         out = {}
         skipped_addrs = set()
         with get_tracer().span(
             "reader.poll_round", round=self._round, nodes=len(self._macs)
         ) as span:
-            for addr, (reading, stage_log, stage_metrics, was_skipped) in (
-                self._engine.run_round(units)
+            for addr in sorted(self._quarantined_shards):
+                if addr in self._macs:
+                    out[addr] = None
+                    skipped_addrs.add(addr)
+            for addr, payload in self._engine.run_round(
+                units, watchdog=self.watchdog
             ):
+                if isinstance(payload, WatchdogTimeout):
+                    out[addr] = None
+                    self._note_watchdog(addr, t, payload)
+                    continue
+                reading, stage_log, stage_metrics, was_skipped, outcome = payload
                 out[addr] = reading
                 if was_skipped:
                     skipped_addrs.add(addr)
@@ -400,6 +490,7 @@ class ReaderController:
                     self.log.record(e.t, e.node, e.kind, **dict(e.detail))
                 if stage_metrics is not None:
                     self.metrics.absorb(stage_metrics)
+                self._note_supervision(addr, t, outcome)
             span.set(
                 delivered=sum(1 for r in out.values() if r is not None),
                 skipped_quarantined=len(skipped_addrs),
@@ -453,16 +544,276 @@ class ReaderController:
                     delivered[addr] += 1
         return delivered
 
-    def run_campaign(self, command: Command, rounds: int) -> dict:
+    def run_campaign(
+        self,
+        command: Command,
+        rounds: int,
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_dir=None,
+        campaign: dict | None = None,
+        resume_from=None,
+    ) -> dict:
         """A full resilient campaign: ``rounds`` rounds, then a report.
 
         Unlike raw :meth:`run_schedule` this is the deployment loop:
         transport exceptions are contained, dead nodes are quarantined
         and re-probed, and the return value is the full
         :meth:`report` including availability and MTTR per node.
+
+        With ``checkpoint_every=K`` (and a ``checkpoint_dir``) the full
+        campaign state is written to ``checkpoint-NNNNNN.json`` after
+        every K-th round (``campaign`` metadata rides along in the
+        file).  ``resume_from`` restores a checkpoint file (or an
+        already-read checkpoint document) before running the remaining
+        rounds; a resumed campaign's report, event log, and digest are
+        byte-identical to an uninterrupted run.
         """
-        self.run_schedule(command, rounds)
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if checkpoint_every and checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires a checkpoint_dir")
+        if resume_from is not None:
+            doc = (
+                resume_from
+                if isinstance(resume_from, dict)
+                else read_checkpoint(resume_from)
+            )
+            self.restore(doc["state"])
+        while self._round < rounds:
+            self.poll_round(command)
+            if (
+                checkpoint_every
+                and self._round < rounds
+                and self._round % checkpoint_every == 0
+            ):
+                self.save_checkpoint(checkpoint_dir, campaign=campaign)
         return self.report()
+
+    # -- checkpointing -----------------------------------------------------------------
+
+    def save_checkpoint(self, directory, *, campaign: dict | None = None):
+        """Write the current :meth:`snapshot` to ``directory``; returns
+        the checkpoint file's path (``checkpoint-NNNNNN.json``)."""
+        path = checkpoint_path(directory, self._round)
+        write_checkpoint(path, self.snapshot(), round=self._round, campaign=campaign)
+        return path
+
+    def snapshot(self) -> dict:
+        """The complete campaign state as a JSON-ready dict.
+
+        Mapping keys are stringified so the canonical (sorted-keys)
+        JSON rendering is stable across a write/read cycle — Python
+        sorts int keys numerically but their JSON spellings sort
+        lexicographically, which would break the checkpoint integrity
+        hash.  :meth:`restore` converts them back.
+        """
+        state = {
+            "round": self._round,
+            "nodes": {},
+            "macs": {},
+            "health": {},
+            "transports": {},
+            "shards": {
+                "crashes": {
+                    str(a): n for a, n in sorted(self._shard_crashes.items())
+                },
+                "streak": {
+                    str(a): n for a, n in sorted(self._crash_streak.items())
+                },
+                "quarantined": sorted(self._quarantined_shards),
+            },
+            "events": [e.to_dict() for e in self.log.events],
+            "round_log": [
+                {
+                    **rec,
+                    "outcomes": {
+                        str(a): info for a, info in rec["outcomes"].items()
+                    },
+                }
+                for rec in self.round_log
+            ],
+        }
+        for addr in sorted(self._macs):
+            key = str(addr)
+            record = self.nodes[addr]
+            state["nodes"][key] = {
+                "bitrate": record.bitrate,
+                "resonance_mode": record.resonance_mode,
+                "pending_downgrade": record.pending_downgrade,
+                "readings": [[r.kind, list(r.values)] for r in record.readings],
+            }
+            state["macs"][key] = self._macs[addr].snapshot_state()
+            state["health"][key] = record.health.snapshot_state()
+            state["transports"][key] = transport_state(self._macs[addr].transact)
+        if self.metrics is not None:
+            state["metrics"] = self.metrics.snapshot_state()
+        if self.ledgers:
+            state["ledgers"] = {
+                str(a): harness.snapshot_state()
+                for a, harness in sorted(self.ledgers.items())
+            }
+        if self.slo is not None:
+            state["slo"] = self.slo.snapshot_state()
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot`: rebuild the campaign mid-flight.
+
+        The reader must have been constructed with the same fleet
+        (addresses, transports, policies) as the one that snapshotted;
+        only mutable state is restored.
+        """
+        expected = sorted(self._macs)
+        snapshotted = sorted(int(k) for k in state["nodes"])
+        if snapshotted != expected:
+            raise ValueError(
+                f"checkpoint covers nodes {snapshotted}, reader has {expected}"
+            )
+        self._round = int(state["round"])
+        for addr in expected:
+            key = str(addr)
+            record = self.nodes[addr]
+            node_state = state["nodes"][key]
+            record.bitrate = node_state["bitrate"]
+            record.resonance_mode = node_state["resonance_mode"]
+            record.pending_downgrade = bool(node_state["pending_downgrade"])
+            record.readings = [
+                SensorReading(kind, tuple(values))
+                for kind, values in node_state["readings"]
+            ]
+            mac = self._macs[addr]
+            mac.restore_state(state["macs"][key])
+            record.stats = mac.stats
+            record.health.restore_state(state["health"][key])
+            restore_transport(mac.transact, state["transports"][key])
+        shards = state["shards"]
+        self._shard_crashes = {int(a): int(n) for a, n in shards["crashes"].items()}
+        self._crash_streak = {int(a): int(n) for a, n in shards["streak"].items()}
+        self._quarantined_shards = {int(a) for a in shards["quarantined"]}
+        # Assign events directly: record() would renumber and double-
+        # count pab_events_total (the counters arrive via the metrics
+        # snapshot below).
+        self.log.events = [Event.from_dict(d) for d in state["events"]]
+        self.round_log = [
+            {
+                **rec,
+                "outcomes": {
+                    int(a): info for a, info in rec["outcomes"].items()
+                },
+            }
+            for rec in state["round_log"]
+        ]
+        if self.metrics is not None and "metrics" in state:
+            self.metrics.restore_state(state["metrics"])
+        for addr, harness in self.ledgers.items():
+            harness.restore_state(state["ledgers"][str(addr)])
+        if self.slo is not None and "slo" in state:
+            self.slo.restore_state(state["slo"])
+
+    # -- crash containment -------------------------------------------------------------
+
+    def _note_supervision(self, addr: int, t: float, outcome) -> None:
+        """Book a poll's supervision outcome into the shared telemetry.
+
+        Runs on the merge side in parallel mode (sorted-address order),
+        so restart/crash events land exactly where the sequential
+        supervisor would put them.
+        """
+        if outcome is None:
+            return
+        if outcome.restarts > 0 and not outcome.crashed:
+            self.log.record(
+                t, addr, "worker_restart",
+                restarts=outcome.restarts,
+                backoff_s=round(outcome.backoff_s, 6),
+                error=outcome.error,
+            )
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "pab_worker_restarts_total", node=addr
+                ).inc(outcome.restarts)
+        if not outcome.crashed:
+            self._crash_streak[addr] = 0
+            return
+        self.log.record(
+            t, addr, "fault",
+            injector="worker_crash",
+            error=outcome.error,
+            restarts=outcome.restarts,
+        )
+        if self.metrics is not None:
+            self.metrics.counter("pab_worker_crashes_total", node=addr).inc()
+        self.postmortems.append(
+            DecodePostmortem.from_fault(
+                "worker_crash",
+                node=addr,
+                detail={"error": outcome.error, "restarts": outcome.restarts},
+                txn=self._round,
+            )
+        )
+        self._fail_node(addr, t)
+        self._bump_crash_streak(addr, t)
+
+    def _note_watchdog(self, addr: int, t: float, timeout: WatchdogTimeout) -> None:
+        """Book an abandoned straggler as a fault + health failure."""
+        self.log.record(
+            t, addr, "fault",
+            injector="watchdog_timeout",
+            budget=timeout.budget,
+            deadline_s=timeout.deadline_s,
+        )
+        if self.metrics is not None:
+            self.metrics.counter("pab_watchdog_timeouts_total", node=addr).inc()
+        self.postmortems.append(
+            DecodePostmortem.from_fault(
+                "watchdog_timeout",
+                node=addr,
+                detail={"budget": timeout.budget, "deadline_s": timeout.deadline_s},
+                txn=self._round,
+            )
+        )
+        # The abandoned worker is a zombie still holding this node's
+        # staging sinks; repoint the health log at the shared log so the
+        # state transition is visible.  (The zombie's cleanup restores
+        # the shared log again whenever it finally unblocks.)
+        self.nodes[addr].health.log = self.log
+        self._fail_node(addr, t)
+        self._bump_crash_streak(addr, t)
+
+    def _fail_node(self, addr: int, t: float) -> None:
+        """Feed one engine-level failure to the node's health machine.
+
+        A commanded downgrade is deferred (``pending_downgrade``): the
+        node's worker just died or hung, so the SET_BITRATE goes out at
+        the node's next successful poll attempt instead.
+        """
+        record = self.nodes[addr]
+        action = record.health.on_result(False, t)
+        if action == "degrade":
+            record.pending_downgrade = True
+        if self.metrics is not None:
+            self.metrics.gauge("pab_node_health_code", node=addr).set(
+                record.health.state.code
+            )
+
+    def _bump_crash_streak(self, addr: int, t: float) -> None:
+        """Count a crashed round; quarantine the shard past the policy."""
+        self._shard_crashes[addr] = self._shard_crashes.get(addr, 0) + 1
+        streak = self._crash_streak.get(addr, 0) + 1
+        self._crash_streak[addr] = streak
+        if (
+            streak >= self.supervisor.quarantine_after
+            and addr not in self._quarantined_shards
+        ):
+            self._quarantined_shards.add(addr)
+            self.log.record(t, addr, "shard_quarantine", crashes=streak)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "pab_shard_quarantines_total", node=addr
+                ).inc()
 
     # -- health actions ----------------------------------------------------------------
 
@@ -569,6 +920,19 @@ class ReaderController:
             "nodes": per_node,
             "events": len(self.log),
         }
+        if self._shard_crashes or self._quarantined_shards:
+            # Only present when the engine actually lost workers, so
+            # crash-free campaign reports (and their digests) are
+            # unchanged.
+            report["shards"] = {
+                "crashed_rounds": {
+                    addr: self._shard_crashes.get(addr, 0)
+                    for addr in sorted(
+                        set(self._shard_crashes) | self._quarantined_shards
+                    )
+                },
+                "quarantined": sorted(self._quarantined_shards),
+            }
         if self.ledgers:
             report["energy"] = {
                 addr: harness.summary()

@@ -147,6 +147,27 @@ class NodeFirmware:
             return PowerState.BACKSCATTER
         return PowerState.IDLE
 
+    # -- checkpointing -------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready mutable state (peripherals/format are rebuilt)."""
+        return {
+            "state": self.state.value,
+            "queries_handled": self.queries_handled,
+            "queries_ignored": self.queries_ignored,
+            "bitrate": self.config.bitrate,
+            "resonance_mode": self.config.resonance_mode,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`; the ledger is not re-synced
+        (campaign restore re-wires observability separately)."""
+        self.state = FirmwareState(state["state"])
+        self.queries_handled = int(state["queries_handled"])
+        self.queries_ignored = int(state["queries_ignored"])
+        self.config.bitrate = float(state["bitrate"])
+        self.config.resonance_mode = int(state["resonance_mode"])
+
     # -- downlink ------------------------------------------------------------------
 
     def decode_downlink_envelope(

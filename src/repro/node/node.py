@@ -145,6 +145,17 @@ class PABNode:
         else:
             self.firmware.brown_out()
 
+    # -- checkpointing ----------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready mutable state (power flag + firmware books)."""
+        return {"powered": self._powered, "firmware": self.firmware.snapshot_state()}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state` (no boot/brown-out side effects)."""
+        self._powered = bool(state["powered"])
+        self.firmware.restore_state(state["firmware"])
+
     # -- communication ----------------------------------------------------------------
 
     def receive_query(self, envelope, sample_rate: float) -> Query | None:

@@ -196,7 +196,10 @@ class EnergyLedger:
             raise ValueError(f"unknown direction {direction!r}")
         if state is not None:
             return self.flows.get((direction, PowerState(state)), 0.0)
-        return sum(v for (d, _), v in self.flows.items() if d == direction)
+        # fsum: exactly rounded, so the total is independent of bucket
+        # order (live insertion order vs the sorted order a checkpoint
+        # restore rebuilds the dict in).
+        return math.fsum(v for (d, _), v in self.flows.items() if d == direction)
 
     @property
     def harvested_j(self) -> float:
@@ -257,7 +260,7 @@ class EnergyLedger:
 
     def duty_cycle(self) -> dict:
         """``{state value: fraction of observed time}`` (empty if t==0)."""
-        total = sum(self.state_seconds.values())
+        total = math.fsum(self.state_seconds.values())
         if total <= 0:
             return {}
         return {
@@ -281,6 +284,83 @@ class EnergyLedger:
     def soc_series(self) -> tuple:
         """``(times_s, volts)`` — the (decimated) SoC trajectory."""
         return list(self.soc_t), list(self.soc_v)
+
+    # -- checkpointing ----------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready mutable state, including the attached capacitor.
+
+        ``inf``/``nan`` sentinels survive because Python's ``json``
+        writes and reads the ``Infinity``/``NaN`` extension tokens.
+        """
+        return {
+            "t": self.t,
+            "state": self.state.value,
+            "state_seconds": {s.value: v for s, v in self.state_seconds.items()},
+            "flows": [
+                [direction, state.value, joules]
+                for (direction, state), joules in sorted(
+                    self.flows.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+                )
+            ],
+            "baseline_energy_j": self._baseline_energy_j,
+            "baseline_adjusted_j": self._baseline_adjusted_j,
+            "soc_t": list(self.soc_t),
+            "soc_v": list(self.soc_v),
+            "soc_stride": self._soc_stride,
+            "soc_phase": self._soc_phase,
+            "min_voltage_v": self.min_voltage_v,
+            "min_powered_voltage_v": self.min_powered_voltage_v,
+            "brownouts": self.brownouts,
+            "last_voltage_v": self.last_voltage_v,
+            "round_history": [dict(info) for info in self.round_history],
+            "pushed": [
+                [name, [list(pair) for pair in labels], value]
+                for (name, labels), value in sorted(self._pushed.items())
+            ],
+            "capacitor": (
+                None if self.capacitor is None
+                else self.capacitor.snapshot_state()
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`.
+
+        The capacitor section restores into the *already attached*
+        capacitor (attachment wires the observer callback, which JSON
+        cannot carry).
+        """
+        self.t = state["t"]
+        self.state = PowerState(state["state"])
+        self.state_seconds = {
+            PowerState(s): v for s, v in state["state_seconds"].items()
+        }
+        self.flows = {
+            (direction, PowerState(s)): joules
+            for direction, s, joules in state["flows"]
+        }
+        self._baseline_energy_j = state["baseline_energy_j"]
+        self._baseline_adjusted_j = state["baseline_adjusted_j"]
+        self.soc_t = list(state["soc_t"])
+        self.soc_v = list(state["soc_v"])
+        self._soc_stride = int(state["soc_stride"])
+        self._soc_phase = int(state["soc_phase"])
+        self.min_voltage_v = state["min_voltage_v"]
+        self.min_powered_voltage_v = state["min_powered_voltage_v"]
+        self.brownouts = int(state["brownouts"])
+        self.last_voltage_v = state["last_voltage_v"]
+        self.round_history = [dict(info) for info in state["round_history"]]
+        self._pushed = {
+            (name, tuple(tuple(pair) for pair in labels)): value
+            for name, labels, value in state["pushed"]
+        }
+        if state["capacitor"] is not None:
+            if self.capacitor is None:
+                raise ValueError(
+                    "snapshot carries capacitor state but no capacitor is attached"
+                )
+            self.capacitor.restore_state(state["capacitor"])
 
     # -- export -----------------------------------------------------------------------
 
@@ -514,3 +594,19 @@ class NodeEnergyHarness:
     def to_metrics(self, registry) -> None:
         """Delegate to the attached ledger."""
         self.ledger.to_metrics(registry)
+
+    # -- checkpointing ----------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready mutable state (the ledger carries the capacitor)."""
+        return {
+            "powered": self.powered,
+            "bitrate": self.bitrate,
+            "ledger": self.ledger.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self.powered = bool(state["powered"])
+        self.bitrate = float(state["bitrate"])
+        self.ledger.restore_state(state["ledger"])

@@ -185,6 +185,54 @@ class MetricsRegistry:
         metric = self._metrics[(name, _label_key(labels))]
         return metric.value
 
+    # -- checkpointing ----------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready dump of every instrument (sorted, deterministic)."""
+        items = []
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            name, labels = key
+            entry = {"name": name, "labels": [list(pair) for pair in labels]}
+            if isinstance(metric, Counter):
+                entry["type"] = "counter"
+                entry["value"] = metric.value
+            elif isinstance(metric, Gauge):
+                entry["type"] = "gauge"
+                entry["value"] = metric.value
+            elif isinstance(metric, Histogram):
+                entry["type"] = "histogram"
+                entry["buckets"] = list(metric.buckets)
+                entry["bucket_counts"] = list(metric.bucket_counts)
+                entry["sum"] = metric.sum
+                entry["count"] = metric.count
+                entry["nan_count"] = metric.nan_count
+            else:  # pragma: no cover - no other instrument types exist
+                raise TypeError(f"unknown instrument type {type(metric).__name__}")
+            items.append(entry)
+        return {"instruments": items}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state` (replaces current contents)."""
+        self._metrics.clear()
+        for entry in state["instruments"]:
+            labels = dict(tuple(pair) for pair in entry["labels"])
+            kind = entry["type"]
+            if kind == "counter":
+                self._get(Counter, entry["name"], labels).value = float(entry["value"])
+            elif kind == "gauge":
+                self._get(Gauge, entry["name"], labels).value = float(entry["value"])
+            elif kind == "histogram":
+                h = self._get(
+                    Histogram, entry["name"], labels, buckets=tuple(entry["buckets"])
+                )
+                h.bucket_counts = [int(n) for n in entry["bucket_counts"]]
+                h.sum = float(entry["sum"])
+                h.count = int(entry["count"])
+                h.nan_count = int(entry["nan_count"])
+            else:
+                raise ValueError(f"unknown instrument type {kind!r} in snapshot")
+
     # -- aggregation ------------------------------------------------------------------
 
     def merge(self, *others: "MetricsRegistry") -> "MetricsRegistry":

@@ -97,6 +97,8 @@ _FAULT_BLURBS = {
     "gilbert_elliott": "burst-loss channel dropped the reply",
     "garbled": "reply bits garbled in flight; CRC rejected the frame",
     "transport_exception": "transport raised before any waveform was captured",
+    "worker_crash": "fleet worker died mid-transaction; restarts exhausted",
+    "watchdog_timeout": "transaction outlived its wall-clock budget; straggler abandoned",
 }
 
 

@@ -200,6 +200,43 @@ class SLOTracker:
             return float("nan")
         return (bad / total) / (1.0 - target)
 
+    # -- checkpointing ----------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready mutable state (targets travel too, for validation)."""
+        return {
+            "targets": dict(self.targets),
+            "window": self.window,
+            "counts": [
+                [obj, node, good, bad]
+                for (obj, node), (good, bad) in sorted(self._counts.items())
+            ],
+            "recent": [
+                [obj, node, [list(entry) for entry in recent]]
+                for (obj, node), recent in sorted(self._recent.items())
+            ],
+            "rounds_observed": self.rounds_observed,
+            "last_t": self.last_t,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state` (replaces current books)."""
+        # Values are NOT coerced: JSON preserves int/float identity, and
+        # the fuzz suite asserts snapshot -> restore -> snapshot equality.
+        self.targets = {str(k): float(v) for k, v in state["targets"].items()}
+        self.window = int(state["window"])
+        self._counts = {
+            (obj, int(node)): [good, bad]
+            for obj, node, good, bad in state["counts"]
+        }
+        self._recent = {}
+        for obj, node, entries in state["recent"]:
+            recent = collections.deque(maxlen=self.window)
+            recent.extend(tuple(entry) for entry in entries)
+            self._recent[(obj, int(node))] = recent
+        self.rounds_observed = int(state["rounds_observed"])
+        self.last_t = state["last_t"]
+
     # -- bulk ingestion ---------------------------------------------------------------
 
     def ingest_mac_stats(self, node: int, stats) -> None:

@@ -28,12 +28,13 @@ from repro.perf.cache import (
     get_cache,
     set_cache_enabled,
 )
-from repro.perf.fleet import FleetEngine
+from repro.perf.fleet import FleetEngine, auto_parallel_width
 from repro.perf.kernels import smart_convolve, smart_correlate
 
 __all__ = [
     "FleetEngine",
     "LRUCache",
+    "auto_parallel_width",
     "cache_enabled",
     "cache_stats",
     "caches_to_metrics",

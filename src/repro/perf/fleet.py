@@ -24,8 +24,30 @@ template per worker and pay pickling for 100k-sample waveforms.
 
 from __future__ import annotations
 
+import json
+import logging
+import math
+import os
+import pathlib
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Callable, Iterable, Mapping, Sequence, Tuple
+
+from repro.resilience.watchdog import WatchdogPolicy, WatchdogTimeout
+
+logger = logging.getLogger("repro.perf")
+
+#: Fleet size below which ``parallel="auto"`` stays sequential when no
+#: benchmark evidence is available.  Chosen from the shipped
+#: ``BENCH_perf.json`` shape: threads lose until the per-round fan-out
+#: amortises pool overhead, which the observed 10-node record puts well
+#: above typical test fleets.
+AUTO_PARALLEL_DEFAULT_CROSSOVER = 24
+
+#: Widest pool ``parallel="auto"`` will pick; matches the default
+#: FleetEngine width.
+AUTO_PARALLEL_MAX_WIDTH = 4
 
 
 class FleetEngine:
@@ -45,6 +67,7 @@ class FleetEngine:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = int(max_workers)
         self._pool: ThreadPoolExecutor | None = None
+        self._tainted = False
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         # Lazy and persistent: a campaign calls run_round once per
@@ -65,6 +88,8 @@ class FleetEngine:
     def run_round(
         self,
         units: "Mapping[object, Callable[[], object]] | Iterable[Tuple[object, Callable[[], object]]]",
+        *,
+        watchdog: WatchdogPolicy | None = None,
     ) -> "Sequence[Tuple[object, object]]":
         """Execute every unit concurrently; return ``[(key, result)]``
         sorted by key.
@@ -73,6 +98,14 @@ class FleetEngine:
         have finished — matching the sequential loop, the *first* (in
         key order) failure is the one re-raised, so error behaviour
         does not depend on scheduling.
+
+        With a ``watchdog``, a unit that outlives its per-transaction
+        or per-round wall-clock budget is abandoned: its result slot
+        carries a :class:`~repro.resilience.watchdog.WatchdogTimeout`
+        sentinel instead of a value, and the pool is recreated before
+        the next round so the zombie thread cannot occupy a worker
+        slot.  (The abandoned thread itself cannot be killed — it is
+        left to finish into discarded staging sinks.)
         """
         if isinstance(units, Mapping):
             items = sorted(units.items())
@@ -80,12 +113,45 @@ class FleetEngine:
             items = sorted(units)
         if not items:
             return []
+        if self._tainted:
+            # A previous round abandoned a straggler inside this pool;
+            # replace the pool so the zombie cannot starve this round.
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+            self._tainted = False
         pool = self._ensure_pool()
+        txn_deadline = watchdog.transaction_deadline_s if watchdog else None
+        round_deadline = watchdog.round_deadline_s if watchdog else None
+        round_ends = (
+            time.monotonic() + round_deadline
+            if round_deadline is not None
+            else None
+        )
         futures = [(key, pool.submit(fn)) for key, fn in items]
         results = []
         first_error = None
         for key, future in futures:
-            exc = future.exception()
+            timeout = None
+            budget = "transaction"
+            deadline = txn_deadline
+            if txn_deadline is not None:
+                timeout = txn_deadline
+            if round_ends is not None:
+                remaining = round_ends - time.monotonic()
+                if timeout is None or remaining < timeout:
+                    timeout = max(remaining, 0.0)
+                    budget = "round"
+                    deadline = round_deadline
+            try:
+                exc = future.exception(timeout=timeout)
+            except FutureTimeoutError:
+                future.cancel()
+                self._tainted = True
+                results.append(
+                    (key, WatchdogTimeout(key=key, budget=budget, deadline_s=deadline))
+                )
+                continue
             if exc is not None:
                 if first_error is None:
                     first_error = exc
@@ -94,3 +160,82 @@ class FleetEngine:
         if first_error is not None:
             raise first_error
         return results
+
+
+def _latest_full_bench_record(bench_path=None) -> dict | None:
+    """The newest non-smoke record in a ``repro bench --out`` file."""
+    path = pathlib.Path(
+        bench_path
+        or os.environ.get("PAB_BENCH_FILE", "BENCH_perf.json")
+    )
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    records = data.get("records", []) if isinstance(data, dict) else []
+    usable = [
+        r
+        for r in records
+        if isinstance(r, dict)
+        and not r.get("smoke", False)
+        and r.get("nodes", 0) > 0
+        and r.get("cached_s", 0) > 0
+        and r.get("parallel_s", 0) > 0
+    ]
+    return usable[-1] if usable else None
+
+
+def auto_parallel_width(n_nodes: int, *, bench_path=None, max_width: int | None = None) -> int:
+    """Pick a reader execution mode from benchmark evidence.
+
+    Implements ``ReaderController(parallel="auto")``: returns ``0``
+    (cached-sequential) for fleets below the observed thread crossover
+    and a pool width otherwise.  The crossover comes from the latest
+    full record in ``BENCH_perf.json`` (override with ``bench_path`` or
+    ``PAB_BENCH_FILE``):
+
+    * threads already won there (``parallel_s < cached_s``) — that
+      fleet size is the crossover;
+    * threads lost — extrapolate: scale the measured fleet by the
+      slowdown ratio (with 2x headroom) before trusting threads;
+    * no usable record — fall back to
+      :data:`AUTO_PARALLEL_DEFAULT_CROSSOVER`.
+
+    The decision is logged at INFO on ``repro.perf`` so campaign runs
+    record which mode "auto" chose and why.
+    """
+    n = int(n_nodes)
+    cap = AUTO_PARALLEL_MAX_WIDTH if max_width is None else int(max_width)
+    record = _latest_full_bench_record(bench_path)
+    if record is None:
+        crossover = AUTO_PARALLEL_DEFAULT_CROSSOVER
+        evidence = "no benchmark record; default crossover"
+    else:
+        measured = int(record["nodes"])
+        ratio = float(record["parallel_s"]) / float(record["cached_s"])
+        if ratio < 1.0:
+            crossover = measured
+            evidence = (
+                f"threads won at {measured} nodes "
+                f"(parallel/cached ratio {ratio:.2f})"
+            )
+        else:
+            crossover = max(measured + 1, int(math.ceil(measured * ratio)) * 2)
+            evidence = (
+                f"threads lost at {measured} nodes "
+                f"(parallel/cached ratio {ratio:.2f}); extrapolated"
+            )
+    if n < crossover:
+        width = 0
+    else:
+        width = max(1, min(cap, os.cpu_count() or 1))
+    logger.info(
+        "parallel=auto: fleet of %d nodes -> %s (crossover %d: %s)",
+        n,
+        f"thread pool of {width}" if width else "cached sequential",
+        crossover,
+        evidence,
+    )
+    return width

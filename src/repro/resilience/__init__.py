@@ -1,0 +1,71 @@
+"""Crash-safe campaigns: checkpoints, watchdogs, supervised workers.
+
+The paper's reader drives fleets of battery-free nodes over hours-long
+deployments; this package makes those campaigns survive the reader
+side's own failures, not just the nodes':
+
+* :mod:`repro.resilience.checkpoint` — versioned, integrity-checked
+  snapshot files every K rounds; ``ReaderController.run_campaign(
+  resume_from=...)`` continues a campaign byte-identically (proved by
+  the ``repro bench`` digest machinery).
+* :mod:`repro.resilience.watchdog` — per-transaction and per-round
+  wall-clock budgets enforced by the fleet engine; stragglers are
+  abandoned, booked as ``watchdog_timeout`` faults, and fed to the
+  node's health machine instead of hanging the run.
+* :mod:`repro.resilience.supervisor` — restart-with-backoff on worker
+  crash, shard quarantine for repeat offenders, and the
+  :class:`~repro.resilience.supervisor.WorkerCrashInjector` drill
+  (``repro bench --kill-at`` / ``repro fleet-report --kill-at``).
+* :mod:`repro.resilience.snapshot` — the duck-typed transport state
+  protocol that lets checkpoints see through injector chains and
+  waveform links alike.
+
+See ``docs/RELIABILITY.md`` for budgets, restart policy, and a worked
+kill-and-resume example.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_SCHEMA,
+    CheckpointError,
+    campaign_digest,
+    checkpoint_path,
+    latest_checkpoint,
+    read_checkpoint,
+    state_integrity,
+    write_checkpoint,
+)
+from repro.resilience.snapshot import restore_transport, transport_state
+from repro.resilience.supervisor import (
+    CampaignAbort,
+    SupervisionOutcome,
+    SupervisorPolicy,
+    WorkerCrash,
+    WorkerCrashInjector,
+    install_worker_crash,
+    supervise,
+)
+from repro.resilience.watchdog import WatchdogPolicy, WatchdogTimeout
+
+__all__ = [
+    "CHECKPOINT_KIND",
+    "CHECKPOINT_SCHEMA",
+    "CampaignAbort",
+    "CheckpointError",
+    "SupervisionOutcome",
+    "SupervisorPolicy",
+    "WatchdogPolicy",
+    "WatchdogTimeout",
+    "WorkerCrash",
+    "WorkerCrashInjector",
+    "campaign_digest",
+    "checkpoint_path",
+    "install_worker_crash",
+    "latest_checkpoint",
+    "read_checkpoint",
+    "restore_transport",
+    "state_integrity",
+    "supervise",
+    "transport_state",
+    "write_checkpoint",
+]

@@ -1,0 +1,60 @@
+"""Duck-typed state capture for transport callables.
+
+The reader only knows its transports as ``transact(query) -> result``
+callables, yet a deterministic resume must capture whatever state hides
+behind them: a fault-injector chain's RNG streams and burst windows, a
+:class:`~repro.core.link.BackscatterLink`'s ambient-noise RNG and node
+firmware, a test double's seeded failure stream.
+
+The protocol is structural, mirroring how the reader treats transports
+in the first place:
+
+* if the callable (or, for a bound method, the object it is bound to)
+  exposes ``snapshot_state() -> dict``, that dict is the transport's
+  state;
+* otherwise the transport is assumed stateless and snapshots as
+  ``None``.
+
+``restore_transport`` is the inverse; restoring a non-``None`` state
+into a transport that cannot accept it is an error — silently dropping
+state would break the byte-identity guarantee checkpoints exist to
+provide.
+"""
+
+from __future__ import annotations
+
+
+def _state_target(transact):
+    """The object that owns a transport's state.
+
+    A bound method (``link.run_query``) snapshots through the object it
+    is bound to; anything else (an injector chain, a callable class, a
+    closure) is its own target.
+    """
+    return getattr(transact, "__self__", transact)
+
+
+def transport_state(transact):
+    """Capture a transport's state, or ``None`` for stateless ones."""
+    fn = getattr(_state_target(transact), "snapshot_state", None)
+    if callable(fn):
+        return fn()
+    return None
+
+
+def restore_transport(transact, state) -> None:
+    """Restore state captured by :func:`transport_state`.
+
+    ``None`` (a stateless transport) is always accepted.  A stateful
+    snapshot aimed at a transport with no ``restore_state`` raises
+    ``ValueError`` — the rebuilt fleet does not match the checkpoint.
+    """
+    if state is None:
+        return
+    target = _state_target(transact)
+    fn = getattr(target, "restore_state", None)
+    if not callable(fn):
+        raise ValueError(
+            f"checkpoint carries transport state but {target!r} cannot restore it"
+        )
+    fn(state)

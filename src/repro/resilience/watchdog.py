@@ -1,0 +1,80 @@
+"""Wall-clock watchdog budgets for parallel polling rounds.
+
+A hung transport (stuck modem, wedged serial line, a worker thread
+blocked in I/O) must not hang an hours-long campaign.  The watchdog
+gives :class:`repro.perf.fleet.FleetEngine` two budgets:
+
+* a **per-transaction** deadline — the longest a single node's poll may
+  run before the reader gives up on it this round, and
+* a **per-round** deadline — the longest the whole round may take; once
+  it is spent, every still-running straggler is abandoned at once.
+
+A breached budget does not raise: the engine returns a
+:class:`WatchdogTimeout` sentinel in the straggler's result slot and
+marks its pool *tainted* so the abandoned worker thread cannot occupy a
+slot in later rounds.  The reader converts the sentinel into a
+``watchdog_timeout`` fault event, a decode post-mortem, and a failure
+fed to the node's health machine — the campaign keeps going.
+
+Watchdog enforcement is only meaningful in parallel mode
+(``parallel >= 1``): a synchronous call cannot be preempted from the
+same thread.  Sequential campaigns should bound time inside the
+transport itself; the watchdog is the engine-level last resort.
+
+Because breaches are triggered by *wall-clock* time, a campaign that
+suffers one is not byte-reproducible — determinism guarantees apply to
+crash containment (:mod:`repro.resilience.supervisor`) and
+checkpoint/resume (:mod:`repro.resilience.checkpoint`), not to timeout
+placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WatchdogPolicy:
+    """Wall-clock budgets enforced by the fleet engine.
+
+    Parameters
+    ----------
+    transaction_deadline_s:
+        Budget for one node's poll (``None`` disables).
+    round_deadline_s:
+        Budget for the whole polling round (``None`` disables).  The
+        round clock starts when the round's units are submitted; once
+        it runs out every unfinished unit times out immediately.
+    """
+
+    transaction_deadline_s: float | None = None
+    round_deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("transaction_deadline_s", self.transaction_deadline_s),
+            ("round_deadline_s", self.round_deadline_s),
+        ):
+            if value is not None and not value > 0:
+                raise ValueError(f"{label} must be positive or None")
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.transaction_deadline_s is not None
+            or self.round_deadline_s is not None
+        )
+
+
+@dataclass(frozen=True)
+class WatchdogTimeout:
+    """Result sentinel for a unit abandoned past its deadline.
+
+    ``budget`` names which budget ran out (``"transaction"`` or
+    ``"round"``); ``deadline_s`` is the wall-clock allowance that was
+    exceeded.
+    """
+
+    key: object
+    budget: str
+    deadline_s: float

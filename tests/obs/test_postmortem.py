@@ -56,6 +56,8 @@ class TestFromFault:
             "gilbert_elliott": "link.uplink_propagation",
             "garbled": "link.hydrophone_dsp",
             "transport_exception": "transport",
+            "worker_crash": "engine",
+            "watchdog_timeout": "engine",
         }
 
 

@@ -1,0 +1,85 @@
+"""Shared apparatus for the resilience suites.
+
+A seeded flaky fleet: stub transports that answer queries but fail a
+seeded fraction of the time, carrying their RNG stream through
+``snapshot_state``/``restore_state`` so campaigns over them are
+checkpointable byte-for-byte.
+"""
+
+import numpy as np
+
+from repro.faults import EventLog
+from repro.net import (
+    Command,
+    HealthPolicy,
+    ReaderController,
+    Response,
+    RetryPolicy,
+)
+from repro.obs import MetricsRegistry, SLOTracker
+
+
+class StubResult:
+    def __init__(self, packet):
+        self.success = True
+        self.demod = type("Demod", (), {})()
+        self.demod.packet = packet
+        self.demod.success = True
+
+
+class FailedResult:
+    success = False
+    fault = None
+    postmortem = None
+
+
+class FlakyNode:
+    """Seeded stub transport; resumable via its RNG stream."""
+
+    def __init__(self, address, seed, p_fail=0.15):
+        self.address = int(address)
+        self.rng = np.random.default_rng((seed, int(address)))
+        self.p_fail = float(p_fail)
+
+    def __call__(self, query):
+        if self.rng.random() < self.p_fail:
+            return FailedResult()
+        if query.command is Command.READ_TEMPERATURE:
+            raw = int((15.0 + self.address) * 100.0 + 10_000)
+            data = bytes([(raw >> 8) & 0xFF, raw & 0xFF])
+            response = Response(
+                source=self.address, command=query.command, data=data
+            )
+        else:
+            response = Response(source=self.address, command=query.command)
+        return StubResult(response.to_packet())
+
+    def snapshot_state(self):
+        return {"rng": self.rng.bit_generator.state}
+
+    def restore_state(self, state):
+        self.rng.bit_generator.state = state["rng"]
+
+
+def build_fleet(n=4, seed=11, p_fail=0.15, **reader_kwargs):
+    """``(reader, log, metrics)`` — an ``n``-node flaky fleet with SLO."""
+    log = EventLog()
+    metrics = MetricsRegistry()
+    transports = {
+        0x20 + i: FlakyNode(0x20 + i, seed, p_fail=p_fail) for i in range(n)
+    }
+    reader = ReaderController(
+        transports,
+        retry_policy=RetryPolicy(
+            max_retries=1, base_backoff_s=0.05, jitter=0.25, seed=seed
+        ),
+        health_policy=HealthPolicy(
+            degrade_after=2, quarantine_after=4, recover_after=2,
+            probe_backoff_rounds=2,
+        ),
+        log=log,
+        metrics=metrics,
+        slo=SLOTracker(window=8),
+        **reader_kwargs,
+    )
+    return reader, log, metrics

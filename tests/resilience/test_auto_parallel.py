@@ -1,0 +1,118 @@
+"""``parallel="auto"``: benchmark-evidence-driven mode selection."""
+
+import json
+import logging
+
+import pytest
+
+from repro.perf import auto_parallel_width
+from repro.perf.fleet import AUTO_PARALLEL_DEFAULT_CROSSOVER
+
+from .conftest import FlakyNode
+from repro.net import ReaderController
+
+pytestmark = pytest.mark.resilience
+
+
+def bench_file(tmp_path, records):
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps({"records": records}))
+    return path
+
+
+def record(nodes, cached_s, parallel_s, smoke=False):
+    return {
+        "schema": 1, "smoke": smoke, "nodes": nodes,
+        "cached_s": cached_s, "parallel_s": parallel_s,
+    }
+
+
+class TestWidthSelection:
+    def test_no_baseline_uses_default_crossover(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        small = auto_parallel_width(
+            AUTO_PARALLEL_DEFAULT_CROSSOVER - 1, bench_path=missing
+        )
+        large = auto_parallel_width(
+            AUTO_PARALLEL_DEFAULT_CROSSOVER, bench_path=missing
+        )
+        assert small == 0
+        assert large >= 1
+
+    def test_threads_won_sets_crossover_at_measured_fleet(self, tmp_path):
+        path = bench_file(
+            tmp_path, [record(nodes=8, cached_s=2.0, parallel_s=1.0)]
+        )
+        assert auto_parallel_width(7, bench_path=path) == 0
+        assert auto_parallel_width(8, bench_path=path) >= 1
+
+    def test_threads_lost_extrapolates_with_headroom(self, tmp_path):
+        path = bench_file(
+            tmp_path, [record(nodes=8, cached_s=1.0, parallel_s=2.0)]
+        )
+        # crossover = max(9, ceil(8 * 2) * 2) = 32
+        assert auto_parallel_width(31, bench_path=path) == 0
+        assert auto_parallel_width(32, bench_path=path) >= 1
+
+    def test_smoke_records_are_ignored(self, tmp_path):
+        path = bench_file(
+            tmp_path,
+            [record(nodes=2, cached_s=2.0, parallel_s=1.0, smoke=True)],
+        )
+        # Only a smoke record: fall back to the default crossover.
+        assert auto_parallel_width(4, bench_path=path) == 0
+
+    def test_latest_full_record_wins(self, tmp_path):
+        path = bench_file(
+            tmp_path,
+            [
+                record(nodes=64, cached_s=1.0, parallel_s=5.0),
+                record(nodes=4, cached_s=2.0, parallel_s=1.0),
+            ],
+        )
+        assert auto_parallel_width(4, bench_path=path) >= 1
+
+    def test_corrupt_baseline_falls_back(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text("{ not json")
+        assert auto_parallel_width(4, bench_path=path) == 0
+
+    def test_max_width_caps_the_pool(self, tmp_path):
+        path = bench_file(
+            tmp_path, [record(nodes=2, cached_s=2.0, parallel_s=1.0)]
+        )
+        assert auto_parallel_width(16, bench_path=path, max_width=1) == 1
+
+    def test_choice_is_logged(self, tmp_path, caplog):
+        path = bench_file(
+            tmp_path, [record(nodes=8, cached_s=2.0, parallel_s=1.0)]
+        )
+        with caplog.at_level(logging.INFO, logger="repro.perf"):
+            auto_parallel_width(16, bench_path=path)
+        assert any("parallel=auto" in r.message for r in caplog.records)
+        assert any("threads won at 8 nodes" in r.getMessage() for r in caplog.records)
+
+
+class TestReaderAuto:
+    def test_reader_accepts_auto(self, tmp_path, monkeypatch, caplog):
+        monkeypatch.setenv(
+            "PAB_BENCH_FILE", str(tmp_path / "does-not-exist.json")
+        )
+        transports = {1: FlakyNode(1, 3), 2: FlakyNode(2, 3)}
+        with caplog.at_level(logging.INFO, logger="repro.perf"):
+            reader = ReaderController(transports, parallel="auto")
+        # Two nodes is far below any crossover: cached sequential.
+        assert reader.parallel == 0
+        assert any("parallel=auto" in r.message for r in caplog.records)
+
+    def test_reader_auto_picks_threads_past_crossover(
+        self, tmp_path, monkeypatch
+    ):
+        path = bench_file(
+            tmp_path, [record(nodes=3, cached_s=2.0, parallel_s=1.0)]
+        )
+        monkeypatch.setenv("PAB_BENCH_FILE", str(path))
+        transports = {n: FlakyNode(n, 3) for n in range(1, 5)}
+        reader = ReaderController(transports, parallel="auto")
+        assert reader.parallel >= 1
+        assert reader._engine is not None

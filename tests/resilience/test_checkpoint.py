@@ -1,0 +1,129 @@
+"""Checkpoint files: round-trip, naming, and every rejection path."""
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_SCHEMA,
+    CheckpointError,
+    checkpoint_path,
+    latest_checkpoint,
+    read_checkpoint,
+    state_integrity,
+    write_checkpoint,
+)
+
+pytestmark = pytest.mark.resilience
+
+STATE = {
+    "round": 3,
+    "nodes": {"32": {"bitrate": 2_000.0, "readings": [["temperature", [18.5]]]}},
+    "special": [float("inf"), float("-inf")],
+}
+
+
+class TestRoundTrip:
+    def test_document_round_trips(self, tmp_path):
+        path = write_checkpoint(
+            tmp_path / "ck.json", STATE, round=3,
+            campaign={"builder": "chaos-fleet"},
+        )
+        doc = read_checkpoint(path)
+        assert doc["kind"] == CHECKPOINT_KIND
+        assert doc["schema"] == CHECKPOINT_SCHEMA
+        assert doc["round"] == 3
+        assert doc["campaign"] == {"builder": "chaos-fleet"}
+        assert doc["state"] == STATE
+        assert doc["integrity"] == state_integrity(STATE)
+
+    def test_parents_created(self, tmp_path):
+        path = write_checkpoint(
+            tmp_path / "a" / "b" / "ck.json", STATE, round=1
+        )
+        assert path.exists()
+
+    def test_non_dict_state_refused(self, tmp_path):
+        with pytest.raises(CheckpointError, match="must be a dict"):
+            write_checkpoint(tmp_path / "ck.json", [1, 2], round=0)
+
+    def test_checkpoint_path_naming(self, tmp_path):
+        assert checkpoint_path(tmp_path, 15).name == "checkpoint-000015.json"
+
+    def test_latest_checkpoint_picks_highest_round(self, tmp_path):
+        for r in (5, 15, 10):
+            write_checkpoint(checkpoint_path(tmp_path, r), STATE, round=r)
+        (tmp_path / "not-a-checkpoint.json").write_text("{}")
+        assert latest_checkpoint(tmp_path).name == "checkpoint-000015.json"
+
+    def test_latest_checkpoint_empty_or_missing_dir(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+        assert latest_checkpoint(tmp_path / "nope") is None
+
+
+class TestRejection:
+    """Every read-path failure is a one-line CheckpointError."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            read_checkpoint(tmp_path / "nope.json")
+
+    def test_truncated_file(self, tmp_path):
+        path = write_checkpoint(tmp_path / "ck.json", STATE, round=3)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            read_checkpoint(path)
+
+    def test_wrong_kind(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"kind": "something-else", "schema": 1}))
+        with pytest.raises(CheckpointError, match="not a campaign checkpoint"):
+            read_checkpoint(path)
+
+    def test_non_object_document(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointError, match="not a campaign checkpoint"):
+            read_checkpoint(path)
+
+    def test_unsupported_schema(self, tmp_path):
+        path = write_checkpoint(tmp_path / "ck.json", STATE, round=3)
+        doc = json.loads(path.read_text())
+        doc["schema"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CheckpointError, match="schema 99"):
+            read_checkpoint(path)
+
+    def test_missing_section(self, tmp_path):
+        path = write_checkpoint(tmp_path / "ck.json", STATE, round=3)
+        doc = json.loads(path.read_text())
+        del doc["round"]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CheckpointError, match="missing 'round'"):
+            read_checkpoint(path)
+
+    def test_malformed_state(self, tmp_path):
+        path = write_checkpoint(tmp_path / "ck.json", STATE, round=3)
+        doc = json.loads(path.read_text())
+        doc["state"] = "oops"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CheckpointError, match="malformed 'state'"):
+            read_checkpoint(path)
+
+    def test_corrupted_state_fails_integrity(self, tmp_path):
+        path = write_checkpoint(tmp_path / "ck.json", STATE, round=3)
+        doc = json.loads(path.read_text())
+        doc["state"]["round"] = 999  # bit-flip equivalent
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CheckpointError, match="integrity"):
+            read_checkpoint(path)
+
+    def test_missing_integrity_fails(self, tmp_path):
+        path = write_checkpoint(tmp_path / "ck.json", STATE, round=3)
+        doc = json.loads(path.read_text())
+        del doc["integrity"]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CheckpointError, match="integrity"):
+            read_checkpoint(path)

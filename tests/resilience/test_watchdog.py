@@ -1,0 +1,127 @@
+"""Watchdog deadlines: stragglers are abandoned, not waited for."""
+
+import time
+
+import pytest
+
+from repro.net import Command
+from repro.perf import FleetEngine
+from repro.resilience import WatchdogPolicy, WatchdogTimeout
+
+from .conftest import FlakyNode, build_fleet
+
+pytestmark = pytest.mark.resilience
+
+
+class TestPolicy:
+    def test_deadlines_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WatchdogPolicy(transaction_deadline_s=0.0)
+        with pytest.raises(ValueError):
+            WatchdogPolicy(round_deadline_s=-1.0)
+
+    def test_enabled_flag(self):
+        assert not WatchdogPolicy().enabled
+        assert WatchdogPolicy(transaction_deadline_s=1.0).enabled
+        assert WatchdogPolicy(round_deadline_s=1.0).enabled
+
+
+class TestEngineDeadlines:
+    def test_transaction_budget_abandons_the_straggler(self):
+        engine = FleetEngine(max_workers=2)
+        units = {
+            "fast": lambda: "ok",
+            "slow": lambda: time.sleep(0.4) or "late",
+        }
+        results = dict(
+            engine.run_round(
+                units,
+                watchdog=WatchdogPolicy(transaction_deadline_s=0.05),
+            )
+        )
+        assert results["fast"] == "ok"
+        timeout = results["slow"]
+        assert isinstance(timeout, WatchdogTimeout)
+        assert timeout.budget == "transaction"
+        assert timeout.deadline_s == 0.05
+
+    def test_round_budget_covers_the_whole_round(self):
+        engine = FleetEngine(max_workers=1)  # serialise: 2nd unit starves
+        units = [
+            ("a", lambda: time.sleep(0.25) or "a-done"),
+            ("b", lambda: "b-done"),
+        ]
+        results = dict(
+            engine.run_round(
+                units, watchdog=WatchdogPolicy(round_deadline_s=0.1)
+            )
+        )
+        assert isinstance(results["a"], WatchdogTimeout)
+        assert results["a"].budget in ("transaction", "round")
+
+    def test_no_watchdog_waits_forever(self):
+        engine = FleetEngine(max_workers=2)
+        results = dict(
+            engine.run_round({"slow": lambda: time.sleep(0.15) or "done"})
+        )
+        assert results["slow"] == "done"
+
+    def test_campaign_continues_after_timeouts(self):
+        """The tainted pool is rebuilt; later rounds still run."""
+        engine = FleetEngine(max_workers=2)
+        first = dict(
+            engine.run_round(
+                {"slow": lambda: time.sleep(0.3) or "late"},
+                watchdog=WatchdogPolicy(transaction_deadline_s=0.05),
+            )
+        )
+        assert isinstance(first["slow"], WatchdogTimeout)
+        second = dict(engine.run_round({"quick": lambda: "ok"}))
+        assert second["quick"] == "ok"
+
+
+class _HangingNode(FlakyNode):
+    """Good node whose worker hangs (not fails) on scheduled rounds."""
+
+    def __init__(self, address, seed, hang_rounds, clock, hang_s=0.3):
+        super().__init__(address, seed, p_fail=0.0)
+        self.hang_rounds = frozenset(hang_rounds)
+        self.clock = clock
+        self.hang_s = hang_s
+
+    def __call__(self, query):
+        if self.clock() in self.hang_rounds:
+            time.sleep(self.hang_s)
+        return super().__call__(query)
+
+
+class TestReaderIntegration:
+    def test_watchdog_breach_is_a_fault_not_a_hang(self):
+        reader, log, metrics = build_fleet(
+            n=3, p_fail=0.0, parallel=2,
+            watchdog=WatchdogPolicy(transaction_deadline_s=0.05),
+        )
+        slow = 0x21
+        reader._macs[slow].transact = _HangingNode(
+            slow, 11, hang_rounds=(2,), clock=lambda: reader._round
+        )
+        report = reader.run_campaign(Command.READ_TEMPERATURE, rounds=5)
+        breaches = [
+            e for e in log.events
+            if e.kind == "fault"
+            and dict(e.detail).get("injector") == "watchdog_timeout"
+        ]
+        assert breaches and breaches[0].node == slow
+        assert metrics.counter(
+            "pab_watchdog_timeouts_total", node=slow
+        ).value >= 1
+        assert any(
+            pm.fault == "watchdog_timeout" and pm.node == slow
+            for pm in reader.postmortems
+        )
+        # The campaign completed all rounds and reported every node.
+        assert report["rounds"] == 5
+        # The breach fed the health machine and the shard books (even
+        # though later clean rounds let the node recover).
+        assert reader._shard_crashes[slow] >= 1
+        assert report["shards"]["crashed_rounds"][slow] >= 1
