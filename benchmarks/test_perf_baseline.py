@@ -9,8 +9,9 @@ the repo's performance trajectory.  It records:
    from the enabled trace.
 2. **No-op overhead** — the measured cost of a disabled-tracer span
    check *plus* a disabled-probe ``wants()`` check *plus* a
-   disabled-ledger firmware hook, scaled by the per-transaction
-   instrumentation-site counts, asserted to be <5% of a transaction
+   disabled-ledger firmware hook *plus* a disabled-telemetry-bus
+   publish, scaled by the per-transaction instrumentation-site
+   counts, asserted to be <5% of a transaction
    (the overhead policy in ``docs/OBSERVABILITY.md``; in practice it
    is orders of magnitude below the bound).
 3. **A 10-node polling round** through the full
@@ -149,6 +150,30 @@ def _noop_probe_cost_s() -> float:
 #: downlink-decode exit, query->RESPONDING, response_sent.
 LEDGER_SITES_PER_TRANSACTION = 4
 
+#: Disabled-bus sites a transaction hits: the event-log record check
+#: and the tracer span-close check.  (The reader's per-round publish
+#: block is guarded by one more ``bus.enabled`` check per round, which
+#: this count dominates at >=1 transaction per round.)
+BUS_SITES_PER_TRANSACTION = 2
+
+
+def _noop_bus_cost_s() -> float:
+    """Per-call cost of publishing to the disabled telemetry bus.
+
+    The global bus ships disabled; ``publish()`` short-circuits on one
+    attribute check.  Measuring the full call (not just the check) is
+    the conservative bound on what producers pay per site.
+    """
+    from repro.obs import get_bus
+
+    bus = get_bus()
+    assert not bus.enabled, "perf baseline requires the default disabled bus"
+    n = 20_000 if SMOKE else 200_000
+    t0 = perf_counter()
+    for _ in range(n):
+        bus.publish("event", t=0.0, node=1, source="bench", data=None)
+    return (perf_counter() - t0) / n
+
 
 def _noop_ledger_cost_s() -> float:
     """Per-call cost of the no-ledger firmware hook (an ``is None``)."""
@@ -280,10 +305,12 @@ def test_perf_baseline(benchmark, report):
     noop_cost = _noop_span_cost_s()
     noop_probe_cost = _noop_probe_cost_s()
     noop_ledger_cost = _noop_ledger_cost_s()
+    noop_bus_cost = _noop_bus_cost_s()
     disabled_overhead = (
         spans_per_transaction * noop_cost
         + taps_per_transaction * noop_probe_cost
         + LEDGER_SITES_PER_TRANSACTION * noop_ledger_cost
+        + BUS_SITES_PER_TRANSACTION * noop_bus_cost
     ) / mean_off
     assert disabled_overhead < 0.05, (
         f"disabled observability costs {disabled_overhead:.2%} of a transaction"
@@ -317,7 +344,9 @@ def test_perf_baseline(benchmark, report):
         "noop_span_cost_s": noop_cost,
         "noop_probe_cost_s": noop_probe_cost,
         "noop_ledger_cost_s": noop_ledger_cost,
+        "noop_bus_cost_s": noop_bus_cost,
         "ledger_sites_per_transaction": LEDGER_SITES_PER_TRANSACTION,
+        "bus_sites_per_transaction": BUS_SITES_PER_TRANSACTION,
         "spans_per_transaction": spans_per_transaction,
         "taps_per_transaction": taps_per_transaction,
         "disabled_overhead_fraction": disabled_overhead,

@@ -17,7 +17,11 @@ Lets a user drive the reproduction without writing code:
   (exit code 3, the crash-drill half of the kill-resume proof).
 * ``resume`` — restore a ``fleet-report`` checkpoint and run the
   campaign to completion; the report/digest is byte-identical to an
-  uninterrupted run.
+  uninterrupted run.  ``--stream-out`` appends the resumed rounds to
+  the interrupted run's telemetry stream.
+* ``tail`` — render a ``--stream-out`` telemetry stream: one line per
+  round (delivery, SoC, SLO burn, health churn), live with
+  ``--follow``; rebuilds the exact campaign timeline from the stream.
 * ``fig3``     — print the recto-piezo tuning curves.
 * ``fig7``     — print the BER-SNR table.
 * ``fig8``     — print the SNR-vs-bitrate table (waveform level; slower).
@@ -386,12 +390,16 @@ def _make_chaos_reader(nodes: int, seed: int, window: int):
     """
     from repro.faults import EventLog
     from repro.net import HealthPolicy, ReaderController, RetryPolicy
-    from repro.obs import MetricsRegistry, SLOTracker
+    from repro.obs import MetricsRegistry, SLOTracker, set_build_info
 
     log = EventLog()
     transports, harnesses = _build_chaos_fleet(nodes, seed, log)
     slo = SLOTracker(window=window)
     metrics = MetricsRegistry()
+    # Registered here (not per-command) so every execution mode --
+    # fleet-report, resume, parallel -- carries the identical
+    # pab_build_info sample and campaign digests stay byte-identical.
+    set_build_info(metrics)
     reader = ReaderController(
         transports,
         retry_policy=RetryPolicy(
@@ -410,7 +418,48 @@ def _make_chaos_reader(nodes: int, seed: int, window: int):
 
 
 def _cmd_fleet_report(args) -> int:
-    """Chaos campaign with ledgers + SLO tracking; fleet health report."""
+    """Chaos campaign with ledgers + SLO tracking; fleet health report.
+
+    With ``--stream-out`` the campaign publishes its telemetry
+    incrementally to a JSONL stream (plus an in-memory flight
+    recorder, dumped next to the checkpoints on a fatal abort); the
+    stream replays through ``repro tail`` to the exact end-of-run
+    timeline and SLO numbers.  ``--serve-port`` additionally serves
+    live Prometheus snapshots of the campaign metrics over HTTP.
+    """
+    bus = None
+    prev_bus = None
+    if args.stream_out:
+        from repro.obs.recorder import FlightRecorder
+        from repro.obs.stream import (
+            JsonlStreamSink, TelemetryBus, get_bus, set_bus,
+        )
+
+        stream_path = _ensure_parent(args.stream_out)
+        # A fresh campaign owns its stream file; only `repro resume`
+        # appends to an existing one.
+        stream_path.unlink(missing_ok=True)
+        bus = TelemetryBus(
+            sinks=[JsonlStreamSink(stream_path), FlightRecorder()]
+        )
+        prev_bus = get_bus()
+        set_bus(bus)
+    try:
+        return _run_fleet_report(args, bus)
+    finally:
+        if bus is not None:
+            from repro.obs.stream import set_bus
+
+            set_bus(prev_bus)
+            bus.close()
+            stats = bus.flush_stats()
+            _emit(
+                f"wrote telemetry stream to {args.stream_out} "
+                f"({bus.seq} events, p99 flush {stats['p99_s'] * 1e3:.2f} ms)"
+            )
+
+
+def _run_fleet_report(args, bus) -> int:
     from repro.core.experiment import ExperimentTable
     from repro.net import Command
     from repro.obs import metrics_to_prometheus
@@ -453,6 +502,21 @@ def _cmd_fleet_report(args) -> int:
         "command": "READ_TEMPERATURE",
         "rounds": args.rounds,
     }
+    if bus is not None:
+        from repro import __version__
+
+        bus.publish(
+            "stream_start", source="cli",
+            data={"campaign": campaign_meta, "version": __version__},
+        )
+        bus.flush()
+    server = None
+    if args.serve_port is not None:
+        from repro.obs.stream import MetricsSnapshotServer
+
+        server = MetricsSnapshotServer(metrics, port=args.serve_port)
+        port = server.start()
+        _emit(f"metrics snapshot endpoint: http://127.0.0.1:{port}/metrics")
     try:
         report = reader.run_campaign(
             Command.READ_TEMPERATURE,
@@ -463,6 +527,8 @@ def _cmd_fleet_report(args) -> int:
         )
     except CampaignAbort as exc:
         _emit(f"campaign aborted: {exc}")
+        if reader.last_recorder_dump is not None:
+            _emit(f"flight recorder dumped to {reader.last_recorder_dump}")
         if args.checkpoint_dir:
             latest = latest_checkpoint(args.checkpoint_dir)
             if latest is not None:
@@ -470,6 +536,9 @@ def _cmd_fleet_report(args) -> int:
             else:
                 _emit("no checkpoint was written before the crash")
         return 3
+    finally:
+        if server is not None:
+            server.stop()
 
     balance = ExperimentTable(
         title="Per-node energy balance",
@@ -558,6 +627,42 @@ def _cmd_resume(args) -> int:
     the remaining rounds.  The resulting report and digest are
     byte-identical to an uninterrupted run.
     """
+    bus = None
+    prev_bus = None
+    if args.stream_out:
+        from repro.obs.recorder import FlightRecorder
+        from repro.obs.stream import (
+            JsonlStreamSink, TelemetryBus, get_bus, set_bus,
+        )
+
+        stream_path = _ensure_parent(args.stream_out)
+        # Append to the interrupted campaign's stream, continuing its
+        # sequence numbers: overlapping rounds (between the checkpoint
+        # and the crash) replay byte-identically, so the aggregator's
+        # last-write-wins reduction dedups them without special cases.
+        bus = TelemetryBus(
+            sinks=[JsonlStreamSink(stream_path), FlightRecorder()]
+        )
+        last = JsonlStreamSink.last_seq(stream_path)
+        if last is not None:
+            bus.seq = last + 1
+        prev_bus = get_bus()
+        set_bus(bus)
+    try:
+        return _run_resume(args, bus)
+    finally:
+        if bus is not None:
+            from repro.obs.stream import set_bus
+
+            set_bus(prev_bus)
+            bus.close()
+            _emit(
+                f"appended telemetry stream to {args.stream_out} "
+                f"(next seq {bus.seq})"
+            )
+
+
+def _run_resume(args, bus) -> int:
     from repro.net import Command
     from repro.resilience import (
         CheckpointError, campaign_digest, read_checkpoint,
@@ -589,6 +694,17 @@ def _cmd_resume(args) -> int:
         f"resuming {params['nodes']}-node campaign (seed {params['seed']}) "
         f"from round {doc['round']} to round {rounds}"
     )
+    if bus is not None:
+        from repro import __version__
+
+        bus.publish(
+            "stream_start", source="cli",
+            data={
+                "campaign": campaign, "version": __version__,
+                "resumed_from_round": int(doc["round"]),
+            },
+        )
+        bus.flush()
     report = reader.run_campaign(command, rounds=rounds, resume_from=doc)
     digest = campaign_digest(report, log, metrics)
     _emit(f"campaign digest: {digest}")
@@ -600,6 +716,80 @@ def _cmd_resume(args) -> int:
         f"delivery {report['network']['delivery_ratio']:.2f}, "
         f"{report['events']} events"
     )
+    return 0
+
+
+def _cmd_tail(args) -> int:
+    """Render a telemetry stream: live monitor and offline replay.
+
+    Feeds the stream through :class:`~repro.obs.stream.StreamAggregator`
+    and prints one line per completed round (delivery, minimum SoC, SLO
+    burn, health-state churn).  ``--follow`` keeps polling the file for
+    new events until none arrive for ``--idle-timeout`` seconds — the
+    live view of a campaign running in another process.  The summary
+    (and ``--timeline-out``/``--timeline-jsonl``) is rebuilt purely
+    from the stream, byte-identical to the producing campaign's batch
+    outputs; re-fed lines (a resumed campaign's overlap) reduce
+    idempotently.
+    """
+    import time
+
+    from repro.obs.stream import SCHEMA_VERSION, StreamAggregator
+    from repro.obs.timeline import write_timeline_csv, write_timeline_jsonl
+
+    path = pathlib.Path(args.path)
+    if not path.exists() and not args.follow:
+        _emit(f"FAIL: stream file {path} not found")
+        return 1
+    agg = StreamAggregator()
+    shown: set = set()
+
+    def drain() -> int:
+        if not path.exists():
+            return 0
+        try:
+            fed = agg.feed_file(path)
+        except ValueError as exc:
+            raise SystemExit(f"unreadable stream {path}: {exc}") from None
+        for rnd in sorted(int(rec["t"]) for rec in agg.round_log):
+            if rnd not in shown:
+                shown.add(rnd)
+                _table(agg.round_line(rnd))
+        return fed
+
+    last_total = drain()
+    if args.follow:
+        idle_since = time.monotonic()
+        while time.monotonic() - idle_since < args.idle_timeout:
+            time.sleep(args.interval)
+            total = drain()
+            if total != last_total:
+                last_total = total
+                idle_since = time.monotonic()
+    if not shown:
+        _emit(f"no round events in {path} (schema <= {SCHEMA_VERSION})")
+        return 1
+    totals = agg.delivery_totals()
+    summary = (
+        f"stream: {agg.rounds_observed()} rounds, "
+        f"delivered {totals['delivered']}/{totals['polled']}"
+    )
+    burn = agg.final_burn()
+    if burn:
+        summary += ", final burn " + " ".join(
+            f"{obj}={value:.3g}" for obj, value in sorted(burn.items())
+        )
+    _table(summary)
+    if args.timeline_out or args.timeline_jsonl:
+        rows = agg.timeline_rows()
+        if args.timeline_out:
+            out = write_timeline_csv(_ensure_parent(args.timeline_out), rows)
+            _emit(f"wrote replayed timeline CSV to {out}")
+        if args.timeline_jsonl:
+            out = write_timeline_jsonl(
+                _ensure_parent(args.timeline_jsonl), rows
+            )
+            _emit(f"wrote replayed timeline JSONL to {out}")
     return 0
 
 
@@ -1316,6 +1506,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--digest-out", default=None,
         help="write the campaign digest (report+events+metrics sha256) here",
     )
+    fleet.add_argument(
+        "--stream-out", default=None, metavar="FILE.jsonl",
+        help="stream campaign telemetry incrementally to this JSONL "
+             "file (replay/monitor it with 'repro tail')",
+    )
+    fleet.add_argument(
+        "--serve-port", type=int, default=None, metavar="PORT",
+        help="serve live Prometheus metric snapshots on this port "
+             "during the campaign (0 = any free port)",
+    )
     fleet.set_defaults(func=_cmd_fleet_report)
 
     resume = sub.add_parser(
@@ -1331,7 +1531,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--digest-out", default=None,
         help="write the campaign digest here (for kill-resume drills)",
     )
+    resume.add_argument(
+        "--stream-out", default=None, metavar="FILE.jsonl",
+        help="append the resumed rounds' telemetry to this JSONL "
+             "stream (sequence numbers continue the interrupted run's)",
+    )
     resume.set_defaults(func=_cmd_resume)
+
+    tail = sub.add_parser(
+        "tail",
+        help="render a campaign telemetry stream (live with --follow)",
+    )
+    tail.add_argument("path", help="stream JSONL file (from --stream-out)")
+    tail.add_argument(
+        "--follow", action="store_true",
+        help="keep polling the file for new events (live monitor)",
+    )
+    tail.add_argument(
+        "--interval", type=float, default=0.5,
+        help="seconds between polls with --follow",
+    )
+    tail.add_argument(
+        "--idle-timeout", type=float, default=10.0,
+        help="stop following after this many quiet seconds",
+    )
+    tail.add_argument(
+        "--timeline-out", default=None,
+        help="write the replayed campaign timeline here as CSV",
+    )
+    tail.add_argument(
+        "--timeline-jsonl", default=None,
+        help="write the replayed campaign timeline here as JSONL",
+    )
+    tail.set_defaults(func=_cmd_tail)
 
     bench = sub.add_parser(
         "bench",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 import json
+import pathlib
 from dataclasses import dataclass, field
 
 
@@ -105,10 +106,19 @@ class EventLog:
     emitter into the observability substrate rather than a parallel
     telemetry universe.  Batch replay of an unbound log is
     :func:`repro.obs.export.events_to_metrics`.
+
+    ``bus`` optionally binds a
+    :class:`~repro.obs.stream.TelemetryBus` (duck-typed: anything with
+    ``publish(kind, ...)`` and an ``enabled`` flag): every recorded
+    event is also published as a ``kind="event"`` stream event.  The
+    parallel reader binds only the *shared* log (its staging logs stay
+    unbound), so streamed events appear in merge order — byte-identical
+    to sequential execution.
     """
 
     events: list = field(default_factory=list)
     metrics: object = None
+    bus: object = None
 
     def record(self, t: float, node: int, kind: EventKind | str, **detail) -> Event:
         """Append one event; detail keys are sorted for determinism."""
@@ -122,6 +132,11 @@ class EventLog:
         self.events.append(event)
         if self.metrics is not None:
             self.metrics.counter("pab_events_total", kind=str(event.kind)).inc()
+        if self.bus is not None and self.bus.enabled:
+            self.bus.publish(
+                "event", t=event.t, node=event.node, source="log",
+                data=event.to_dict(),
+            )
         return event
 
     def __len__(self) -> int:
@@ -191,6 +206,41 @@ class EventLog:
             if line:
                 log.events.append(Event.from_dict(json.loads(line)))
         return log
+
+    def flush_jsonl(self, path) -> int:
+        """Append events not yet in ``path``; returns the count appended.
+
+        The streaming counterpart of :meth:`to_jsonl`: instead of
+        rewriting the whole log each time, only the tail past the
+        file's current line count is appended — so a long (or resumed)
+        campaign can flush after every checkpoint at O(new events)
+        write cost.  The file's line count is the source of truth,
+        which makes the flush idempotent across process boundaries: a
+        resumed campaign whose restored log already matches the file
+        appends nothing until new events arrive.  Line ``i`` of the
+        file is always event ``seq=i``, so interleaved flush/resume
+        cycles still round-trip exactly through :meth:`from_jsonl`.
+        """
+        out = pathlib.Path(path)
+        existing = 0
+        if out.exists():
+            with out.open() as fh:
+                existing = sum(1 for line in fh if line.strip())
+        if existing > len(self.events):
+            raise ValueError(
+                f"{out} holds {existing} events but the log only has "
+                f"{len(self.events)}; refusing to append a divergent tail"
+            )
+        new = self.events[existing:]
+        if new:
+            out.parent.mkdir(parents=True, exist_ok=True)
+            with out.open("a") as fh:
+                fh.write("\n".join(
+                    json.dumps(e.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+                    for e in new
+                ) + "\n")
+        return len(new)
 
     # -- reliability metrics --------------------------------------------------------------
 

@@ -79,6 +79,22 @@ class MacStats:
             self.payload_bits_delivered / self.airtime_s if self.airtime_s > 0 else 0.0
         )
 
+    def sample(self) -> dict:
+        """JSON-ready point-in-time snapshot of the counters.
+
+        The per-node ``"mac"`` payload inside each ``kind="round"``
+        stream event (:mod:`repro.obs.stream`): cumulative counts plus
+        the derived delivery ratio, so a live consumer can render
+        per-node delivery without replaying the whole campaign.
+        """
+        return {
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "retries": self.retries,
+            "exceptions": self.exceptions,
+            "delivery_ratio": self.delivery_ratio,
+        }
+
     def merge(self, *others: "MacStats") -> "MacStats":
         """A new :class:`MacStats` summing this one with ``others``.
 

@@ -46,14 +46,20 @@ from dataclasses import dataclass, field
 from repro.faults.events import Event, EventLog
 from repro.net.health import HealthPolicy, HealthState, NodeHealth
 from repro.net.mac import MacStats, PollingMac, RetryPolicy
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
 from repro.obs.postmortem import DecodePostmortem
 from repro.obs.probe import get_probes
+from repro.obs.stream import get_bus
 from repro.obs.trace import get_tracer
 from repro.perf.fleet import FleetEngine, auto_parallel_width
-from repro.resilience.checkpoint import checkpoint_path, read_checkpoint, write_checkpoint
+from repro.resilience.checkpoint import (
+    checkpoint_path,
+    read_checkpoint,
+    recorder_path,
+    write_checkpoint,
+)
 from repro.resilience.snapshot import restore_transport, transport_state
-from repro.resilience.supervisor import SupervisorPolicy, supervise
+from repro.resilience.supervisor import CampaignAbort, SupervisorPolicy, supervise
 from repro.resilience.watchdog import WatchdogPolicy, WatchdogTimeout
 from repro.net.messages import (
     BITRATE_TABLE,
@@ -174,6 +180,16 @@ class ReaderController:
         the observed thread crossover in ``BENCH_perf.json`` stay
         cached-sequential, larger ones get a pool; the choice is
         logged on ``repro.perf``.
+    bus:
+        Optional :class:`~repro.obs.stream.TelemetryBus`; defaults to
+        the process-global bus (disabled unless installed via
+        ``set_bus``/``use_bus``).  When enabled, the reader binds it to
+        the event log and publishes per-round ``soc``/``slo``/
+        ``metrics``/``round`` events plus ``checkpoint`` markers and
+        engine-level ``postmortem`` verdicts, flushing the bus's sinks
+        once per round.  All publication happens on the merge side
+        (after the parallel replay), so streams are byte-identical
+        across sequential, parallel, and resumed executions.
 
     When either ``ledgers`` or ``slo`` is given the reader also keeps
     ``round_log`` — the per-round outcome records the campaign
@@ -195,6 +211,7 @@ class ReaderController:
         parallel: int | str = 0,
         supervisor: SupervisorPolicy | None = None,
         watchdog: WatchdogPolicy | None = None,
+        bus=None,
     ) -> None:
         if not transports:
             raise ValueError("need at least one node transport")
@@ -202,6 +219,21 @@ class ReaderController:
             parallel = auto_parallel_width(len(transports))
         self.log = log if log is not None else EventLog()
         self.metrics = metrics
+        #: Telemetry bus (:mod:`repro.obs.stream`).  Defaults to the
+        #: process-global bus, which is disabled unless the CLI (or a
+        #: test) installed an enabled one — the publish calls below all
+        #: short-circuit in that case.  Round telemetry is published on
+        #: the merge side only (after the sorted-order replay in
+        #: parallel mode), so the stream is byte-identical across
+        #: sequential, parallel, and resumed executions.
+        self.bus = bus if bus is not None else get_bus()
+        if self.bus.enabled and getattr(self.log, "bus", None) is None:
+            self.log.bus = self.bus
+        self._stream_metrics_state: dict = {}   # not checkpointed: see _publish_metrics
+        self._checkpoint_dir = None
+        #: Path of the last flight-recorder dump (set on CampaignAbort
+        #: or a watchdog kill when the bus carries a recorder sink).
+        self.last_recorder_dump = None
         self.ledgers = (
             {int(addr): ledger for addr, ledger in ledgers.items()}
             if ledgers else {}
@@ -393,11 +425,7 @@ class ReaderController:
                 delivered=sum(1 for r in out.values() if r is not None),
                 skipped_quarantined=skipped,
             )
-        if self._track_rounds:
-            self._observe_round(t, out, skipped_addrs)
-        if self.metrics is not None:
-            self.metrics.counter("pab_reader_rounds_total").inc()
-        self._round += 1
+        self._finish_round(t, out, skipped_addrs)
         return out
 
     def _poll_round_parallel(self, command: Command) -> dict:
@@ -432,6 +460,7 @@ class ReaderController:
                 mac.log, mac.metrics, health.log = (
                     stage_log, stage_metrics, stage_log,
                 )
+                staged_chain = self._stage_transport_log(mac, stage_log)
                 try:
                     if health.state is HealthState.QUARANTINED:
                         if health.due_for_probe(t):
@@ -455,6 +484,8 @@ class ReaderController:
                     return reading, stage_log, stage_metrics, False, outcome
                 finally:
                     mac.log, mac.metrics, health.log = saved
+                    for obj in staged_chain:
+                        obj.log = self.log
 
             return unit
 
@@ -495,14 +526,33 @@ class ReaderController:
                 delivered=sum(1 for r in out.values() if r is not None),
                 skipped_quarantined=len(skipped_addrs),
             )
-        if self._track_rounds:
-            self._observe_round(t, out, skipped_addrs)
-        if self.metrics is not None:
-            self.metrics.counter("pab_reader_rounds_total").inc()
-        self._round += 1
+        self._finish_round(t, out, skipped_addrs)
         return out
 
-    def _observe_round(self, t: float, out: dict, skipped: set) -> None:
+    def _stage_transport_log(self, mac, stage_log) -> list:
+        """Repoint shared-log references along a node's transport chain.
+
+        Fault injectors (:mod:`repro.faults.injectors`, including the
+        supervisor's :class:`WorkerCrashInjector`) are constructed with
+        the *shared* event log and write fault events from inside the
+        transaction — which, in a worker thread, would interleave with
+        other nodes' events nondeterministically.  Walk the ``transact``
+        chain via ``inner`` and swap every ``log`` attribute that *is*
+        the shared log to the worker's staging log; the caller restores
+        them in its ``finally``.  Returns the objects that were staged.
+        """
+        staged = []
+        obj = mac.transact
+        seen = set()
+        while obj is not None and id(obj) not in seen:
+            seen.add(id(obj))
+            if getattr(obj, "log", None) is self.log:
+                obj.log = stage_log
+                staged.append(obj)
+            obj = getattr(obj, "inner", None)
+        return staged
+
+    def _observe_round(self, t: float, out: dict, skipped: set) -> dict:
         """Feed energy harnesses + SLO tracker and log the round."""
         outcomes = {}
         for addr in sorted(self._macs):
@@ -532,6 +582,111 @@ class ReaderController:
                 for objective in sorted(self.slo.targets)
             }
         self.round_log.append(record)
+        return record
+
+    def _finish_round(self, t: float, out: dict, skipped: set) -> None:
+        """Shared tail of both poll_round paths: round bookkeeping plus
+        (when an enabled bus is attached) the round's stream events and
+        sink flush.  Runs after the parallel merge, so the published
+        stream is identical to sequential execution."""
+        record = None
+        if self._track_rounds:
+            record = self._observe_round(t, out, skipped)
+        if self.metrics is not None:
+            self.metrics.counter("pab_reader_rounds_total").inc()
+        if self.bus.enabled:
+            self._publish_round(t, out, skipped, record)
+            self.bus.flush()
+        self._round += 1
+
+    def _publish_round(self, t: float, out: dict, skipped: set, record) -> None:
+        """Publish one round's telemetry events (sorted-address order).
+
+        Per round: one ``soc`` event per energy harness that recorded
+        this round, one ``slo`` sample, one ``metrics`` delta, and one
+        ``round`` record carrying the timeline outcomes plus each
+        node's cumulative MAC counters.  Everything is derived from the
+        already-merged shared sinks, never from worker state.
+        """
+        rnd = int(t)
+        for addr in sorted(self.ledgers):
+            harness = self.ledgers[addr]
+            ledger = getattr(harness, "ledger", harness)
+            history = getattr(ledger, "round_history", None)
+            if history and int(history[-1]["t"]) == rnd:
+                self.bus.publish(
+                    "soc", t=t, node=addr, source="ledger",
+                    data=dict(history[-1]),
+                )
+        if self.slo is not None:
+            self.bus.publish(
+                "slo", t=t, source="slo", data=self.slo.stream_sample()
+            )
+        self._publish_metrics(t)
+        if record is None:
+            # Rounds without ledgers/SLO still stream delivery outcomes.
+            record = {
+                "t": t,
+                "outcomes": {
+                    addr: {
+                        "polled": addr not in skipped,
+                        "delivered": out.get(addr) is not None,
+                    }
+                    for addr in sorted(self._macs)
+                },
+            }
+        data = dict(record)    # shallow: round_log record stays mac-free
+        data["mac"] = {
+            addr: self._macs[addr].stats.sample() for addr in sorted(self._macs)
+        }
+        self.bus.publish("round", t=t, source="reader", data=data)
+
+    def _publish_metrics(self, t: float) -> None:
+        """Publish counter/gauge values that changed since last round.
+
+        Values are ABSOLUTE, not increments, so a replay is idempotent:
+        a resumed campaign re-streaming an overlapping round overwrites
+        the aggregator's view with identical numbers instead of double
+        counting.  The change-tracking dict is deliberately not part of
+        :meth:`snapshot` — after a resume every live metric is simply
+        re-published once.  Histograms stay out of the stream (their
+        per-observation data is unbounded); they remain available via
+        the Prometheus exposition.
+        """
+        if self.metrics is None:
+            return
+        from repro.obs.export import _labels_text
+
+        values = {}
+        for metric in self.metrics:
+            if not isinstance(metric, (Counter, Gauge)):
+                continue
+            key = f"{metric.name}{_labels_text(metric.labels)}"
+            rendered = repr(metric.value)   # NaN-safe change detection
+            if self._stream_metrics_state.get(key) != rendered:
+                self._stream_metrics_state[key] = rendered
+                values[key] = metric.value
+        if values:
+            self.bus.publish(
+                "metrics", t=t, source="metrics", data={"values": values}
+            )
+
+    def _dump_recorder(self) -> None:
+        """Dump the bus's flight recorder(s) next to the checkpoints.
+
+        Called on :class:`CampaignAbort` and on watchdog kills; a no-op
+        unless the campaign has a checkpoint directory and the bus
+        carries at least one recorder sink.
+        """
+        if not self.bus.enabled or self._checkpoint_dir is None:
+            return
+        recorders = self.bus.recorders()
+        if not recorders:
+            return
+        self.bus.flush()
+        path = recorder_path(self._checkpoint_dir, self._round)
+        recorders[0].dump_jsonl(path)
+        self.last_recorder_dump = path
 
     def run_schedule(self, command: Command, rounds: int) -> dict:
         """Run several polling rounds; returns delivery counts per node."""
@@ -575,6 +730,8 @@ class ReaderController:
             raise ValueError("checkpoint_every must be non-negative")
         if checkpoint_every and checkpoint_dir is None:
             raise ValueError("checkpoint_every requires a checkpoint_dir")
+        if checkpoint_dir is not None:
+            self._checkpoint_dir = checkpoint_dir
         if resume_from is not None:
             doc = (
                 resume_from
@@ -582,14 +739,22 @@ class ReaderController:
                 else read_checkpoint(resume_from)
             )
             self.restore(doc["state"])
-        while self._round < rounds:
-            self.poll_round(command)
-            if (
-                checkpoint_every
-                and self._round < rounds
-                and self._round % checkpoint_every == 0
-            ):
-                self.save_checkpoint(checkpoint_dir, campaign=campaign)
+        try:
+            while self._round < rounds:
+                self.poll_round(command)
+                if (
+                    checkpoint_every
+                    and self._round < rounds
+                    and self._round % checkpoint_every == 0
+                ):
+                    self.save_checkpoint(checkpoint_dir, campaign=campaign)
+        except CampaignAbort:
+            # Crash-equivalent exit: preserve the last events for the
+            # post-crash investigation before the process dies.
+            if self.bus.enabled:
+                self.bus.flush()
+            self._dump_recorder()
+            raise
         return self.report()
 
     # -- checkpointing -----------------------------------------------------------------
@@ -599,6 +764,12 @@ class ReaderController:
         the checkpoint file's path (``checkpoint-NNNNNN.json``)."""
         path = checkpoint_path(directory, self._round)
         write_checkpoint(path, self.snapshot(), round=self._round, campaign=campaign)
+        if self.bus.enabled:
+            self.bus.publish(
+                "checkpoint", t=float(self._round), source="reader",
+                data={"path": path.name, "round": self._round},
+            )
+            self.bus.flush()
         return path
 
     def snapshot(self) -> dict:
@@ -746,14 +917,17 @@ class ReaderController:
         )
         if self.metrics is not None:
             self.metrics.counter("pab_worker_crashes_total", node=addr).inc()
-        self.postmortems.append(
-            DecodePostmortem.from_fault(
-                "worker_crash",
-                node=addr,
-                detail={"error": outcome.error, "restarts": outcome.restarts},
-                txn=self._round,
-            )
+        pm = DecodePostmortem.from_fault(
+            "worker_crash",
+            node=addr,
+            detail={"error": outcome.error, "restarts": outcome.restarts},
+            txn=self._round,
         )
+        self.postmortems.append(pm)
+        if self.bus.enabled:
+            self.bus.publish(
+                "postmortem", t=t, node=addr, source="reader", data=pm.to_dict()
+            )
         self._fail_node(addr, t)
         self._bump_crash_streak(addr, t)
 
@@ -767,14 +941,17 @@ class ReaderController:
         )
         if self.metrics is not None:
             self.metrics.counter("pab_watchdog_timeouts_total", node=addr).inc()
-        self.postmortems.append(
-            DecodePostmortem.from_fault(
-                "watchdog_timeout",
-                node=addr,
-                detail={"budget": timeout.budget, "deadline_s": timeout.deadline_s},
-                txn=self._round,
-            )
+        pm = DecodePostmortem.from_fault(
+            "watchdog_timeout",
+            node=addr,
+            detail={"budget": timeout.budget, "deadline_s": timeout.deadline_s},
+            txn=self._round,
         )
+        self.postmortems.append(pm)
+        if self.bus.enabled:
+            self.bus.publish(
+                "postmortem", t=t, node=addr, source="reader", data=pm.to_dict()
+            )
         # The abandoned worker is a zombie still holding this node's
         # staging sinks; repoint the health log at the shared log so the
         # state transition is visible.  (The zombie's cleanup restores
@@ -782,6 +959,10 @@ class ReaderController:
         self.nodes[addr].health.log = self.log
         self._fail_node(addr, t)
         self._bump_crash_streak(addr, t)
+        # A watchdog kill already trades byte-reproducibility for
+        # liveness, so dumping the recorder here (wall-clock event
+        # order) costs nothing extra.
+        self._dump_recorder()
 
     def _fail_node(self, addr: int, t: float) -> None:
         """Feed one engine-level failure to the node's health machine.

@@ -20,6 +20,13 @@ The measurement substrate under every performance claim in this repo:
   energy sustainability) with error budgets and burn rates.
 * :mod:`repro.obs.timeline` — the merged per-round campaign view
   (health + faults + SoC + SLO burn) as text / CSV / JSONL.
+* :mod:`repro.obs.stream` — the streaming telemetry bus every producer
+  above publishes to incrementally (disabled by default), its JSONL
+  stream sink, the Prometheus snapshot HTTP server, and the
+  :class:`StreamAggregator` that rebuilds the end-of-run views from a
+  stream (``repro tail``).
+* :mod:`repro.obs.recorder` — the bounded ring-buffer flight recorder
+  dumped next to checkpoints on campaign aborts.
 
 See ``docs/OBSERVABILITY.md`` for the instrumentation guide and the
 overhead policy.
@@ -43,6 +50,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    set_build_info,
 )
 from repro.obs.postmortem import (
     DecodePostmortem,
@@ -59,7 +67,21 @@ from repro.obs.probe import (
     set_probes,
     use_probes,
 )
+from repro.obs.recorder import FlightRecorder, dump_flight_recorders
 from repro.obs.slo import DEFAULT_TARGETS, OBJECTIVES, SLOTracker
+from repro.obs.stream import (
+    SCHEMA_VERSION,
+    JsonlStreamSink,
+    MemorySink,
+    MetricsSnapshotServer,
+    StreamAggregator,
+    TelemetryBus,
+    event_from_line,
+    event_to_line,
+    get_bus,
+    set_bus,
+    use_bus,
+)
 from repro.obs.timeline import (
     build_timeline,
     render_timeline,
@@ -109,17 +131,28 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "FlightRecorder",
+    "JsonlStreamSink",
+    "MemorySink",
+    "MetricsSnapshotServer",
     "NodeEnergyHarness",
     "ProbeRegistry",
     "ProbeTap",
+    "SCHEMA_VERSION",
     "SLOTracker",
     "Span",
     "StageFinding",
+    "StreamAggregator",
+    "TelemetryBus",
     "Tracer",
     "VirtualClock",
     "build_timeline",
     "dump_failure_artifacts",
+    "dump_flight_recorders",
+    "event_from_line",
+    "event_to_line",
     "events_to_metrics",
+    "get_bus",
     "get_probes",
     "get_tracer",
     "load_postmortems_jsonl",
@@ -128,6 +161,8 @@ __all__ = [
     "postmortems_to_jsonl",
     "render_timeline",
     "rows_to_csv",
+    "set_build_info",
+    "set_bus",
     "set_probes",
     "set_tracer",
     "soc_rows",
@@ -135,6 +170,7 @@ __all__ = [
     "stage_table",
     "timeline_to_csv",
     "timeline_to_jsonl",
+    "use_bus",
     "use_probes",
     "use_tracer",
     "write_csv",

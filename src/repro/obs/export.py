@@ -79,6 +79,46 @@ def _escape_label_value(value) -> str:
     )
 
 
+def _escape_help(text) -> str:
+    # HELP text escapes only backslash and line feed (no quotes — the
+    # text is not quoted in the exposition format).
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+#: ``# HELP`` text per metric family.  Families not listed fall back to
+#: a generated line so every family still gets exactly one HELP entry.
+METRIC_HELP = {
+    "pab_build_info": "Constant 1; labels carry the code and stream-schema versions.",
+    "pab_cache_evictions_total": "LRU cache evictions.",
+    "pab_cache_hits_total": "LRU cache hits.",
+    "pab_cache_misses_total": "LRU cache misses.",
+    "pab_cache_size": "Current LRU cache entries.",
+    "pab_events_total": "Structured fault/recovery events recorded, by kind.",
+    "pab_faults_injected_total": "Faults fired by injectors, by injector name.",
+    "pab_link_transactions_total": "Link transactions attempted, by outcome.",
+    "pab_mac_attempts_total": "MAC transmission attempts.",
+    "pab_mac_backoff_seconds_total": "Seconds spent in retry backoff.",
+    "pab_mac_exceptions_total": "Transport exceptions contained by the MAC.",
+    "pab_mac_retries_total": "MAC retransmissions scheduled.",
+    "pab_mac_successes_total": "MAC exchanges that decoded successfully.",
+    "pab_node_brownouts_total": "Supercap brownout events per node.",
+    "pab_node_energy_joules_total": "Joules moved through the ledger, by direction and power state.",
+    "pab_node_energy_margin_volts": "Supercap voltage margin above the brownout threshold.",
+    "pab_node_health_code": "Health state code (0=HEALTHY 1=DEGRADED 2=QUARANTINED 3=PROBING).",
+    "pab_node_soc_volts": "Supercap state of charge in volts.",
+    "pab_reader_readings_total": "Decoded sensor readings stored per node.",
+    "pab_reader_rounds_total": "Polling rounds completed.",
+    "pab_shard_quarantines_total": "Shards quarantined after consecutive worker crashes.",
+    "pab_slo_budget_remaining": "SLO error budget remaining (1=untouched, <0=violated).",
+    "pab_slo_burn_rate": "Rolling SLO budget burn multiplier.",
+    "pab_slo_compliance": "Fraction of units meeting the objective.",
+    "pab_span_seconds": "Span durations by stage name.",
+    "pab_watchdog_timeouts_total": "Workers abandoned at their watchdog deadline.",
+    "pab_worker_crashes_total": "Worker crashes past the restart budget.",
+    "pab_worker_restarts_total": "Supervised worker restarts.",
+}
+
+
 def _labels_text(labels, extra=()) -> str:
     items = list(labels) + list(extra)
     if not items:
@@ -102,32 +142,36 @@ def _num(value: float) -> str:
 def metrics_to_prometheus(registry) -> str:
     """Prometheus text-format exposition of a registry.
 
-    Emits one ``# TYPE`` line per metric family (first occurrence) and
-    the standard ``_bucket``/``_sum``/``_count`` series for histograms.
+    Emits one ``# HELP`` and one ``# TYPE`` line per metric family
+    (first occurrence; :data:`METRIC_HELP` supplies the help text,
+    with a generated fallback for unlisted families) and the standard
+    ``_bucket``/``_sum``/``_count`` series for histograms.
     """
     from repro.obs.metrics import Counter, Gauge, Histogram
 
     lines = []
     typed = set()
+
+    def _family(name: str, kind: str) -> None:
+        if name not in typed:
+            help_text = METRIC_HELP.get(name, f"{name} ({kind}).")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+
     for metric in registry:
         if isinstance(metric, Counter):
-            if metric.name not in typed:
-                lines.append(f"# TYPE {metric.name} counter")
-                typed.add(metric.name)
+            _family(metric.name, "counter")
             lines.append(
                 f"{metric.name}{_labels_text(metric.labels)} {_num(metric.value)}"
             )
         elif isinstance(metric, Gauge):
-            if metric.name not in typed:
-                lines.append(f"# TYPE {metric.name} gauge")
-                typed.add(metric.name)
+            _family(metric.name, "gauge")
             lines.append(
                 f"{metric.name}{_labels_text(metric.labels)} {_num(metric.value)}"
             )
         elif isinstance(metric, Histogram):
-            if metric.name not in typed:
-                lines.append(f"# TYPE {metric.name} histogram")
-                typed.add(metric.name)
+            _family(metric.name, "histogram")
             for bound, cumulative in metric.cumulative():
                 le = "+Inf" if bound == float("inf") else _num(bound)
                 lines.append(

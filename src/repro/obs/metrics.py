@@ -297,3 +297,25 @@ class MetricsRegistry:
                     target.sum += metric.sum
                     target.count += metric.count
                     target.nan_count += metric.nan_count
+
+
+def set_build_info(registry: "MetricsRegistry", *, version: str | None = None,
+                   schema: int | None = None) -> Gauge:
+    """Register the ``pab_build_info`` gauge (value 1, identity labels).
+
+    The Prometheus build-info convention: a constant gauge whose labels
+    carry the code version and the telemetry stream-schema version, so
+    every scraped or streamed snapshot is attributable to the exact
+    code + contract that produced it.  Defaults come from
+    ``repro.__version__`` and
+    :data:`repro.obs.stream.SCHEMA_VERSION`.
+    """
+    if version is None:
+        from repro import __version__ as version
+    if schema is None:
+        from repro.obs.stream import SCHEMA_VERSION as schema
+    gauge = registry.gauge(
+        "pab_build_info", version=str(version), schema=str(schema)
+    )
+    gauge.set(1.0)
+    return gauge

@@ -194,8 +194,25 @@ class ProbeRegistry:
         return self._txn
 
     def record_postmortem(self, postmortem) -> None:
-        """File a :class:`~repro.obs.postmortem.DecodePostmortem`."""
+        """File a :class:`~repro.obs.postmortem.DecodePostmortem`.
+
+        Also publishes the verdict on the process-global telemetry bus
+        (``kind="postmortem"``) when one is enabled — probes force the
+        reader into sequential mode, so the publication order is
+        deterministic.
+        """
         self.postmortems.append(postmortem)
+        from repro.obs.stream import get_bus
+
+        bus = get_bus()
+        if bus.enabled:
+            bus.publish(
+                "postmortem",
+                t=float(postmortem.txn or 0),
+                node=int(postmortem.node if postmortem.node is not None else -1),
+                source="probe",
+                data=postmortem.to_dict(),
+            )
 
     def reset(self) -> None:
         """Drop all taps, post-mortems, and transaction state."""

@@ -200,6 +200,25 @@ class SLOTracker:
             return float("nan")
         return (bad / total) / (1.0 - target)
 
+    def stream_sample(self) -> dict:
+        """Fleet-level per-objective numbers for one stream event.
+
+        The ``kind="slo"`` payload the reader publishes after each
+        round: ``{objective: {target, burn_rate, budget_remaining,
+        compliance}}``, sorted by objective for determinism.  Cheap by
+        design (no per-node breakdown) — the full :meth:`report` still
+        exists for batch consumers.
+        """
+        return {
+            objective: {
+                "target": self.targets[objective],
+                "burn_rate": self.burn_rate(objective),
+                "budget_remaining": self.error_budget_remaining(objective),
+                "compliance": self.compliance(objective),
+            }
+            for objective in sorted(self.targets)
+        }
+
     # -- checkpointing ----------------------------------------------------------------
 
     def snapshot_state(self) -> dict:

@@ -159,10 +159,16 @@ class Tracer:
         tracing and metrics stay one substrate, not two.
     """
 
-    def __init__(self, *, clock=None, enabled: bool = True, metrics=None) -> None:
+    def __init__(self, *, clock=None, enabled: bool = True, metrics=None,
+                 bus=None) -> None:
         self.clock = clock if clock is not None else perf_counter
         self.enabled = bool(enabled)
         self.metrics = metrics
+        #: Optional :class:`~repro.obs.stream.TelemetryBus`: each
+        #: finished span is also published as a ``kind="span"`` stream
+        #: event.  (An enabled tracer forces the reader into sequential
+        #: mode, so span publication order is deterministic.)
+        self.bus = bus
         self.spans: list[Span] = []
         self._stack: list[Span] = []
         self._next_id = 1
@@ -203,6 +209,13 @@ class Tracer:
             self.metrics.histogram(
                 "pab_span_seconds", name=span.name
             ).observe(span.duration_s)
+        if self.bus is not None and self.bus.enabled:
+            from repro.obs.export import span_to_dict
+
+            self.bus.publish(
+                "span", t=span.end_s, source="tracer",
+                data=span_to_dict(span),
+            )
 
     def reset(self) -> None:
         """Drop all recorded spans and nesting state."""

@@ -120,6 +120,20 @@ class FleetEngine:
                 self._pool.shutdown(wait=False, cancel_futures=True)
                 self._pool = None
             self._tainted = False
+            from repro.obs.stream import get_bus
+
+            bus = get_bus()
+            if bus.enabled:
+                # Watchdog-tainted runs already trade byte-
+                # reproducibility for liveness, so a wall-clock-ordered
+                # resilience event here costs nothing extra.
+                bus.publish(
+                    "pool_rebuild", source="fleet",
+                    data={
+                        "reason": "watchdog_taint",
+                        "max_workers": self.max_workers,
+                    },
+                )
         pool = self._ensure_pool()
         txn_deadline = watchdog.transaction_deadline_s if watchdog else None
         round_deadline = watchdog.round_deadline_s if watchdog else None

@@ -119,6 +119,16 @@ def checkpoint_path(directory, round: int) -> pathlib.Path:
     return pathlib.Path(directory) / f"checkpoint-{int(round):06d}.json"
 
 
+def recorder_path(directory, round: int) -> pathlib.Path:
+    """Canonical name for a flight-recorder dump taken during ``round``.
+
+    Lives next to the checkpoints so an aborted campaign's last-events
+    recording (:class:`repro.obs.recorder.FlightRecorder`) is found in
+    the same place as the state needed to resume it.
+    """
+    return pathlib.Path(directory) / f"flight-recorder-{int(round):06d}.jsonl"
+
+
 def latest_checkpoint(directory) -> pathlib.Path | None:
     """The highest-round checkpoint file in ``directory``, or ``None``."""
     d = pathlib.Path(directory)

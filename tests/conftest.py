@@ -4,7 +4,9 @@ When ``PAB_ARTIFACT_DIR`` is set (the CI obs/chaos jobs point it at a
 directory uploaded as a workflow artifact), any test that fails with
 signal taps or decode post-mortems in the global probe registry gets
 them persisted — the probe ``.npz`` and post-mortem JSONL a developer
-would otherwise have to rerun the job to capture.
+would otherwise have to rerun the job to capture.  A failing test that
+left a flight recorder on the global telemetry bus likewise gets its
+last-events ring dumped as JSONL.
 """
 
 from __future__ import annotations
@@ -22,5 +24,7 @@ def pytest_runtest_makereport(item, call):
     if not directory or report.when != "call" or not report.failed:
         return
     from repro.obs.probe import dump_failure_artifacts
+    from repro.obs.recorder import dump_flight_recorders
 
     dump_failure_artifacts(directory, item.nodeid)
+    dump_flight_recorders(directory, item.nodeid)

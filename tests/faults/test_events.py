@@ -67,6 +67,72 @@ class TestJsonl:
         assert len(restored) == 0
 
 
+class TestFlushJsonl:
+    """Streaming/append mode: only the unflushed tail hits the disk."""
+
+    def test_incremental_flushes_equal_batch_dump(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog()
+        log.record(0, 1, "fault", injector="noise_burst")
+        assert log.flush_jsonl(path) == 1
+        log.record(1, 1, "recovery")
+        log.record(2, 2, "retry")
+        assert log.flush_jsonl(path) == 2
+        assert path.read_text() == log.to_jsonl()
+
+    def test_flush_without_new_events_appends_nothing(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog()
+        log.record(0, 1, "fault")
+        log.flush_jsonl(path)
+        before = path.read_text()
+        assert log.flush_jsonl(path) == 0
+        assert path.read_text() == before
+
+    def test_round_trip_across_resume_boundaries(self, tmp_path):
+        # The resume scenario: flush, die, restore the log from a
+        # checkpoint snapshot in a NEW process, keep flushing to the
+        # same file.  Line i of the file is event seq=i throughout, so
+        # the interleaved cycles round-trip exactly.
+        path = tmp_path / "events.jsonl"
+        first = EventLog()
+        first.record(0, 1, "fault", injector="noise_burst")
+        first.record(1, 2, "state", to="DEGRADED", **{"from": "HEALTHY"})
+        first.flush_jsonl(path)
+        first.record(2, 2, "retry")
+        first.flush_jsonl(path)
+
+        resumed = EventLog.from_jsonl(first.to_jsonl())
+        assert resumed.flush_jsonl(path) == 0    # restored == on disk
+        resumed.record(3, 2, "recovery")
+        resumed.record(4, 1, "probe")
+        assert resumed.flush_jsonl(path) == 2
+
+        final = EventLog.from_jsonl(path.read_text())
+        assert [e.to_dict() for e in final] == [e.to_dict() for e in resumed]
+        assert path.read_text() == resumed.to_jsonl()
+        assert [e.seq for e in final] == [0, 1, 2, 3, 4]
+
+    def test_divergent_file_refused(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        long_log = EventLog()
+        for t in range(3):
+            long_log.record(t, 1, "retry")
+        long_log.flush_jsonl(path)
+        short_log = EventLog()
+        short_log.record(0, 1, "retry")
+        with pytest.raises(ValueError, match="divergent"):
+            short_log.flush_jsonl(path)
+
+    def test_missing_file_gets_full_log(self, tmp_path):
+        log = EventLog()
+        log.record(0, 1, "fault")
+        log.record(1, 1, "recovery")
+        path = tmp_path / "deep" / "events.jsonl"
+        assert log.flush_jsonl(path) == 2
+        assert path.read_text() == log.to_jsonl()
+
+
 class TestMetrics:
     def make_cycle_log(self):
         """HEALTHY until t=2, down (quarantined) until t=6, healthy to t=10."""

@@ -4,6 +4,8 @@ import json
 
 from repro.faults.events import EventLog
 from repro.obs.export import (
+    METRIC_HELP,
+    _escape_help,
     events_to_metrics,
     metrics_to_csv,
     metrics_to_prometheus,
@@ -114,6 +116,51 @@ class TestPrometheus:
         # No raw newline may survive inside any exposition line.
         for line in text.splitlines():
             assert line.count('"') % 2 == 0
+
+
+class TestHelpLines:
+    def test_help_precedes_type_once_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("pab_mac_attempts_total", node=1).inc()
+        reg.counter("pab_mac_attempts_total", node=2).inc()
+        text = metrics_to_prometheus(reg)
+        assert text.count("# HELP pab_mac_attempts_total ") == 1
+        assert text.index("# HELP pab_mac_attempts_total") < text.index(
+            "# TYPE pab_mac_attempts_total"
+        )
+
+    def test_known_family_gets_documented_help(self):
+        reg = MetricsRegistry()
+        reg.counter("pab_mac_attempts_total", node=1).inc()
+        line = next(
+            l for l in metrics_to_prometheus(reg).splitlines()
+            if l.startswith("# HELP")
+        )
+        # Curated text from METRIC_HELP, not the generic fallback.
+        assert line != "# HELP pab_mac_attempts_total pab_mac_attempts_total (counter)."
+        assert len(line.split(None, 3)[3]) > 10
+
+    def test_unknown_family_gets_fallback_help(self):
+        reg = MetricsRegistry()
+        reg.gauge("custom_thing").set(1.0)
+        text = metrics_to_prometheus(reg)
+        assert "# HELP custom_thing custom_thing (gauge)." in text
+
+    def test_help_text_escaping(self):
+        # Prometheus HELP lines escape only backslash and newline
+        # (unlike label values, quotes stay raw).
+        assert _escape_help("say \\ and\nstop") == "say \\\\ and\\nstop"
+        assert _escape_help('quote " stays') == 'quote " stays'
+
+    def test_every_help_line_is_single_line(self):
+        reg = MetricsRegistry()
+        for name in sorted(METRIC_HELP):
+            reg.counter(name).inc()
+        text = metrics_to_prometheus(reg)
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP")]
+        assert len(help_lines) == len(METRIC_HELP)
+        for line in help_lines:
+            assert "\n" not in line
 
 
 class TestCsv:

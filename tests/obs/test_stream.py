@@ -1,0 +1,442 @@
+"""Streaming telemetry bus, sinks, and the stream aggregator.
+
+The contract under test, end to end:
+
+* producers publish incrementally through the process-global
+  :class:`TelemetryBus` (disabled by default — everything here opts in);
+* the stream is byte-identical across sequential and parallel
+  execution (publication happens on the reader's merge side, and the
+  parallel round stages *every* shared-log reference, injector chains
+  included);
+* :class:`StreamAggregator` reduces a stream — including a resumed
+  campaign's re-streamed overlap — back to the exact batch outputs:
+  timeline rows, event log, final SLO burn.
+"""
+
+import math
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.faults import (
+    BrownoutInjector,
+    EventLog,
+    NoiseBurstInjector,
+    TransportExceptionInjector,
+)
+from repro.net import Command, HealthPolicy, ReaderController, Response, RetryPolicy
+from repro.obs import MetricsRegistry, SLOTracker
+from repro.obs.ledger import NodeEnergyHarness
+from repro.obs.recorder import FlightRecorder
+from repro.obs.stream import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    JsonlStreamSink,
+    MemorySink,
+    MetricsSnapshotServer,
+    StreamAggregator,
+    TelemetryBus,
+    event_from_line,
+    event_to_line,
+    get_bus,
+    set_bus,
+    use_bus,
+)
+from repro.obs.timeline import build_timeline, timeline_to_jsonl
+
+
+# ---------------------------------------------------------------------------
+# A miniature chaos fleet: stub firmware + fault injectors bound to the
+# SHARED event log (the hard case for parallel stream identity) +
+# energy harnesses + SLO tracking.
+# ---------------------------------------------------------------------------
+
+
+class _StubResult:
+    def __init__(self, packet):
+        self.success = True
+        self.demod = type("Demod", (), {})()
+        self.demod.packet = packet
+        self.demod.success = True
+
+
+def _stub(address):
+    def transact(query):
+        if query.command is Command.READ_TEMPERATURE:
+            raw = int((18.0 + address) * 100.0 + 10_000)
+            data = bytes([(raw >> 8) & 0xFF, raw & 0xFF])
+            response = Response(source=address, command=query.command, data=data)
+        else:
+            response = Response(source=address, command=query.command)
+        return _StubResult(response.to_packet())
+
+    return transact
+
+
+def _make_fleet(seed=7, nodes=5, window=10):
+    log = EventLog()
+    transports, harnesses = {}, {}
+    for addr in range(1, nodes + 1):
+        inner = _stub(addr)
+        role = addr % 3
+        if role == 1:
+            inner = NoiseBurstInjector(
+                inner, start=2 + addr, duration=4, node=addr, log=log,
+                seed=seed + addr,
+            )
+        elif role == 2:
+            inner = TransportExceptionInjector(
+                inner, at=(3, 7 + addr), node=addr, log=log, seed=seed + addr
+            )
+        else:
+            inner = BrownoutInjector(
+                inner, at=4, dark_for=8, node=addr, log=log, seed=seed + addr
+            )
+        transports[addr] = inner
+        v_oc = 1.9 if addr == nodes else 3.4 + 0.15 * addr
+        harnesses[addr] = NodeEnergyHarness(
+            addr, v_oc_v=v_oc, r_out_ohm=4.0e3, initial_voltage_v=3.0
+        )
+    reader = ReaderController(
+        transports,
+        retry_policy=RetryPolicy(
+            max_retries=1, base_backoff_s=0.1, jitter=0.25, seed=seed
+        ),
+        health_policy=HealthPolicy(
+            degrade_after=2, quarantine_after=4, recover_after=2,
+            probe_backoff_rounds=2,
+        ),
+        log=log,
+        metrics=MetricsRegistry(),
+        ledgers=harnesses,
+        slo=SLOTracker(window=window),
+    )
+    return reader, log, harnesses
+
+
+def _run_streamed(parallel=0, *, rounds=10, seed=7, sinks=None):
+    """One streamed campaign; returns (reader, log, harnesses, sink)."""
+    sink = MemorySink()
+    bus = TelemetryBus(sinks=[sink] + list(sinks or []))
+    with use_bus(bus):
+        reader, log, harnesses = _make_fleet(seed=seed)
+        if parallel:
+            from repro.perf.fleet import FleetEngine
+
+            reader.parallel = parallel
+            reader._engine = FleetEngine(max_workers=parallel)
+        reader.run_campaign(Command.READ_TEMPERATURE, rounds)
+    bus.close()
+    return reader, log, harnesses, sink
+
+
+# ---------------------------------------------------------------------------
+# Event schema and envelope
+# ---------------------------------------------------------------------------
+
+
+class TestEventSchema:
+    def test_envelope_fields_and_version(self):
+        bus = TelemetryBus(sinks=[sink := MemorySink()])
+        event = bus.publish("round", t=3.0, node=4, source="reader",
+                            data={"x": 1})
+        assert event == sink.events[0]
+        assert event["schema"] == SCHEMA_VERSION
+        assert event["seq"] == 0
+        assert event["t"] == 3.0
+        assert event["node"] == 4
+        assert event["kind"] == "round"
+        assert event["source"] == "reader"
+        assert event["data"] == {"x": 1}
+
+    def test_line_is_compact_sorted_json(self):
+        line = event_to_line({"b": 1, "a": {"z": 2, "y": 3}})
+        assert line == '{"a":{"y":3,"z":2},"b":1}'
+
+    def test_line_round_trips_nan(self):
+        # SLO burn rates are NaN before the window fills; the stream
+        # must round-trip them exactly for streamed == batch to hold.
+        event = {"v": float("nan"), "w": float("inf")}
+        back = event_from_line(event_to_line(event))
+        assert math.isnan(back["v"]) and math.isinf(back["w"])
+
+    def test_documented_kinds(self):
+        for kind in ("stream_start", "event", "span", "metrics", "soc",
+                     "slo", "round", "postmortem", "checkpoint",
+                     "pool_rebuild"):
+            assert kind in EVENT_KINDS
+
+    def test_aggregator_rejects_newer_schema(self):
+        agg = StreamAggregator()
+        with pytest.raises(ValueError, match="schema"):
+            agg.feed({"schema": SCHEMA_VERSION + 1, "seq": 0, "kind": "round",
+                      "t": 0.0, "node": -1, "source": "", "data": {}})
+
+
+class TestTelemetryBus:
+    def test_disabled_publish_is_inert(self):
+        sink = MemorySink()
+        bus = TelemetryBus(enabled=False, sinks=[sink])
+        assert bus.publish("round", data={"x": 1}) is None
+        assert sink.events == []
+        assert bus.seq == 0
+
+    def test_global_bus_disabled_by_default(self):
+        assert not get_bus().enabled
+
+    def test_use_bus_restores_previous(self):
+        original = get_bus()
+        replacement = TelemetryBus()
+        with use_bus(replacement):
+            assert get_bus() is replacement
+        assert get_bus() is original
+
+    def test_seq_monotonic_across_kinds(self):
+        bus = TelemetryBus(sinks=[sink := MemorySink()])
+        bus.publish("event")
+        bus.publish("soc")
+        bus.publish("round")
+        assert [e["seq"] for e in sink.events] == [0, 1, 2]
+
+    def test_flush_stats_percentiles(self):
+        bus = TelemetryBus(sinks=[MemorySink()])
+        for _ in range(10):
+            bus.flush()
+        stats = bus.flush_stats()
+        assert stats["count"] == 10
+        assert stats["p50_s"] <= stats["p99_s"] <= stats["max_s"]
+
+    def test_recorders_are_duck_typed(self):
+        bus = TelemetryBus(sinks=[MemorySink()])
+        recorder = bus.add_sink(FlightRecorder(capacity=4))
+        assert bus.recorders() == [recorder]
+
+
+class TestJsonlStreamSink:
+    def test_buffers_until_flush(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        sink = JsonlStreamSink(path)
+        bus = TelemetryBus(sinks=[sink])
+        bus.publish("event", data={"n": 1})
+        assert not path.exists() or path.read_text() == ""
+        bus.flush()
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_appends_across_instances_and_last_seq(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        first = TelemetryBus(sinks=[JsonlStreamSink(path)])
+        first.publish("event")
+        first.publish("event")
+        first.close()
+        assert JsonlStreamSink.last_seq(path) == 1
+        second = TelemetryBus(sinks=[JsonlStreamSink(path)])
+        second.seq = JsonlStreamSink.last_seq(path) + 1
+        second.publish("event")
+        second.close()
+        seqs = [event_from_line(l)["seq"] for l in path.read_text().splitlines()]
+        assert seqs == [0, 1, 2]
+
+    def test_rotation_bounds_file_size(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        sink = JsonlStreamSink(path, max_bytes=500, max_files=2)
+        bus = TelemetryBus(sinks=[sink])
+        for i in range(100):
+            bus.publish("event", t=float(i), data={"pad": "x" * 40})
+            bus.flush()
+        bus.close()
+        assert path.stat().st_size <= 1_000
+        assert (tmp_path / "s.jsonl.1").exists()
+        assert not (tmp_path / "s.jsonl.3").exists()
+
+    def test_last_seq_of_missing_file(self, tmp_path):
+        assert JsonlStreamSink.last_seq(tmp_path / "nope.jsonl") is None
+
+
+class TestMetricsSnapshotServer:
+    def test_serves_prometheus_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("pab_polls_total", node=1).inc(3)
+        with MetricsSnapshotServer(registry, port=0) as server:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            body = urllib.request.urlopen(url, timeout=5).read().decode()
+            assert 'pab_polls_total{node="1"} 3' in body
+            assert "# TYPE pab_polls_total counter" in body
+            # Live: a later scrape sees the updated value.
+            registry.counter("pab_polls_total", node=1).inc()
+            body = urllib.request.urlopen(url, timeout=5).read().decode()
+            assert 'pab_polls_total{node="1"} 4' in body
+
+    def test_healthz_and_unknown_path(self):
+        with MetricsSnapshotServer(MetricsRegistry(), port=0) as server:
+            base = f"http://127.0.0.1:{server.port}"
+            assert urllib.request.urlopen(base + "/healthz", timeout=5).status == 200
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(base + "/nope", timeout=5)
+
+
+# ---------------------------------------------------------------------------
+# Campaign streams: identity across modes, streamed == batch, resume
+# ---------------------------------------------------------------------------
+
+
+def _stream_lines(sink):
+    return [event_to_line(e) for e in sink.events]
+
+
+class TestCampaignStream:
+    def test_stream_covers_every_producer(self):
+        _, _, _, sink = _run_streamed()
+        kinds = {e["kind"] for e in sink.events}
+        assert {"event", "soc", "slo", "round", "metrics"} <= kinds
+
+    def test_parallel_stream_identical_to_sequential(self):
+        sequential = _stream_lines(_run_streamed(0)[3])
+        for width in (1, 4):
+            assert _stream_lines(_run_streamed(width)[3]) == sequential
+
+    def test_streamed_timeline_equals_batch(self):
+        reader, log, harnesses, sink = _run_streamed()
+        agg = StreamAggregator()
+        for event in sink.events:
+            agg.feed(event)
+        batch = timeline_to_jsonl(
+            build_timeline(reader.round_log, log=log, ledgers=harnesses)
+        )
+        assert timeline_to_jsonl(agg.timeline_rows()) == batch
+        assert agg.event_log().to_jsonl() == log.to_jsonl()
+        assert agg.rounds_observed() == 10
+
+    def test_streamed_final_burn_equals_batch(self):
+        reader, _, _, sink = _run_streamed()
+        agg = StreamAggregator()
+        for event in sink.events:
+            agg.feed(event)
+        batch_burn = reader.round_log[-1]["burn"]
+        streamed = agg.final_burn()
+        assert sorted(streamed) == sorted(batch_burn)
+        for objective, value in batch_burn.items():
+            assert repr(streamed[objective]) == repr(value)
+
+    def test_refeeding_is_idempotent(self):
+        # The resume-overlap guarantee in miniature: feeding the same
+        # stream twice reduces to the same state as feeding it once.
+        _, _, _, sink = _run_streamed()
+        once, twice = StreamAggregator(), StreamAggregator()
+        for event in sink.events:
+            once.feed(event)
+        for event in sink.events + sink.events:
+            twice.feed(event)
+        assert timeline_to_jsonl(twice.timeline_rows()) == timeline_to_jsonl(
+            once.timeline_rows()
+        )
+        assert twice.event_log().to_jsonl() == once.event_log().to_jsonl()
+
+    def test_metrics_events_carry_absolute_values(self):
+        _, _, _, sink = _run_streamed()
+        rounds_total = [
+            e["data"]["values"]["pab_reader_rounds_total"]
+            for e in sink.events
+            if e["kind"] == "metrics"
+            and "pab_reader_rounds_total" in e["data"]["values"]
+        ]
+        assert rounds_total == sorted(rounds_total)
+        assert rounds_total[-1] == 10.0
+
+    def test_checkpoint_events_mark_boundaries(self, tmp_path):
+        sink = MemorySink()
+        bus = TelemetryBus(sinks=[sink])
+        with use_bus(bus):
+            reader, _, _ = _make_fleet()
+            reader.run_campaign(
+                Command.READ_TEMPERATURE, 9,
+                checkpoint_every=4, checkpoint_dir=tmp_path,
+            )
+        marks = [e["data"] for e in sink.events if e["kind"] == "checkpoint"]
+        assert [m["round"] for m in marks] == [4, 8]
+        assert marks[0]["path"] == "checkpoint-000004.json"
+
+    def test_resumed_stream_replays_to_uninterrupted_state(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        # Uninterrupted streamed run: the reference reduction.
+        full_reader, full_log, full_harnesses, full_sink = _run_streamed(rounds=10)
+        reference = StreamAggregator()
+        for event in full_sink.events:
+            reference.feed(event)
+
+        # Interrupted run: stream the first 6 rounds and checkpoint at 4.
+        bus = TelemetryBus(sinks=[JsonlStreamSink(path)])
+        with use_bus(bus):
+            reader, _, _ = _make_fleet()
+            reader.run_campaign(
+                Command.READ_TEMPERATURE, 6,
+                checkpoint_every=4, checkpoint_dir=tmp_path,
+            )
+        bus.close()
+
+        # Resume from round 4 on a FRESH fleet, appending to the same
+        # stream with continued sequence numbers.  Rounds 4-5 are
+        # re-streamed (they post-date the checkpoint) — byte-identical
+        # to the first pass, so the last-write-wins reduction dedups.
+        resume_bus = TelemetryBus(sinks=[JsonlStreamSink(path)])
+        resume_bus.seq = JsonlStreamSink.last_seq(path) + 1
+        with use_bus(resume_bus):
+            reader2, _, _ = _make_fleet()
+            reader2.run_campaign(
+                Command.READ_TEMPERATURE, 10,
+                resume_from=tmp_path / "checkpoint-000004.json",
+            )
+        resume_bus.close()
+
+        spliced = StreamAggregator()
+        spliced.feed_file(path)
+        assert timeline_to_jsonl(spliced.timeline_rows()) == timeline_to_jsonl(
+            reference.timeline_rows()
+        )
+        assert spliced.event_log().to_jsonl() == reference.event_log().to_jsonl()
+        assert spliced.delivery_totals() == reference.delivery_totals()
+
+
+class TestRoundLine:
+    def test_round_line_renders_delivery_soc_and_burn(self):
+        _, _, _, sink = _run_streamed()
+        agg = StreamAggregator()
+        for event in sink.events:
+            agg.feed(event)
+        line = agg.round_line(9)
+        assert line.startswith("round    9")
+        assert "delivered" in line
+        assert "soc_min" in line
+        assert "burn" in line
+
+    def test_delivery_totals_accumulate(self):
+        _, _, _, sink = _run_streamed()
+        agg = StreamAggregator()
+        for event in sink.events:
+            agg.feed(event)
+        totals = agg.delivery_totals()
+        assert 0 < totals["delivered"] <= totals["polled"] <= 50
+
+
+class TestLogBusBinding:
+    def test_reader_binds_enabled_bus_to_log(self):
+        bus = TelemetryBus(sinks=[MemorySink()])
+        with use_bus(bus):
+            reader, log, _ = _make_fleet()
+        assert log.bus is bus
+
+    def test_disabled_bus_not_bound(self):
+        reader, log, _ = _make_fleet()
+        assert log.bus is None
+
+    def test_log_records_publish_event_kind(self):
+        sink = MemorySink()
+        bus = TelemetryBus(sinks=[sink])
+        log = EventLog()
+        log.bus = bus
+        log.record(2.0, 5, "fault", injector="noise_burst")
+        (event,) = sink.events
+        assert event["kind"] == "event"
+        assert event["source"] == "log"
+        assert event["data"]["kind"] == "fault"
+        assert event["data"]["node"] == 5

@@ -137,6 +137,81 @@ class TestParallelReaderIdentity:
         assert _campaign_blob(2) == _campaign_blob(2)
 
 
+def _injector_campaign_blob(parallel, *, rounds=14, n=5, seed=13):
+    """A campaign whose fault injectors hold the SHARED event log.
+
+    Regression guard: injectors write fault events from inside the
+    transaction, so in parallel mode their log references must be
+    staged per worker (``ReaderController._stage_transport_log``) or
+    the shared log interleaves nondeterministically across nodes —
+    which is exactly how chaos fleets (``repro fleet-report``) wire
+    them, and what this blob proves stays byte-identical.
+    """
+    from repro.faults import BrownoutInjector, NoiseBurstInjector
+
+    log = EventLog()
+    metrics = MetricsRegistry()
+    transports = {}
+    for a in range(1, n + 1):
+        inner = SeededFlakyTransport(a, fail_rate=0.15, seed=seed)
+        if a % 2:
+            inner = NoiseBurstInjector(
+                inner, start=2 + a, duration=5, node=a, log=log, seed=seed + a
+            )
+        else:
+            inner = BrownoutInjector(
+                inner, at=4, dark_for=7, node=a, log=log, seed=seed + a
+            )
+        transports[a] = inner
+    reader = ReaderController(
+        transports,
+        retry_policy=RetryPolicy(
+            max_retries=2, base_backoff_s=0.05, jitter=0.25, seed=seed
+        ),
+        health_policy=HealthPolicy(
+            degrade_after=2, quarantine_after=4, recover_after=2,
+            probe_backoff_rounds=2,
+        ),
+        log=log,
+        metrics=metrics,
+        parallel=parallel,
+    )
+    report = reader.run_campaign(Command.READ_PH, rounds=rounds)
+    return (
+        json.dumps(report, sort_keys=True, default=str)
+        + "\n" + log.dump()
+        + "\n" + metrics_to_prometheus(metrics)
+    )
+
+
+class TestParallelInjectorIdentity:
+    """Shared-log fault injectors must not break parallel identity."""
+
+    def test_injector_chain_logs_staged_per_worker(self):
+        sequential = _injector_campaign_blob(0)
+        assert "injector=" in sequential  # the chaos actually fired
+        for width in (1, 2, 4):
+            assert _injector_campaign_blob(width) == sequential, f"width {width}"
+
+    def test_injector_chain_restored_after_round(self):
+        from repro.faults import NoiseBurstInjector
+
+        log = EventLog()
+        inner = NoiseBurstInjector(
+            SeededFlakyTransport(1, seed=3), start=1, duration=2, node=1,
+            log=log, seed=3,
+        )
+        reader = ReaderController(
+            {1: inner}, log=log, parallel=2,
+            retry_policy=RetryPolicy(
+                max_retries=1, base_backoff_s=0.05, jitter=0.25, seed=3
+            ),
+        )
+        reader.poll_round(Command.READ_PH)
+        # After the merge, the injector points at the shared log again.
+        assert inner.log is log
+
+
 class TestMergePrimitives:
     def test_macstats_merge_is_order_independent(self):
         a = MacStats(attempts=5, successes=4, retries=1,

@@ -242,3 +242,113 @@ class TestFleetReportCommand:
             return path.read_text()
 
         assert run("a.jsonl") == run("b.jsonl")
+
+
+class TestStreamingCli:
+    """``--stream-out`` / ``--serve-port`` / ``repro tail`` end to end."""
+
+    def test_stream_out_then_tail_replays_batch_timeline(self, tmp_path, capsys):
+        stream = tmp_path / "stream.jsonl"
+        batch = tmp_path / "batch.jsonl"
+        replay = tmp_path / "replay.jsonl"
+        assert main([
+            "fleet-report", "--nodes", "4", "--rounds", "8", "--seed", "7",
+            "--stream-out", str(stream), "--timeline-jsonl", str(batch),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote telemetry stream" in out
+        assert "p99 flush" in out
+
+        assert main([
+            "tail", str(stream), "--timeline-jsonl", str(replay),
+        ]) == 0
+        out = capsys.readouterr().out
+        # One monitor line per round, then the summary.
+        monitor = [l for l in out.splitlines() if l.startswith("round ")]
+        assert len(monitor) == 8
+        assert "delivered" in monitor[0] and "soc_min" in monitor[0]
+        assert "stream: 8 rounds" in out
+        assert "final burn" in out
+        # The replayed timeline is byte-identical to the campaign's own.
+        assert replay.read_bytes() == batch.read_bytes()
+
+    def test_fresh_campaign_owns_its_stream_file(self, tmp_path, capsys):
+        stream = tmp_path / "stream.jsonl"
+        args = [
+            "fleet-report", "--nodes", "3", "--rounds", "4", "--seed", "2",
+            "--stream-out", str(stream),
+        ]
+        assert main(args) == 0
+        first = stream.read_bytes()
+        assert main(args) == 0  # second run truncates, not appends
+        assert stream.read_bytes() == first
+        capsys.readouterr()
+
+    def test_tail_missing_file_fails(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path / "nope.jsonl")]) == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_tail_stream_without_rounds_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["tail", str(path)]) == 1
+        assert "no round events" in capsys.readouterr().out
+
+    def test_tail_follow_exits_after_idle_timeout(self, tmp_path, capsys):
+        stream = tmp_path / "stream.jsonl"
+        assert main([
+            "fleet-report", "--nodes", "3", "--rounds", "4", "--seed", "2",
+            "--stream-out", str(stream),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "tail", str(stream), "--follow",
+            "--interval", "0.05", "--idle-timeout", "0.2",
+        ]) == 0
+        assert "stream: 4 rounds" in capsys.readouterr().out
+
+    def test_serve_port_announces_endpoint(self, capsys):
+        assert main([
+            "fleet-report", "--nodes", "3", "--rounds", "4", "--seed", "2",
+            "--serve-port", "0",
+        ]) == 0
+        assert "metrics snapshot endpoint: http://127.0.0.1:" in (
+            capsys.readouterr().out
+        )
+
+    def test_kill_resume_spliced_stream_replays_clean_run(self, tmp_path, capsys):
+        """ISSUE acceptance: a stream interrupted mid-campaign and
+        appended to by ``resume`` replays to the clean run's timeline."""
+        ckpt = tmp_path / "ckpt"
+        stream = tmp_path / "stream.jsonl"
+        clean = tmp_path / "clean.jsonl"
+        replay = tmp_path / "replay.jsonl"
+
+        rc = main([
+            "fleet-report", "--nodes", "4", "--rounds", "10", "--seed", "3",
+            "--checkpoint-every", "3", "--checkpoint-dir", str(ckpt),
+            "--kill-at", "7:1", "--stream-out", str(stream),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 3
+        # The flight recorder left the last moments next to the checkpoints.
+        assert "flight recorder dumped to" in out
+        assert (ckpt / "flight-recorder-000007.jsonl").exists()
+
+        assert main([
+            "resume", str(ckpt / "checkpoint-000006.json"),
+            "--stream-out", str(stream),
+        ]) == 0
+        assert "appended telemetry stream" in capsys.readouterr().out
+
+        assert main([
+            "fleet-report", "--nodes", "4", "--rounds", "10", "--seed", "3",
+            "--timeline-jsonl", str(clean),
+        ]) == 0
+        capsys.readouterr()
+
+        assert main([
+            "tail", str(stream), "--timeline-jsonl", str(replay),
+        ]) == 0
+        assert "stream: 10 rounds" in capsys.readouterr().out
+        assert replay.read_bytes() == clean.read_bytes()
