@@ -22,6 +22,12 @@ Lets a user drive the reproduction without writing code:
 * ``tail`` — render a ``--stream-out`` telemetry stream: one line per
   round (delivery, SoC, SLO burn, health churn), live with
   ``--follow``; rebuilds the exact campaign timeline from the stream.
+* ``bench``    — sequential vs cached vs parallel campaign benchmark
+  with the perf-regression gate (``--compare``).
+* ``profile``  — deterministic campaign profiler: per-stage wall/CPU
+  attribution, per-worker busy/idle + GIL proxy, cache time-saved,
+  tracemalloc high-water, and byte-deterministic collapsed-stack /
+  speedscope flamegraphs (``--flame-out``).
 * ``fig3``     — print the recto-piezo tuning curves.
 * ``fig7``     — print the BER-SNR table.
 * ``fig8``     — print the SNR-vs-bitrate table (waveform level; slower).
@@ -867,7 +873,8 @@ def _build_bench_fleet(nodes: int, seed: int, bitrate: float):
 
 
 def _bench_campaign(nodes: int, rounds: int, seed: int, bitrate: float,
-                    parallel: int, kill_at: tuple[int, int] | None = None):
+                    parallel: int, kill_at: tuple[int, int] | None = None,
+                    transports=None):
     """One timed campaign on a fresh fleet; returns ``(seconds, digest)``.
 
     The digest (:func:`repro.resilience.campaign_digest`) covers the
@@ -877,6 +884,11 @@ def _bench_campaign(nodes: int, rounds: int, seed: int, bitrate: float,
     worker crash: the supervisor restarts the worker, and the digest
     check then proves the containment telemetry is identical across
     execution modes.
+
+    ``transports`` supplies a pre-built fleet instead of a fresh one —
+    the profiler passes one in to keep the links (and their weakly
+    registered per-link leg-memo caches) alive across its
+    ``cache_stats()`` snapshots.
     """
     import time
 
@@ -887,8 +899,10 @@ def _bench_campaign(nodes: int, rounds: int, seed: int, bitrate: float,
 
     log = EventLog()
     metrics = MetricsRegistry()
+    if transports is None:
+        transports = _build_bench_fleet(nodes, seed, bitrate)
     reader = ReaderController(
-        _build_bench_fleet(nodes, seed, bitrate),
+        transports,
         retry_policy=RetryPolicy(
             max_retries=1, base_backoff_s=0.0, jitter=0.0, seed=seed
         ),
@@ -1183,6 +1197,322 @@ def _cmd_bench(args) -> int:
             path.write_text(header + "\n" + row + "\n")
         _emit(f"appended trend row to {path}")
     return status
+
+
+def _delta_cache_stats(before: dict, after: dict) -> dict:
+    """Per-cache counter deltas between two ``cache_stats()`` snapshots.
+
+    The process-global cache counters are cumulative, so a profile
+    pass's hit/miss accounting must subtract whatever earlier passes
+    (or earlier CLI work in the same process) already recorded.
+    """
+    from repro.perf.cache import CacheStats
+
+    out = {}
+    for name, s in after.items():
+        prev = before.get(name)
+        out[name] = CacheStats(
+            name=name,
+            hits=s.hits - (prev.hits if prev else 0),
+            misses=s.misses - (prev.misses if prev else 0),
+            evictions=s.evictions - (prev.evictions if prev else 0),
+            entries=s.entries,
+            maxsize=s.maxsize,
+        )
+    return out
+
+
+def _cmd_profile(args) -> int:
+    """Deterministic campaign profiler (see docs/PERFORMANCE.md).
+
+    Four passes over the same seeded fleet:
+
+    1. a sequential campaign under a unit-tick virtual clock — the
+       byte-deterministic flamegraph exports and per-round tracemalloc
+       marks;
+    2. a dual traced exchange pass (wall clock, then CPU clock) — the
+       measured per-stage wall/CPU attribution;
+    3. a cached sequential campaign with miss-cost timing — the
+       per-cache time-saved estimates;
+    4. the same campaign on the thread pool — per-worker busy/idle,
+       queue wait, and the CPU/wall GIL-contention proxy.
+    """
+    import json
+    import os
+
+    from repro.core.experiment import ExperimentTable
+    from repro.core.link import BackscatterLink
+    from repro.net.messages import Command, Query
+    from repro.obs import (
+        CampaignProfiler,
+        Tracer,
+        VirtualClock,
+        profile_stage_costs,
+        speedscope_document,
+        speedscope_stage_totals,
+        use_profiler,
+        use_tracer,
+        write_flamegraphs,
+    )
+    from repro.perf import cache_stats, caching_disabled, clear_all_caches
+
+    nodes = args.nodes if args.nodes is not None else (2 if args.smoke else 10)
+    rounds = args.rounds if args.rounds is not None else (3 if args.smoke else 20)
+    repeats = args.repeats if args.repeats is not None else (2 if args.smoke else 5)
+    if args.parallel is None:
+        args.parallel = max(1, min(4, os.cpu_count() or 1))
+    _emit(
+        f"profile: {nodes} nodes x {rounds} rounds, seed {args.seed}, "
+        f"parallel width {args.parallel}"
+    )
+
+    # Pass 1 — deterministic attribution: the campaign under a unit-tick
+    # VirtualClock.  Span timestamps are integers fixed by the seed, so
+    # the flamegraph files are byte-identical across runs; per-round
+    # tracemalloc marks ride on the profiler's merge-side snapshots.
+    clear_all_caches()
+    tracer = Tracer(clock=VirtualClock(tick=1.0))
+    flame_profiler = CampaignProfiler(memory=True)
+    _emit("pass 1/4: virtual-clock campaign (flamegraph + memory)")
+    with use_tracer(tracer), use_profiler(flame_profiler):
+        _bench_campaign(
+            nodes, rounds, args.seed, args.bitrate, parallel=0
+        )
+    doc = speedscope_document(
+        tracer.spans, name=f"pab {nodes}x{rounds} seed {args.seed}"
+    )
+    flame_totals = speedscope_stage_totals(doc)
+    tick_totals = tracer.stage_totals()
+    agreement = max(
+        (
+            abs(flame_totals.get(name, 0.0) - entry["total_s"])
+            / entry["total_s"]
+            for name, entry in tick_totals.items()
+            if entry["total_s"]
+        ),
+        default=0.0,
+    )
+    if agreement > 0.01:
+        _emit(
+            f"FAIL: flamegraph totals diverge from the span tracer's "
+            f"by {agreement:.1%} (>1%)"
+        )
+        return 1
+    memory = flame_profiler.memory_report()
+    flame_paths = None
+    if args.flame_out:
+        flame_paths = write_flamegraphs(
+            _ensure_parent(args.flame_out), tracer.spans,
+            name=f"pab {nodes}x{rounds} seed {args.seed}", unit="none",
+        )
+        _emit(
+            f"wrote {flame_paths['collapsed']} and {flame_paths['speedscope']}"
+        )
+
+    # Pass 2 — measured per-stage wall *and* CPU seconds: the same
+    # seeded exchange traced once per repeat under a perf_counter
+    # tracer, then under a thread_time tracer (identical structure, so
+    # the passes join by stage name).
+    _emit(f"pass 2/4: measured stage costs ({repeats} traced exchanges x2)")
+    warm = _build_bench_fleet(1, args.seed, args.bitrate)
+    ((warm_addr, warm_transact),) = warm.items()
+    with caching_disabled():
+        warm_transact(Query(destination=warm_addr, command=Command.READ_PH))
+
+    def run_exchange(pass_tracer) -> None:
+        transports = _build_bench_fleet(1, args.seed, args.bitrate)
+        ((addr, transact),) = transports.items()
+        query = Query(destination=addr, command=Command.READ_PH)
+        with caching_disabled(), use_tracer(pass_tracer):
+            transact(query)
+
+    measured = profile_stage_costs(
+        run_exchange, repeats=repeats, stages=BackscatterLink.STAGES
+    )
+
+    # Pass 3 — cached sequential campaign with per-cache miss costs.
+    # The fleet is built *here* and kept referenced until after the
+    # stats snapshot: per-link leg-memo caches are weakly registered,
+    # so letting the links die would silently drop their counters.
+    clear_all_caches()
+    seq_transports = _build_bench_fleet(nodes, args.seed, args.bitrate)
+    stats_before = cache_stats()
+    seq_profiler = CampaignProfiler()
+    _emit("pass 3/4: cached sequential campaign (cache savings)")
+    with use_profiler(seq_profiler):
+        seq_s, seq_digest, _ = _bench_campaign(
+            nodes, rounds, args.seed, args.bitrate, parallel=0,
+            transports=seq_transports,
+        )
+    caches = seq_profiler.cache_report(
+        _delta_cache_stats(stats_before, cache_stats())
+    )
+    del seq_transports
+
+    # Pass 4 — the same campaign on the thread pool: per-worker
+    # busy/idle, queue wait, and the CPU/wall GIL proxy.
+    clear_all_caches()
+    par_profiler = CampaignProfiler()
+    _emit(f"pass 4/4: parallel campaign (width {args.parallel})")
+    with use_profiler(par_profiler):
+        par_s, par_digest, _ = _bench_campaign(
+            nodes, rounds, args.seed, args.bitrate, parallel=args.parallel
+        )
+    workers = par_profiler.worker_report()
+    busy_total = sum(w["busy_s"] for w in workers.values())
+    gil_ratio = (
+        sum(w["cpu_s"] for w in workers.values()) / busy_total
+        if busy_total else 0.0
+    )
+
+    if seq_digest != par_digest:
+        _emit("FAIL: sequential and parallel campaigns disagree — "
+              "reports are not byte-identical")
+        return 1
+
+    hot = max(sorted(measured), key=lambda name: measured[name]["fraction"])
+    verdict = {
+        "hot_stage": hot,
+        "hot_fraction": round(measured[hot]["fraction"], 4),
+        "hot_cpu_wall_ratio": round(measured[hot]["cpu_wall_ratio"], 3),
+        "worker_gil_ratio": round(gil_ratio, 3),
+        "gil_bound": gil_ratio < 0.8,
+    }
+
+    summary = ExperimentTable(
+        title="Profile summary (cached campaign)",
+        columns=("mode", "wall_s", "speedup"),
+    )
+    summary.add_row("sequential", round(seq_s, 4), 1.0)
+    summary.add_row(
+        f"parallel x{args.parallel}", round(par_s, 4),
+        round(seq_s / par_s, 3),
+    )
+    _table(summary.to_text())
+
+    stage_tbl = ExperimentTable(
+        title="Per-stage attribution (measured, uncached)",
+        columns=("stage", "wall_s", "cpu_s", "cpu/wall", "fraction"),
+    )
+    for name, entry in measured.items():
+        stage_tbl.add_row(
+            name, entry["wall_s"], entry["cpu_s"],
+            entry["cpu_wall_ratio"], entry["fraction"],
+        )
+    _table(stage_tbl.to_text())
+
+    worker_tbl = ExperimentTable(
+        title="Worker attribution (parallel campaign)",
+        columns=("worker", "units", "busy_s", "queue_wait_s",
+                 "utilization", "cpu/wall"),
+    )
+    for name, w in workers.items():
+        worker_tbl.add_row(
+            name, w["units"], w["busy_s"], w["queue_wait_s"],
+            w["utilization"], w["gil_ratio"],
+        )
+    _table(worker_tbl.to_text())
+
+    cache_tbl = ExperimentTable(
+        title="Cache savings (cached sequential campaign)",
+        columns=("cache", "hits", "misses", "miss_cost_s", "saved_s"),
+    )
+    for name, entry in caches.items():
+        cache_tbl.add_row(
+            name, entry["hits"], entry["misses"],
+            entry["miss_cost_s"], entry["saved_s"],
+        )
+    _table(cache_tbl.to_text())
+
+    _emit(
+        f"memory high-water: {memory['peak_b'] / 1e6:.1f} MB over "
+        f"{memory['rounds']} rounds (tracemalloc)"
+    )
+    _emit(
+        f"hot stage: {hot} ({verdict['hot_fraction']:.0%} of transaction "
+        f"wall, cpu/wall {verdict['hot_cpu_wall_ratio']:.2f})"
+    )
+    _emit(
+        f"parallel workers: mean cpu/wall {gil_ratio:.2f} -> "
+        + ("GIL-bound (threads wait on the interpreter lock)"
+           if verdict["gil_bound"]
+           else "compute-bound (threads run mostly unblocked)")
+    )
+
+    if args.out:
+        record = {
+            "schema": 1,
+            "benchmark": "profile",
+            "smoke": bool(args.smoke),
+            "nodes": nodes,
+            "rounds": rounds,
+            "seed": args.seed,
+            "bitrate": args.bitrate,
+            "parallel": args.parallel,
+            "repeats": repeats,
+            "cached_s": round(seq_s, 4),
+            "parallel_s": round(par_s, 4),
+            "speedup_parallel": round(seq_s / par_s, 3),
+            "identical": True,
+            "digest": seq_digest,
+            "flame_agreement": round(agreement, 6),
+            "stages": {
+                name: {
+                    "wall_s": round(entry["wall_s"], 5),
+                    "cpu_s": round(entry["cpu_s"], 5),
+                    "cpu_wall_ratio": round(entry["cpu_wall_ratio"], 3),
+                    "fraction": round(entry["fraction"], 4),
+                }
+                for name, entry in measured.items()
+            },
+            "stage_ticks": {
+                name: {"count": entry["count"], "ticks": entry["total_s"]}
+                for name, entry in sorted(tick_totals.items())
+            },
+            "workers": {
+                name: {
+                    "units": w["units"],
+                    "busy_s": round(w["busy_s"], 4),
+                    "queue_wait_s": round(w["queue_wait_s"], 4),
+                    "utilization": round(w["utilization"], 3),
+                    "gil_ratio": round(w["gil_ratio"], 3),
+                }
+                for name, w in workers.items()
+            },
+            "caches": {
+                name: {
+                    "hits": entry["hits"],
+                    "misses": entry["misses"],
+                    "miss_cost_s": round(entry["miss_cost_s"], 6),
+                    "saved_s": round(entry["saved_s"], 4),
+                }
+                for name, entry in caches.items()
+            },
+            "memory": {
+                "peak_b": memory["peak_b"],
+                "final_b": memory["final_b"],
+                "rounds": memory["rounds"],
+            },
+            "verdict": verdict,
+        }
+        path = _ensure_parent(args.out)
+        history = {"records": []}
+        if path.exists():
+            try:
+                history = json.loads(path.read_text())
+            except ValueError:
+                _emit(f"FAIL: existing {path} is not valid JSON; not appending")
+                return 1
+            if not isinstance(history, dict):
+                _emit(
+                    f"FAIL: existing {path} is not a records object; "
+                    "not appending"
+                )
+                return 1
+        history.setdefault("records", []).append(record)
+        path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+        _emit(f"appended profile record to {path}")
+    return 0
 
 
 def _cmd_fig3(args) -> int:
@@ -1596,6 +1926,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "restarted) in ROUND in every mode; the digest "
                             "check then proves containment is deterministic")
     bench.set_defaults(func=_cmd_bench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="deterministic campaign profiler: stage/worker attribution "
+             "+ flamegraph export",
+    )
+    profile.add_argument("--nodes", type=int, default=None,
+                         help="fleet size (default 10, or 2 with --smoke)")
+    profile.add_argument("--rounds", type=int, default=None,
+                         help="polling rounds (default 20, or 3 with --smoke)")
+    profile.add_argument("--seed", type=int, default=2019)
+    profile.add_argument("--bitrate", type=float, default=2_000.0)
+    profile.add_argument("--parallel", type=int, default=None,
+                         help="worker width for the parallel attribution "
+                              "pass (default: min(4, cpu count))")
+    profile.add_argument("--repeats", type=int, default=None,
+                         help="traced exchanges per measured stage pass "
+                              "(default 5, or 2 with --smoke)")
+    profile.add_argument("--flame-out", default=None, metavar="BASE",
+                         help="write BASE.collapsed.txt + "
+                              "BASE.speedscope.json flamegraphs "
+                              "(byte-deterministic per seed)")
+    profile.add_argument("--out", default=None,
+                         help="append the profile record to this JSON "
+                              "history (BENCH_perf.json-shaped; keep it a "
+                              "separate file so the bench gate's baseline "
+                              "lookup stays unpolluted)")
+    profile.add_argument("--smoke", action="store_true",
+                         help="small fleet/campaign for CI smoke runs")
+    profile.set_defaults(func=_cmd_profile)
 
     fig3 = sub.add_parser("fig3", help="recto-piezo tuning curves")
     fig3.set_defaults(func=_cmd_fig3)

@@ -49,6 +49,7 @@ from repro.net.mac import MacStats, PollingMac, RetryPolicy
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry
 from repro.obs.postmortem import DecodePostmortem
 from repro.obs.probe import get_probes
+from repro.obs.profiler import get_profiler
 from repro.obs.stream import get_bus
 from repro.obs.trace import get_tracer
 from repro.perf.fleet import FleetEngine, auto_parallel_width
@@ -596,6 +597,18 @@ class ReaderController:
             self.metrics.counter("pab_reader_rounds_total").inc()
         if self.bus.enabled:
             self._publish_round(t, out, skipped, record)
+        profiler = get_profiler()
+        if profiler.enabled:
+            # Merge side, after the parallel replay: sequential and
+            # parallel campaigns mark identical round boundaries, so a
+            # profile's structure (and, under a virtual clock, its
+            # bytes) does not depend on the execution mode.
+            snapshot = profiler.on_round(t)
+            if self.bus.enabled:
+                self.bus.publish(
+                    "profile", t=t, source="profiler", data=snapshot
+                )
+        if self.bus.enabled:
             self.bus.flush()
         self._round += 1
 

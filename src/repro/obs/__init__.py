@@ -27,6 +27,9 @@ The measurement substrate under every performance claim in this repo:
   stream (``repro tail``).
 * :mod:`repro.obs.recorder` — the bounded ring-buffer flight recorder
   dumped next to checkpoints on campaign aborts.
+* :mod:`repro.obs.profiler` — the deterministic campaign profiler:
+  stage/worker/cache/memory attribution plus collapsed-stack and
+  speedscope flamegraph exports (``repro profile``).
 
 See ``docs/OBSERVABILITY.md`` for the instrumentation guide and the
 overhead policy.
@@ -58,6 +61,17 @@ from repro.obs.postmortem import (
     load_postmortems_jsonl,
     postmortems_to_jsonl,
     write_postmortems_jsonl,
+)
+from repro.obs.profiler import (
+    CampaignProfiler,
+    collapsed_stacks,
+    get_profiler,
+    profile_stage_costs,
+    set_profiler,
+    speedscope_document,
+    speedscope_stage_totals,
+    use_profiler,
+    write_flamegraphs,
 )
 from repro.obs.probe import (
     ProbeRegistry,
@@ -125,6 +139,7 @@ __all__ = [
     "NULL_SPAN",
     "OBJECTIVES",
     "SNR_DB_BUCKETS",
+    "CampaignProfiler",
     "Counter",
     "DecodePostmortem",
     "EnergyLedger",
@@ -147,6 +162,7 @@ __all__ = [
     "Tracer",
     "VirtualClock",
     "build_timeline",
+    "collapsed_stacks",
     "dump_failure_artifacts",
     "dump_flight_recorders",
     "event_from_line",
@@ -154,26 +170,33 @@ __all__ = [
     "events_to_metrics",
     "get_bus",
     "get_probes",
+    "get_profiler",
     "get_tracer",
     "load_postmortems_jsonl",
     "metrics_to_csv",
     "metrics_to_prometheus",
     "postmortems_to_jsonl",
+    "profile_stage_costs",
     "render_timeline",
     "rows_to_csv",
     "set_build_info",
     "set_bus",
     "set_probes",
+    "set_profiler",
     "set_tracer",
     "soc_rows",
     "spans_to_jsonl",
+    "speedscope_document",
+    "speedscope_stage_totals",
     "stage_table",
     "timeline_to_csv",
     "timeline_to_jsonl",
     "use_bus",
     "use_probes",
+    "use_profiler",
     "use_tracer",
     "write_csv",
+    "write_flamegraphs",
     "write_postmortems_jsonl",
     "write_spans_jsonl",
     "write_timeline_csv",

@@ -89,10 +89,11 @@ def _escape_help(text) -> str:
 #: a generated line so every family still gets exactly one HELP entry.
 METRIC_HELP = {
     "pab_build_info": "Constant 1; labels carry the code and stream-schema versions.",
+    "pab_cache_capacity": "Configured LRU cache entry bound (maxsize).",
+    "pab_cache_entries": "Current LRU cache entries.",
     "pab_cache_evictions_total": "LRU cache evictions.",
     "pab_cache_hits_total": "LRU cache hits.",
     "pab_cache_misses_total": "LRU cache misses.",
-    "pab_cache_size": "Current LRU cache entries.",
     "pab_events_total": "Structured fault/recovery events recorded, by kind.",
     "pab_faults_injected_total": "Faults fired by injectors, by injector name.",
     "pab_link_transactions_total": "Link transactions attempted, by outcome.",
@@ -106,6 +107,13 @@ METRIC_HELP = {
     "pab_node_energy_margin_volts": "Supercap voltage margin above the brownout threshold.",
     "pab_node_health_code": "Health state code (0=HEALTHY 1=DEGRADED 2=QUARANTINED 3=PROBING).",
     "pab_node_soc_volts": "Supercap state of charge in volts.",
+    "pab_profile_cache_saved_seconds": "Estimated seconds saved per cache (hits x mean miss cost).",
+    "pab_profile_mem_peak_bytes": "Campaign tracemalloc high-water mark.",
+    "pab_profile_stage_seconds": "Profiler per-stage span totals.",
+    "pab_profile_worker_busy_seconds": "Wall-clock each fleet worker spent executing units.",
+    "pab_profile_worker_gil_ratio": "Per-worker CPU-time/wall-time ratio (GIL-contention proxy).",
+    "pab_profile_worker_queue_wait_seconds": "Submit-to-start latency summed per fleet worker.",
+    "pab_profile_worker_utilization": "Fraction of engine wall-clock each worker spent busy.",
     "pab_reader_readings_total": "Decoded sensor readings stored per node.",
     "pab_reader_rounds_total": "Polling rounds completed.",
     "pab_shard_quarantines_total": "Shards quarantined after consecutive worker crashes.",

@@ -61,6 +61,9 @@ kind               source     data payload
 ``postmortem``     obs        one :class:`~repro.obs.postmortem.DecodePostmortem`
 ``checkpoint``     reader     checkpoint file written (path, round)
 ``pool_rebuild``   fleet      the engine replaced a watchdog-tainted pool
+``profile``        profiler   one per-round profiler snapshot (stage deltas,
+                              worker busy/CPU samples, memory high-water) from
+                              :meth:`repro.obs.profiler.CampaignProfiler.on_round`
 =================  =========  ==================================================
 
 Determinism: the reader publishes only from merge-side code paths (the
@@ -88,7 +91,7 @@ SCHEMA_VERSION = 1
 #: consumers must ignore kinds they don't understand).
 EVENT_KINDS = (
     "stream_start", "event", "span", "metrics", "soc", "slo", "round",
-    "postmortem", "checkpoint", "pool_rebuild",
+    "postmortem", "checkpoint", "pool_rebuild", "profile",
 )
 
 
@@ -186,7 +189,14 @@ class TelemetryBus:
             return {"count": 0, "p50_s": 0.0, "p99_s": 0.0, "max_s": 0.0}
 
         def pct(q: float) -> float:
-            return lat[min(len(lat) - 1, int(q * len(lat)))]
+            # Linear interpolation between closest ranks (numpy's
+            # default quantile method): exact at the sample points, and
+            # p99 over small counts no longer degenerates to the max
+            # the way nearest-rank did.
+            pos = q * (len(lat) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(lat) - 1)
+            return lat[lo] + (pos - lo) * (lat[hi] - lat[lo])
 
         return {
             "count": len(lat),
@@ -453,6 +463,7 @@ class StreamAggregator:
         self._rounds: dict = {}    # round number -> round-log record
         self._energy: dict = {}    # (node, round) -> ledger round record
         self._slo: dict = {}       # round number -> slo sample
+        self._profiles: dict = {}  # round number -> profiler snapshot
         self.metrics_values: dict = {}  # "name{labels}" -> latest value
         self.postmortems: list = []
         self.checkpoints: list = []
@@ -507,6 +518,10 @@ class StreamAggregator:
             self.checkpoints.append(data)
         elif kind == "span":
             self.spans.append(data)
+        elif kind == "profile":
+            # Round-keyed, last-write-wins: idempotent across a
+            # crash/resume overlap like every other reduction here.
+            self._profiles[int(data.get("round", event.get("t", 0)))] = data
         return event
 
     def feed_line(self, line: str) -> dict | None:
@@ -573,6 +588,42 @@ class StreamAggregator:
     def rounds_observed(self) -> int:
         return len(self._rounds)
 
+    @property
+    def profiles(self) -> list:
+        """Profiler round snapshots in round order ([] if none streamed)."""
+        return [self._profiles[r] for r in sorted(self._profiles)]
+
+    def hot_stage(self, rnd: int) -> tuple | None:
+        """``(stage, fraction_of_round)`` from a round's profile event.
+
+        The stage with the largest span total in round ``rnd``'s
+        profiler snapshot (ties break to the lexicographically first
+        name, so the answer is deterministic), or ``None`` when the
+        stream carries no stage attribution for that round.
+
+        When the snapshot contains ``link.*`` stages, only those
+        compete (and supply the fraction denominator): the wrapper
+        spans (``reader.poll_round``, ``mac.poll``) enclose every link
+        stage, so the raw maximum would always name the outermost
+        wrapper instead of where the time actually goes.
+        """
+        profile = self._profiles.get(rnd)
+        if not profile:
+            return None
+        stages = profile.get("stages") or {}
+        link_stages = {
+            name: entry for name, entry in stages.items()
+            if name.startswith("link.")
+        }
+        pool = link_stages or stages
+        if not pool:
+            return None
+        top = max(
+            sorted(pool), key=lambda name: pool[name].get("total_s", 0.0)
+        )
+        total = sum(e.get("total_s", 0.0) for e in pool.values()) or 1.0
+        return top, pool[top].get("total_s", 0.0) / total
+
     def delivery_totals(self) -> dict:
         """Cumulative polled/delivered counts over the whole stream."""
         polled = delivered = 0
@@ -610,6 +661,10 @@ class StreamAggregator:
         )
         if churn:
             parts.append(f"churn {churn}")
+        hot = self.hot_stage(rnd)
+        if hot is not None:
+            name, fraction = hot
+            parts.append(f"hot {name.split('.')[-1]} {fraction:.0%}")
         return "  ".join(parts)
 
 

@@ -30,6 +30,7 @@ uncached one — asserted by ``tests/perf/test_cache.py``.
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -111,7 +112,7 @@ class LRUCache:
                 self.hits += 1
                 self._data.move_to_end(key)
                 return self._data[key]
-        value = compute()
+        value = self._timed_compute(compute)
         _freeze(value)
         with self._lock:
             self.misses += 1
@@ -120,6 +121,24 @@ class LRUCache:
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
                 self.evictions += 1
+        return value
+
+    def _timed_compute(self, compute):
+        """Run a miss's ``compute()``, timing it for an enabled profiler.
+
+        The measured miss costs feed
+        :meth:`repro.obs.profiler.CampaignProfiler.cache_report`'s
+        per-cache time-saved estimates (hits x mean miss cost).  Only
+        the miss path pays the profiler lookup; hits never reach here.
+        """
+        from repro.obs.profiler import get_profiler
+
+        profiler = get_profiler()
+        if not profiler.enabled:
+            return compute()
+        start = time.perf_counter()
+        value = compute()
+        profiler.record_cache_miss(self.name, time.perf_counter() - start)
         return value
 
     def clear(self) -> None:
@@ -219,9 +238,12 @@ def caches_to_metrics(registry) -> None:
     """Export cache counters into a metrics registry.
 
     One-shot export (call at report time, like
-    ``EnergyLedger.to_metrics``): counters are incremented by the
-    current totals, and ``pab_cache_entries`` gauges carry the live
-    entry counts.
+    ``EnergyLedger.to_metrics``): hit/miss/eviction counters are
+    incremented by the current totals, ``pab_cache_entries`` gauges
+    carry the live entry counts, and ``pab_cache_capacity`` gauges the
+    configured bound — entries/capacity is the live fill ratio, and a
+    non-zero eviction rate against a full gauge pair is the
+    working-set-too-big signal.
     """
     for name, s in sorted(cache_stats().items()):
         registry.counter("pab_cache_hits_total", cache=name).inc(s.hits)
@@ -230,3 +252,4 @@ def caches_to_metrics(registry) -> None:
             s.evictions
         )
         registry.gauge("pab_cache_entries", cache=name).set(s.entries)
+        registry.gauge("pab_cache_capacity", cache=name).set(s.maxsize)

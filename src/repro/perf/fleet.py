@@ -50,6 +50,34 @@ AUTO_PARALLEL_DEFAULT_CROSSOVER = 24
 AUTO_PARALLEL_MAX_WIDTH = 4
 
 
+def _profiled_unit(key, fn, profiler, submitted_s: float):
+    """Wrap one unit of work with worker attribution.
+
+    Records, from inside the worker thread, the unit's busy wall-clock
+    (``perf_counter``), consumed CPU time (``thread_time`` — the
+    per-worker GIL-contention proxy's numerator), and queue wait
+    (submit-to-start latency).  Only constructed when a profiler is
+    enabled, so the disabled path pays one attribute check per round.
+    """
+    import threading
+
+    def wrapped():
+        start = time.perf_counter()
+        cpu0 = time.thread_time()
+        try:
+            return fn()
+        finally:
+            profiler.record_worker_sample(
+                worker=threading.current_thread().name,
+                key=key,
+                queue_wait_s=start - submitted_s,
+                wall_s=time.perf_counter() - start,
+                cpu_s=time.thread_time() - cpu0,
+            )
+
+    return wrapped
+
+
 class FleetEngine:
     """Run keyed units of work on a thread pool, results in key order.
 
@@ -135,6 +163,10 @@ class FleetEngine:
                     },
                 )
         pool = self._ensure_pool()
+        from repro.obs.profiler import get_profiler
+
+        profiler = get_profiler()
+        round_start = time.perf_counter() if profiler.enabled else 0.0
         txn_deadline = watchdog.transaction_deadline_s if watchdog else None
         round_deadline = watchdog.round_deadline_s if watchdog else None
         round_ends = (
@@ -142,7 +174,11 @@ class FleetEngine:
             if round_deadline is not None
             else None
         )
-        futures = [(key, pool.submit(fn)) for key, fn in items]
+        futures = []
+        for key, fn in items:
+            if profiler.enabled:
+                fn = _profiled_unit(key, fn, profiler, time.perf_counter())
+            futures.append((key, pool.submit(fn)))
         results = []
         first_error = None
         for key, future in futures:
@@ -171,6 +207,11 @@ class FleetEngine:
                     first_error = exc
                 continue
             results.append((key, future.result()))
+        if profiler.enabled:
+            profiler.record_engine_round(
+                wall_s=time.perf_counter() - round_start,
+                width=self.max_workers,
+            )
         if first_error is not None:
             raise first_error
         return results

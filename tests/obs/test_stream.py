@@ -164,7 +164,7 @@ class TestEventSchema:
     def test_documented_kinds(self):
         for kind in ("stream_start", "event", "span", "metrics", "soc",
                      "slo", "round", "postmortem", "checkpoint",
-                     "pool_rebuild"):
+                     "pool_rebuild", "profile"):
             assert kind in EVENT_KINDS
 
     def test_aggregator_rejects_newer_schema(self):
@@ -206,6 +206,33 @@ class TestTelemetryBus:
         stats = bus.flush_stats()
         assert stats["count"] == 10
         assert stats["p50_s"] <= stats["p99_s"] <= stats["max_s"]
+
+    def test_flush_stats_empty(self):
+        stats = TelemetryBus(sinks=[MemorySink()]).flush_stats()
+        assert stats == {"count": 0, "p50_s": 0.0, "p99_s": 0.0, "max_s": 0.0}
+
+    def test_flush_stats_single_sample_is_that_sample(self):
+        bus = TelemetryBus(sinks=[MemorySink()])
+        bus.flush_latencies.append(0.5)
+        stats = bus.flush_stats()
+        assert stats["count"] == 1
+        assert stats["p50_s"] == stats["p99_s"] == stats["max_s"] == 0.5
+
+    def test_flush_stats_two_samples_interpolate(self):
+        # Linear interpolation between closest ranks: the median of
+        # {0, 1} is 0.5 and p99 is 0.99 — neither degenerates to the
+        # max the way nearest-rank did.
+        bus = TelemetryBus(sinks=[MemorySink()])
+        bus.flush_latencies.extend([0.0, 1.0])
+        stats = bus.flush_stats()
+        assert stats["p50_s"] == 0.5
+        assert abs(stats["p99_s"] - 0.99) < 1e-12
+        assert stats["max_s"] == 1.0
+
+    def test_flush_stats_exact_at_sample_points(self):
+        bus = TelemetryBus(sinks=[MemorySink()])
+        bus.flush_latencies.extend([1.0, 2.0, 3.0])
+        assert bus.flush_stats()["p50_s"] == 2.0
 
     def test_recorders_are_duck_typed(self):
         bus = TelemetryBus(sinks=[MemorySink()])
@@ -273,6 +300,59 @@ class TestMetricsSnapshotServer:
             assert urllib.request.urlopen(base + "/healthz", timeout=5).status == 200
             with pytest.raises(urllib.error.HTTPError):
                 urllib.request.urlopen(base + "/nope", timeout=5)
+
+    def test_concurrent_scrapes_during_writes_never_tear(self):
+        # A campaign mutates the registry while Prometheus scrapes it:
+        # every scrape must be a well-formed exposition (one HELP/TYPE
+        # per family, parseable sample lines), never a torn snapshot or
+        # a 500, and /healthz must stay live throughout.
+        import threading
+
+        registry = MetricsRegistry()
+        registry.counter("pab_scrape_test_total", node=0).inc()
+        stop = threading.Event()
+
+        def writer():
+            node = 0
+            while not stop.is_set():
+                node = (node + 1) % 8
+                registry.counter("pab_scrape_test_total", node=node).inc()
+                registry.gauge("pab_scrape_gauge", node=node).set(node * 0.5)
+
+        thread = threading.Thread(target=writer, daemon=True)
+        with MetricsSnapshotServer(registry, port=0) as server:
+            base = f"http://127.0.0.1:{server.port}"
+            thread.start()
+            try:
+                for _ in range(20):
+                    response = urllib.request.urlopen(
+                        base + "/metrics", timeout=5
+                    )
+                    assert response.status == 200
+                    body = response.read().decode()
+                    lines = body.splitlines()
+                    assert lines, "scrape returned an empty body"
+                    families = [
+                        l.split()[2] for l in lines
+                        if l.startswith("# TYPE")
+                    ]
+                    assert len(families) == len(set(families)), (
+                        "torn exposition: duplicate TYPE lines"
+                    )
+                    for line in lines:
+                        if line.startswith("#"):
+                            continue
+                        name_part, _, value = line.rpartition(" ")
+                        assert name_part, f"malformed sample line: {line!r}"
+                        float(value)  # every sample value parses
+                    health = urllib.request.urlopen(
+                        base + "/healthz", timeout=5
+                    )
+                    assert health.status == 200
+            finally:
+                stop.set()
+                thread.join(timeout=5)
+        assert not thread.is_alive()
 
 
 # ---------------------------------------------------------------------------

@@ -113,6 +113,16 @@ class TestRegistry:
         assert registry.value("pab_cache_misses_total", cache="t_export") == 2
         assert registry.value("pab_cache_evictions_total", cache="t_export") == 1
         assert registry.value("pab_cache_entries", cache="t_export") == 1
+        assert registry.value("pab_cache_capacity", cache="t_export") == 1
+
+    def test_capacity_gauge_tracks_maxsize_not_fill(self):
+        cache = LRUCache("t_capacity", maxsize=8)
+        cache.get_or_compute("a", lambda: 1)
+        registry = MetricsRegistry()
+        caches_to_metrics(registry)
+        # entries/capacity is the live fill ratio (1/8 here).
+        assert registry.value("pab_cache_capacity", cache="t_capacity") == 8
+        assert registry.value("pab_cache_entries", cache="t_capacity") == 1
 
 
 def _canonical_result(result):

@@ -316,6 +316,42 @@ class TestStreamingCli:
             capsys.readouterr().out
         )
 
+    def test_profile_smoke_tables_artifacts_and_determinism(
+        self, tmp_path, capsys
+    ):
+        """``repro profile --smoke``: attribution tables, a profile
+        record, and byte-identical flamegraphs across two runs."""
+        flame_a = tmp_path / "a" / "flame"
+        flame_b = tmp_path / "b" / "flame"
+        out = tmp_path / "profile.json"
+        assert main([
+            "profile", "--smoke",
+            "--flame-out", str(flame_a), "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "Per-stage attribution" in text
+        assert "Worker attribution" in text
+        assert "Cache savings" in text
+        assert "hot stage: link." in text
+
+        record = json.loads(out.read_text())["records"][-1]
+        assert record["benchmark"] == "profile"
+        assert record["flame_agreement"] <= 0.01
+        assert record["verdict"]["hot_stage"].startswith("link.")
+        assert set(record["stages"]) == {
+            "link.pwm_synthesis", "link.downlink_propagation", "link.node",
+            "link.uplink_propagation", "link.hydrophone_dsp",
+        }
+
+        assert main([
+            "profile", "--smoke", "--flame-out", str(flame_b),
+        ]) == 0
+        capsys.readouterr()
+        for suffix in (".collapsed.txt", ".speedscope.json"):
+            first = (flame_a.parent / (flame_a.name + suffix)).read_bytes()
+            second = (flame_b.parent / (flame_b.name + suffix)).read_bytes()
+            assert first == second, f"flamegraph {suffix} not deterministic"
+
     def test_kill_resume_spliced_stream_replays_clean_run(self, tmp_path, capsys):
         """ISSUE acceptance: a stream interrupted mid-campaign and
         appended to by ``resume`` replays to the clean run's timeline."""
