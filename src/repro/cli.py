@@ -46,6 +46,7 @@ regardless of log level.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import math
 import pathlib
@@ -308,11 +309,18 @@ def _cmd_energy(args) -> int:
     return 0 if error_pct < 1.0 else 1
 
 
-def _build_chaos_fleet(n_nodes: int, seed: int, log):
+def _build_chaos_fleet(n_nodes: int, seed: int, log, inject_noise=None):
     """Seeded stub transports + injectors + energy harnesses for
     ``fleet-report``: a deterministic miniature of a deployed fleet
     (clean nodes, a noisy patch, brownouts, a flaky transport, and one
-    energy-starved node)."""
+    energy-starved node).
+
+    ``inject_noise`` is an optional ``(node, start, duration)`` extra
+    fault schedule: that node's transport gets an additional seeded
+    noise burst on top of its role injector — the knob the drift gate
+    and the docs' worked example use to produce a divergent campaign
+    with a known stage/taxonomy signature.
+    """
     from repro.faults import (
         BrownoutInjector,
         NoiseBurstInjector,
@@ -361,6 +369,12 @@ def _build_chaos_fleet(n_nodes: int, seed: int, log):
             inner = TransportExceptionInjector(
                 inner, at=(4, 9 + addr), node=addr, log=log, seed=seed + addr
             )
+        if inject_noise is not None and addr == int(inject_noise[0]):
+            inner = NoiseBurstInjector(
+                inner, start=int(inject_noise[1]),
+                duration=int(inject_noise[2]), node=addr, log=log,
+                seed=seed + 7000 + addr,
+            )
         transports[addr] = inner
         # Harvest diversity: most nodes comfortable, the last one
         # energy-starved (equilibrium below the LDO dropout) so the
@@ -385,7 +399,18 @@ def _parse_kill_at(spec: str) -> tuple[int, int]:
         ) from None
 
 
-def _make_chaos_reader(nodes: int, seed: int, window: int):
+def _parse_inject_noise(spec: str) -> tuple[int, int, int]:
+    """``NODE:START:DURATION`` -> ``(node, start_round, duration)``."""
+    try:
+        node_s, start_s, duration_s = spec.split(":")
+        return int(node_s, 0), int(start_s), int(duration_s)
+    except ValueError:
+        raise ValueError(
+            f"bad --inject-noise spec {spec!r}; expected NODE:START:DURATION"
+        ) from None
+
+
+def _make_chaos_reader(nodes: int, seed: int, window: int, inject_noise=None):
     """The seeded campaign stack ``fleet-report`` runs.
 
     Factored out so ``repro resume`` can rebuild the exact same fleet
@@ -393,13 +418,23 @@ def _make_chaos_reader(nodes: int, seed: int, window: int):
     Returns ``(reader, log, metrics, harnesses)``; the fleet is *not*
     configured here (the configure polls' effects live inside a
     checkpoint, so resume must not replay them).
+
+    The reader carries an :class:`~repro.obs.analytics.AnomalyMonitor`
+    (as ``reader.analytics``): every chaos campaign watches its own
+    per-round series and streams ``anomaly`` envelopes.  Detector
+    state checkpoints with the rest of the campaign, so resumed runs
+    flag the identical anomaly sequence.
     """
     from repro.faults import EventLog
     from repro.net import HealthPolicy, ReaderController, RetryPolicy
-    from repro.obs import MetricsRegistry, SLOTracker, set_build_info
+    from repro.obs import (
+        AnomalyMonitor, MetricsRegistry, SLOTracker, set_build_info,
+    )
 
     log = EventLog()
-    transports, harnesses = _build_chaos_fleet(nodes, seed, log)
+    transports, harnesses = _build_chaos_fleet(
+        nodes, seed, log, inject_noise=inject_noise
+    )
     slo = SLOTracker(window=window)
     metrics = MetricsRegistry()
     # Registered here (not per-command) so every execution mode --
@@ -419,6 +454,7 @@ def _make_chaos_reader(nodes: int, seed: int, window: int):
         metrics=metrics,
         ledgers=harnesses,
         slo=slo,
+        analytics=AnomalyMonitor(),
     )
     return reader, log, metrics, harnesses
 
@@ -481,8 +517,19 @@ def _run_fleet_report(args, bus) -> int:
     if args.checkpoint_every and not args.checkpoint_dir:
         _emit("--checkpoint-every requires --checkpoint-dir")
         return 2
+    inject_noise = None
+    if args.inject_noise:
+        try:
+            inject_noise = _parse_inject_noise(args.inject_noise)
+        except ValueError as exc:
+            _emit(str(exc))
+            return 2
+        _emit(
+            f"injecting extra noise burst: node {inject_noise[0]}, "
+            f"rounds {inject_noise[1]}..{inject_noise[1] + inject_noise[2] - 1}"
+        )
     reader, log, metrics, harnesses = _make_chaos_reader(
-        args.nodes, args.seed, args.window
+        args.nodes, args.seed, args.window, inject_noise=inject_noise
     )
     for addr in sorted(reader.nodes):
         reader.set_bitrate(addr, 2_000.0)
@@ -508,6 +555,11 @@ def _run_fleet_report(args, bus) -> int:
         "command": "READ_TEMPERATURE",
         "rounds": args.rounds,
     }
+    if inject_noise is not None:
+        # Only present when used: fault-free campaign metadata (and
+        # the checkpoints carrying it) stays byte-identical to
+        # pre-inject-noise builds.
+        campaign_meta["params"]["inject_noise"] = list(inject_noise)
     if bus is not None:
         from repro import __version__
 
@@ -611,10 +663,25 @@ def _run_fleet_report(args, bus) -> int:
             metrics_to_prometheus(metrics)
         )
         _emit(f"wrote metrics exposition to {args.metrics_out}")
+    if args.report_out:
+        # Canonical rendering (sorted keys) so two identical campaigns
+        # produce byte-identical report files for `repro diff`.
+        _ensure_parent(args.report_out).write_text(
+            json.dumps(report, sort_keys=True, indent=2) + "\n"
+        )
+        _emit(f"wrote fleet report JSON to {args.report_out}")
     if args.digest_out:
         digest = campaign_digest(report, log, metrics)
         _ensure_parent(args.digest_out).write_text(digest + "\n")
         _emit(f"wrote campaign digest to {args.digest_out}")
+    anomalies = reader.analytics.summary() if reader.analytics else {}
+    if anomalies.get("total"):
+        _emit(
+            f"anomalies: {anomalies['total']} "
+            f"(warn {anomalies.get('warn', 0)}, "
+            f"critical {anomalies.get('critical', 0)}) — "
+            "inspect with 'repro tail'"
+        )
     _emit(
         f"campaign: {report['rounds']} rounds, "
         f"delivery {report['network']['delivery_ratio']:.2f}, "
@@ -688,8 +755,10 @@ def _run_resume(args, bus) -> int:
         return 1
     params = campaign["params"]
     rounds = args.rounds if args.rounds is not None else int(campaign["rounds"])
+    inject = params.get("inject_noise")
     reader, log, metrics, _harnesses = _make_chaos_reader(
-        int(params["nodes"]), int(params["seed"]), int(params["window"])
+        int(params["nodes"]), int(params["seed"]), int(params["window"]),
+        inject_noise=tuple(inject) if inject else None,
     )
     try:
         command = Command[campaign.get("command", "READ_TEMPERATURE")]
@@ -730,7 +799,10 @@ def _cmd_tail(args) -> int:
 
     Feeds the stream through :class:`~repro.obs.stream.StreamAggregator`
     and prints one line per completed round (delivery, minimum SoC, SLO
-    burn, health-state churn).  ``--follow`` keeps polling the file for
+    burn, health-state churn).  ``anomaly`` envelopes render as
+    highlighted ``!!`` one-liners under their round; with
+    ``--fail-on-anomaly`` the command exits 4 if any were seen — the
+    scripted-soak contract.  ``--follow`` keeps polling the file for
     new events until none arrive for ``--idle-timeout`` seconds — the
     live view of a campaign running in another process.  The summary
     (and ``--timeline-out``/``--timeline-jsonl``) is rebuilt purely
@@ -749,6 +821,18 @@ def _cmd_tail(args) -> int:
         return 1
     agg = StreamAggregator()
     shown: set = set()
+    shown_anomalies: set = set()
+
+    def show_anomalies(rnd) -> None:
+        for event in agg.anomalies_for_round(rnd):
+            data = event.get("data", {})
+            key = (
+                rnd, data.get("series"), data.get("node"),
+                data.get("detector"),
+            )
+            if key not in shown_anomalies:
+                shown_anomalies.add(key)
+                _table(agg.anomaly_line(event))
 
     def drain() -> int:
         if not path.exists():
@@ -761,6 +845,7 @@ def _cmd_tail(args) -> int:
             if rnd not in shown:
                 shown.add(rnd)
                 _table(agg.round_line(rnd))
+            show_anomalies(rnd)
         return fed
 
     last_total = drain()
@@ -785,7 +870,20 @@ def _cmd_tail(args) -> int:
         summary += ", final burn " + " ".join(
             f"{obj}={value:.3g}" for obj, value in sorted(burn.items())
         )
+    anomaly_counts = agg.anomaly_counts()
+    if anomaly_counts:
+        summary += ", anomalies " + " ".join(
+            f"{severity}={count}"
+            for severity, count in sorted(anomaly_counts.items())
+        )
     _table(summary)
+    if agg.unknown_kinds:
+        _emit(
+            "skipped unknown envelope kinds: " + " ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(agg.unknown_kinds.items())
+            )
+        )
     if args.timeline_out or args.timeline_jsonl:
         rows = agg.timeline_rows()
         if args.timeline_out:
@@ -796,6 +894,53 @@ def _cmd_tail(args) -> int:
                 _ensure_parent(args.timeline_jsonl), rows
             )
             _emit(f"wrote replayed timeline JSONL to {out}")
+    if args.fail_on_anomaly and anomaly_counts:
+        _emit(
+            f"FAIL: {sum(anomaly_counts.values())} anomaly envelope(s) "
+            "in stream (--fail-on-anomaly)"
+        )
+        return 4
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    """Diff two campaign artifacts and attribute any drift.
+
+    Artifacts may be telemetry streams (``--stream-out`` JSONL),
+    fleet-report JSON documents (``--report-out``), or BENCH/profile
+    record files — both sides must be the same kind.  Prints the drift
+    tables and attribution; ``--out`` additionally writes the
+    machine-readable drift report (canonical JSON, byte-identical for
+    identical inputs).  Exit codes: 0 clean (or informational run), 1
+    thresholded drift with ``--gate``, 2 unreadable/mismatched
+    artifacts.
+    """
+    from repro.obs.diff import DiffThresholds, diff_campaigns, drift_to_json, render_drift
+
+    thresholds = DiffThresholds(
+        delivery_ratio=args.delivery_threshold,
+        node_delivery_ratio=args.node_threshold,
+        stage_fraction=args.stage_threshold,
+        taxonomy_count=args.taxonomy_threshold,
+        soc_v=args.soc_threshold,
+        burn_rate=args.burn_threshold,
+        anomaly_count=args.anomaly_threshold,
+    )
+    try:
+        report = diff_campaigns(args.a, args.b, thresholds=thresholds)
+    except (OSError, ValueError) as exc:
+        _emit(f"FAIL: {exc}")
+        return 2
+    _table(render_drift(report))
+    if args.out:
+        _ensure_parent(args.out).write_text(drift_to_json(report))
+        _emit(f"wrote drift report JSON to {args.out}")
+    if args.gate and report["gate"]["drifted"]:
+        _emit(
+            f"FAIL: drift gate tripped "
+            f"({len(report['gate']['failures'])} threshold violation(s))"
+        )
+        return 1
     return 0
 
 
@@ -992,8 +1137,6 @@ def _load_bench_baseline(path, smoke: bool):
     clear line instead of a traceback for every way the baseline file
     can be missing or wrong.
     """
-    import json
-
     path = pathlib.Path(path)
     if not path.exists():
         return None, f"baseline {path} not found"
@@ -1020,8 +1163,6 @@ def _load_bench_baseline(path, smoke: bool):
 
 def _cmd_bench(args) -> int:
     """Sequential vs cached vs parallel campaign benchmark + perf gate."""
-    import json
-
     from repro.core.experiment import ExperimentTable
     from repro.perf import cache_stats, caching_disabled, clear_all_caches
 
@@ -1237,7 +1378,6 @@ def _cmd_profile(args) -> int:
     4. the same campaign on the thread pool — per-worker busy/idle,
        queue wait, and the CPU/wall GIL-contention proxy.
     """
-    import json
     import os
 
     from repro.core.experiment import ExperimentTable
@@ -1833,6 +1973,17 @@ def build_parser() -> argparse.ArgumentParser:
              "ROUND; exits 3, leaving checkpoints for 'repro resume'",
     )
     fleet.add_argument(
+        "--inject-noise", default=None, metavar="NODE:START:DURATION",
+        help="add an extra seeded noise burst on NODE for DURATION "
+             "rounds starting at START (drift-gate self-test fault "
+             "schedule)",
+    )
+    fleet.add_argument(
+        "--report-out", default=None, metavar="FILE.json",
+        help="write the fleet report as canonical JSON (diffable with "
+             "'repro diff')",
+    )
+    fleet.add_argument(
         "--digest-out", default=None,
         help="write the campaign digest (report+events+metrics sha256) here",
     )
@@ -1893,7 +2044,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline-jsonl", default=None,
         help="write the replayed campaign timeline here as JSONL",
     )
+    tail.add_argument(
+        "--fail-on-anomaly", action="store_true",
+        help="exit 4 if the stream carries any anomaly envelopes "
+             "(for scripted soak gates)",
+    )
     tail.set_defaults(func=_cmd_tail)
+
+    diff = sub.add_parser(
+        "diff",
+        help="diff two campaign artifacts and attribute drift "
+             "(stage/node/taxonomy/energy)",
+    )
+    diff.add_argument("a", help="baseline artifact (stream JSONL, "
+                                "fleet report JSON, or BENCH/profile file)")
+    diff.add_argument("b", help="candidate artifact (same kind as A)")
+    diff.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 if any thresholded drift is detected",
+    )
+    diff.add_argument(
+        "--out", default=None, metavar="FILE.json",
+        help="write the machine-readable drift report here",
+    )
+    diff.add_argument("--delivery-threshold", type=float, default=0.02,
+                      help="fleet delivery-ratio drift tolerance")
+    diff.add_argument("--node-threshold", type=float, default=0.10,
+                      help="per-node delivery-ratio drift tolerance")
+    diff.add_argument("--stage-threshold", type=float, default=0.10,
+                      help="profiler stage-fraction drift tolerance")
+    diff.add_argument("--taxonomy-threshold", type=int, default=5,
+                      help="fault/post-mortem count drift tolerance")
+    diff.add_argument("--soc-threshold", type=float, default=0.15,
+                      help="per-node final-SoC drift tolerance (volts)")
+    diff.add_argument("--burn-threshold", type=float, default=1.0,
+                      help="SLO burn-rate drift tolerance")
+    diff.add_argument("--anomaly-threshold", type=int, default=5,
+                      help="anomaly-count drift tolerance")
+    diff.set_defaults(func=_cmd_diff)
 
     bench = sub.add_parser(
         "bench",

@@ -49,6 +49,7 @@ from repro.net.mac import MacStats, PollingMac, RetryPolicy
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry
 from repro.obs.postmortem import DecodePostmortem
 from repro.obs.probe import get_probes
+from repro.obs.analytics import publish_anomalies
 from repro.obs.profiler import get_profiler
 from repro.obs.stream import get_bus
 from repro.obs.trace import get_tracer
@@ -213,6 +214,7 @@ class ReaderController:
         supervisor: SupervisorPolicy | None = None,
         watchdog: WatchdogPolicy | None = None,
         bus=None,
+        analytics=None,
     ) -> None:
         if not transports:
             raise ValueError("need at least one node transport")
@@ -231,6 +233,12 @@ class ReaderController:
         if self.bus.enabled and getattr(self.log, "bus", None) is None:
             self.log.bus = self.bus
         self._stream_metrics_state: dict = {}   # not checkpointed: see _publish_metrics
+        #: Optional :class:`repro.obs.analytics.AnomalyMonitor`.  Fed
+        #: once per round on the merge side (like the stream publish
+        #: calls), so the anomaly sequence is identical across
+        #: sequential, parallel, and resumed executions.  Costs one
+        #: ``is None`` check per round when absent.
+        self.analytics = analytics
         self._checkpoint_dir = None
         #: Path of the last flight-recorder dump (set on CampaignAbort
         #: or a watchdog kill when the bus carries a recorder sink).
@@ -598,15 +606,36 @@ class ReaderController:
         if self.bus.enabled:
             self._publish_round(t, out, skipped, record)
         profiler = get_profiler()
+        profile_snapshot = None
         if profiler.enabled:
             # Merge side, after the parallel replay: sequential and
             # parallel campaigns mark identical round boundaries, so a
             # profile's structure (and, under a virtual clock, its
             # bytes) does not depend on the execution mode.
-            snapshot = profiler.on_round(t)
+            profile_snapshot = profiler.on_round(t)
             if self.bus.enabled:
                 self.bus.publish(
-                    "profile", t=t, source="profiler", data=snapshot
+                    "profile", t=t, source="profiler", data=profile_snapshot
+                )
+        if self.analytics is not None and self.analytics.enabled:
+            if record is None:
+                # Rounds without ledgers/SLO still feed delivery series.
+                record = {
+                    "t": t,
+                    "outcomes": {
+                        addr: {
+                            "polled": addr not in skipped,
+                            "delivered": out.get(addr) is not None,
+                        }
+                        for addr in sorted(self._macs)
+                    },
+                }
+            detections = self.analytics.observe_campaign_round(
+                t, record, registry=self.metrics, profile=profile_snapshot
+            )
+            if detections:
+                publish_anomalies(
+                    detections, t=t, bus=self.bus, metrics=self.metrics
                 )
         if self.bus.enabled:
             self.bus.flush()
@@ -841,6 +870,8 @@ class ReaderController:
             }
         if self.slo is not None:
             state["slo"] = self.slo.snapshot_state()
+        if self.analytics is not None:
+            state["analytics"] = self.analytics.snapshot_state()
         return state
 
     def restore(self, state: dict) -> None:
@@ -896,6 +927,8 @@ class ReaderController:
             harness.restore_state(state["ledgers"][str(addr)])
         if self.slo is not None and "slo" in state:
             self.slo.restore_state(state["slo"])
+        if self.analytics is not None and "analytics" in state:
+            self.analytics.restore_state(state["analytics"])
 
     # -- crash containment -------------------------------------------------------------
 

@@ -31,10 +31,30 @@ The measurement substrate under every performance claim in this repo:
   stage/worker/cache/memory attribution plus collapsed-stack and
   speedscope flamegraph exports (``repro profile``).
 
+* :mod:`repro.obs.analytics` — deterministic online anomaly detectors
+  (EWMA z-score, CUSUM) the reader feeds per round; detections become
+  schema-1 ``anomaly`` envelopes and ``pab_anomaly_*`` metrics.
+* :mod:`repro.obs.diff` — the campaign diff engine: aligns two
+  campaign artifacts and attributes drift to stage, node,
+  failure-taxonomy class, and energy bucket (``repro diff``).
+
 See ``docs/OBSERVABILITY.md`` for the instrumentation guide and the
 overhead policy.
 """
 
+from repro.obs.analytics import (
+    AnomalyMonitor,
+    CusumDetector,
+    EwmaDetector,
+    publish_anomalies,
+)
+from repro.obs.diff import (
+    DiffThresholds,
+    diff_campaigns,
+    drift_to_json,
+    load_artifact,
+    render_drift,
+)
 from repro.obs.export import (
     events_to_metrics,
     metrics_to_csv,
@@ -139,10 +159,14 @@ __all__ = [
     "NULL_SPAN",
     "OBJECTIVES",
     "SNR_DB_BUCKETS",
+    "AnomalyMonitor",
     "CampaignProfiler",
     "Counter",
+    "CusumDetector",
     "DecodePostmortem",
+    "DiffThresholds",
     "EnergyLedger",
+    "EwmaDetector",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -163,6 +187,8 @@ __all__ = [
     "VirtualClock",
     "build_timeline",
     "collapsed_stacks",
+    "diff_campaigns",
+    "drift_to_json",
     "dump_failure_artifacts",
     "dump_flight_recorders",
     "event_from_line",
@@ -172,11 +198,14 @@ __all__ = [
     "get_probes",
     "get_profiler",
     "get_tracer",
+    "load_artifact",
     "load_postmortems_jsonl",
     "metrics_to_csv",
     "metrics_to_prometheus",
     "postmortems_to_jsonl",
     "profile_stage_costs",
+    "publish_anomalies",
+    "render_drift",
     "render_timeline",
     "rows_to_csv",
     "set_build_info",

@@ -88,6 +88,8 @@ def _escape_help(text) -> str:
 #: ``# HELP`` text per metric family.  Families not listed fall back to
 #: a generated line so every family still gets exactly one HELP entry.
 METRIC_HELP = {
+    "pab_anomaly_events_total": "Online-detector anomaly detections, by series, detector, and severity.",
+    "pab_anomaly_score": "Last anomaly z/CUSUM score per series and node.",
     "pab_build_info": "Constant 1; labels carry the code and stream-schema versions.",
     "pab_cache_capacity": "Configured LRU cache entry bound (maxsize).",
     "pab_cache_entries": "Current LRU cache entries.",
@@ -96,10 +98,18 @@ METRIC_HELP = {
     "pab_cache_misses_total": "LRU cache misses.",
     "pab_events_total": "Structured fault/recovery events recorded, by kind.",
     "pab_faults_injected_total": "Faults fired by injectors, by injector name.",
+    "pab_link_ber": "Measured uplink bit error rate per decoded transaction.",
+    "pab_link_crc_failures_total": "Uplink frames whose CRC check failed.",
+    "pab_link_powerups_total": "Node power-up events observed by the link.",
+    "pab_link_query_decodes_total": "Downlink queries the node decoded.",
+    "pab_link_snr_db": "Measured uplink SNR in dB per transaction.",
+    "pab_link_successes_total": "Link transactions that decoded end to end.",
     "pab_link_transactions_total": "Link transactions attempted, by outcome.",
     "pab_mac_attempts_total": "MAC transmission attempts.",
-    "pab_mac_backoff_seconds_total": "Seconds spent in retry backoff.",
+    "pab_mac_backoff_seconds": "Retry backoff delay per scheduled retry.",
     "pab_mac_exceptions_total": "Transport exceptions contained by the MAC.",
+    "pab_mac_give_ups_total": "Polls abandoned after exhausting retries.",
+    "pab_mac_polls_total": "Poll transactions issued by the MAC.",
     "pab_mac_retries_total": "MAC retransmissions scheduled.",
     "pab_mac_successes_total": "MAC exchanges that decoded successfully.",
     "pab_node_brownouts_total": "Supercap brownout events per node.",
@@ -117,10 +127,11 @@ METRIC_HELP = {
     "pab_reader_readings_total": "Decoded sensor readings stored per node.",
     "pab_reader_rounds_total": "Polling rounds completed.",
     "pab_shard_quarantines_total": "Shards quarantined after consecutive worker crashes.",
-    "pab_slo_budget_remaining": "SLO error budget remaining (1=untouched, <0=violated).",
     "pab_slo_burn_rate": "Rolling SLO budget burn multiplier.",
     "pab_slo_compliance": "Fraction of units meeting the objective.",
+    "pab_slo_error_budget_remaining": "SLO error budget remaining (1=untouched, <0=violated).",
     "pab_span_seconds": "Span durations by stage name.",
+    "pab_stream_unknown_kinds_total": "Stream envelopes skipped because their kind is unknown to this consumer.",
     "pab_watchdog_timeouts_total": "Workers abandoned at their watchdog deadline.",
     "pab_worker_crashes_total": "Worker crashes past the restart budget.",
     "pab_worker_restarts_total": "Supervised worker restarts.",

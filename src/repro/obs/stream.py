@@ -64,6 +64,9 @@ kind               source     data payload
 ``profile``        profiler   one per-round profiler snapshot (stage deltas,
                               worker busy/CPU samples, memory high-water) from
                               :meth:`repro.obs.profiler.CampaignProfiler.on_round`
+``anomaly``        analytics  one online-detector hit (series, node, stage,
+                              detector, severity, score) from
+                              :class:`repro.obs.analytics.AnomalyMonitor`
 =================  =========  ==================================================
 
 Determinism: the reader publishes only from merge-side code paths (the
@@ -91,7 +94,7 @@ SCHEMA_VERSION = 1
 #: consumers must ignore kinds they don't understand).
 EVENT_KINDS = (
     "stream_start", "event", "span", "metrics", "soc", "slo", "round",
-    "postmortem", "checkpoint", "pool_rebuild", "profile",
+    "postmortem", "checkpoint", "pool_rebuild", "profile", "anomaly",
 )
 
 
@@ -456,7 +459,7 @@ class StreamAggregator:
     so the reduced state is unchanged — no special-casing needed.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, metrics=None) -> None:
         self.segments = 0          # stream_start events seen
         self.schema: int | None = None
         self._events: dict = {}    # log seq -> Event
@@ -464,10 +467,20 @@ class StreamAggregator:
         self._energy: dict = {}    # (node, round) -> ledger round record
         self._slo: dict = {}       # round number -> slo sample
         self._profiles: dict = {}  # round number -> profiler snapshot
+        self._anomalies: dict = {} # (round, series, node, detector) -> envelope
         self.metrics_values: dict = {}  # "name{labels}" -> latest value
         self.postmortems: list = []
         self.checkpoints: list = []
         self.spans: list = []
+        #: Envelope kinds this consumer does not understand, counted
+        #: per kind.  Unknown kinds are skipped, never fatal: a schema-1
+        #: producer is allowed to add kinds (as ``anomaly`` was added
+        #: after ``profile``), and an older consumer must degrade to
+        #: ignoring them.  Mirrored into
+        #: ``pab_stream_unknown_kinds_total{kind=...}`` when the
+        #: aggregator was built with a metrics registry.
+        self.unknown_kinds: dict = {}
+        self.metrics = metrics
 
     # -- ingestion --------------------------------------------------------------------
 
@@ -522,6 +535,30 @@ class StreamAggregator:
             # Round-keyed, last-write-wins: idempotent across a
             # crash/resume overlap like every other reduction here.
             self._profiles[int(data.get("round", event.get("t", 0)))] = data
+        elif kind == "anomaly":
+            # Keyed on the detection's identity rather than the
+            # envelope seq: a resumed stream re-emits the overlap's
+            # detections under fresh seq numbers, and last-write-wins
+            # on (round, series, node, detector) keeps the reduction
+            # idempotent like every other kind here.
+            key = (
+                int(data.get("round", event.get("t", -1))),
+                str(data.get("series", "")),
+                int(data.get("node", event.get("node", -1))),
+                str(data.get("detector", "")),
+            )
+            self._anomalies[key] = event
+        elif kind in EVENT_KINDS:
+            pass    # known kind with no reduced state (pool_rebuild)
+        elif kind is not None:
+            # Forward compatibility: skip-and-count kinds from newer
+            # producers instead of treating schema-1's kind set as
+            # closed.
+            self.unknown_kinds[kind] = self.unknown_kinds.get(kind, 0) + 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "pab_stream_unknown_kinds_total", kind=kind
+                ).inc()
         return event
 
     def feed_line(self, line: str) -> dict | None:
@@ -666,6 +703,50 @@ class StreamAggregator:
             name, fraction = hot
             parts.append(f"hot {name.split('.')[-1]} {fraction:.0%}")
         return "  ".join(parts)
+
+    @property
+    def anomalies(self) -> list:
+        """Anomaly envelopes ordered (round, series, node, detector)."""
+        return [self._anomalies[k] for k in sorted(self._anomalies)]
+
+    def anomalies_for_round(self, rnd: int) -> list:
+        """The round's anomaly envelopes, same ordering as above."""
+        return [
+            self._anomalies[k]
+            for k in sorted(self._anomalies)
+            if k[0] == int(rnd)
+        ]
+
+    def anomaly_counts(self) -> dict:
+        """``{severity: count}`` over every reduced anomaly."""
+        out: dict = {}
+        for event in self._anomalies.values():
+            sev = event.get("data", {}).get("severity", "warn")
+            out[sev] = out.get(sev, 0) + 1
+        return out
+
+    @staticmethod
+    def anomaly_line(event: dict) -> str:
+        """One-line highlighted rendering of an anomaly envelope.
+
+        The ``!!`` prefix is the highlight — it greps cleanly and
+        survives pipes where ANSI color would not.
+        """
+        data = event.get("data", {})
+        node = int(data.get("node", event.get("node", -1)))
+        where = f"node {node}" if node >= 0 else "fleet"
+        stage = data.get("stage", "")
+        series = data.get("series", "?")
+        return (
+            f"!! {data.get('severity', 'warn'):<8s} "
+            f"round {int(data.get('round', event.get('t', -1))):>4d}  "
+            f"{where}  {series}"
+            + (f" [{stage}]" if stage else "")
+            + f"  {data.get('detector', '?')}"
+            f" score={_fmt_burn(data.get('score'))}"
+            f" value={_fmt_burn(data.get('value'))}"
+            f" expected={_fmt_burn(data.get('expected'))}"
+        )
 
 
 def _fmt_burn(value) -> str:

@@ -1,0 +1,320 @@
+"""Campaign diff engine: loading, alignment, attribution, gating.
+
+Two real streamed campaigns back the stream-kind tests: a clean seeded
+run and the same fleet with a noise burst injected on node 2.  The
+drift between them must be attributed to the right node and the right
+failure-taxonomy class (and therefore the right stage), and the gate
+must trip on the faulted pair while staying clean on the identical
+pair — the exact contract the CI drift job relies on.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import EventLog, NoiseBurstInjector
+from repro.net import Command, HealthPolicy, ReaderController, Response, RetryPolicy
+from repro.obs import MetricsRegistry, SLOTracker
+from repro.obs.analytics import AnomalyMonitor
+from repro.obs.diff import (
+    ENERGY_BUCKETS,
+    DiffThresholds,
+    _delta_map,
+    _energy_bucket,
+    diff_campaigns,
+    drift_to_json,
+    load_artifact,
+    render_drift,
+)
+from repro.obs.ledger import NodeEnergyHarness
+from repro.obs.stream import JsonlStreamSink, TelemetryBus, use_bus
+
+
+class _StubResult:
+    def __init__(self, packet):
+        self.success = True
+        self.demod = type("Demod", (), {})()
+        self.demod.packet = packet
+        self.demod.success = True
+
+
+def _stub(address):
+    def transact(query):
+        response = Response(source=address, command=query.command)
+        return _StubResult(response.to_packet())
+
+    return transact
+
+
+def _run_campaign(path, *, fault=False, rounds=20, seed=7, nodes=3):
+    log = EventLog()
+    transports, harnesses = {}, {}
+    for addr in range(1, nodes + 1):
+        inner = _stub(addr)
+        if fault and addr == 2:
+            inner = NoiseBurstInjector(
+                inner, start=12, duration=6, node=addr, log=log,
+                seed=seed + addr,
+            )
+        transports[addr] = inner
+        harnesses[addr] = NodeEnergyHarness(
+            addr, v_oc_v=3.4 + 0.15 * addr, r_out_ohm=4.0e3,
+            initial_voltage_v=3.0,
+        )
+    bus = TelemetryBus(sinks=[JsonlStreamSink(path)])
+    with use_bus(bus):
+        reader = ReaderController(
+            transports,
+            retry_policy=RetryPolicy(
+                max_retries=1, base_backoff_s=0.1, jitter=0.25, seed=seed
+            ),
+            health_policy=HealthPolicy(
+                degrade_after=2, quarantine_after=4, recover_after=2,
+                probe_backoff_rounds=2,
+            ),
+            log=log,
+            metrics=MetricsRegistry(),
+            ledgers=harnesses,
+            slo=SLOTracker(window=10),
+            analytics=AnomalyMonitor(),
+        )
+        reader.run_campaign(Command.PING, rounds)
+    bus.close()
+    return path
+
+
+@pytest.fixture(scope="module")
+def clean_stream(tmp_path_factory):
+    return _run_campaign(tmp_path_factory.mktemp("diff") / "clean.jsonl")
+
+
+@pytest.fixture(scope="module")
+def clean_stream_again(tmp_path_factory):
+    return _run_campaign(tmp_path_factory.mktemp("diff") / "clean2.jsonl")
+
+
+@pytest.fixture(scope="module")
+def faulted_stream(tmp_path_factory):
+    return _run_campaign(
+        tmp_path_factory.mktemp("diff") / "faulted.jsonl", fault=True
+    )
+
+
+# ---------------------------------------------------------------------------
+# Artifact loading
+# ---------------------------------------------------------------------------
+
+
+class TestLoadArtifact:
+    def test_stream_summary_shape(self, clean_stream):
+        summary = load_artifact(clean_stream)
+        assert summary["kind"] == "stream"
+        assert summary["rounds"] == 20
+        assert summary["delivery_ratio"] == 1.0
+        assert set(summary["per_node_delivery"]) == {"1", "2", "3"}
+        assert len(summary["round_delivery"]) == 20
+        assert summary["soc_final"]  # harnesses streamed SoC
+
+    def test_faulted_stream_counts_taxonomy(self, faulted_stream):
+        summary = load_artifact(faulted_stream)
+        assert summary["faults"].get("noise_burst", 0) > 0
+        assert "2" in summary["fault_nodes"]["noise_burst"]
+        assert summary["delivery_ratio"] < 1.0
+
+    def test_bench_document(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({
+            "records": [{
+                "rounds": 5, "delivery_ratio": 0.9,
+                "stages": {"mac": {"fraction": 0.6}, "dsp": {"fraction": 0.4}},
+            }],
+        }))
+        summary = load_artifact(path)
+        assert summary["kind"] == "bench"
+        assert summary["stage_fractions"] == {"mac": 0.6, "dsp": 0.4}
+
+    def test_report_document(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps({
+            "rounds": 10,
+            "network": {"delivery_ratio": 0.9},
+            "nodes": {"1": {"delivery_ratio": 0.8}},
+            "slo": {"delivery": {"burn_rate": 1.5}},
+        }))
+        summary = load_artifact(path)
+        assert summary["kind"] == "report"
+        assert summary["per_node_delivery"] == {"1": 0.8}
+        assert summary["burn"] == {"delivery": 1.5}
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty artifact"):
+            load_artifact(path)
+
+    def test_garbage_raises(self, tmp_path):
+        path = tmp_path / "garbage.txt"
+        path.write_text("this is not telemetry\n")
+        with pytest.raises(ValueError, match="not a campaign artifact"):
+            load_artifact(path)
+
+    def test_bench_without_records_raises(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text('{"records": []}')
+        with pytest.raises(ValueError, match="no records"):
+            load_artifact(path)
+
+
+# ---------------------------------------------------------------------------
+# Diffing and attribution
+# ---------------------------------------------------------------------------
+
+
+class TestDiffCampaigns:
+    def test_identical_campaigns_gate_clean(self, clean_stream, clean_stream_again):
+        report = diff_campaigns(clean_stream, clean_stream_again)
+        assert report["gate"]["drifted"] is False
+        assert report["gate"]["failures"] == []
+        assert report["rounds_diverged"]["count"] == 0
+        assert report["deltas"]["delivery_ratio"]["delta"] == 0.0
+
+    def test_fault_injection_trips_gate(self, clean_stream, faulted_stream):
+        report = diff_campaigns(clean_stream, faulted_stream)
+        assert report["gate"]["drifted"] is True
+        assert any("delivery" in f for f in report["gate"]["failures"])
+        assert report["rounds_diverged"]["first"] >= 12
+
+    def test_attribution_names_taxonomy_node_and_stage(
+        self, clean_stream, faulted_stream
+    ):
+        report = diff_campaigns(clean_stream, faulted_stream)
+        attribution = report["attribution"]
+        kinds = {entry["kind"]: entry for entry in attribution}
+        assert kinds["taxonomy"]["target"] == "noise_burst"
+        assert kinds["taxonomy"]["stage"] == "link.hydrophone_dsp"
+        assert kinds["node"]["target"] == "node 2"
+        assert kinds["node"]["taxonomy"] == "noise_burst"
+        assert kinds["node"]["stage"] == "link.hydrophone_dsp"
+
+    def test_diff_is_symmetric_in_magnitude(self, clean_stream, faulted_stream):
+        forward = diff_campaigns(clean_stream, faulted_stream)
+        backward = diff_campaigns(faulted_stream, clean_stream)
+        assert (
+            forward["deltas"]["delivery_ratio"]["delta"]
+            == -backward["deltas"]["delivery_ratio"]["delta"]
+        )
+
+    def test_loose_thresholds_pass_the_faulted_pair(
+        self, clean_stream, faulted_stream
+    ):
+        report = diff_campaigns(
+            clean_stream, faulted_stream,
+            thresholds=DiffThresholds(
+                delivery_ratio=1.0, node_delivery_ratio=1.0,
+                stage_fraction=1.0, taxonomy_count=10_000,
+                soc_v=10.0, burn_rate=1e9, anomaly_count=10_000,
+            ),
+        )
+        assert report["gate"]["drifted"] is False
+
+    def test_cross_kind_raises(self, clean_stream, tmp_path):
+        bench = tmp_path / "BENCH.json"
+        bench.write_text(json.dumps({
+            "records": [{"rounds": 5, "stages": {"mac": {"fraction": 1.0}}}],
+        }))
+        with pytest.raises(ValueError, match="cannot diff"):
+            diff_campaigns(clean_stream, bench)
+
+    def test_bench_diff_attributes_stage(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"records": [{
+            "rounds": 5, "stages": {
+                "link.node": {"fraction": 0.5},
+                "link.hydrophone_dsp": {"fraction": 0.5},
+            },
+        }]}))
+        b.write_text(json.dumps({"records": [{
+            "rounds": 5, "stages": {
+                "link.node": {"fraction": 0.2},
+                "link.hydrophone_dsp": {"fraction": 0.8},
+            },
+        }]}))
+        report = diff_campaigns(a, b)
+        assert report["kind"] == "bench"
+        assert report["gate"]["drifted"] is True
+        stage_entries = [
+            e for e in report["attribution"] if e["kind"] == "stage"
+        ]
+        assert stage_entries[0]["target"] in (
+            "link.node", "link.hydrophone_dsp"
+        )
+
+    def test_report_diff_round_count_mismatch_gates(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"rounds": 10, "network": {"delivery_ratio": 0.9}}))
+        b.write_text(json.dumps({"rounds": 12, "network": {"delivery_ratio": 0.9}}))
+        report = diff_campaigns(a, b)
+        assert any("round count" in f for f in report["gate"]["failures"])
+
+
+class TestDeterminism:
+    def test_drift_json_byte_identical_across_runs(
+        self, clean_stream, faulted_stream
+    ):
+        first = drift_to_json(diff_campaigns(clean_stream, faulted_stream))
+        second = drift_to_json(diff_campaigns(clean_stream, faulted_stream))
+        assert first == second
+        assert first.endswith("\n")
+        json.loads(first)  # canonical rendering stays parseable
+
+    def test_rerun_campaign_diffs_clean_and_identically(
+        self, clean_stream, clean_stream_again
+    ):
+        # The golden-baseline property: re-running the seeded campaign
+        # produces an artifact whose diff against the original is clean.
+        report = diff_campaigns(clean_stream, clean_stream_again)
+        assert report["gate"]["drifted"] is False
+
+
+class TestRenderDrift:
+    def test_render_names_attribution_and_gate(
+        self, clean_stream, faulted_stream
+    ):
+        text = render_drift(diff_campaigns(clean_stream, faulted_stream))
+        assert "campaign diff (stream)" in text
+        assert "-- attribution (most suspect first) --" in text
+        assert "noise_burst" in text
+        assert "link.hydrophone_dsp" in text
+        assert "-- gate: DRIFTED --" in text
+        assert "FAIL" in text
+
+    def test_render_clean(self, clean_stream, clean_stream_again):
+        text = render_drift(diff_campaigns(clean_stream, clean_stream_again))
+        assert "gate: clean" in text
+        assert "FAIL" not in text
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+class TestHelpers:
+    def test_delta_map_keeps_missing_distinct_from_zero(self):
+        out = _delta_map({"x": 1.0}, {"y": 2.0})
+        assert out["x"] == {"a": 1.0, "b": None, "delta": -1.0}
+        assert out["y"] == {"a": None, "b": 2.0, "delta": 2.0}
+
+    def test_delta_map_skips_double_nan(self):
+        out = _delta_map({"x": float("nan")}, {"x": float("nan")})
+        assert out == {}
+
+    def test_energy_bucket_thresholds(self):
+        thresholds = DiffThresholds()
+        assert _energy_bucket(3.0, thresholds) == "charged"
+        assert _energy_bucket(2.5, thresholds) == "charged"
+        assert _energy_bucket(2.3, thresholds) == "marginal"
+        assert _energy_bucket(2.0, thresholds) == "browned_out"
+        assert set(ENERGY_BUCKETS) == {"charged", "marginal", "browned_out"}

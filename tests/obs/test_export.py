@@ -1,6 +1,8 @@
 """Tests for the exporters: JSONL traces, Prometheus text, CSV, adapters."""
 
+import ast
 import json
+import pathlib
 
 from repro.faults.events import EventLog
 from repro.obs.export import (
@@ -161,6 +163,64 @@ class TestHelpLines:
         assert len(help_lines) == len(METRIC_HELP)
         for line in help_lines:
             assert "\n" not in line
+
+
+#: Call names that register a metric family.  ``counter``/``gauge``/
+#: ``histogram`` are the registry API; ``_count`` (MAC) and
+#: ``_push_counter`` (energy ledger) are producer-side wrappers that
+#: pass a literal family name through.
+_REGISTRATION_CALLS = {"counter", "gauge", "histogram", "_count", "_push_counter"}
+
+
+def _registered_families() -> set:
+    """Every ``pab_*`` family registered anywhere under ``src/repro``.
+
+    Walks the AST of every module and collects string-literal positional
+    arguments of registration calls.  Scanning positional args (not just
+    the first) catches wrappers like ``_push_counter(registry, name, v)``;
+    walking the AST (not the text) skips docstring examples.
+    """
+    src_root = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+    names = set()
+    for path in sorted(src_root.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            func = node.func
+            call_name = (
+                func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name)
+                else None
+            )
+            if call_name not in _REGISTRATION_CALLS:
+                continue
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("pab_")
+                ):
+                    names.add(arg.value)
+    return names
+
+
+class TestHelpCoverage:
+    def test_every_registered_family_has_curated_help(self):
+        registered = _registered_families()
+        assert registered, "AST scan found no registration sites"
+        missing = registered - set(METRIC_HELP)
+        assert not missing, (
+            f"pab_* families registered without a METRIC_HELP entry: "
+            f"{sorted(missing)}"
+        )
+
+    def test_no_stale_help_entries(self):
+        # Every curated entry must correspond to a family some module
+        # actually registers — stale entries hide renames (the scrape
+        # would fall back to generated help for the new name).
+        stale = set(METRIC_HELP) - _registered_families()
+        assert not stale, f"METRIC_HELP entries with no registration site: {sorted(stale)}"
 
 
 class TestCsv:

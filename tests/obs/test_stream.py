@@ -164,7 +164,7 @@ class TestEventSchema:
     def test_documented_kinds(self):
         for kind in ("stream_start", "event", "span", "metrics", "soc",
                      "slo", "round", "postmortem", "checkpoint",
-                     "pool_rebuild", "profile"):
+                     "pool_rebuild", "profile", "anomaly"):
             assert kind in EVENT_KINDS
 
     def test_aggregator_rejects_newer_schema(self):
@@ -475,6 +475,90 @@ class TestCampaignStream:
         )
         assert spliced.event_log().to_jsonl() == reference.event_log().to_jsonl()
         assert spliced.delivery_totals() == reference.delivery_totals()
+
+
+def _envelope(kind, *, seq=0, t=0.0, node=-1, source="test", data=None):
+    return {
+        "schema": SCHEMA_VERSION, "seq": seq, "t": t, "node": node,
+        "kind": kind, "source": source, "data": data or {},
+    }
+
+
+class TestUnknownKinds:
+    """Forward compatibility: newer producers may add envelope kinds."""
+
+    def test_unknown_kind_skipped_and_counted(self):
+        agg = StreamAggregator()
+        agg.feed(_envelope("hologram", data={"x": 1}))
+        agg.feed(_envelope("hologram", seq=1))
+        agg.feed(_envelope("round", seq=2, data={"t": 0.0, "outcomes": {}}))
+        assert agg.unknown_kinds == {"hologram": 2}
+        assert agg.rounds_observed() == 1  # known kinds still reduce
+
+    def test_unknown_kind_counter_metric(self):
+        registry = MetricsRegistry()
+        agg = StreamAggregator(metrics=registry)
+        agg.feed(_envelope("hologram"))
+        assert registry.value(
+            "pab_stream_unknown_kinds_total", kind="hologram"
+        ) == 1.0
+
+    def test_known_kinds_never_counted(self):
+        agg = StreamAggregator()
+        for kind in EVENT_KINDS:
+            if kind in ("event", "round", "soc", "slo"):
+                continue  # these require structured payloads
+            agg.feed(_envelope(kind, data={"t": 0.0, "round": 0}))
+        assert agg.unknown_kinds == {}
+
+
+class TestAnomalyReduction:
+    def _anomaly(self, *, seq=0, rnd=3, series="delivery_ratio", node=-1,
+                 detector="ewma", severity="warn"):
+        return _envelope("anomaly", seq=seq, t=float(rnd), node=node,
+                         source="analytics", data={
+                             "series": series, "node": node, "stage": "mac",
+                             "round": rnd, "detector": detector,
+                             "severity": severity, "value": 0.5,
+                             "expected": 1.0, "deviation": -0.5,
+                             "score": 25.0, "threshold": 4.0,
+                         })
+
+    def test_refeeding_is_idempotent(self):
+        # The resume-overlap case: the same detection re-streamed under
+        # a fresh seq must not double-count.
+        agg = StreamAggregator()
+        agg.feed(self._anomaly(seq=0))
+        agg.feed(self._anomaly(seq=99))
+        assert len(agg.anomalies) == 1
+        assert agg.anomaly_counts() == {"warn": 1}
+
+    def test_ordering_and_round_filter(self):
+        agg = StreamAggregator()
+        agg.feed(self._anomaly(rnd=7, series="soc_v", node=2))
+        agg.feed(self._anomaly(rnd=3))
+        agg.feed(self._anomaly(rnd=3, detector="cusum", severity="critical"))
+        rounds = [e["data"]["round"] for e in agg.anomalies]
+        assert rounds == [3, 3, 7]
+        assert len(agg.anomalies_for_round(3)) == 2
+        assert agg.anomaly_counts() == {"warn": 2, "critical": 1}
+
+    def test_anomaly_line_highlights_and_names_series(self):
+        line = StreamAggregator.anomaly_line(
+            self._anomaly(rnd=12, series="soc_v", node=5,
+                          severity="critical")
+        )
+        assert line.startswith("!! critical")
+        assert "round   12" in line
+        assert "node 5" in line
+        assert "soc_v [mac]" in line
+        assert "ewma" in line
+        assert "score=25.00" in line
+
+    def test_anomaly_line_fleet_series(self):
+        line = StreamAggregator.anomaly_line(self._anomaly())
+        assert "fleet" in line
+        assert "delivery_ratio" in line
 
 
 class TestRoundLine:

@@ -388,3 +388,180 @@ class TestStreamingCli:
         ]) == 0
         assert "stream: 10 rounds" in capsys.readouterr().out
         assert replay.read_bytes() == clean.read_bytes()
+
+
+class TestAnomalyCli:
+    """``--inject-noise`` / ``--fail-on-anomaly`` / ``repro diff``."""
+
+    def _campaign(self, path, *, inject=None, rounds=20):
+        args = [
+            "fleet-report", "--nodes", "4", "--rounds", str(rounds),
+            "--seed", "7", "--stream-out", str(path),
+        ]
+        if inject:
+            args += ["--inject-noise", inject]
+        assert main(args) == 0
+
+    def test_fleet_report_announces_anomalies(self, tmp_path, capsys):
+        self._campaign(tmp_path / "s.jsonl")
+        out = capsys.readouterr().out
+        assert "anomalies:" in out
+        assert "inspect with 'repro tail'" in out
+
+    def test_inject_noise_announced_and_recorded(self, tmp_path, capsys):
+        self._campaign(tmp_path / "f.jsonl", inject="3:12:6")
+        out = capsys.readouterr().out
+        assert "injecting extra noise burst: node 3, rounds 12..17" in out
+
+    def test_inject_noise_bad_spec_exits_2(self, tmp_path, capsys):
+        assert main([
+            "fleet-report", "--nodes", "4", "--rounds", "4",
+            "--stream-out", str(tmp_path / "s.jsonl"),
+            "--inject-noise", "nonsense",
+        ]) == 2
+        assert "--inject-noise" in capsys.readouterr().out
+
+    def test_report_out_writes_canonical_json(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert main([
+            "fleet-report", "--nodes", "4", "--rounds", "8", "--seed", "7",
+            "--report-out", str(report_path),
+        ]) == 0
+        capsys.readouterr()
+        doc = json.loads(report_path.read_text())
+        assert "network" in doc
+        assert doc["rounds"] == 8
+        # Canonical rendering: sorted keys, trailing newline.
+        assert report_path.read_text() == (
+            json.dumps(doc, sort_keys=True, indent=2) + "\n"
+        )
+
+    def test_tail_renders_anomaly_lines_and_fails_on_anomaly(
+        self, tmp_path, capsys
+    ):
+        stream = tmp_path / "s.jsonl"
+        self._campaign(stream)
+        capsys.readouterr()
+        assert main(["tail", str(stream), "--fail-on-anomaly"]) == 4
+        out = capsys.readouterr().out
+        highlighted = [l for l in out.splitlines() if l.startswith("!!")]
+        assert highlighted, "anomaly envelopes must render as !! lines"
+        assert "anomalies warn=" in out
+
+    def test_tail_without_anomalies_passes_fail_flag(self, tmp_path, capsys):
+        stream = tmp_path / "tiny.jsonl"
+        # Shorter than detector warmup: nothing can fire.
+        self._campaign(stream, rounds=6)
+        capsys.readouterr()
+        assert main(["tail", str(stream), "--fail-on-anomaly"]) == 0
+
+    def test_diff_identical_campaigns_exits_zero(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._campaign(a)
+        self._campaign(b)
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b), "--gate"]) == 0
+        assert "gate: clean" in capsys.readouterr().out
+
+    def test_diff_gate_trips_on_injected_fault_and_attributes(
+        self, tmp_path, capsys
+    ):
+        """ISSUE acceptance: the diff names the taxonomy class, its
+        failing stage, and the injected node."""
+        clean, faulted = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        out_path = tmp_path / "drift.json"
+        self._campaign(clean)
+        self._campaign(faulted, inject="3:12:6")
+        capsys.readouterr()
+        assert main([
+            "diff", str(clean), str(faulted), "--gate", "--out", str(out_path),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "-- attribution (most suspect first) --" in out
+        assert "noise_burst" in out
+        assert "link.hydrophone_dsp" in out
+        assert "node 3" in out
+        assert "-- gate: DRIFTED --" in out
+        report = json.loads(out_path.read_text())
+        assert report["gate"]["drifted"] is True
+        kinds = {e["kind"]: e for e in report["attribution"]}
+        assert kinds["taxonomy"]["target"] == "noise_burst"
+        assert kinds["node"]["target"] == "node 3"
+
+    def test_diff_without_gate_reports_but_exits_zero(self, tmp_path, capsys):
+        clean, faulted = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._campaign(clean)
+        self._campaign(faulted, inject="3:12:6")
+        capsys.readouterr()
+        assert main(["diff", str(clean), str(faulted)]) == 0
+        assert "DRIFTED" in capsys.readouterr().out
+
+    def test_diff_output_is_byte_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._campaign(a)
+        self._campaign(b, inject="3:12:6")
+        first, second = tmp_path / "d1.json", tmp_path / "d2.json"
+        main(["diff", str(a), str(b), "--out", str(first)])
+        main(["diff", str(a), str(b), "--out", str(second)])
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_diff_missing_file_exits_2(self, tmp_path, capsys):
+        stream = tmp_path / "a.jsonl"
+        self._campaign(stream, rounds=4)
+        capsys.readouterr()
+        assert main(["diff", str(stream), str(tmp_path / "nope.jsonl")]) == 2
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_diff_cross_kind_exits_2(self, tmp_path, capsys):
+        stream = tmp_path / "a.jsonl"
+        self._campaign(stream, rounds=4)
+        bench = tmp_path / "BENCH.json"
+        bench.write_text(json.dumps({
+            "records": [{"rounds": 4, "stages": {"mac": {"fraction": 1.0}}}],
+        }))
+        capsys.readouterr()
+        assert main(["diff", str(stream), str(bench)]) == 2
+        assert "cannot diff" in capsys.readouterr().out
+
+    def test_diff_threshold_flags_loosen_the_gate(self, tmp_path, capsys):
+        clean, faulted = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._campaign(clean)
+        self._campaign(faulted, inject="3:12:6")
+        capsys.readouterr()
+        assert main([
+            "diff", str(clean), str(faulted), "--gate",
+            "--delivery-threshold", "1.0", "--node-threshold", "1.0",
+            "--stage-threshold", "1.0", "--taxonomy-threshold", "100000",
+            "--soc-threshold", "10.0", "--burn-threshold", "1e9",
+            "--anomaly-threshold", "100000",
+        ]) == 0
+        assert "gate: clean" in capsys.readouterr().out
+
+    def test_resume_carries_injected_noise(self, tmp_path, capsys):
+        """A killed faulted campaign resumes with the same injection, so
+        the spliced stream still shows the fault's anomalies."""
+        ckpt = tmp_path / "ckpt"
+        stream = tmp_path / "stream.jsonl"
+        rc = main([
+            "fleet-report", "--nodes", "4", "--rounds", "20", "--seed", "7",
+            "--inject-noise", "3:12:6",
+            "--checkpoint-every", "5", "--checkpoint-dir", str(ckpt),
+            "--kill-at", "14:1", "--stream-out", str(stream),
+        ])
+        assert rc == 3
+        assert main([
+            "resume", str(ckpt / "checkpoint-000010.json"),
+            "--stream-out", str(stream),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "injecting extra noise burst: node 3" in out
+
+        clean = tmp_path / "clean.jsonl"
+        assert main([
+            "fleet-report", "--nodes", "4", "--rounds", "20", "--seed", "7",
+            "--inject-noise", "3:12:6", "--stream-out", str(clean),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(clean), str(stream), "--gate"]) == 0
+        assert "gate: clean" in capsys.readouterr().out
