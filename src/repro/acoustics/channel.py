@@ -99,10 +99,10 @@ class AcousticChannel:
         geo_key = (
             tank, source, receiver, max_order, sound_speed, frequency_hz
         )
-        self._paths = get_cache("channel_paths", maxsize=128).get_or_compute(
+        self._paths = get_cache("channel_paths", maxsize=1024).get_or_compute(
             geo_key, lambda: tuple(self._model.paths(source, receiver))
         )
-        self._impulse = get_cache("channel_irs", maxsize=128).get_or_compute(
+        self._impulse = get_cache("channel_irs", maxsize=1024).get_or_compute(
             geo_key + (sample_rate,),
             lambda: self._model.impulse_response(
                 source, receiver, sample_rate

@@ -103,7 +103,7 @@ class Hydrophone:
             packet_format,
             float(detection_threshold),
         )
-        return get_cache("demodulators", maxsize=16).get_or_compute(
+        return get_cache("demodulators", maxsize=64).get_or_compute(
             key,
             lambda: BackscatterDemodulator(
                 carrier_hz,

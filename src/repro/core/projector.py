@@ -108,7 +108,7 @@ class Projector:
                 envelope, self.carrier_hz, sample_rate
             )
 
-        template = get_cache("pwm_templates", maxsize=32).get_or_compute(
+        template = get_cache("pwm_templates", maxsize=512).get_or_compute(
             key, compute
         )
         return self.source_pressure_pa * template

@@ -31,6 +31,25 @@ from repro.dsp.filters import butter_lowpass
 from repro.dsp.packets import DEFAULT_FORMAT, FramingError, Packet, PacketFormat
 from repro.dsp.sync import PacketDetection, correct_cfo, estimate_cfo
 from repro.dsp.waveforms import downconvert
+from repro.perf.cache import get_cache
+
+
+def _identity(taps: int) -> np.ndarray:
+    """Read-only ``np.eye(taps)`` shared across equaliser calls."""
+    eye = _EYE.get(taps)
+    if eye is None:
+        eye = np.eye(taps)
+        eye.setflags(write=False)
+        _EYE[taps] = eye
+    return eye
+
+
+_EYE: dict[int, np.ndarray] = {}
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    arr.setflags(write=False)
+    return arr
 from repro.obs.probe import get_probes
 from repro.perf.kernels import smart_convolve
 
@@ -242,7 +261,7 @@ class BackscatterDemodulator:
             np.lib.stride_tricks.sliding_window_view(padded, taps)
         )
         rows = all_rows[:n_train]
-        gram = rows.T @ rows + ridge * np.eye(taps) * float(
+        gram = rows.T @ rows + ridge * _identity(taps) * float(
             np.mean(rows**2) + 1e-30
         ) * n_train
         weights = np.linalg.solve(gram, rows.T @ t[:n_train])
@@ -260,11 +279,38 @@ class BackscatterDemodulator:
         first CRC-clean decode; failing that, the best-effort result of
         the strongest candidate.
         """
-        empty = np.zeros(0)
         baseband, cfo = self.to_baseband(waveform)
-        modulation = self.extract_modulation(baseband)
+        return self.demodulate_from_baseband(
+            baseband, cfo, max_candidates=max_candidates
+        )
+
+    def demodulate_from_baseband(
+        self,
+        baseband,
+        cfo: float,
+        *,
+        max_candidates: int = 5,
+        corr=None,
+        modulation=None,
+    ) -> DemodResult:
+        """Decode from an already CFO-corrected complex baseband.
+
+        The second half of :meth:`demodulate`.  The batched engine runs
+        the downconvert/filter front-end for a whole fleet as one
+        (N, samples) matrix pass, then finishes each row here;
+        ``corr`` optionally supplies the row's precomputed preamble
+        correlation (from the batched sync pass) and ``modulation`` the
+        row's already-extracted modulation envelope, so the per-row
+        tail skips those recomputations.  Output is bit-identical to
+        :meth:`demodulate` on the same recording.
+        """
+        empty = np.zeros(0)
+        if modulation is None:
+            modulation = self.extract_modulation(baseband)
         try:
-            candidates = self._detection_candidates(modulation, max_candidates)
+            candidates = self._detection_candidates(
+                modulation, max_candidates, corr=corr
+            )
         except ValueError as exc:
             return DemodResult(
                 None, empty, empty, float("nan"), cfo, None, f"detection failed: {exc}"
@@ -283,17 +329,18 @@ class BackscatterDemodulator:
         return best
 
     def _detection_candidates(
-        self, modulation, max_candidates: int
+        self, modulation, max_candidates: int, *, corr=None
     ) -> list[PacketDetection]:
         """Strong preamble-correlation peaks, most promising first."""
         from repro.dsp.sync import preamble_correlation
 
-        corr = preamble_correlation(
-            modulation,
-            self.packet_format.preamble,
-            self.chip_rate,
-            self.sample_rate,
-        )
+        if corr is None:
+            corr = preamble_correlation(
+                modulation,
+                self.packet_format.preamble,
+                self.chip_rate,
+                self.sample_rate,
+            )
         mags = np.abs(corr)
         probes = get_probes()
         if probes.wants("sync.detect_packet"):
@@ -342,7 +389,13 @@ class BackscatterDemodulator:
                 None, empty, chips, float("nan"), cfo, detection, "frame truncated"
             )
         # Undo inter-chip interference with the preamble-trained equaliser.
-        preamble_chips = fm0_expected_chips(self.packet_format.preamble)
+        # The preamble is fixed per packet format, so its expected chips
+        # are memoised (read-only) alongside the sync templates.
+        preamble = self.packet_format.preamble
+        preamble_chips = get_cache("sync_templates").get_or_compute(
+            ("preamble_chips", tuple(int(b) for b in preamble)),
+            lambda: _readonly(fm0_expected_chips(preamble)),
+        )
         raw_chips = chips.copy()
         chips = self.equalize_chips(chips - np.mean(chips), preamble_chips)
         # Two-pass decode: the frame length is only known after the header,

@@ -44,18 +44,26 @@ def butter_lowpass(
     *,
     order: int = 4,
 ) -> np.ndarray:
-    """Zero-phase Butterworth low-pass filter (works on complex data)."""
+    """Zero-phase Butterworth low-pass filter (works on complex data).
+
+    Accepts a 1-D waveform or an (N, samples) stack filtered along the
+    last axis; ``sosfiltfilt`` along ``axis=-1`` is bit-identical to the
+    per-row 1-D call, so the batched engine shares this code path.
+    """
     x = np.asarray(waveform)
-    if x.ndim != 1:
-        raise ValueError("waveform must be one-dimensional")
+    if x.ndim not in (1, 2):
+        raise ValueError("waveform must be 1-D or an (N, samples) stack")
     if not 0 < cutoff_hz < sample_rate / 2:
         raise ValueError("cutoff must be in (0, Nyquist)")
     if order < 1:
         raise ValueError("order must be >= 1")
     sos = _butter_sos(order, float(cutoff_hz), float(sample_rate), "low")
     if np.iscomplexobj(x):
-        return signal.sosfiltfilt(sos, x.real) + 1j * signal.sosfiltfilt(sos, x.imag)
-    return signal.sosfiltfilt(sos, x)
+        return (
+            signal.sosfiltfilt(sos, x.real, axis=-1)
+            + 1j * signal.sosfiltfilt(sos, x.imag, axis=-1)
+        )
+    return signal.sosfiltfilt(sos, x, axis=-1)
 
 
 def butter_bandpass(
@@ -66,10 +74,10 @@ def butter_bandpass(
     *,
     order: int = 4,
 ) -> np.ndarray:
-    """Zero-phase Butterworth band-pass filter."""
+    """Zero-phase Butterworth band-pass filter (1-D or (N, samples))."""
     x = np.asarray(waveform)
-    if x.ndim != 1:
-        raise ValueError("waveform must be one-dimensional")
+    if x.ndim not in (1, 2):
+        raise ValueError("waveform must be 1-D or an (N, samples) stack")
     if not 0 < low_hz < high_hz < sample_rate / 2:
         raise ValueError("need 0 < low < high < Nyquist")
     if order < 1:
@@ -78,8 +86,11 @@ def butter_bandpass(
         order, (float(low_hz), float(high_hz)), float(sample_rate), "band"
     )
     if np.iscomplexobj(x):
-        return signal.sosfiltfilt(sos, x.real) + 1j * signal.sosfiltfilt(sos, x.imag)
-    return signal.sosfiltfilt(sos, x)
+        return (
+            signal.sosfiltfilt(sos, x.real, axis=-1)
+            + 1j * signal.sosfiltfilt(sos, x.imag, axis=-1)
+        )
+    return signal.sosfiltfilt(sos, x, axis=-1)
 
 
 def envelope_detect(
@@ -96,8 +107,8 @@ def envelope_detect(
     an envelope of ~1.  This is the node-side PWM detector.
     """
     x = np.asarray(waveform, dtype=float)
-    if x.ndim != 1:
-        raise ValueError("waveform must be one-dimensional")
+    if x.ndim not in (1, 2):
+        raise ValueError("waveform must be 1-D or an (N, samples) stack")
     if carrier_hz <= 0:
         raise ValueError("carrier must be positive")
     if cutoff_hz is None:

@@ -86,6 +86,35 @@ def fm0_expected_chips(bits, *, initial_level: int = 1) -> np.ndarray:
     return chips.astype(float) * 2.0 - 1.0
 
 
+#: Branch chip templates, row k = 2*s_in + bit.  Entering level s_in
+#: inverts at the boundary (first chip = 1 - s_in) and a '0' bit
+#: inverts again mid-bit:
+#:   k=0 (s_in=0, bit=0) -> chips (+1, -1), exit level 0
+#:   k=1 (s_in=0, bit=1) -> chips (+1, +1), exit level 1
+#:   k=2 (s_in=1, bit=0) -> chips (-1, +1), exit level 1
+#:   k=3 (s_in=1, bit=1) -> chips (-1, -1), exit level 0
+_FM0_BRANCH = np.array([[1.0, -1.0], [1.0, 1.0], [-1.0, 1.0], [-1.0, -1.0]])
+_FM0_BRANCH.setflags(write=False)
+
+
+def fm0_branch_metrics(chip_pairs) -> np.ndarray:
+    """Squared-error branch metrics against the four FM0 transitions.
+
+    ``chip_pairs`` is ``(..., n_bits, 2)`` — one row of chip-amplitude
+    pairs per frame, so a whole fleet's frames can be scored as one
+    ``(N, n_bits, 2)`` einsum (the FM0 matrix correlation of the
+    batched engine).  ``out[..., i, k]`` is the metric of branch *k*
+    for bit *i*: ``(x[2i] - c0)^2 + (x[2i+1] - c1)^2``.  The reduction
+    is a fixed two-term sum per entry, so batched and per-frame calls
+    are bit-identical.
+    """
+    pairs = np.asarray(chip_pairs, dtype=float)
+    if pairs.ndim < 2 or pairs.shape[-1] != CHIPS_PER_BIT:
+        raise ValueError("chip_pairs must have shape (..., n_bits, 2)")
+    delta = pairs[..., None, :] - _FM0_BRANCH
+    return np.einsum("...kc,...kc->...k", delta, delta)
+
+
 def fm0_ml_decode(chip_amplitudes, *, initial_level: int = 1) -> np.ndarray:
     """Maximum-likelihood sequence decoding of noisy FM0 chip amplitudes.
 
@@ -106,21 +135,9 @@ def fm0_ml_decode(chip_amplitudes, *, initial_level: int = 1) -> np.ndarray:
     if scale > 0:
         x = x / scale
 
-    # Branch chip templates, row k = 2*s_in + bit.  Entering level s_in
-    # inverts at the boundary (first chip = 1 - s_in) and a '0' bit
-    # inverts again mid-bit:
-    #   k=0 (s_in=0, bit=0) -> chips (+1, -1), exit level 0
-    #   k=1 (s_in=0, bit=1) -> chips (+1, +1), exit level 1
-    #   k=2 (s_in=1, bit=0) -> chips (-1, +1), exit level 1
-    #   k=3 (s_in=1, bit=1) -> chips (-1, -1), exit level 0
-    branch = np.array(
-        [[1.0, -1.0], [1.0, 1.0], [-1.0, 1.0], [-1.0, -1.0]]
-    )
-    pairs = x.reshape(n_bits, CHIPS_PER_BIT)
     # All branch metrics for every bit in one shot: err[i, k] =
     # (x[2i] - c0)^2 + (x[2i+1] - c1)^2, identical to the scalar form.
-    delta = pairs[:, None, :] - branch[None, :, :]
-    errs = np.einsum("nkc,nkc->nk", delta, delta)
+    errs = fm0_branch_metrics(x.reshape(n_bits, CHIPS_PER_BIT))
 
     # Two-state trellis over the precomputed metrics.  Transitions into
     # state 0 are branches k=0 (from state 0) and k=3 (from state 1);
@@ -130,19 +147,30 @@ def fm0_ml_decode(chip_amplitudes, *, initial_level: int = 1) -> np.ndarray:
     cost0, cost1 = (
         (0.0, 1e-3) if initial_level == 0 else (1e-3, 0.0)
     )
-    back = np.zeros((n_bits, 2), dtype=np.int8)  # winning s_in per state
+    # The recursion is sequential, so the hot loop runs on plain Python
+    # floats and lists: ``tolist`` yields the same IEEE doubles as the
+    # ndarray, and the adds/compares below are the same scalar ops in
+    # the same order, so the decode is bit-identical to the ndarray
+    # form at a fraction of the per-element indexing cost.
+    e0, e1, e2, e3 = (
+        errs[:, 0].tolist(), errs[:, 1].tolist(),
+        errs[:, 2].tolist(), errs[:, 3].tolist(),
+    )
+    back0 = [0] * n_bits  # winning s_in per state
+    back1 = [0] * n_bits
     for i in range(n_bits):
-        e = errs[i]
-        into0_a = cost0 + e[0]
-        into0_b = cost1 + e[3]
-        into1_a = cost0 + e[1]
-        into1_b = cost1 + e[2]
+        into0_a = cost0 + e0[i]
+        into0_b = cost1 + e3[i]
+        into1_a = cost0 + e1[i]
+        into1_b = cost1 + e2[i]
         if into0_b < into0_a:
-            new0, back[i, 0] = into0_b, 1
+            new0 = into0_b
+            back0[i] = 1
         else:
             new0 = into0_a
         if into1_b < into1_a:
-            new1, back[i, 1] = into1_b, 1
+            new1 = into1_b
+            back1[i] = 1
         else:
             new1 = into1_a
         cost0, cost1 = new0, new1
@@ -150,12 +178,18 @@ def fm0_ml_decode(chip_amplitudes, *, initial_level: int = 1) -> np.ndarray:
     # Trace back from the better final state.  The data bit of each
     # winning transition follows from its (s_in, s_out) pair: exiting to
     # state 0 means bit = s_in == 0 ? 0 : 1; to state 1 the reverse.
-    state = int(np.argmin(cost))
-    bits = np.zeros(n_bits, dtype=np.int8)
+    # (``cost0 <= cost1`` picks state 0 on ties, as argmin did.)
+    state = 0 if cost0 <= cost1 else 1
+    decoded = [0] * n_bits
     for i in range(n_bits - 1, -1, -1):
-        s_in = int(back[i, state])
-        bits[i] = s_in if state == 0 else 1 - s_in
+        if state == 0:
+            s_in = back0[i]
+            decoded[i] = s_in
+        else:
+            s_in = back1[i]
+            decoded[i] = 1 - s_in
         state = s_in
+    bits = np.array(decoded, dtype=np.int8)
     from repro.obs.probe import get_probes
 
     probes = get_probes()

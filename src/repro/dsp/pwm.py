@@ -56,6 +56,23 @@ class PWMCode:
         """Duration of a whole bit sequence [s]."""
         return float(sum(self.symbol_duration(int(b)) for b in np.asarray(bits)))
 
+    def frame_samples(self, bits, sample_rate: float) -> int:
+        """Exact sample count of :func:`pwm_encode` for ``bits``.
+
+        Mirrors the encoder's per-symbol rounding (each on/gap segment
+        rounds independently, clamped to >= 1 sample), so the batched
+        engine can group same-shape downlink envelopes without
+        synthesising the waveforms first.
+        """
+        if sample_rate <= 0:
+            raise ValueError("sample rate must be positive")
+        total = 0
+        gap = max(int(round(self.gap_s * sample_rate)), 1)
+        for bit in np.asarray(bits):
+            on = self.long_s if bit else self.short_s
+            total += max(int(round(on * sample_rate)), 1) + gap
+        return total
+
     @property
     def decision_threshold_s(self) -> float:
         """Edge-interval threshold separating '0' from '1'."""

@@ -24,7 +24,12 @@ from repro.dsp.fm0 import fm0_expected_chips
 from repro.dsp.waveforms import upconvert_chips
 from repro.obs.probe import get_probes
 from repro.perf.cache import get_cache
-from repro.perf.kernels import smart_convolve, smart_correlate
+from repro.perf.kernels import (
+    batched_convolve,
+    batched_correlate,
+    smart_convolve,
+    smart_correlate,
+)
 
 
 def publish_sync_tap(
@@ -172,6 +177,36 @@ def preamble_correlation(
     energy = smart_convolve(x**2, np.ones(len(template)), mode="valid")
     corr = corr / np.sqrt(np.maximum(energy, 1e-30))
     return corr
+
+
+def batched_preamble_correlation(
+    modulations,
+    preamble_bits,
+    chip_rate: float,
+    sample_rate: float,
+) -> np.ndarray:
+    """:func:`preamble_correlation` over an (N, samples) stack of rows.
+
+    This is the fleet-wide sync/FM0 correlation of the batched engine:
+    every row is matched against the same FM0 preamble chip template in
+    one matrix convolution per stage.  Row *i* of the result is
+    bit-identical to ``preamble_correlation(modulations[i], ...)`` —
+    the elementwise square, the normalisation, and both convolutions
+    (via :func:`repro.perf.kernels.batched_convolve`) all preserve the
+    sequential arithmetic exactly.
+    """
+    X = np.asarray(modulations, dtype=float)
+    if X.ndim == 1:
+        return preamble_correlation(X, preamble_bits, chip_rate, sample_rate)
+    if X.ndim != 2:
+        raise ValueError("modulations must be 1-D or an (N, samples) stack")
+    template = preamble_template(preamble_bits, chip_rate, sample_rate)
+    if len(template) == 0 or X.shape[-1] < len(template):
+        raise ValueError("waveform shorter than the preamble")
+    t_norm = template / np.sqrt(np.sum(template**2))
+    corr = batched_correlate(X, t_norm, mode="valid")
+    energy = batched_convolve(X**2, np.ones(len(template)), mode="valid")
+    return corr / np.sqrt(np.maximum(energy, 1e-30))
 
 
 @dataclass(frozen=True)

@@ -82,11 +82,15 @@ def downconvert(
     the magnitude of the result equal the envelope of the passband tone.
     The caller is expected to low-pass filter the product (see
     :func:`repro.dsp.filters.butter_lowpass`).
+
+    Accepts a 1-D waveform or an (N, samples) stack mixed along the last
+    axis; the complex oscillator is computed once and broadcast across
+    rows, so batched mixing is bit-identical to row-at-a-time mixing.
     """
     x = np.asarray(waveform, dtype=float)
-    if x.ndim != 1:
-        raise ValueError("waveform must be one-dimensional")
+    if x.ndim not in (1, 2):
+        raise ValueError("waveform must be 1-D or an (N, samples) stack")
     if carrier_hz <= 0 or sample_rate <= 0:
         raise ValueError("carrier and sample rate must be positive")
-    n = np.arange(len(x))
+    n = np.arange(x.shape[-1])
     return 2.0 * x * np.exp(-1j * TWO_PI * carrier_hz * n / sample_rate)

@@ -149,6 +149,22 @@ class NodeFirmware:
 
     # -- checkpointing -------------------------------------------------------------
 
+    def _sensor_adcs(self) -> dict:
+        """The attached sensors' ADC converters, by sensor name.
+
+        Each carries a seeded input-noise RNG whose stream position is
+        part of the node's mutable state: a reading consumes draws, so
+        both checkpoint/resume and the batched engine's predictive
+        prepass must be able to save and rewind it exactly.
+        """
+        adcs = {}
+        for name in ("ph_sensor", "pressure_driver", "thermistor"):
+            sensor = getattr(self, name, None)
+            adc = getattr(sensor, "adc", None)
+            if adc is not None and callable(getattr(adc, "snapshot_state", None)):
+                adcs[name] = adc
+        return adcs
+
     def snapshot_state(self) -> dict:
         """JSON-ready mutable state (peripherals/format are rebuilt)."""
         return {
@@ -157,6 +173,10 @@ class NodeFirmware:
             "queries_ignored": self.queries_ignored,
             "bitrate": self.config.bitrate,
             "resonance_mode": self.config.resonance_mode,
+            "sensor_adcs": {
+                name: adc.snapshot_state()
+                for name, adc in sorted(self._sensor_adcs().items())
+            },
         }
 
     def restore_state(self, state: dict) -> None:
@@ -167,6 +187,12 @@ class NodeFirmware:
         self.queries_ignored = int(state["queries_ignored"])
         self.config.bitrate = float(state["bitrate"])
         self.config.resonance_mode = int(state["resonance_mode"])
+        # Older checkpoints predate ADC stream capture; leave the
+        # converters where they are rather than failing the restore.
+        adc_states = state.get("sensor_adcs", {})
+        for name, adc in self._sensor_adcs().items():
+            if name in adc_states:
+                adc.restore_state(adc_states[name])
 
     # -- downlink ------------------------------------------------------------------
 
@@ -337,6 +363,6 @@ class NodeFirmware:
         bits (format included, since framing determines the bits).
         """
         bits = response.to_packet().to_bits(self.config.uplink_format)
-        return get_cache("fm0_chips", maxsize=128).get_or_compute(
+        return get_cache("fm0_chips", maxsize=1024).get_or_compute(
             bits.tobytes(), lambda: fm0_encode(bits)
         )

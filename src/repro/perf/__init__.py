@@ -28,13 +28,27 @@ from repro.perf.cache import (
     get_cache,
     set_cache_enabled,
 )
-from repro.perf.fleet import FleetEngine, auto_parallel_width
-from repro.perf.kernels import smart_convolve, smart_correlate
+from repro.perf.fleet import (
+    FleetEngine,
+    ProcessFleetEngine,
+    auto_parallel_mode,
+    auto_parallel_width,
+)
+from repro.perf.kernels import (
+    batched_convolve,
+    batched_correlate,
+    smart_convolve,
+    smart_correlate,
+)
 
 __all__ = [
     "FleetEngine",
     "LRUCache",
+    "ProcessFleetEngine",
+    "auto_parallel_mode",
     "auto_parallel_width",
+    "batched_convolve",
+    "batched_correlate",
     "cache_enabled",
     "cache_stats",
     "caches_to_metrics",

@@ -98,6 +98,38 @@ class LRUCache:
     def __len__(self) -> int:
         return len(self._data)
 
+    def __contains__(self, key) -> bool:
+        """Presence probe that does not touch counters or LRU order.
+
+        The batched engine's planning pass uses this to decide which
+        legs it must precompute; a probe is not a use, so it must not
+        perturb hit/miss accounting (the bench reports those) or evict
+        differently than the sequential schedule would.
+        """
+        if not _enabled:
+            return False
+        with self._lock:
+            return key in self._data
+
+    def put(self, key, value) -> None:
+        """Seed ``key`` with an externally computed ``value``.
+
+        Counts as a miss (the computation happened, just not inside
+        :meth:`get_or_compute`) and evicts exactly like a computed
+        store.  No-op while caching is globally disabled so the
+        uncached baseline stays honest.
+        """
+        if not _enabled:
+            return
+        _freeze(value)
+        with self._lock:
+            self.misses += 1
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
     def get_or_compute(self, key, compute):
         """``cache[key]``, computing (and storing) on a miss.
 

@@ -217,6 +217,84 @@ class FleetEngine:
         return results
 
 
+class ProcessFleetEngine:
+    """Process-pool fallback for the non-batchable remainder.
+
+    The batched engine (:mod:`repro.perf.batch`) covers the waveform
+    legs; what it cannot stack is per-node *control* work with real
+    mutable state — firmware bookkeeping dry-runs, per-shard fault
+    replay, report post-processing.  Those units are CPU-bound Python,
+    so on multi-core hosts a process pool sidesteps the GIL where the
+    thread pool cannot.
+
+    The contract matches :class:`FleetEngine.run_round`: keyed units
+    in, ``[(key, result)]`` sorted by key out.  Units must be picklable
+    (top-level callables); a unit that is not, a platform that cannot
+    fork, or a single-core host (``max_workers <= 1``) all degrade to
+    inline execution — identical results, no concurrency — so callers
+    can use this engine unconditionally.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is None:
+            max_workers = max((os.cpu_count() or 1) - 1, 1)
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = int(max_workers)
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self.max_workers <= 1:
+            return None
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                # No fork on this platform: shared module state (the
+                # template caches) would be re-derived per worker under
+                # spawn, erasing the win — run inline instead.
+                return None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=context
+            )
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Release the worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def run_round(self, units) -> list:
+        """Execute every unit; return ``[(key, result)]`` sorted by key."""
+        if isinstance(units, Mapping):
+            items = sorted(units.items())
+        else:
+            items = sorted(units)
+        if not items:
+            return []
+        pool = self._ensure_pool()
+        if pool is None:
+            return [(key, fn()) for key, fn in items]
+        import pickle
+
+        futures = []
+        for key, fn in items:
+            try:
+                futures.append((key, pool.submit(fn)))
+            except (TypeError, pickle.PicklingError, AttributeError):
+                futures.append((key, fn()))
+        out = []
+        for key, result in futures:
+            if hasattr(result, "result"):
+                result = result.result()
+            out.append((key, result))
+        return out
+
+
 def _latest_full_bench_record(bench_path=None) -> dict | None:
     """The newest non-smoke record in a ``repro bench --out`` file."""
     path = pathlib.Path(
@@ -294,3 +372,30 @@ def auto_parallel_width(n_nodes: int, *, bench_path=None, max_width: int | None 
         evidence,
     )
     return width
+
+
+def auto_parallel_mode(n_nodes: int, *, bench_path=None) -> "int | str":
+    """Pick a reader execution mode, batched engine included.
+
+    The richer successor to :func:`auto_parallel_width` (which remains
+    for callers that can only use a pool width): when the latest full
+    benchmark record carries a ``batch_s`` timing that beats both
+    cached-sequential and the thread pool, ``"batch"`` is chosen for
+    any fleet of more than one node — the batched prepass degrades
+    gracefully to cached-sequential cost on fleets too small to stack.
+    Otherwise the thread-crossover logic decides, exactly as before.
+    """
+    n = int(n_nodes)
+    record = _latest_full_bench_record(bench_path)
+    if n > 1 and record is not None:
+        batch_s = float(record.get("batch_s", 0.0) or 0.0)
+        if 0.0 < batch_s <= float(record["cached_s"]) and (
+            batch_s <= float(record["parallel_s"])
+        ):
+            logger.info(
+                "parallel=auto: fleet of %d nodes -> batched engine "
+                "(batch %.2fs vs cached %.2fs at %d nodes)",
+                n, batch_s, float(record["cached_s"]), int(record["nodes"]),
+            )
+            return "batch"
+    return auto_parallel_width(n, bench_path=bench_path)

@@ -28,6 +28,11 @@ _DIRECT_MAC_LIMIT = 1 << 17
 #: Length ratio beyond which overlap-add beats a single FFT.
 _OVERLAP_ADD_RATIO = 8.0
 
+#: Overlap-add only pays off once the long operand is mixture-scale;
+#: for mid-size signals (the receiver's ~9k-sample analysis segments)
+#: a single zero-padded FFT is 2-3x faster than scipy's block loop.
+_OVERLAP_ADD_MIN_LEN = 1 << 16
+
 
 def smart_convolve(x, kernel, mode: str = "full") -> np.ndarray:
     """``np.convolve(x, kernel, mode)`` with auto-selected evaluation.
@@ -46,7 +51,10 @@ def smart_convolve(x, kernel, mode: str = "full") -> np.ndarray:
     n, m = len(x), len(kernel)
     if n * m <= _DIRECT_MAC_LIMIT or min(n, m) < 8:
         return np.convolve(x, kernel, mode=mode)
-    if max(n, m) / min(n, m) >= _OVERLAP_ADD_RATIO:
+    if (
+        max(n, m) >= _OVERLAP_ADD_MIN_LEN
+        and max(n, m) / min(n, m) >= _OVERLAP_ADD_RATIO
+    ):
         return oaconvolve(x, kernel, mode=mode)
     return fftconvolve(x, kernel, mode=mode)
 
@@ -60,3 +68,38 @@ def smart_correlate(x, template, mode: str = "valid") -> np.ndarray:
     """
     template = np.asarray(template)
     return smart_convolve(x, np.conj(template[::-1]), mode=mode)
+
+
+def batched_convolve(xs, kernel, mode: str = "full") -> np.ndarray:
+    """Row-wise :func:`smart_convolve` over an (N, samples) stack.
+
+    Bit-identical to calling ``smart_convolve(row, kernel, mode)`` per
+    row: the strategy dispatch depends only on the per-row lengths, and
+    both scipy FFT backends produce byte-identical rows when handed the
+    whole matrix with ``axes=-1`` (pocketfft transforms each row with
+    the same plan it would use for a lone 1-D call).  The direct branch
+    loops, because tiny problems gain nothing from stacking.
+    """
+    xs = np.asarray(xs)
+    kernel = np.asarray(kernel)
+    if xs.ndim == 1:
+        return smart_convolve(xs, kernel, mode=mode)
+    if xs.ndim != 2 or kernel.ndim != 1:
+        raise ValueError("batched_convolve wants (N, samples) x 1-D kernel")
+    n, m = xs.shape[-1], len(kernel)
+    if n == 0 or m == 0:
+        return np.stack([np.convolve(row, kernel, mode=mode) for row in xs])
+    if n * m <= _DIRECT_MAC_LIMIT or min(n, m) < 8:
+        return np.stack([np.convolve(row, kernel, mode=mode) for row in xs])
+    if (
+        max(n, m) >= _OVERLAP_ADD_MIN_LEN
+        and max(n, m) / min(n, m) >= _OVERLAP_ADD_RATIO
+    ):
+        return oaconvolve(xs, kernel[None, :], mode=mode, axes=-1)
+    return fftconvolve(xs, kernel[None, :], mode=mode, axes=-1)
+
+
+def batched_correlate(xs, template, mode: str = "valid") -> np.ndarray:
+    """Row-wise :func:`smart_correlate` over an (N, samples) stack."""
+    template = np.asarray(template)
+    return batched_convolve(xs, np.conj(template[::-1]), mode=mode)

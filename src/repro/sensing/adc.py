@@ -70,3 +70,18 @@ class SarADC:
             raise ValueError("need at least one sample")
         codes = [self.sample(voltage_v) for _ in range(n)]
         return float(np.mean(codes)) * self.lsb_v
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready RNG stream position of the input-noise source.
+
+        Sensor conversions draw from this stream, so a byte-identical
+        campaign resume must put the converter back on the exact draw
+        it would have reached uninterrupted.
+        """
+        return {"rng": self._rng.bit_generator.state}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self._rng.bit_generator.state = state["rng"]
